@@ -1,0 +1,223 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// at a reduced but structurally faithful scale (run cmd/repro for the
+// full-scale numbers recorded in EXPERIMENTS.md), plus micro-benchmarks of
+// the schedulers themselves.
+//
+// One benchmark per experiment:
+//
+//	go test -bench=. -benchmem
+package sunflow
+
+import (
+	"math/rand"
+	"testing"
+
+	"sunflow/internal/aalo"
+	"sunflow/internal/bench"
+	"sunflow/internal/core"
+	"sunflow/internal/fabric"
+	"sunflow/internal/sim"
+	"sunflow/internal/solstice"
+	"sunflow/internal/varys"
+)
+
+// benchCfg is the reduced-scale workload used by the figure benchmarks.
+var benchCfg = bench.Config{Seed: 1, Ports: 40, Coflows: 80, MaxWidth: 10}
+
+func BenchmarkTable3_SchedulerCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Table3(bench.Config{Seed: 1}, []int{8, 16})
+	}
+}
+
+func BenchmarkTable4_Classification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Table4(benchCfg)
+	}
+}
+
+func BenchmarkFig3_IntraCCTvsTcL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig3(benchCfg)
+	}
+}
+
+func BenchmarkFig4_M2MRatios(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig4(benchCfg)
+	}
+}
+
+func BenchmarkFig5_SwitchingCounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig5(benchCfg)
+	}
+}
+
+func BenchmarkFig6_IntraDeltaSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig6(benchCfg)
+	}
+}
+
+func BenchmarkFig7_CCTvsTpL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Fig7(benchCfg)
+	}
+}
+
+func BenchmarkFig8_InterAvgCCT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig8(benchCfg, []float64{bench.Gbps}, []float64{0.40}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9_CCTDifference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig9(benchCfg, 0.40); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10_InterDeltaSweep(b *testing.B) {
+	cfg := bench.Config{Seed: 1, Ports: 30, Coflows: 40, MaxWidth: 8}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Fig10(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselines_TMSEdmond(b *testing.B) {
+	cfg := bench.Config{Seed: 1, Ports: 20, Coflows: 40, MaxWidth: 5}
+	for i := 0; i < b.N; i++ {
+		bench.Baselines(cfg, 10, 5)
+	}
+}
+
+func BenchmarkOrderingSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.OrderingSensitivity(benchCfg)
+	}
+}
+
+func BenchmarkStarvationAvoidance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Starvation(bench.Config{Seed: 1}, FairWindows{N: 4, T: 0.5, Tau: 0.05}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_AllStop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.AllStopAblation(benchCfg)
+	}
+}
+
+func BenchmarkAblation_Combining(b *testing.B) {
+	cfg := bench.Config{Seed: 1, Ports: 20, Coflows: 30, MaxWidth: 5}
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Combining(cfg, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- scheduler micro-benchmarks ---
+
+// benchShuffle builds a w×w shuffle on 2w ports.
+func benchShuffle(w int, seed int64) *Coflow {
+	rng := rand.New(rand.NewSource(seed))
+	var flows []Flow
+	for i := 0; i < w; i++ {
+		for j := 0; j < w; j++ {
+			flows = append(flows, Flow{Src: i, Dst: w + j, Bytes: float64(1+rng.Intn(64)) * 1e6})
+		}
+	}
+	return NewCoflow(1, 0, flows)
+}
+
+func BenchmarkSunflowIntra_Shuffle16(b *testing.B) {
+	c := benchShuffle(16, 7)
+	opts := Options{LinkBps: 1e9, Delta: 0.01}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.IntraCoflow(core.NewPRT(32), c, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSunflowIntra_Shuffle40(b *testing.B) {
+	c := benchShuffle(40, 7)
+	opts := Options{LinkBps: 1e9, Delta: 0.01}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.IntraCoflow(core.NewPRT(80), c, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolstice_Shuffle16(b *testing.B) {
+	c := benchShuffle(16, 7)
+	opts := solstice.Options{LinkBps: 1e9, Delta: 0.01}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := solstice.Schedule(c, 32, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCircuitSim_80Coflows(b *testing.B) {
+	cs := benchCfg.Workload()
+	opts := sim.CircuitOptions{Ports: 40, LinkBps: 1e9, Delta: 0.01}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunCircuit(cs, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVarysSim_80Coflows(b *testing.B) {
+	cs := benchCfg.Workload()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunPacket(cs, 40, 1e9, varys.Allocator{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAaloSim_80Coflows(b *testing.B) {
+	cs := benchCfg.Workload()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunPacket(cs, 40, 1e9, aalo.Allocator{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaxMinFair_1kFlows(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	flows := make([]fabric.FlowKey, 1000)
+	for i := range flows {
+		flows[i] = fabric.FlowKey{Src: rng.Intn(50), Dst: rng.Intn(50)}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		availIn := make([]float64, 50)
+		availOut := make([]float64, 50)
+		for p := 0; p < 50; p++ {
+			availIn[p], availOut[p] = 1e9, 1e9
+		}
+		fabric.MaxMinFair(flows, availIn, availOut)
+	}
+}

@@ -1,0 +1,123 @@
+// Command repro regenerates the tables and figures of the Sunflow paper's
+// evaluation section and prints them in paper-style rows.
+//
+// Usage:
+//
+//	repro [-seed 1] [-coflows 526] [-ports 150] [-maxwidth 40] [experiments...]
+//
+// With no arguments it runs everything. Experiment ids: table3, table4,
+// fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig10, baselines, ordering,
+// allstop, starvation, combining.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sunflow/internal/bench"
+	"sunflow/internal/core"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "workload seed")
+	coflows := flag.Int("coflows", 526, "number of Coflows")
+	ports := flag.Int("ports", 150, "fabric port count")
+	maxWidth := flag.Int("maxwidth", 60, "max shuffle fan-in/out")
+	flag.Parse()
+
+	cfg := bench.Config{
+		Seed:     *seed,
+		Coflows:  *coflows,
+		Ports:    *ports,
+		MaxWidth: *maxWidth,
+	}
+
+	wanted := flag.Args()
+	if len(wanted) == 0 {
+		wanted = []string{
+			"table4", "fig3", "fig4", "fig5", "fig6", "fig7",
+			"fig8", "fig9", "fig10",
+			"table3", "baselines", "ordering", "allstop", "starvation", "combining",
+			"approximation", "hybrid",
+		}
+	}
+
+	for _, id := range wanted {
+		start := time.Now()
+		out, err := run(cfg, strings.ToLower(id))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s took %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func run(cfg bench.Config, id string) (string, error) {
+	switch id {
+	case "table3":
+		return bench.FormatTable3(bench.Table3(cfg, nil)), nil
+	case "table4":
+		return bench.FormatTable4(bench.Table4(cfg)), nil
+	case "fig3":
+		return bench.FormatFig3(bench.Fig3(cfg)), nil
+	case "fig4":
+		return bench.Fig4(cfg).Format(), nil
+	case "fig5":
+		return bench.Fig5(cfg).Format(), nil
+	case "fig6":
+		return bench.FormatDeltaSweep("Figure 6 — intra-Coflow δ sensitivity", bench.Fig6(cfg)), nil
+	case "fig7":
+		return bench.Fig7(cfg).Format(), nil
+	case "fig8":
+		rows, err := bench.Fig8(cfg, nil, nil)
+		if err != nil {
+			return "", err
+		}
+		return bench.FormatFig8(rows), nil
+	case "fig9":
+		r, err := bench.Fig9(cfg, 0.12)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	case "fig10":
+		rows, err := bench.Fig10(cfg)
+		if err != nil {
+			return "", err
+		}
+		return bench.FormatDeltaSweep("Figure 10 — inter-Coflow δ sensitivity", rows), nil
+	case "baselines":
+		return bench.Baselines(cfg, 0, 0).Format(), nil
+	case "ordering":
+		return bench.FormatOrdering(bench.OrderingSensitivity(cfg)), nil
+	case "allstop":
+		return bench.AllStopAblation(cfg).Format(), nil
+	case "starvation":
+		r, err := bench.Starvation(cfg, core.FairWindows{})
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	case "combining":
+		r, err := bench.Combining(cfg, 0)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	case "approximation":
+		return bench.FormatApproximation(bench.Approximation(cfg)), nil
+	case "hybrid":
+		rows, err := bench.Hybrid(cfg, 0.1, 0.4)
+		if err != nil {
+			return "", err
+		}
+		return bench.FormatHybrid(rows), nil
+	default:
+		return "", fmt.Errorf("unknown experiment (want table3 table4 fig3..fig10 baselines ordering allstop starvation combining approximation hybrid)")
+	}
+}

@@ -1,0 +1,151 @@
+// Command sunflow schedules Coflow workloads on an optical circuit switch.
+//
+// It reads a workload in the coflow-benchmark format (file or stdin) and
+// either prints the circuit schedule of a single Coflow (-coflow) as a
+// Gantt-style reservation listing, or replays the whole trace through the
+// online inter-Coflow simulator and reports per-Coflow completion times.
+//
+// Usage:
+//
+//	sunflow [-trace file] [-coflow id] [-b gbps] [-delta sec] [-policy scf|fifo] [-scheduler sunflow|solstice] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"sunflow/internal/coflow"
+	"sunflow/internal/core"
+	"sunflow/internal/fabric"
+	"sunflow/internal/sim"
+	"sunflow/internal/solstice"
+	"sunflow/internal/trace"
+)
+
+func main() {
+	traceFile := flag.String("trace", "-", "coflow-benchmark trace file (- for stdin)")
+	coflowID := flag.Int("coflow", -1, "schedule only this Coflow (intra mode); -1 replays the whole trace")
+	gbits := flag.Float64("b", 1, "link bandwidth in Gbit/s")
+	delta := flag.Float64("delta", 0.01, "circuit reconfiguration delay in seconds")
+	policyName := flag.String("policy", "scf", "inter-Coflow policy: scf (shortest first) or fifo")
+	scheduler := flag.String("scheduler", "sunflow", "intra scheduler for -coflow mode: sunflow or solstice")
+	verbose := flag.Bool("v", false, "print every reservation / completion")
+	gantt := flag.Int("gantt", 0, "with -coflow: render the schedule as a Gantt chart this many columns wide")
+	flag.Parse()
+
+	tr, err := readTrace(*traceFile)
+	if err != nil {
+		fatal(err)
+	}
+	linkBps := *gbits * 1e9
+
+	if *coflowID >= 0 {
+		if err := intraMode(tr, *coflowID, linkBps, *delta, *scheduler, *verbose, *gantt); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var policy core.Policy
+	switch *policyName {
+	case "scf":
+		policy = core.ShortestFirst{LinkBps: linkBps}
+	case "fifo":
+		policy = core.FIFO{}
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policyName))
+	}
+
+	res, err := sim.RunCircuit(tr.Coflows, sim.CircuitOptions{
+		Ports:   tr.Ports,
+		LinkBps: linkBps,
+		Delta:   *delta,
+		Policy:  policy,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ids := make([]int, 0, len(res.CCT))
+	for id := range res.CCT {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var sum float64
+	for _, id := range ids {
+		sum += res.CCT[id]
+		if *verbose {
+			fmt.Printf("coflow %-6d CCT %10.3fs  switches %d\n", id, res.CCT[id], res.SwitchCount[id])
+		}
+	}
+	fmt.Printf("coflows %d  policy %s  B %.0f Gbps  delta %gs\n", len(ids), policy.Name(), *gbits, *delta)
+	fmt.Printf("average CCT %.3fs\n", sum/float64(len(ids)))
+}
+
+// intraMode schedules one Coflow alone and prints its reservations.
+func intraMode(tr *trace.Trace, id int, linkBps, delta float64, scheduler string, verbose bool, gantt int) error {
+	var target *coflow.Coflow
+	for _, c := range tr.Coflows {
+		if c.ID == id {
+			target = c
+			break
+		}
+	}
+	if target == nil {
+		return fmt.Errorf("coflow %d not in trace", id)
+	}
+	tpl := target.PacketLowerBound(linkBps)
+	tcl := target.CircuitLowerBound(linkBps, delta)
+	fmt.Printf("%v\n", target)
+	fmt.Printf("TpL %.3fs  TcL %.3fs\n", tpl, tcl)
+
+	switch scheduler {
+	case "sunflow":
+		sched, err := core.IntraCoflow(core.NewPRT(tr.Ports), target, core.Options{LinkBps: linkBps, Delta: delta})
+		if err != nil {
+			return err
+		}
+		if verbose {
+			for _, r := range sched.Reservations {
+				fmt.Printf("  circuit [in.%d -> out.%d]  %.3fs .. %.3fs  (%.1f MB)\n",
+					r.In, r.Out, r.Start, r.End, r.Bytes/1e6)
+			}
+		}
+		fmt.Printf("sunflow: CCT %.3fs (%.2fx TcL)  switches %d\n",
+			sched.Finish, sched.Finish/tcl, sched.SwitchingCount())
+		if gantt > 0 {
+			fmt.Print(core.Gantt(gantt, sched))
+		}
+	case "solstice":
+		res, st, err := solstice.Run(target, tr.Ports, solstice.Options{LinkBps: linkBps, Delta: delta}, fabric.NotAllStop)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("solstice: CCT %.3fs (%.2fx TcL)  switches %d  assignments %d\n",
+			res.Finish, res.Finish/tcl, res.SwitchCount, st.Assignments)
+	default:
+		return fmt.Errorf("unknown scheduler %q", scheduler)
+	}
+	return nil
+}
+
+func readTrace(path string) (*trace.Trace, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return trace.Parse(r)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sunflow:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+// Command tracegen emits a synthetic Coflow workload in the
+// coflow-benchmark text format, calibrated to the statistics of the
+// Facebook trace the Sunflow paper evaluates on.
+//
+// Usage:
+//
+//	tracegen [-ports 150] [-coflows 526] [-horizon 3600] [-maxwidth 40] [-seed 1] [-o trace.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sunflow/internal/trace"
+)
+
+func main() {
+	ports := flag.Int("ports", 150, "fabric port count")
+	coflows := flag.Int("coflows", 526, "number of Coflows")
+	horizon := flag.Float64("horizon", 3600, "arrival span in seconds")
+	maxWidth := flag.Int("maxwidth", 60, "max shuffle fan-in/out")
+	seed := flag.Int64("seed", 1, "generator seed")
+	out := flag.String("o", "-", "output file (- for stdout)")
+	flag.Parse()
+
+	g := trace.Generator{
+		Ports:      *ports,
+		Coflows:    *coflows,
+		HorizonSec: *horizon,
+		MaxWidth:   *maxWidth,
+		Seed:       *seed,
+	}
+	nPorts, jobs := g.Jobs()
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.WriteJobs(w, nPorts, jobs); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module sunflow
+
+go 1.22

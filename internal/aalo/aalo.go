@@ -1,0 +1,145 @@
+// Package aalo implements the Aalo Coflow scheduler (Chowdhury and Stoica,
+// SIGCOMM 2015) for a packet-switched fabric: Discretized Coflow-aware
+// Least-Attained Service (D-CLAS). Coflows are assigned to priority queues
+// by the total bytes they have already sent — exponentially spaced
+// thresholds — with FIFO order within a queue and no knowledge of flow
+// sizes. Because Aalo cannot size-balance a Coflow's subflows, it shares
+// bandwidth evenly among them, which delays the longest subflow and
+// lengthens the CCT of large Coflows (the effect discussed in §5.4 of the
+// Sunflow paper).
+package aalo
+
+import (
+	"math"
+	"sort"
+
+	"sunflow/internal/fabric"
+)
+
+// Allocator computes Aalo D-CLAS rates; it implements fabric.RateAllocator
+// and the sim package's ThresholdNotifier (queue demotions must trigger a
+// rate recomputation). The zero value selects the paper defaults.
+type Allocator struct {
+	// FirstThreshold is the attained-service boundary of the highest
+	// priority queue, in bytes. Zero selects Aalo's default of 10 MB.
+	FirstThreshold float64
+	// Multiplier is the exponential spacing factor between queue
+	// thresholds. Zero selects Aalo's default of 10.
+	Multiplier float64
+	// NumQueues is K, the number of priority queues (the last queue is
+	// unbounded). Zero selects Aalo's default of 10.
+	NumQueues int
+}
+
+// defaults fills in the Aalo paper's configuration.
+func (a Allocator) defaults() Allocator {
+	if a.FirstThreshold == 0 {
+		a.FirstThreshold = 10e6
+	}
+	if a.Multiplier == 0 {
+		a.Multiplier = 10
+	}
+	if a.NumQueues == 0 {
+		a.NumQueues = 10
+	}
+	return a
+}
+
+// Name implements fabric.RateAllocator.
+func (Allocator) Name() string { return "aalo" }
+
+// PacedByCoflowEvents reports that Aalo's allocation is refreshed on Coflow
+// arrivals, completions and queue crossings rather than per packet: its
+// daemons coordinate loosely on fixed intervals, so bandwidth freed by a
+// subflow finishing mid-interval is not reassigned instantly.
+func (Allocator) PacedByCoflowEvents() bool { return true }
+
+// boundaryEpsBytes treats attained service within one byte of a queue
+// threshold as having crossed it. Without the slack, a fluid simulation
+// advancing exactly to a threshold can stall just below it and re-schedule
+// ever-smaller crossing events.
+const boundaryEpsBytes = 1.0
+
+// QueueOf returns the D-CLAS queue index for a Coflow that has attained the
+// given service in bytes: queue q covers attained service in
+// [FirstThreshold·Multiplier^(q-1), FirstThreshold·Multiplier^q).
+func (a Allocator) QueueOf(attained float64) int {
+	a = a.defaults()
+	bound := a.FirstThreshold
+	for q := 0; q < a.NumQueues-1; q++ {
+		if attained < bound-boundaryEpsBytes {
+			return q
+		}
+		bound *= a.Multiplier
+	}
+	return a.NumQueues - 1
+}
+
+// NextThreshold returns the attained-service level at which the Coflow will
+// next change queue, or +Inf from the last queue. The simulator uses it to
+// schedule demotion events.
+func (a Allocator) NextThreshold(attained float64) float64 {
+	a = a.defaults()
+	bound := a.FirstThreshold
+	for q := 0; q < a.NumQueues-1; q++ {
+		if attained < bound-boundaryEpsBytes {
+			return bound
+		}
+		bound *= a.Multiplier
+	}
+	return math.Inf(1)
+}
+
+// Allocate implements fabric.RateAllocator: strict priority across queues
+// (lower attained service first), FIFO by arrival within a queue, and
+// max-min fair sharing among the flows of the Coflow being served — evenly,
+// since Aalo does not know flow sizes. Residual bandwidth cascades to lower
+// priority Coflows, keeping the allocation work-conserving.
+func (a Allocator) Allocate(remaining map[int]map[fabric.FlowKey]float64, attained map[int]float64, arrival map[int]float64, linkBps float64, ports int) map[int]map[fabric.FlowKey]float64 {
+	a = a.defaults()
+
+	ids := make([]int, 0, len(remaining))
+	for id := range remaining {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(x, y int) bool {
+		qx, qy := a.QueueOf(attained[ids[x]]), a.QueueOf(attained[ids[y]]) // lower queue first
+		if qx != qy {
+			return qx < qy
+		}
+		if arrival[ids[x]] != arrival[ids[y]] {
+			return arrival[ids[x]] < arrival[ids[y]]
+		}
+		return ids[x] < ids[y]
+	})
+
+	availIn := make([]float64, ports)
+	availOut := make([]float64, ports)
+	for i := 0; i < ports; i++ {
+		availIn[i] = linkBps
+		availOut[i] = linkBps
+	}
+
+	out := make(map[int]map[fabric.FlowKey]float64, len(ids))
+	for _, id := range ids {
+		flows := make([]fabric.FlowKey, 0, len(remaining[id]))
+		for k, b := range remaining[id] {
+			if b > 0 {
+				flows = append(flows, k)
+			}
+		}
+		sort.Slice(flows, func(x, y int) bool {
+			if flows[x].Src != flows[y].Src {
+				return flows[x].Src < flows[y].Src
+			}
+			return flows[x].Dst < flows[y].Dst
+		})
+		rates := fabric.MaxMinFair(flows, availIn, availOut)
+		m := make(map[fabric.FlowKey]float64, len(flows))
+		for i, k := range flows {
+			m[k] = rates[i]
+		}
+		out[id] = m
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package aalo
+
+import (
+	"math"
+	"testing"
+
+	"sunflow/internal/fabric"
+)
+
+const gbps = 1e9
+
+func key(s, d int) fabric.FlowKey { return fabric.FlowKey{Src: s, Dst: d} }
+
+func TestQueueOfDefaults(t *testing.T) {
+	var a Allocator
+	cases := []struct {
+		attained float64
+		want     int
+	}{
+		{0, 0},
+		{9e6, 0},
+		{10e6, 1},
+		{99e6, 1},
+		{100e6, 2},
+		{1e9, 3},
+		{1e30, 9}, // last queue
+	}
+	for _, tc := range cases {
+		if got := a.QueueOf(tc.attained); got != tc.want {
+			t.Fatalf("QueueOf(%v) = %d, want %d", tc.attained, got, tc.want)
+		}
+	}
+}
+
+func TestNextThreshold(t *testing.T) {
+	var a Allocator
+	if got := a.NextThreshold(0); got != 10e6 {
+		t.Fatalf("NextThreshold(0) = %v", got)
+	}
+	if got := a.NextThreshold(10e6); got != 100e6 {
+		t.Fatalf("NextThreshold(10e6) = %v", got)
+	}
+	if got := a.NextThreshold(1e30); !math.IsInf(got, 1) {
+		t.Fatalf("NextThreshold(last queue) = %v", got)
+	}
+}
+
+func TestCustomConfig(t *testing.T) {
+	a := Allocator{FirstThreshold: 1e6, Multiplier: 2, NumQueues: 3}
+	if got := a.QueueOf(1.5e6); got != 1 {
+		t.Fatalf("QueueOf custom = %d, want 1", got)
+	}
+	if got := a.QueueOf(5e6); got != 2 {
+		t.Fatalf("QueueOf custom tail = %d, want 2", got)
+	}
+}
+
+func TestYoungCoflowHasPriority(t *testing.T) {
+	// Coflow 2 has attained far more service: Coflow 1 (least attained)
+	// owns the contended port.
+	remaining := map[int]map[fabric.FlowKey]float64{
+		1: {key(0, 0): 50e6},
+		2: {key(1, 0): 50e6},
+	}
+	attained := map[int]float64{1: 0, 2: 500e6}
+	arrival := map[int]float64{1: 5, 2: 0}
+	rates := (Allocator{}).Allocate(remaining, attained, arrival, gbps, 2)
+	if got := rates[1][key(0, 0)]; math.Abs(got-gbps) > 1 {
+		t.Fatalf("young coflow rate = %v, want B", got)
+	}
+	if got := rates[2][key(1, 0)]; got > 1 {
+		t.Fatalf("old coflow rate = %v, want 0", got)
+	}
+}
+
+func TestFIFOWithinQueue(t *testing.T) {
+	remaining := map[int]map[fabric.FlowKey]float64{
+		1: {key(0, 0): 50e6},
+		2: {key(1, 0): 50e6},
+	}
+	attained := map[int]float64{1: 0, 2: 0}
+	arrival := map[int]float64{1: 3, 2: 1}
+	rates := (Allocator{}).Allocate(remaining, attained, arrival, gbps, 2)
+	if got := rates[2][key(1, 0)]; math.Abs(got-gbps) > 1 {
+		t.Fatalf("earlier coflow rate = %v, want B", got)
+	}
+}
+
+func TestEvenSplitWithinCoflow(t *testing.T) {
+	// Aalo does not know flow sizes: a 1 MB and a 99 MB flow from one port
+	// get equal rates — the large-Coflow inefficiency of §5.4.
+	remaining := map[int]map[fabric.FlowKey]float64{
+		1: {key(0, 0): 1e6, key(0, 1): 99e6},
+	}
+	rates := (Allocator{}).Allocate(remaining, map[int]float64{1: 0}, map[int]float64{1: 0}, gbps, 2)
+	r0, r1 := rates[1][key(0, 0)], rates[1][key(0, 1)]
+	if math.Abs(r0-r1) > 1 {
+		t.Fatalf("rates %v and %v should be equal regardless of size", r0, r1)
+	}
+}
+
+func TestWorkConservationAcrossQueues(t *testing.T) {
+	// The high-priority coflow cannot use in.1; the demoted one can.
+	remaining := map[int]map[fabric.FlowKey]float64{
+		1: {key(0, 0): 10e6},
+		2: {key(1, 1): 10e6},
+	}
+	attained := map[int]float64{1: 0, 2: 1e9}
+	rates := (Allocator{}).Allocate(remaining, attained, map[int]float64{1: 0, 2: 0}, gbps, 2)
+	if got := rates[2][key(1, 1)]; math.Abs(got-gbps) > 1 {
+		t.Fatalf("demoted coflow should still get idle capacity, got %v", got)
+	}
+}
+
+func TestAllocatorName(t *testing.T) {
+	if (Allocator{}).Name() != "aalo" {
+		t.Fatal("allocator must identify as aalo")
+	}
+}

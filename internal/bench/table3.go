@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sunflow/internal/coflow"
+	"sunflow/internal/core"
+	"sunflow/internal/matching"
+	"sunflow/internal/solstice"
+	"sunflow/internal/tms"
+)
+
+// Table3Row is one fabric size of the Table 3 scheduler-cost comparison.
+// The paper states asymptotic complexities — Edmond O(N³), TMS O(N⁴·⁵),
+// Solstice O(N³log²N), Sunflow O(|C|²) — and this experiment measures the
+// wall-clock scheduling (not execution) time of each on a dense Coflow that
+// covers all N² circuits, so |C| = N².
+type Table3Row struct {
+	Ports    int
+	Flows    int
+	Sunflow  time.Duration
+	Solstice time.Duration
+	TMS      time.Duration
+	Edmond   time.Duration // one maximum-weight matching, the per-slot cost
+}
+
+// Table3 measures scheduling cost on dense Coflows over growing fabrics.
+func Table3(cfg Config, sizes []int) []Table3Row {
+	cfg = cfg.WithDefaults()
+	if len(sizes) == 0 {
+		sizes = []int{8, 16, 32, 64}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var rows []Table3Row
+	for _, n := range sizes {
+		var flows []coflow.Flow
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				flows = append(flows, coflow.Flow{Src: i, Dst: j, Bytes: float64(1+rng.Intn(64)) * 1e6})
+			}
+		}
+		c := coflow.New(n, 0, flows)
+		row := Table3Row{Ports: n, Flows: n * n}
+
+		row.Sunflow = timeIt(func() {
+			if _, err := core.IntraCoflow(core.NewPRT(n), c, core.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta}); err != nil {
+				panic(err)
+			}
+		})
+		row.Solstice = timeIt(func() {
+			if _, _, err := solstice.Schedule(c, n, solstice.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta}); err != nil {
+				panic(err)
+			}
+		})
+		row.TMS = timeIt(func() {
+			if _, err := tms.Schedule(c.DemandMatrix(n), tms.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta}); err != nil {
+				panic(err)
+			}
+		})
+		row.Edmond = timeIt(func() {
+			matching.MaxWeightMatching(c.DemandMatrix(n))
+		})
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// timeIt returns fn's wall-clock duration.
+func timeIt(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}
+
+// FormatTable3 renders the scheduler cost comparison.
+func FormatTable3(rows []Table3Row) string {
+	header := []string{"N", "|C|", "Sunflow", "Solstice", "TMS", "Edmond/slot"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.Ports),
+			fmt.Sprintf("%d", r.Flows),
+			r.Sunflow.Round(time.Microsecond).String(),
+			r.Solstice.Round(time.Microsecond).String(),
+			r.TMS.Round(time.Microsecond).String(),
+			r.Edmond.Round(time.Microsecond).String(),
+		})
+	}
+	return "Table 3 — scheduling cost on dense Coflows (|C| = N²)\n" + table(header, out) +
+		"paper complexities: Edmond O(N³), TMS O(N⁴·⁵), Solstice O(N³log²N), Sunflow O(|C|²)\n"
+}

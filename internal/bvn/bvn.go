@@ -1,0 +1,257 @@
+// Package bvn implements the matrix machinery behind the preemptive circuit
+// schedulers studied in the Sunflow paper: additive stuffing of a demand
+// matrix to equal row/column sums, Sinkhorn scaling toward a doubly
+// stochastic matrix, and the Birkhoff–von Neumann (BvN) decomposition of a
+// stuffed matrix into weighted permutation matrices.
+//
+// TMS (Mordia, SIGCOMM'13) scales the demand matrix and BvN-decomposes it;
+// Solstice (CoNEXT'15) stuffs the matrix and extracts permutations with a
+// threshold-halving variant of the same idea. Both are built from this
+// package plus package matching.
+package bvn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sunflow/internal/matching"
+)
+
+// Eps is the absolute tolerance below which matrix entries are treated as
+// zero during decomposition, guarding against floating-point residue.
+const Eps = 1e-9
+
+// Permutation is one term of a BvN decomposition: a (possibly partial)
+// one-to-one assignment of input ports to output ports, active with the
+// given weight. Match[i] is the output port assigned to input port i, or -1.
+type Permutation struct {
+	Match  []int
+	Weight float64
+}
+
+// RowSums returns the per-row sums of m.
+func RowSums(m [][]float64) []float64 {
+	sums := make([]float64, len(m))
+	for i, row := range m {
+		for _, v := range row {
+			sums[i] += v
+		}
+	}
+	return sums
+}
+
+// ColSums returns the per-column sums of m.
+func ColSums(m [][]float64) []float64 {
+	if len(m) == 0 {
+		return nil
+	}
+	sums := make([]float64, len(m[0]))
+	for _, row := range m {
+		for j, v := range row {
+			sums[j] += v
+		}
+	}
+	return sums
+}
+
+// MaxLineSum returns the largest row or column sum of m — the quantity the
+// packet-switched lower bound TpL is built from, and the target line sum for
+// stuffing.
+func MaxLineSum(m [][]float64) float64 {
+	var max float64
+	for _, s := range RowSums(m) {
+		max = math.Max(max, s)
+	}
+	for _, s := range ColSums(m) {
+		max = math.Max(max, s)
+	}
+	return max
+}
+
+// Clone returns a deep copy of m.
+func Clone(m [][]float64) [][]float64 {
+	c := make([][]float64, len(m))
+	for i, row := range m {
+		c[i] = append([]float64(nil), row...)
+	}
+	return c
+}
+
+// Stuff returns a copy of the non-negative n×n matrix m with dummy demand
+// added so that every row and column sums to MaxLineSum(m). The second
+// return value is the total dummy demand added. Stuffing is the
+// pre-processing step shared by TMS and Solstice; the dummy demand is what
+// later causes the spurious "idle circuit" assignments discussed in §3.1.1.
+func Stuff(m [][]float64) ([][]float64, float64) {
+	n := len(m)
+	s := Clone(m)
+	target := MaxLineSum(s)
+	rowSlack := make([]float64, n)
+	colSlack := make([]float64, n)
+	for i, sum := range RowSums(s) {
+		rowSlack[i] = target - sum
+	}
+	for j, sum := range ColSums(s) {
+		colSlack[j] = target - sum
+	}
+	var added float64
+	// Total row slack equals total column slack, so a greedy two-pointer
+	// sweep stuffs the matrix exactly.
+	i, j := 0, 0
+	for i < n && j < n {
+		if rowSlack[i] <= Eps {
+			i++
+			continue
+		}
+		if colSlack[j] <= Eps {
+			j++
+			continue
+		}
+		d := math.Min(rowSlack[i], colSlack[j])
+		s[i][j] += d
+		rowSlack[i] -= d
+		colSlack[j] -= d
+		added += d
+	}
+	return s, added
+}
+
+// ErrNoConverge is returned by Sinkhorn when the iteration fails to reach the
+// requested tolerance (for example because the matrix's zero pattern admits
+// no doubly stochastic scaling).
+var ErrNoConverge = errors.New("bvn: sinkhorn iteration did not converge")
+
+// Sinkhorn scales the non-negative matrix m by alternately normalizing rows
+// and columns until every line sum is within tol of 1, returning the scaled
+// matrix. The zero pattern of m is preserved. It fails with ErrNoConverge
+// after maxIter sweeps. This is the TMS pre-processing step; note that unlike
+// Stuff it multiplies entries, which is why TMS "may heavily modify the
+// original demand matrix" (§3.1.1).
+func Sinkhorn(m [][]float64, tol float64, maxIter int) ([][]float64, error) {
+	n := len(m)
+	s := Clone(m)
+	// Rows or columns with no demand at all can never reach sum 1; give them
+	// a uniform virtual entry so the scaling is defined, mirroring TMS's
+	// handling of empty lines.
+	for i := 0; i < n; i++ {
+		empty := true
+		for j := 0; j < n; j++ {
+			if s[i][j] > 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			for j := 0; j < n; j++ {
+				s[i][j] = 1.0 / float64(n)
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		empty := true
+		for i := 0; i < n; i++ {
+			if s[i][j] > 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			for i := 0; i < n; i++ {
+				s[i][j] += 1.0 / float64(n)
+			}
+		}
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		for i, sum := range RowSums(s) {
+			if sum <= 0 {
+				continue
+			}
+			for j := range s[i] {
+				s[i][j] /= sum
+			}
+		}
+		for j, sum := range ColSums(s) {
+			if sum <= 0 {
+				continue
+			}
+			for i := range s {
+				s[i][j] /= sum
+			}
+		}
+		if maxDeviation(s) <= tol {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("%w after %d iterations (deviation %.3g)", ErrNoConverge, maxIter, maxDeviation(s))
+}
+
+func maxDeviation(m [][]float64) float64 {
+	var dev float64
+	for _, s := range RowSums(m) {
+		dev = math.Max(dev, math.Abs(s-1))
+	}
+	for _, s := range ColSums(m) {
+		dev = math.Max(dev, math.Abs(s-1))
+	}
+	return dev
+}
+
+// ErrNotDecomposable is returned by Decompose when no perfect matching
+// exists on the positive entries of a non-empty matrix, meaning the input
+// was not stuffed to equal line sums.
+var ErrNotDecomposable = errors.New("bvn: matrix is not decomposable (unequal line sums?)")
+
+// Decompose performs the Birkhoff–von Neumann decomposition of the stuffed
+// matrix m: it repeatedly extracts a perfect matching over the positive
+// entries, weighted by the minimum matched entry, until the matrix is empty.
+// The weights sum to MaxLineSum(m). m is not modified.
+//
+// Inputs whose line sums are only approximately equal (e.g. a Sinkhorn
+// result at finite tolerance) decompose up to a residue of one part in 10⁵
+// of the line sum; larger imbalance returns ErrNotDecomposable.
+func Decompose(m [][]float64) ([]Permutation, error) {
+	n := len(m)
+	w := Clone(m)
+	residueTol := 1e-5 * (1 + MaxLineSum(m))
+	var perms []Permutation
+	// Each extraction zeroes at least one entry, so at most n² iterations.
+	for iter := 0; iter <= n*n+1; iter++ {
+		if maxEntry(w) <= Eps {
+			return perms, nil
+		}
+		match := matching.PerfectMatchingAbove(w, Eps)
+		if match == nil {
+			if maxEntry(w) <= residueTol {
+				return perms, nil
+			}
+			return nil, ErrNotDecomposable
+		}
+		weight := math.Inf(1)
+		for i, j := range match {
+			if w[i][j] < weight {
+				weight = w[i][j]
+			}
+		}
+		for i, j := range match {
+			w[i][j] -= weight
+			if w[i][j] < Eps {
+				w[i][j] = 0
+			}
+		}
+		perms = append(perms, Permutation{Match: append([]int(nil), match...), Weight: weight})
+	}
+	return nil, fmt.Errorf("bvn: decomposition exceeded %d iterations", n*n+1)
+}
+
+func maxEntry(m [][]float64) float64 {
+	var max float64
+	for _, row := range m {
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}

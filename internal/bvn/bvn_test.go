@@ -1,0 +1,205 @@
+package bvn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomMatrix(rng *rand.Rand, n int, density float64) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			if rng.Float64() < density {
+				m[i][j] = float64(1 + rng.Intn(100))
+			}
+		}
+	}
+	return m
+}
+
+func TestStuffEqualizesLineSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(8)
+		m := randomMatrix(rng, n, 0.5)
+		s, added := Stuff(m)
+		target := MaxLineSum(m)
+		for i, sum := range RowSums(s) {
+			if math.Abs(sum-target) > 1e-6 {
+				t.Fatalf("row %d sum %v != target %v", i, sum, target)
+			}
+		}
+		for j, sum := range ColSums(s) {
+			if math.Abs(sum-target) > 1e-6 {
+				t.Fatalf("col %d sum %v != target %v", j, sum, target)
+			}
+		}
+		// Added dummy equals the difference between n·target and the
+		// original mass.
+		var orig float64
+		for _, row := range m {
+			for _, v := range row {
+				orig += v
+			}
+		}
+		if math.Abs(added-(float64(n)*target-orig)) > 1e-6 {
+			t.Fatalf("added %v inconsistent", added)
+		}
+		// Stuffing only adds.
+		for i := range m {
+			for j := range m[i] {
+				if s[i][j] < m[i][j]-1e-12 {
+					t.Fatalf("stuffing removed demand at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestStuffEmptyMatrix(t *testing.T) {
+	m := [][]float64{{0, 0}, {0, 0}}
+	s, added := Stuff(m)
+	if added != 0 {
+		t.Fatalf("added = %v, want 0", added)
+	}
+	if MaxLineSum(s) != 0 {
+		t.Fatalf("stuffed empty matrix is non-empty")
+	}
+}
+
+func TestSinkhornConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(6)
+		m := randomMatrix(rng, n, 0.9)
+		s, err := Sinkhorn(m, 1e-6, 2000)
+		if err != nil {
+			t.Fatalf("Sinkhorn: %v", err)
+		}
+		for _, sum := range RowSums(s) {
+			if math.Abs(sum-1) > 1e-5 {
+				t.Fatalf("row sum %v != 1", sum)
+			}
+		}
+		for _, sum := range ColSums(s) {
+			if math.Abs(sum-1) > 1e-5 {
+				t.Fatalf("col sum %v != 1", sum)
+			}
+		}
+	}
+}
+
+func TestSinkhornHandlesEmptyLines(t *testing.T) {
+	// Row 1 and column 0 are empty; Sinkhorn must still converge via the
+	// virtual uniform entries.
+	m := [][]float64{
+		{0, 5, 3},
+		{0, 0, 0},
+		{0, 2, 1},
+	}
+	// Patterns whose doubly stochastic scaling lies on the support boundary
+	// converge slowly; a loose tolerance is enough to show the virtual
+	// entries make the iteration well defined.
+	if _, err := Sinkhorn(m, 1e-3, 5000); err != nil {
+		t.Fatalf("Sinkhorn with empty lines: %v", err)
+	}
+}
+
+func TestSinkhornNoConvergePattern(t *testing.T) {
+	// A single off-diagonal support in a 2x2 matrix (permutation-free
+	// pattern) cannot be scaled doubly stochastic.
+	m := [][]float64{
+		{1, 1},
+		{0, 1},
+	}
+	// This pattern actually admits scaling only in the limit; expect either
+	// convergence failure or a near-converged result — the call must not
+	// hang or panic.
+	_, err := Sinkhorn(m, 1e-12, 50)
+	if err == nil {
+		t.Skip("converged within tolerance; acceptable")
+	}
+}
+
+func TestDecomposeReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(6)
+		m := randomMatrix(rng, n, 0.6)
+		s, _ := Stuff(m)
+		perms, err := Decompose(s)
+		if err != nil {
+			t.Fatalf("Decompose: %v", err)
+		}
+		// Rebuild and compare.
+		re := make([][]float64, n)
+		for i := range re {
+			re[i] = make([]float64, n)
+		}
+		var wsum float64
+		for _, p := range perms {
+			wsum += p.Weight
+			for i, j := range p.Match {
+				re[i][j] += p.Weight
+			}
+		}
+		if target := MaxLineSum(m); math.Abs(wsum-target) > 1e-6*(1+target) {
+			t.Fatalf("weights sum %v != line sum %v", wsum, target)
+		}
+		for i := range s {
+			for j := range s[i] {
+				if math.Abs(re[i][j]-s[i][j]) > 1e-6*(1+s[i][j]) {
+					t.Fatalf("reconstruction (%d,%d): %v != %v", i, j, re[i][j], s[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestDecomposeRejectsUnstuffed(t *testing.T) {
+	m := [][]float64{
+		{1, 0},
+		{0, 0},
+	}
+	if _, err := Decompose(m); err == nil {
+		t.Fatal("Decompose should fail on unequal line sums")
+	}
+}
+
+func TestDecomposeEmpty(t *testing.T) {
+	perms, err := Decompose([][]float64{{0, 0}, {0, 0}})
+	if err != nil || len(perms) != 0 {
+		t.Fatalf("Decompose(empty) = %v, %v", perms, err)
+	}
+}
+
+func TestQuickStuffThenDecompose(t *testing.T) {
+	// Property: any non-negative matrix can be stuffed and decomposed, and
+	// the permutation count stays within the BvN bound of (n-1)²+1 terms.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		m := randomMatrix(rng, n, rng.Float64())
+		s, _ := Stuff(m)
+		perms, err := Decompose(s)
+		if err != nil {
+			return false
+		}
+		return len(perms) <= (n-1)*(n-1)+1+n // slack for float-split terms
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := [][]float64{{1, 2}, {3, 4}}
+	c := Clone(m)
+	c[0][0] = 99
+	if m[0][0] != 1 {
+		t.Fatal("Clone shares backing storage")
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"sunflow/internal/coflow"
+)
+
+// A Policy orders Coflows by scheduling priority: earlier Coflows in the
+// returned slice are scheduled first by InterCoflow and therefore are never
+// blocked by later ones. Sunflow leaves the policy to the operator (§4.2);
+// this package ships the policies used in the paper's evaluation.
+type Policy interface {
+	// Sort returns the Coflows in priority order (most important first)
+	// without modifying the input slice.
+	Sort(cs []*coflow.Coflow) []*coflow.Coflow
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// ShortestFirst orders Coflows by ascending packet-switched lower bound TpL
+// — the shortest-Coflow-first policy of §4.2 and §5.4, breaking ties by
+// arrival time then id for determinism.
+type ShortestFirst struct {
+	// LinkBps is the bandwidth TpL is computed against.
+	LinkBps float64
+}
+
+// Sort implements Policy.
+func (p ShortestFirst) Sort(cs []*coflow.Coflow) []*coflow.Coflow {
+	out := append([]*coflow.Coflow(nil), cs...)
+	key := make(map[int]float64, len(out))
+	for _, c := range out {
+		key[c.ID] = c.PacketLowerBound(p.LinkBps)
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		ka, kb := key[out[a].ID], key[out[b].ID]
+		if ka != kb {
+			return ka < kb
+		}
+		if out[a].Arrival != out[b].Arrival {
+			return out[a].Arrival < out[b].Arrival
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// Name implements Policy.
+func (ShortestFirst) Name() string { return "shortest-coflow-first" }
+
+// FIFO orders Coflows by arrival time (first-come first-served).
+type FIFO struct{}
+
+// Sort implements Policy.
+func (FIFO) Sort(cs []*coflow.Coflow) []*coflow.Coflow {
+	out := append([]*coflow.Coflow(nil), cs...)
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Arrival != out[b].Arrival {
+			return out[a].Arrival < out[b].Arrival
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// Name implements Policy.
+func (FIFO) Name() string { return "fifo" }
+
+// PriorityClasses orders Coflows by an operator-assigned class (lower class
+// value = more important), breaking ties with a secondary policy. It models
+// the privileged-versus-regular and multi-stage-job scenarios of §4.2.
+type PriorityClasses struct {
+	// Class maps Coflow id to its class; unmapped Coflows get class
+	// DefaultClass.
+	Class map[int]int
+	// DefaultClass is the class of unmapped Coflows.
+	DefaultClass int
+	// Within breaks ties inside a class; nil means FIFO.
+	Within Policy
+}
+
+// Sort implements Policy.
+func (p PriorityClasses) Sort(cs []*coflow.Coflow) []*coflow.Coflow {
+	within := p.Within
+	if within == nil {
+		within = FIFO{}
+	}
+	out := within.Sort(cs)
+	class := func(c *coflow.Coflow) int {
+		if cl, ok := p.Class[c.ID]; ok {
+			return cl
+		}
+		return p.DefaultClass
+	}
+	sort.SliceStable(out, func(a, b int) bool { return class(out[a]) < class(out[b]) })
+	return out
+}
+
+// Name implements Policy.
+func (PriorityClasses) Name() string { return "priority-classes" }
+
+// InterCoflow schedules multiple Coflows in the given priority order over a
+// fresh (or pre-seeded) PRT, applying IntraCoflow to each in turn
+// (Algorithm 1, InterCoflow). Because every Coflow's reservations are
+// fitted around those of the Coflows before it, more prioritized Coflows
+// complete without being blocked by less prioritized ones; lower-priority
+// reservations are shortened where needed (Figure 2).
+//
+// Each Coflow's scheduling starts at max(opts.Start, its arrival time).
+// Returned schedules parallel the input order.
+func InterCoflow(prt *PRT, ordered []*coflow.Coflow, opts Options) ([]*Schedule, error) {
+	scheds := make([]*Schedule, 0, len(ordered))
+	for _, c := range ordered {
+		co := opts
+		co.Start = math.Max(opts.Start, c.Arrival)
+		s, err := IntraCoflow(prt, c, co)
+		if err != nil {
+			return scheds, err
+		}
+		scheds = append(scheds, s)
+	}
+	return scheds, nil
+}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"sunflow/internal/coflow"
+)
+
+// Order selects the order in which Algorithm 1 considers the flows of a
+// Coflow when making reservations. Lemma 1 holds for any ordering; §5.3.1
+// shows performance is insensitive to the choice.
+type Order int
+
+const (
+	// OrderedPort considers flows sorted by (src, dst) port label — the
+	// paper's default.
+	OrderedPort Order = iota
+	// RandomOrder shuffles the flows with the Options seed.
+	RandomOrder
+	// SortedDemand considers larger flows first.
+	SortedDemand
+)
+
+// String names the ordering as in §5.3.1.
+func (o Order) String() string {
+	switch o {
+	case OrderedPort:
+		return "OrderedPort"
+	case RandomOrder:
+		return "Random"
+	case SortedDemand:
+		return "SortedDemand"
+	default:
+		return fmt.Sprintf("Order(%d)", int(o))
+	}
+}
+
+// Options configures the Sunflow scheduler.
+type Options struct {
+	// LinkBps is the per-port link bandwidth B in bits per second.
+	LinkBps float64
+	// Delta is the circuit reconfiguration delay δ in seconds.
+	Delta float64
+	// Start is the time scheduling begins (t0 in Figure 1c).
+	Start float64
+	// Order is the reservation ordering; see Order.
+	Order Order
+	// Seed drives RandomOrder shuffling.
+	Seed int64
+	// Quantum, when positive, rounds each flow's processing time up to a
+	// multiple of this many seconds before scheduling — the approximation
+	// §6 sketches to prune the circuit-release-event loop and cut scheduler
+	// latency. Circuits are held for the rounded time, so CCT can only
+	// grow; the ablation benchmarks quantify the trade.
+	Quantum float64
+}
+
+// Validate reports an error for non-physical parameters.
+func (o Options) Validate() error {
+	if o.LinkBps <= 0 {
+		return fmt.Errorf("core: link bandwidth must be positive, got %v", o.LinkBps)
+	}
+	if o.Delta < 0 {
+		return fmt.Errorf("core: reconfiguration delay must be non-negative, got %v", o.Delta)
+	}
+	if o.Quantum < 0 {
+		return fmt.Errorf("core: quantum must be non-negative, got %v", o.Quantum)
+	}
+	return nil
+}
+
+// Schedule is the outcome of scheduling one Coflow: the circuit reservations
+// made on its behalf and the resulting timing. Each reservation is one
+// circuit establishment, so len(Reservations) is the switching count of
+// Figure 5.
+type Schedule struct {
+	CoflowID int
+	// Reservations lists the circuits reserved, in creation order.
+	Reservations []Reservation
+	// Start is the time scheduling began for this Coflow.
+	Start float64
+	// Finish is the time the last reservation releases its ports; the CCT
+	// relative to Start is Finish-Start.
+	Finish float64
+	// FlowFinish maps each (src, dst) flow to the time its demand drains.
+	FlowFinish map[[2]int]float64
+}
+
+// CCT returns the Coflow completion time measured from the given arrival.
+func (s *Schedule) CCT(arrival float64) float64 { return s.Finish - arrival }
+
+// SwitchingCount returns the number of circuit establishments scheduled.
+func (s *Schedule) SwitchingCount() int { return len(s.Reservations) }
+
+// ErrStalled is returned when the scheduler cannot advance — it indicates a
+// PRT whose pre-loaded reservations or blackout windows permanently block a
+// port pair with remaining demand.
+var ErrStalled = errors.New("core: scheduler stalled with unfinished demand")
+
+// demand is one pending flow with its remaining processing time.
+type demand struct {
+	i, j int
+	p    float64
+}
+
+// releaseHeap is a min-heap of circuit release times.
+type releaseHeap []float64
+
+func (h releaseHeap) Len() int            { return len(h) }
+func (h releaseHeap) Less(a, b int) bool  { return h[a] < h[b] }
+func (h releaseHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *releaseHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
+func (h *releaseHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// IntraCoflow runs the non-preemptive intra-Coflow scheduler of Algorithm 1
+// for Coflow c over the shared Port Reservation Table prt, starting at
+// opts.Start. Reservations already in the PRT are never preempted; the
+// Coflow's circuits are fitted around them (this is how InterCoflow
+// prioritizes earlier Coflows). The PRT is updated in place and the Coflow's
+// schedule is returned.
+//
+// Each flow with processing time p(i,j) = d(i,j)·8/B desires one reservation
+// of length δ+p; when a port pair has a later commitment closer than that,
+// the reservation is shortened and the remainder of the flow is reserved
+// again later — paying another δ, exactly as MakeReservation prescribes.
+func IntraCoflow(prt *PRT, c *coflow.Coflow, opts Options) (*Schedule, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(prt.Ports()); err != nil {
+		return nil, err
+	}
+
+	pending := make([]demand, 0, len(c.Flows))
+	for _, f := range c.Flows {
+		if f.Bytes <= 0 {
+			continue
+		}
+		p := f.ProcTime(opts.LinkBps)
+		if opts.Quantum > 0 {
+			p = math.Ceil(p/opts.Quantum) * opts.Quantum
+		}
+		pending = append(pending, demand{i: f.Src, j: f.Dst, p: p})
+	}
+	orderDemands(pending, opts)
+
+	sched := &Schedule{
+		CoflowID:   c.ID,
+		Start:      opts.Start,
+		Finish:     opts.Start,
+		FlowFinish: make(map[[2]int]float64, len(pending)),
+	}
+	if len(pending) == 0 {
+		return sched, nil
+	}
+
+	// Seed the release-time heap with existing commitments on the ports this
+	// Coflow touches, so the time cursor can advance past them.
+	ins, outs := portSets(pending)
+	releases := releaseHeap(prt.ReleasesAfter(opts.Start, ins, outs, nil))
+	heap.Init(&releases)
+
+	t := opts.Start
+	for len(pending) > 0 {
+		for idx := range pending {
+			d := &pending[idx]
+			if d.p <= timeEps || !prt.FreeAt(d.i, d.j, t) {
+				continue
+			}
+			tm := prt.NextCommitment(d.i, d.j, t)
+			lm := tm - t
+			ld := opts.Delta + d.p
+			// A slot shorter than δ (or exactly δ, which would carry no
+			// data) is useless: leave the ports free for another Coflow.
+			if lm <= opts.Delta+timeEps {
+				continue
+			}
+			l := math.Min(lm, ld)
+			r := Reservation{
+				CoflowID: c.ID,
+				In:       d.i,
+				Out:      d.j,
+				Start:    t,
+				End:      t + l,
+				Setup:    opts.Delta,
+				Bytes:    (l - opts.Delta) * opts.LinkBps / 8,
+			}
+			prt.Reserve(r)
+			sched.Reservations = append(sched.Reservations, r)
+			heap.Push(&releases, r.End)
+			d.p -= l - opts.Delta // remaining demand: ld - l
+			if d.p <= timeEps {
+				d.p = 0
+				sched.FlowFinish[[2]int{d.i, d.j}] = r.End
+			}
+			if r.End > sched.Finish {
+				sched.Finish = r.End
+			}
+		}
+
+		// Drop satisfied demands; residues at the arithmetic noise floor
+		// count as satisfied, matching the skip threshold above, or they
+		// would linger unschedulable forever.
+		live := pending[:0]
+		for _, d := range pending {
+			if d.p > timeEps {
+				live = append(live, d)
+			}
+		}
+		pending = live
+		if len(pending) == 0 {
+			break
+		}
+
+		// Advance to the next circuit release time (Algorithm 1, line 10);
+		// the end of a blackout window also frees ports.
+		next := prt.nextBlackoutEnd(t)
+		for releases.Len() > 0 {
+			top := releases[0]
+			if top <= t+timeEps {
+				heap.Pop(&releases)
+				continue
+			}
+			next = math.Min(next, top)
+			break
+		}
+		if math.IsInf(next, 1) {
+			return nil, fmt.Errorf("%w: %d flows blocked at t=%.6f for %v", ErrStalled, len(pending), t, c)
+		}
+		t = next
+	}
+	return sched, nil
+}
+
+// nextBlackoutEnd returns the end of the first blackout window after t, or
+// +Inf when no blackout is installed.
+func (p *PRT) nextBlackoutEnd(t float64) float64 {
+	if p.blackout == nil {
+		return math.Inf(1)
+	}
+	return p.blackout.NextEnd(t)
+}
+
+// orderDemands arranges the pending demands per the configured ordering.
+func orderDemands(pending []demand, opts Options) {
+	switch opts.Order {
+	case OrderedPort:
+		sort.Slice(pending, func(a, b int) bool {
+			if pending[a].i != pending[b].i {
+				return pending[a].i < pending[b].i
+			}
+			return pending[a].j < pending[b].j
+		})
+	case SortedDemand:
+		sort.Slice(pending, func(a, b int) bool {
+			if pending[a].p != pending[b].p {
+				return pending[a].p > pending[b].p
+			}
+			if pending[a].i != pending[b].i {
+				return pending[a].i < pending[b].i
+			}
+			return pending[a].j < pending[b].j
+		})
+	case RandomOrder:
+		// Sort first so shuffling is deterministic regardless of input order.
+		sort.Slice(pending, func(a, b int) bool {
+			if pending[a].i != pending[b].i {
+				return pending[a].i < pending[b].i
+			}
+			return pending[a].j < pending[b].j
+		})
+		rng := rand.New(rand.NewSource(opts.Seed))
+		rng.Shuffle(len(pending), func(a, b int) {
+			pending[a], pending[b] = pending[b], pending[a]
+		})
+	}
+}
+
+// portSets returns the distinct input and output ports of the demands.
+func portSets(pending []demand) (ins, outs []int) {
+	inSet := make(map[int]bool)
+	outSet := make(map[int]bool)
+	for _, d := range pending {
+		inSet[d.i] = true
+		outSet[d.j] = true
+	}
+	for i := range inSet {
+		ins = append(ins, i)
+	}
+	for j := range outSet {
+		outs = append(outs, j)
+	}
+	sort.Ints(ins)
+	sort.Ints(outs)
+	return ins, outs
+}

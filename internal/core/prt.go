@@ -1,0 +1,224 @@
+// Package core implements Sunflow, the circuit scheduling algorithm of
+// Huang, Sun and Ng (CoNEXT 2016): non-preemptive intra-Coflow circuit
+// reservation over a Port Reservation Table (PRT), priority-ordered
+// inter-Coflow scheduling, and the (T, τ) starvation-avoidance windows of
+// §4.2.
+//
+// The switch follows the not-all-stop model of §2.1: an input (output) port
+// carries at most one circuit at a time, each circuit establishment costs a
+// fixed delay δ during which only the two ports involved are stopped, and a
+// circuit transmits at the full link rate B once established.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// timeEps absorbs floating-point residue when comparing schedule times.
+const timeEps = 1e-9
+
+// Reservation is one circuit held on the port pair [In, Out] during
+// [Start, End). The first Setup seconds configure the circuit; the remainder
+// transmits at the link rate. A reservation is the unit of switching: each
+// reservation costs exactly one circuit establishment.
+type Reservation struct {
+	// CoflowID is the Coflow the reservation serves.
+	CoflowID int
+	// In and Out are the input and output port of the circuit.
+	In, Out int
+	// Start and End delimit the half-open interval during which both ports
+	// are held.
+	Start, End float64
+	// Setup is the circuit reconfiguration delay paid at the start of the
+	// reservation (δ).
+	Setup float64
+	// Bytes is the demand served by the reservation:
+	// (End-Start-Setup) · B/8.
+	Bytes float64
+}
+
+// TransmitStart returns the instant the circuit begins carrying data.
+func (r Reservation) TransmitStart() float64 { return r.Start + r.Setup }
+
+// TransmittedBy returns how many of the reservation's Bytes have been
+// delivered by time t at link bandwidth linkBps.
+func (r Reservation) TransmittedBy(t, linkBps float64) float64 {
+	if t <= r.TransmitStart() {
+		return 0
+	}
+	if t >= r.End {
+		return r.Bytes
+	}
+	return math.Min(r.Bytes, (t-r.TransmitStart())*linkBps/8)
+}
+
+// interval is one busy period on a single port's timeline.
+type interval struct {
+	start, end float64
+	peer       int // the port on the other side of the circuit
+}
+
+// timeline is a sorted list of non-overlapping busy intervals on one port.
+type timeline struct {
+	iv []interval
+}
+
+// searchAfter returns the index of the first interval with start > t.
+func (tl *timeline) searchAfter(t float64) int {
+	return sort.Search(len(tl.iv), func(i int) bool { return tl.iv[i].start > t })
+}
+
+// freeAt reports whether the port is free at time t, i.e. no interval
+// contains t.
+func (tl *timeline) freeAt(t float64) bool {
+	i := tl.searchAfter(t)
+	// The candidate containing interval is the one before index i.
+	return i == 0 || tl.iv[i-1].end <= t+timeEps
+}
+
+// nextStart returns the start of the earliest interval beginning after t, or
+// +Inf when the port has no later commitment.
+func (tl *timeline) nextStart(t float64) float64 {
+	i := tl.searchAfter(t)
+	if i == len(tl.iv) {
+		return math.Inf(1)
+	}
+	return tl.iv[i].start
+}
+
+// insert adds the interval [start, end) and reports whether it was free of
+// overlap. Insertion keeps the timeline sorted.
+func (tl *timeline) insert(start, end float64, peer int) bool {
+	i := tl.searchAfter(start)
+	if i > 0 && tl.iv[i-1].end > start+timeEps {
+		return false
+	}
+	if i < len(tl.iv) && tl.iv[i].start < end-timeEps {
+		return false
+	}
+	tl.iv = append(tl.iv, interval{})
+	copy(tl.iv[i+1:], tl.iv[i:])
+	tl.iv[i] = interval{start: start, end: end, peer: peer}
+	return true
+}
+
+// endsAfter appends to dst the end times of all intervals ending after t.
+func (tl *timeline) endsAfter(t float64, dst []float64) []float64 {
+	for _, iv := range tl.iv {
+		if iv.end > t+timeEps {
+			dst = append(dst, iv.end)
+		}
+	}
+	return dst
+}
+
+// Blackout describes recurring periods during which ports may not accept
+// normal reservations — used by the starvation-avoidance fair windows of
+// §4.2, which dedicate τ-long slices of every (T+τ) interval to a fixed
+// round-robin assignment shared by all Coflows.
+type Blackout interface {
+	// Covers reports whether normal reservations are forbidden at time t.
+	Covers(t float64) bool
+	// NextStart returns the start of the first blackout beginning after t,
+	// or +Inf.
+	NextStart(t float64) float64
+	// NextEnd returns the end of the first blackout ending after t, or +Inf.
+	NextEnd(t float64) float64
+}
+
+// PRT is the Port Reservation Table of Algorithm 1: per-port timelines of
+// circuit reservations for the input and output side of an N-port optical
+// switch. The zero value is unusable; construct with NewPRT.
+type PRT struct {
+	n        int
+	in, out  []timeline
+	blackout Blackout
+	count    int
+}
+
+// NewPRT returns an empty PRT for an n-port switch.
+func NewPRT(n int) *PRT {
+	return &PRT{n: n, in: make([]timeline, n), out: make([]timeline, n)}
+}
+
+// Ports returns the switch port count N.
+func (p *PRT) Ports() int { return p.n }
+
+// Len returns the number of reservations recorded.
+func (p *PRT) Len() int { return p.count }
+
+// SetBlackout installs recurring no-reservation windows (nil disables).
+func (p *PRT) SetBlackout(b Blackout) { p.blackout = b }
+
+// FreeAt reports whether both in.i and out.j are free at time t and t is not
+// inside a blackout window.
+func (p *PRT) FreeAt(i, j int, t float64) bool {
+	if p.blackout != nil && p.blackout.Covers(t) {
+		return false
+	}
+	return p.in[i].freeAt(t) && p.out[j].freeAt(t)
+}
+
+// NextCommitment returns tm, the earliest next reservation start on in.i or
+// out.j after t — the bound that shortens reservations at the inter-Coflow
+// level (Algorithm 1, line 16) — also accounting for the next blackout
+// window.
+func (p *PRT) NextCommitment(i, j int, t float64) float64 {
+	tm := math.Min(p.in[i].nextStart(t), p.out[j].nextStart(t))
+	if p.blackout != nil {
+		tm = math.Min(tm, p.blackout.NextStart(t))
+	}
+	return tm
+}
+
+// Reserve records the reservation on both port timelines. It panics if the
+// interval overlaps an existing reservation on either port, which would mean
+// the scheduler violated the port constraint — a programming error.
+func (p *PRT) Reserve(r Reservation) {
+	if r.End <= r.Start {
+		panic(fmt.Sprintf("core: empty reservation %+v", r))
+	}
+	if !p.in[r.In].insert(r.Start, r.End, r.Out) {
+		panic(fmt.Sprintf("core: input port %d double-booked at [%.9f,%.9f)", r.In, r.Start, r.End))
+	}
+	if !p.out[r.Out].insert(r.Start, r.End, r.In) {
+		panic(fmt.Sprintf("core: output port %d double-booked at [%.9f,%.9f)", r.Out, r.Start, r.End))
+	}
+	p.count++
+}
+
+// Preload seeds the PRT with reservations that must not be preempted —
+// circuits already established when an online reschedule happens.
+func (p *PRT) Preload(rs []Reservation) {
+	for _, r := range rs {
+		p.Reserve(r)
+	}
+}
+
+// ReleasesAfter appends to dst the end times, strictly after t, of existing
+// reservations touching any of the given input and output ports. The intra
+// scheduler advances through these instants (Algorithm 1, line 10).
+func (p *PRT) ReleasesAfter(t float64, ins, outs []int, dst []float64) []float64 {
+	for _, i := range ins {
+		dst = p.in[i].endsAfter(t, dst)
+	}
+	for _, j := range outs {
+		dst = p.out[j].endsAfter(t, dst)
+	}
+	return dst
+}
+
+// busyTime sums reserved time on input port i within [from, to) — used by
+// tests and utilization accounting.
+func (p *PRT) busyTime(i int, from, to float64) float64 {
+	var sum float64
+	for _, iv := range p.in[i].iv {
+		lo, hi := math.Max(iv.start, from), math.Min(iv.end, to)
+		if hi > lo {
+			sum += hi - lo
+		}
+	}
+	return sum
+}

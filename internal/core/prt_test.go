@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTimelineInsertAndQueries(t *testing.T) {
+	var tl timeline
+	if !tl.insert(1, 2, 0) || !tl.insert(3, 4, 0) || !tl.insert(2, 3, 0) {
+		t.Fatal("non-overlapping inserts rejected")
+	}
+	if tl.insert(3.5, 5, 0) {
+		t.Fatal("overlapping insert accepted")
+	}
+	if tl.insert(0.5, 1.5, 0) {
+		t.Fatal("overlapping insert accepted")
+	}
+	if !tl.freeAt(0.5) || tl.freeAt(1.5) || tl.freeAt(3) {
+		t.Fatal("freeAt wrong")
+	}
+	// End of an interval is free (half-open).
+	if !tl.freeAt(4) {
+		t.Fatal("freeAt(end) should be free")
+	}
+	if got := tl.nextStart(0); got != 1 {
+		t.Fatalf("nextStart(0) = %v", got)
+	}
+	if got := tl.nextStart(1); got != 2 {
+		t.Fatalf("nextStart(1) = %v", got)
+	}
+	if got := tl.nextStart(4); !math.IsInf(got, 1) {
+		t.Fatalf("nextStart(4) = %v", got)
+	}
+	ends := tl.endsAfter(2.5, nil)
+	if len(ends) != 2 || ends[0] != 3 || ends[1] != 4 {
+		t.Fatalf("endsAfter = %v", ends)
+	}
+}
+
+func TestPRTReserveAndPortConstraint(t *testing.T) {
+	p := NewPRT(3)
+	r := Reservation{CoflowID: 1, In: 0, Out: 1, Start: 0, End: 1, Setup: 0.1, Bytes: 100}
+	p.Reserve(r)
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if p.FreeAt(0, 2, 0.5) {
+		t.Fatal("input port 0 should be busy")
+	}
+	if p.FreeAt(2, 1, 0.5) {
+		t.Fatal("output port 1 should be busy")
+	}
+	if !p.FreeAt(2, 2, 0.5) {
+		t.Fatal("unrelated ports should be free")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double-booking must panic")
+		}
+	}()
+	p.Reserve(Reservation{CoflowID: 2, In: 0, Out: 2, Start: 0.5, End: 0.7})
+}
+
+func TestPRTNextCommitment(t *testing.T) {
+	p := NewPRT(2)
+	p.Reserve(Reservation{In: 0, Out: 0, Start: 5, End: 6})
+	p.Reserve(Reservation{In: 1, Out: 1, Start: 3, End: 4})
+	// tm is the earliest next reservation on either port: in.0 commits at 5,
+	// out.1 at 3.
+	if got := p.NextCommitment(0, 1, 0); got != 3 {
+		t.Fatalf("NextCommitment(0,1) = %v, want 3", got)
+	}
+	if got := p.NextCommitment(0, 0, 0); got != 5 {
+		t.Fatalf("NextCommitment(0,0) = %v, want 5", got)
+	}
+	if got := p.NextCommitment(1, 0, 0); got != 3 {
+		t.Fatalf("NextCommitment(1,0) = %v, want 3", got)
+	}
+	if got := p.NextCommitment(0, 1, 6); !math.IsInf(got, 1) {
+		t.Fatalf("NextCommitment past all = %v", got)
+	}
+}
+
+func TestReservationTransmittedBy(t *testing.T) {
+	const bps = 1e9
+	r := Reservation{Start: 1, End: 1 + 0.01 + 0.008, Setup: 0.01, Bytes: 1e6}
+	if got := r.TransmittedBy(1.005, bps); got != 0 {
+		t.Fatalf("during setup: %v", got)
+	}
+	if got := r.TransmittedBy(1.014, bps); math.Abs(got-0.5e6) > 1 {
+		t.Fatalf("halfway: %v", got)
+	}
+	if got := r.TransmittedBy(10, bps); got != 1e6 {
+		t.Fatalf("after end: %v", got)
+	}
+}
+
+func TestPRTReleasesAfter(t *testing.T) {
+	p := NewPRT(3)
+	p.Reserve(Reservation{In: 0, Out: 1, Start: 0, End: 2})
+	p.Reserve(Reservation{In: 1, Out: 2, Start: 1, End: 3})
+	got := p.ReleasesAfter(0.5, []int{0, 1}, []int{1, 2}, nil)
+	// in.0 end 2, in.1 end 3, out.1 end 2, out.2 end 3 — duplicates fine.
+	if len(got) != 4 {
+		t.Fatalf("ReleasesAfter = %v", got)
+	}
+}
+
+func TestPRTBusyTime(t *testing.T) {
+	p := NewPRT(2)
+	p.Reserve(Reservation{In: 0, Out: 1, Start: 1, End: 3})
+	if got := p.busyTime(0, 0, 10); got != 2 {
+		t.Fatalf("busyTime = %v", got)
+	}
+	if got := p.busyTime(0, 2, 10); got != 1 {
+		t.Fatalf("busyTime clipped = %v", got)
+	}
+	if got := p.busyTime(1, 0, 10); got != 0 {
+		t.Fatalf("busyTime idle port = %v", got)
+	}
+}

@@ -1,0 +1,102 @@
+package edmond
+
+import (
+	"math/rand"
+	"testing"
+
+	"sunflow/internal/coflow"
+	"sunflow/internal/fabric"
+)
+
+const gbps = 1e9
+
+var opts = Options{LinkBps: gbps, Delta: 0.01, Slot: 0.1}
+
+func randomCoflow(rng *rand.Rand, ports, maxFlows int) *coflow.Coflow {
+	n := 1 + rng.Intn(maxFlows)
+	used := map[[2]int]bool{}
+	var flows []coflow.Flow
+	for len(flows) < n {
+		i, j := rng.Intn(ports), rng.Intn(ports)
+		if used[[2]int{i, j}] {
+			continue
+		}
+		used[[2]int{i, j}] = true
+		flows = append(flows, coflow.Flow{Src: i, Dst: j, Bytes: float64(1+rng.Intn(100)) * 1e6})
+	}
+	return coflow.New(rng.Int(), 0, flows)
+}
+
+func TestRunDrains(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		c := randomCoflow(rng, 5, 10)
+		res, err := Run(c, 5, opts, fabric.NotAllStop)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if res.Unserved > 1e-3 {
+			t.Fatalf("unserved %v", res.Unserved)
+		}
+		if len(res.FlowFinish) != c.NumFlows() {
+			t.Fatalf("finished %d of %d flows", len(res.FlowFinish), c.NumFlows())
+		}
+	}
+}
+
+func TestFixedSlotGranularity(t *testing.T) {
+	// A single 1 MB flow (8 ms) still occupies a full 100 ms slot plus δ in
+	// the schedule — the head-of-line cost the paper attributes to Edmond.
+	c := coflow.New(1, 0, []coflow.Flow{{Src: 0, Dst: 0, Bytes: 1e6}})
+	schedule, err := Schedule(c, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schedule) != 1 {
+		t.Fatalf("assignments = %d, want 1", len(schedule))
+	}
+	if schedule[0].Duration != opts.Slot {
+		t.Fatalf("duration = %v, want the fixed slot %v", schedule[0].Duration, opts.Slot)
+	}
+}
+
+func TestDefaultSlotApplied(t *testing.T) {
+	c := coflow.New(1, 0, []coflow.Flow{{Src: 0, Dst: 0, Bytes: 1e6}})
+	schedule, err := Schedule(c, 1, Options{LinkBps: gbps, Delta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schedule[0].Duration != DefaultSlot {
+		t.Fatalf("duration = %v, want %v", schedule[0].Duration, DefaultSlot)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	c := coflow.New(1, 0, []coflow.Flow{{Src: 0, Dst: 0, Bytes: 1e6}})
+	if _, err := Schedule(c, 1, Options{LinkBps: 0}); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	if _, err := Schedule(c, 1, Options{LinkBps: gbps, Slot: -1}); err == nil {
+		t.Fatal("negative slot accepted")
+	}
+	bad := coflow.New(1, 0, []coflow.Flow{{Src: 5, Dst: 0, Bytes: 1}})
+	if _, err := Schedule(bad, 2, opts); err == nil {
+		t.Fatal("invalid coflow accepted")
+	}
+}
+
+func TestMatchingMaximizesService(t *testing.T) {
+	// Two disjoint heavy flows must be scheduled in the same slot.
+	c := coflow.New(1, 0, []coflow.Flow{
+		{Src: 0, Dst: 0, Bytes: 10e6},
+		{Src: 1, Dst: 1, Bytes: 10e6},
+	})
+	schedule, err := Schedule(c, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := schedule[0].Match
+	if first[0] != 0 || first[1] != 1 {
+		t.Fatalf("first slot match = %v, want both circuits", first)
+	}
+}

@@ -1,0 +1,215 @@
+// Package fabric models the network fabric of §2.1: one non-blocking N-port
+// switch. It executes circuit-assignment schedules (the common output format
+// of the preemptive schedulers Solstice, TMS and Edmond) under both the
+// not-all-stop and the all-stop optical switch models, and defines the rate
+// allocation contract used by the fluid packet-switched simulator.
+package fabric
+
+import (
+	"fmt"
+	"math"
+)
+
+// Assignment is one circuit configuration: a one-to-one matching between
+// input and output ports (Match[i] is the output port of input port i, or -1
+// for no circuit), held for Duration seconds of transmission time. Any
+// reconfiguration delay is accounted by the executor, not included in
+// Duration.
+type Assignment struct {
+	Match    []int
+	Duration float64
+}
+
+// FlowKey identifies a flow by its (input, output) port pair.
+type FlowKey struct{ Src, Dst int }
+
+// finishEpsBytes is the residual demand below which a flow counts as
+// delivered. Schedules are built in floating-point seconds, so a flow can be
+// left a few bytes short of its demand by arithmetic noise; real flow sizes
+// are megabytes, making this threshold negligible.
+const finishEpsBytes = 16.0
+
+// ExecResult reports the outcome of executing an assignment schedule against
+// a demand matrix.
+type ExecResult struct {
+	// Finish is the time the last byte of real demand is delivered (the CCT
+	// when execution starts at the Coflow's arrival).
+	Finish float64
+	// End is the time the full assignment sequence completes, including
+	// trailing assignments that carry only dummy demand.
+	End float64
+	// SwitchCount is the number of circuit establishments: a circuit is
+	// counted each time a port pair appears in an assignment without having
+	// been connected in the previous one.
+	SwitchCount int
+	// Unserved is the total real demand (bytes) left unserved by the
+	// schedule; zero for a complete schedule.
+	Unserved float64
+	// FlowFinish maps each flow with demand to its completion time.
+	FlowFinish map[FlowKey]float64
+}
+
+// Model selects the optical switch behaviour during reconfiguration.
+type Model int
+
+const (
+	// NotAllStop is the accurate model (§2.1): only the ports whose circuits
+	// change stop for δ; unchanged circuits keep transmitting through an
+	// assignment boundary.
+	NotAllStop Model = iota
+	// AllStop is the conventional model of the TSA literature: every circuit
+	// stops for δ whenever any circuit is reconfigured.
+	AllStop
+)
+
+// String names the model.
+func (m Model) String() string {
+	if m == AllStop {
+		return "all-stop"
+	}
+	return "not-all-stop"
+}
+
+// Execute plays the assignment sequence against the remaining-demand matrix
+// rem (bytes) starting at time start, with link bandwidth linkBps and
+// reconfiguration delay delta, under the given switch model. rem is mutated
+// in place: entries are reduced by the demand served, so callers may chain
+// rounds (as TMS does) or pass a copy to preserve the original. Dummy demand
+// added by stuffing is simply absent from rem, so circuits serving only
+// dummy traffic idle through their slot.
+func Execute(rem [][]float64, schedule []Assignment, linkBps, delta, start float64, model Model) (ExecResult, error) {
+	n := len(rem)
+	res := ExecResult{FlowFinish: make(map[FlowKey]float64)}
+	for i := range rem {
+		if len(rem[i]) != n {
+			return res, fmt.Errorf("fabric: demand matrix is not square (%dx%d row %d)", n, len(rem[i]), i)
+		}
+	}
+
+	prev := make([]int, n)
+	for i := range prev {
+		prev[i] = -1
+	}
+
+	t := start
+	res.Finish = start
+	for _, a := range schedule {
+		if len(a.Match) != n {
+			return res, fmt.Errorf("fabric: assignment has %d entries for %d ports", len(a.Match), n)
+		}
+		if a.Duration < 0 {
+			return res, fmt.Errorf("fabric: negative assignment duration %v", a.Duration)
+		}
+		if err := checkMatching(a.Match); err != nil {
+			return res, err
+		}
+
+		anyChange := false
+		changed := make([]bool, n)
+		for i, j := range a.Match {
+			if j >= 0 && prev[i] != j {
+				changed[i] = true
+				anyChange = true
+				res.SwitchCount++
+			}
+		}
+
+		// Under both models an assignment with any change extends the slot
+		// by δ; the models differ in who transmits during that window.
+		slotStart := t
+		reconf := 0.0
+		if anyChange && delta > 0 {
+			reconf = delta
+		}
+		transmitEnd := slotStart + reconf + a.Duration
+
+		for i, j := range a.Match {
+			if j < 0 {
+				continue
+			}
+			txStart := slotStart + reconf
+			if model == NotAllStop && !changed[i] {
+				// The circuit survived the boundary: it transmits through
+				// the reconfiguration window of the other circuits.
+				txStart = slotStart
+			}
+			if rem[i][j] <= 0 {
+				continue
+			}
+			capacity := (transmitEnd - txStart) * linkBps / 8
+			served := math.Min(capacity, rem[i][j])
+			rem[i][j] -= served
+			if rem[i][j] <= finishEpsBytes {
+				rem[i][j] = 0
+				finish := txStart + served*8/linkBps
+				res.FlowFinish[FlowKey{Src: i, Dst: j}] = finish
+				if finish > res.Finish {
+					res.Finish = finish
+				}
+			}
+		}
+
+		for i, j := range a.Match {
+			if j >= 0 {
+				prev[i] = j
+			} else {
+				prev[i] = -1
+			}
+		}
+		t = transmitEnd
+	}
+	res.End = t
+
+	for i := range rem {
+		for j := range rem[i] {
+			res.Unserved += rem[i][j]
+		}
+	}
+	return res, nil
+}
+
+// checkMatching verifies the assignment respects the port constraint: no
+// output port appears twice.
+func checkMatching(match []int) error {
+	seen := make(map[int]bool, len(match))
+	for i, j := range match {
+		if j < 0 {
+			continue
+		}
+		if j >= len(match) {
+			return fmt.Errorf("fabric: input %d matched to out-of-range output %d", i, j)
+		}
+		if seen[j] {
+			return fmt.Errorf("fabric: output port %d matched twice", j)
+		}
+		seen[j] = true
+	}
+	return nil
+}
+
+// RateAllocator computes instantaneous flow rates for a packet-switched
+// fabric. Implementations (Varys, Aalo, fair sharing) must respect the port
+// capacity constraints of §2.1: the sum of rates across any input or output
+// port may not exceed the link bandwidth.
+type RateAllocator interface {
+	// Allocate returns rates in bits/s for the remaining flows. remaining
+	// maps each live Coflow id to its per-flow remaining bytes; attained
+	// maps Coflow id to bytes already delivered (used by Aalo's D-CLAS);
+	// arrival maps Coflow id to its arrival time (for FIFO tie-breaks).
+	Allocate(remaining map[int]map[FlowKey]float64, attained map[int]float64, arrival map[int]float64, linkBps float64, ports int) map[int]map[FlowKey]float64
+	// Name identifies the allocator in reports.
+	Name() string
+}
+
+// PortLoads sums remaining bytes per input and output port for one Coflow's
+// remaining flows — the bottleneck computation shared by Varys' SEBF and the
+// lower bounds.
+func PortLoads(flows map[FlowKey]float64, ports int) (in, out []float64) {
+	in = make([]float64, ports)
+	out = make([]float64, ports)
+	for k, b := range flows {
+		in[k.Src] += b
+		out[k.Dst] += b
+	}
+	return in, out
+}

@@ -1,0 +1,207 @@
+package fabric
+
+import (
+	"math"
+	"testing"
+)
+
+const gbps = 1e9
+
+func TestExecuteSingleAssignment(t *testing.T) {
+	rem := [][]float64{
+		{1e6, 0},
+		{0, 1e6},
+	}
+	asg := []Assignment{{Match: []int{0, 1}, Duration: 0.008}}
+	res, err := Execute(rem, asg, gbps, 0.01, 0, NotAllStop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SwitchCount != 2 {
+		t.Fatalf("SwitchCount = %d, want 2", res.SwitchCount)
+	}
+	if res.Unserved != 0 {
+		t.Fatalf("Unserved = %v", res.Unserved)
+	}
+	// Both flows finish at δ + 8 ms.
+	if math.Abs(res.Finish-0.018) > 1e-9 {
+		t.Fatalf("Finish = %v, want 0.018", res.Finish)
+	}
+	if f := res.FlowFinish[FlowKey{0, 0}]; math.Abs(f-0.018) > 1e-9 {
+		t.Fatalf("FlowFinish = %v", f)
+	}
+}
+
+func TestExecuteUnchangedCircuitSkipsDelta(t *testing.T) {
+	rem := [][]float64{
+		{2e6, 0},
+		{0, 1e6},
+	}
+	// Circuit [0,0] persists across both assignments; [1,1] only in the
+	// second. Under not-all-stop, [0,0] transmits through the second
+	// boundary's reconfiguration too.
+	asg := []Assignment{
+		{Match: []int{0, -1}, Duration: 0.008},
+		{Match: []int{0, 1}, Duration: 0.008},
+	}
+	res, err := Execute(rem, asg, gbps, 0.01, 0, NotAllStop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SwitchCount: [0,0] once, [1,1] once.
+	if res.SwitchCount != 2 {
+		t.Fatalf("SwitchCount = %d, want 2", res.SwitchCount)
+	}
+	// Flow (0,0): transmits [0.01,0.018) then [0.018,0.036) continuously;
+	// finishes its 16 ms of demand at 0.01+0.016=0.026.
+	if f := res.FlowFinish[FlowKey{0, 0}]; math.Abs(f-0.026) > 1e-9 {
+		t.Fatalf("persistent circuit finish = %v, want 0.026", f)
+	}
+	// Flow (1,1) starts after the second reconfiguration at 0.018+0.01.
+	if f := res.FlowFinish[FlowKey{1, 1}]; math.Abs(f-0.036) > 1e-9 {
+		t.Fatalf("new circuit finish = %v, want 0.036", f)
+	}
+}
+
+func TestExecuteAllStopStopsEverything(t *testing.T) {
+	rem := [][]float64{
+		{2e6, 0},
+		{0, 1e6},
+	}
+	asg := []Assignment{
+		{Match: []int{0, -1}, Duration: 0.008},
+		{Match: []int{0, 1}, Duration: 0.008},
+	}
+	res, err := Execute(rem, asg, gbps, 0.01, 0, AllStop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under all-stop, [0,0] also pauses during the second δ: it transmits
+	// [0.01,0.018) and [0.028,0.036) and leaves 16−16=0... it needs 16 ms
+	// and gets exactly 8+8; finish = 0.036.
+	if f := res.FlowFinish[FlowKey{0, 0}]; math.Abs(f-0.036) > 1e-9 {
+		t.Fatalf("all-stop finish = %v, want 0.036", f)
+	}
+}
+
+func TestExecuteDummyDemandIdles(t *testing.T) {
+	rem := [][]float64{
+		{1e6, 0},
+		{0, 0},
+	}
+	asg := []Assignment{{Match: []int{0, 1}, Duration: 0.008}}
+	res, err := Execute(rem, asg, gbps, 0.01, 0, NotAllStop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unserved != 0 {
+		t.Fatalf("Unserved = %v", res.Unserved)
+	}
+	if _, ok := res.FlowFinish[FlowKey{1, 1}]; ok {
+		t.Fatal("dummy circuit reported a flow finish")
+	}
+}
+
+func TestExecuteRejectsBadMatching(t *testing.T) {
+	rem := [][]float64{{1, 1}, {1, 1}}
+	if _, err := Execute(rem, []Assignment{{Match: []int{0, 0}, Duration: 1}}, gbps, 0, 0, NotAllStop); err == nil {
+		t.Fatal("duplicate output accepted")
+	}
+	if _, err := Execute(rem, []Assignment{{Match: []int{2, 1}, Duration: 1}}, gbps, 0, 0, NotAllStop); err == nil {
+		t.Fatal("out-of-range output accepted")
+	}
+	if _, err := Execute(rem, []Assignment{{Match: []int{0}, Duration: 1}}, gbps, 0, 0, NotAllStop); err == nil {
+		t.Fatal("short match accepted")
+	}
+	if _, err := Execute(rem, []Assignment{{Match: []int{0, 1}, Duration: -1}}, gbps, 0, 0, NotAllStop); err == nil {
+		t.Fatal("negative duration accepted")
+	}
+}
+
+func TestExecuteReportsUnserved(t *testing.T) {
+	rem := [][]float64{{10e6}}
+	res, err := Execute(rem, []Assignment{{Match: []int{0}, Duration: 0.008}}, gbps, 0.01, 0, NotAllStop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Unserved-9e6) > 1 {
+		t.Fatalf("Unserved = %v, want 9e6", res.Unserved)
+	}
+}
+
+func TestMaxMinFairEqualShares(t *testing.T) {
+	flows := []FlowKey{{0, 0}, {1, 0}} // both contend for out.0
+	in := []float64{gbps, gbps}
+	out := []float64{gbps, gbps}
+	rates := MaxMinFair(flows, in, out)
+	if math.Abs(rates[0]-gbps/2) > 1 || math.Abs(rates[1]-gbps/2) > 1 {
+		t.Fatalf("rates = %v", rates)
+	}
+	if math.Abs(out[0]) > 1 {
+		t.Fatalf("out.0 avail = %v, want 0", out[0])
+	}
+}
+
+func TestMaxMinFairBottleneckPropagation(t *testing.T) {
+	// Flows A(0→0), B(1→0), C(1→1). out.0 is the bottleneck for A and B
+	// (B/2 each); C then gets the rest of in.1: B − B/2 = B/2... then out.1
+	// allows B so C gets B/2.
+	flows := []FlowKey{{0, 0}, {1, 0}, {1, 1}}
+	in := []float64{gbps, gbps}
+	out := []float64{gbps, gbps}
+	rates := MaxMinFair(flows, in, out)
+	if math.Abs(rates[0]-gbps/2) > 1 || math.Abs(rates[1]-gbps/2) > 1 {
+		t.Fatalf("contended rates = %v", rates)
+	}
+	if math.Abs(rates[2]-gbps/2) > 1 {
+		t.Fatalf("C rate = %v, want %v", rates[2], gbps/2)
+	}
+}
+
+func TestMaxMinFairRespectsCapacity(t *testing.T) {
+	flows := []FlowKey{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	in := []float64{gbps, gbps}
+	out := []float64{gbps, gbps}
+	rates := MaxMinFair(flows, in, out)
+	sumIn := map[int]float64{}
+	sumOut := map[int]float64{}
+	for i, f := range flows {
+		sumIn[f.Src] += rates[i]
+		sumOut[f.Dst] += rates[i]
+	}
+	for p, s := range sumIn {
+		if s > gbps+1 {
+			t.Fatalf("in.%d oversubscribed: %v", p, s)
+		}
+	}
+	for p, s := range sumOut {
+		if s > gbps+1 {
+			t.Fatalf("out.%d oversubscribed: %v", p, s)
+		}
+	}
+}
+
+func TestFairSharingAllocator(t *testing.T) {
+	remaining := map[int]map[FlowKey]float64{
+		1: {FlowKey{0, 0}: 1e6},
+		2: {FlowKey{1, 0}: 1e6},
+	}
+	rates := FairSharing{}.Allocate(remaining, nil, nil, gbps, 2)
+	if math.Abs(rates[1][FlowKey{0, 0}]-gbps/2) > 1 {
+		t.Fatalf("rates = %v", rates)
+	}
+	if (FairSharing{}).Name() == "" {
+		t.Fatal("allocator must be named")
+	}
+}
+
+func TestPortLoads(t *testing.T) {
+	in, out := PortLoads(map[FlowKey]float64{
+		{0, 1}: 5,
+		{0, 2}: 3,
+		{1, 2}: 2,
+	}, 3)
+	if in[0] != 8 || in[1] != 2 || out[2] != 5 || out[1] != 5 {
+		t.Fatalf("PortLoads = %v %v", in, out)
+	}
+}

@@ -1,0 +1,160 @@
+package fabric
+
+import "sort"
+
+// MaxMinFair allocates max-min fair rates to the given flows subject to the
+// available per-port bandwidth, using progressive filling: at each step the
+// most contended port's capacity is split equally among its unfrozen flows,
+// those flows are frozen at that rate, and the residue propagates. availIn
+// and availOut are mutated: the allocated rates are subtracted. The returned
+// slice parallels flows.
+func MaxMinFair(flows []FlowKey, availIn, availOut []float64) []float64 {
+	rates := make([]float64, len(flows))
+	frozen := make([]bool, len(flows))
+	remaining := len(flows)
+
+	for remaining > 0 {
+		// Count unfrozen flows per port.
+		inCount := make(map[int]int)
+		outCount := make(map[int]int)
+		for idx, f := range flows {
+			if frozen[idx] {
+				continue
+			}
+			inCount[f.Src]++
+			outCount[f.Dst]++
+		}
+
+		// Find the bottleneck: the port with the smallest equal share.
+		bottleShare := -1.0
+		bottleIn, bottlePort := false, -1
+		for p, c := range inCount {
+			share := availIn[p] / float64(c)
+			if bottleShare < 0 || share < bottleShare {
+				bottleShare, bottleIn, bottlePort = share, true, p
+			}
+		}
+		for p, c := range outCount {
+			share := availOut[p] / float64(c)
+			if bottleShare < 0 || share < bottleShare {
+				bottleShare, bottleIn, bottlePort = share, false, p
+			}
+		}
+		if bottlePort < 0 {
+			break
+		}
+		if bottleShare < 0 {
+			bottleShare = 0
+		}
+
+		// Freeze every unfrozen flow on the bottleneck port at the share.
+		for idx, f := range flows {
+			if frozen[idx] {
+				continue
+			}
+			onPort := (bottleIn && f.Src == bottlePort) || (!bottleIn && f.Dst == bottlePort)
+			if !onPort {
+				continue
+			}
+			rates[idx] = bottleShare
+			frozen[idx] = true
+			remaining--
+			availIn[f.Src] -= bottleShare
+			availOut[f.Dst] -= bottleShare
+			if availIn[f.Src] < 0 {
+				availIn[f.Src] = 0
+			}
+			if availOut[f.Dst] < 0 {
+				availOut[f.Dst] = 0
+			}
+		}
+	}
+	return rates
+}
+
+// FairSharing is a RateAllocator that max-min fair shares the fabric among
+// all live flows with no Coflow awareness — the per-flow fairness baseline a
+// plain packet network would provide.
+type FairSharing struct{}
+
+// Allocate implements RateAllocator.
+func (FairSharing) Allocate(remaining map[int]map[FlowKey]float64, attained map[int]float64, arrival map[int]float64, linkBps float64, ports int) map[int]map[FlowKey]float64 {
+	availIn := fullAvail(ports, linkBps)
+	availOut := fullAvail(ports, linkBps)
+
+	var flows []FlowKey
+	var owners []int
+	for id, fs := range remaining {
+		for k, b := range fs {
+			if b > 0 {
+				flows = append(flows, k)
+				owners = append(owners, id)
+			}
+		}
+	}
+	sortFlows(flows, owners)
+	rates := MaxMinFair(flows, availIn, availOut)
+
+	out := make(map[int]map[FlowKey]float64, len(remaining))
+	for idx, f := range flows {
+		id := owners[idx]
+		if out[id] == nil {
+			out[id] = make(map[FlowKey]float64)
+		}
+		out[id][f] = rates[idx]
+	}
+	return out
+}
+
+// Name implements RateAllocator.
+func (FairSharing) Name() string { return "per-flow-fair" }
+
+// fullAvail returns a slice of ports entries all set to linkBps.
+func fullAvail(ports int, linkBps float64) []float64 {
+	a := make([]float64, ports)
+	for i := range a {
+		a[i] = linkBps
+	}
+	return a
+}
+
+// sortFlows orders flows (and their parallel owners) deterministically by
+// (owner, src, dst), since map iteration order would otherwise leak into the
+// allocation.
+func sortFlows(flows []FlowKey, owners []int) {
+	s := flowSorter{flows: flows, owners: owners}
+	sort.Sort(s)
+}
+
+type flowSorter struct {
+	flows  []FlowKey
+	owners []int
+}
+
+func (s flowSorter) Len() int { return len(s.flows) }
+func (s flowSorter) Swap(a, b int) {
+	s.flows[a], s.flows[b] = s.flows[b], s.flows[a]
+	s.owners[a], s.owners[b] = s.owners[b], s.owners[a]
+}
+func (s flowSorter) Less(a, b int) bool {
+	if s.owners[a] != s.owners[b] {
+		return s.owners[a] < s.owners[b]
+	}
+	if s.flows[a].Src != s.flows[b].Src {
+		return s.flows[a].Src < s.flows[b].Src
+	}
+	return s.flows[a].Dst < s.flows[b].Dst
+}
+
+// PacedFairSharing is FairSharing that recomputes only on Coflow arrivals
+// and completions — the approximation large-scale experiments use for the
+// hybrid fabric's packet path, where per-flow-completion reallocation over
+// tens of thousands of flows is prohibitively expensive to simulate and
+// immaterial to the results (the path carries only mice).
+type PacedFairSharing struct{ FairSharing }
+
+// PacedByCoflowEvents reports the paced recomputation schedule.
+func (PacedFairSharing) PacedByCoflowEvents() bool { return true }
+
+// Name identifies the allocator in reports.
+func (PacedFairSharing) Name() string { return "per-flow-fair-paced" }

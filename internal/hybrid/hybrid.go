@@ -1,0 +1,133 @@
+// Package hybrid simulates a REACToR-style hybrid fabric (§6 of the Sunflow
+// paper, and the c-Through/Helios deployments of §2.1): a Sunflow-scheduled
+// optical circuit switch carries the bulk traffic while a small-bandwidth
+// electrical packet network absorbs flows too small to be worth a circuit.
+//
+// Each Coflow is split at a size threshold: flows below it travel the packet
+// network, the rest the circuit network. Both partitions keep the Coflow's
+// identity, so its completion time is the later of its two halves — exactly
+// the semantics of a host NIC spraying small flows onto the packet path.
+package hybrid
+
+import (
+	"fmt"
+	"math"
+
+	"sunflow/internal/coflow"
+	"sunflow/internal/fabric"
+	"sunflow/internal/sim"
+)
+
+// Options configures the hybrid fabric.
+type Options struct {
+	// Ports is the fabric size (both networks attach to every ToR).
+	Ports int
+	// CircuitBps is the per-port bandwidth of the optical circuit switch.
+	CircuitBps float64
+	// PacketBps is the per-port bandwidth of the companion packet switch —
+	// typically a small fraction of CircuitBps.
+	PacketBps float64
+	// Delta is the circuit reconfiguration delay δ in seconds.
+	Delta float64
+	// ThresholdBytes routes flows strictly smaller than this to the packet
+	// network. Zero sends everything to the circuit switch;
+	// math.Inf(1) sends everything to the packet switch.
+	ThresholdBytes float64
+	// PacketAlloc allocates rates on the packet network; nil selects
+	// per-flow max-min fair sharing (the packet path is not Coflow-aware in
+	// REACToR).
+	PacketAlloc fabric.RateAllocator
+	// Circuit carries additional circuit-side options.
+	Circuit sim.CircuitOptions
+}
+
+// Result reports a hybrid run: the combined per-Coflow CCTs plus the two
+// partitions for inspection.
+type Result struct {
+	// CCT maps Coflow id to max(circuit part, packet part) completion time
+	// minus arrival.
+	CCT map[int]float64
+	// CircuitBytes and PacketBytes report the byte split.
+	CircuitBytes, PacketBytes float64
+	// Circuit and Packet are the partition results (ids appear only in the
+	// partitions that carried any of their demand).
+	Circuit, Packet sim.Result
+}
+
+// AverageCCT returns the mean combined CCT.
+func (r Result) AverageCCT() float64 {
+	if len(r.CCT) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range r.CCT {
+		sum += v
+	}
+	return sum / float64(len(r.CCT))
+}
+
+// Run splits the workload at the threshold and simulates both networks.
+func Run(coflows []*coflow.Coflow, opts Options) (Result, error) {
+	res := Result{CCT: map[int]float64{}}
+	if opts.CircuitBps <= 0 {
+		return res, fmt.Errorf("hybrid: circuit bandwidth must be positive, got %v", opts.CircuitBps)
+	}
+	if opts.ThresholdBytes > 0 && opts.PacketBps <= 0 {
+		return res, fmt.Errorf("hybrid: packet bandwidth must be positive when a threshold routes flows to it")
+	}
+
+	var circuitPart, packetPart []*coflow.Coflow
+	for _, c := range coflows {
+		var big, small []coflow.Flow
+		for _, f := range c.Flows {
+			if f.Bytes <= 0 {
+				continue
+			}
+			if f.Bytes < opts.ThresholdBytes {
+				small = append(small, f)
+				res.PacketBytes += f.Bytes
+			} else {
+				big = append(big, f)
+				res.CircuitBytes += f.Bytes
+			}
+		}
+		if len(big) > 0 {
+			circuitPart = append(circuitPart, coflow.New(c.ID, c.Arrival, big))
+		}
+		if len(small) > 0 {
+			packetPart = append(packetPart, coflow.New(c.ID, c.Arrival, small))
+		}
+		if len(big) == 0 && len(small) == 0 {
+			res.CCT[c.ID] = 0
+		}
+	}
+
+	copts := opts.Circuit
+	copts.Ports = opts.Ports
+	copts.LinkBps = opts.CircuitBps
+	copts.Delta = opts.Delta
+	var err error
+	res.Circuit, err = sim.RunCircuit(circuitPart, copts)
+	if err != nil {
+		return res, fmt.Errorf("hybrid: circuit partition: %w", err)
+	}
+
+	alloc := opts.PacketAlloc
+	if alloc == nil {
+		alloc = fabric.FairSharing{}
+	}
+	if len(packetPart) > 0 {
+		res.Packet, err = sim.RunPacket(packetPart, opts.Ports, opts.PacketBps, alloc)
+		if err != nil {
+			return res, fmt.Errorf("hybrid: packet partition: %w", err)
+		}
+	}
+
+	for id, v := range res.Circuit.CCT {
+		res.CCT[id] = math.Max(res.CCT[id], v)
+	}
+	for id, v := range res.Packet.CCT {
+		res.CCT[id] = math.Max(res.CCT[id], v)
+	}
+	return res, nil
+}

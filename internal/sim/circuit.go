@@ -1,0 +1,380 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sunflow/internal/coflow"
+	"sunflow/internal/core"
+	"sunflow/internal/fabric"
+)
+
+// CircuitOptions configures the online circuit-switched simulation.
+type CircuitOptions struct {
+	// Ports is the switch port count N.
+	Ports int
+	// LinkBps is the per-port bandwidth B in bits/s.
+	LinkBps float64
+	// Delta is the circuit reconfiguration delay δ in seconds.
+	Delta float64
+	// Policy orders live Coflows at each reschedule; nil selects
+	// shortest-Coflow-first by the remaining packet-switched lower bound,
+	// the policy of §5.4.
+	Policy core.Policy
+	// Order is the intra-Coflow reservation ordering.
+	Order core.Order
+	// Seed drives RandomOrder.
+	Seed int64
+	// Fair optionally enables the starvation-avoidance windows of §4.2.
+	Fair *core.FairWindows
+}
+
+// RunCircuit simulates the Coflows on a Sunflow-scheduled optical circuit
+// switch. Following §6, the schedule is recomputed only on Coflow arrivals
+// and completions (and at fair-window boundaries when starvation avoidance
+// is enabled): at each such instant, circuits already established keep their
+// reservations — non-preemption — while reservations that have not yet
+// begun are discarded and replanned against the remaining demand of all
+// live Coflows in priority order.
+func RunCircuit(coflows []*coflow.Coflow, opts CircuitOptions) (Result, error) {
+	res := Result{CCT: map[int]float64{}, Finish: map[int]float64{}, SwitchCount: map[int]int{}}
+	if opts.LinkBps <= 0 {
+		return res, fmt.Errorf("sim: link bandwidth must be positive, got %v", opts.LinkBps)
+	}
+	if opts.Fair != nil {
+		if err := opts.Fair.Validate(opts.Delta); err != nil {
+			return res, err
+		}
+	}
+	policy := opts.Policy
+	if policy == nil {
+		policy = core.ShortestFirst{LinkBps: opts.LinkBps}
+	}
+	arrivalsOrder, _, err := prepare(coflows, opts.Ports)
+	if err != nil {
+		return res, err
+	}
+
+	s := &circuitState{
+		opts:    opts,
+		policy:  policy,
+		res:     &res,
+		live:    map[int]*liveCoflow{},
+		pending: arrivalsOrder,
+	}
+
+	t := 0.0
+	if len(arrivalsOrder) > 0 {
+		t = arrivalsOrder[0].Arrival
+	}
+	s.admit(t)
+	s.replan(t)
+	tPrev := t
+
+	for ev := 0; ; ev++ {
+		if ev > maxEvents {
+			return res, fmt.Errorf("sim: circuit simulation exceeded %d events", maxEvents)
+		}
+		res.Events = ev
+
+		if len(s.live) == 0 {
+			if len(s.pending) == 0 {
+				return res, nil
+			}
+			tPrev = s.pending[0].Arrival
+			s.admit(tPrev)
+			s.replan(tPrev)
+			continue
+		}
+
+		// Next event: an arrival, a planned Coflow completion, or a fair
+		// window boundary (fair service is not part of the plan, so demand
+		// must be re-credited and the plan refreshed there).
+		te := math.Inf(1)
+		if len(s.pending) > 0 {
+			te = s.pending[0].Arrival
+		}
+		for _, lc := range s.live {
+			te = math.Min(te, lc.finish)
+		}
+		if opts.Fair != nil {
+			te = math.Min(te, opts.Fair.NextEnd(tPrev))
+		}
+		if math.IsInf(te, 1) {
+			return res, fmt.Errorf("%w at t=%.6f (%d live coflows)", ErrStalled, tPrev, len(s.live))
+		}
+
+		s.credit(tPrev, te)
+		tPrev = te
+		s.retire(te)
+		s.admit(te)
+		s.replan(te)
+	}
+}
+
+// liveCoflow tracks one admitted, unfinished Coflow.
+type liveCoflow struct {
+	c *coflow.Coflow
+	// rem is the unserved demand per flow in bytes, including demand that
+	// in-flight (locked) reservations will deliver.
+	rem map[fabric.FlowKey]float64
+	// finish is the planned completion time under the current plan.
+	finish float64
+	// flowFinish records actual flow completion instants.
+	flowFinish map[fabric.FlowKey]float64
+}
+
+// circuitState is the mutable simulation state.
+type circuitState struct {
+	opts    CircuitOptions
+	policy  core.Policy
+	res     *Result
+	live    map[int]*liveCoflow
+	pending []*coflow.Coflow
+	// plan holds all reservations not yet fully credited: circuits in
+	// flight plus the planned future.
+	plan []core.Reservation
+}
+
+// admit moves Coflows arriving at or before now into the live set.
+func (s *circuitState) admit(now float64) {
+	for len(s.pending) > 0 && s.pending[0].Arrival <= now+timeEps {
+		c := s.pending[0]
+		s.pending = s.pending[1:]
+		rem := make(map[fabric.FlowKey]float64, len(c.Flows))
+		for _, f := range c.Flows {
+			if f.Bytes > 0 {
+				rem[fabric.FlowKey{Src: f.Src, Dst: f.Dst}] += f.Bytes
+			}
+		}
+		if len(rem) == 0 {
+			s.res.CCT[c.ID] = 0
+			s.res.Finish[c.ID] = c.Arrival
+			continue
+		}
+		s.live[c.ID] = &liveCoflow{
+			c:          c,
+			rem:        rem,
+			finish:     math.Inf(1),
+			flowFinish: make(map[fabric.FlowKey]float64, len(rem)),
+		}
+	}
+}
+
+// credit applies all transmission occurring in [from, to): planned circuit
+// reservations plus shared service in fair windows. It also counts circuit
+// establishments whose setup begins in the interval.
+func (s *circuitState) credit(from, to float64) {
+	if to <= from {
+		return
+	}
+	// Reservations in start order so sequential reservations of one flow
+	// are credited in the order they deliver.
+	sort.Slice(s.plan, func(a, b int) bool { return s.plan[a].Start < s.plan[b].Start })
+	for _, r := range s.plan {
+		if r.Start >= from-timeEps && r.Start < to-timeEps {
+			s.res.SwitchCount[r.CoflowID]++
+		}
+		lc := s.live[r.CoflowID]
+		if lc == nil {
+			continue
+		}
+		d := r.TransmittedBy(to, s.opts.LinkBps) - r.TransmittedBy(from, s.opts.LinkBps)
+		if d <= 0 {
+			continue
+		}
+		key := fabric.FlowKey{Src: r.In, Dst: r.Out}
+		rem := lc.rem[key]
+		if rem <= 0 {
+			continue
+		}
+		if rem <= d+byteEps {
+			// The flow drains inside this reservation; solve for the
+			// instant.
+			deliveryStart := math.Max(from, r.TransmitStart())
+			finish := deliveryStart + rem*8/s.opts.LinkBps
+			lc.rem[key] = 0
+			if _, done := lc.flowFinish[key]; !done {
+				lc.flowFinish[key] = finish
+			}
+		} else {
+			lc.rem[key] = rem - d
+		}
+	}
+
+	if s.opts.Fair != nil {
+		s.creditFairWindows(from, to)
+	}
+}
+
+// creditFairWindows applies the shared round-robin service of §4.2 within
+// [from, to): during each τ window, circuit [i, A_k(i)] serves the remaining
+// demand of all live Coflows on that port pair with equal instantaneous
+// shares.
+func (s *circuitState) creditFairWindows(from, to float64) {
+	for _, w := range s.opts.Fair.WindowsIn(from, to) {
+		txStart := w.Start + s.opts.Delta
+		segStart := math.Max(from, txStart)
+		segEnd := math.Min(to, w.End)
+		if segEnd <= segStart {
+			continue
+		}
+		seconds := segEnd - segStart
+		for i, j := range w.Assign {
+			key := fabric.FlowKey{Src: i, Dst: j}
+			var ids []int
+			var rems []float64
+			for id, lc := range s.live {
+				if b := lc.rem[key]; b > byteEps {
+					ids = append(ids, id)
+					rems = append(rems, b)
+				}
+			}
+			if len(ids) == 0 {
+				continue
+			}
+			sort.Sort(&idRemSorter{ids: ids, rems: rems})
+			served := core.ShareCircuit(rems, seconds, s.opts.LinkBps)
+			for idx, id := range ids {
+				lc := s.live[id]
+				nr := lc.rem[key] - served[idx]
+				if nr <= byteEps {
+					lc.rem[key] = 0
+					if _, done := lc.flowFinish[key]; !done {
+						// Exact drain instants inside a shared window are
+						// not tracked; the window end bounds the error by τ.
+						lc.flowFinish[key] = segEnd
+					}
+				} else {
+					lc.rem[key] = nr
+				}
+			}
+		}
+	}
+}
+
+// idRemSorter keeps (ids, rems) pairs in deterministic order.
+type idRemSorter struct {
+	ids  []int
+	rems []float64
+}
+
+func (s *idRemSorter) Len() int           { return len(s.ids) }
+func (s *idRemSorter) Less(a, b int) bool { return s.ids[a] < s.ids[b] }
+func (s *idRemSorter) Swap(a, b int) {
+	s.ids[a], s.ids[b] = s.ids[b], s.ids[a]
+	s.rems[a], s.rems[b] = s.rems[b], s.rems[a]
+}
+
+// retire records Coflows whose demand has fully drained.
+func (s *circuitState) retire(now float64) {
+	for id, lc := range s.live {
+		done := true
+		for _, b := range lc.rem {
+			if b > byteEps {
+				done = false
+				break
+			}
+		}
+		if !done {
+			continue
+		}
+		// The Coflow finished at its latest recorded flow finish, which can
+		// precede the event instant now.
+		finish := 0.0
+		for _, f := range lc.flowFinish {
+			finish = math.Max(finish, f)
+		}
+		if finish == 0 {
+			finish = now
+		}
+		s.res.Finish[id] = finish
+		s.res.CCT[id] = finish - lc.c.Arrival
+		delete(s.live, id)
+	}
+}
+
+// replan rebuilds the circuit plan at time now: in-flight reservations are
+// kept (non-preemption), everything else is rescheduled with InterCoflow in
+// policy order against the remaining demand.
+func (s *circuitState) replan(now float64) {
+	// Keep only circuits already established and still holding their ports.
+	locked := s.plan[:0]
+	lockedFuture := map[int]map[fabric.FlowKey]float64{}
+	for _, r := range s.plan {
+		if r.Start < now-timeEps && r.End > now+timeEps {
+			locked = append(locked, r)
+			if s.live[r.CoflowID] != nil {
+				m := lockedFuture[r.CoflowID]
+				if m == nil {
+					m = map[fabric.FlowKey]float64{}
+					lockedFuture[r.CoflowID] = m
+				}
+				m[fabric.FlowKey{Src: r.In, Dst: r.Out}] += r.Bytes - r.TransmittedBy(now, s.opts.LinkBps)
+			}
+		}
+	}
+	locked = append([]core.Reservation(nil), locked...)
+
+	prt := core.NewPRT(s.opts.Ports)
+	if s.opts.Fair != nil {
+		prt.SetBlackout(*s.opts.Fair)
+	}
+	prt.Preload(locked)
+
+	// Priority-sort the live Coflows on their full remaining demand.
+	tmps := make([]*coflow.Coflow, 0, len(s.live))
+	for _, lc := range s.live {
+		tmps = append(tmps, remainderCoflow(lc, nil))
+	}
+	ordered := s.policy.Sort(tmps)
+
+	s.plan = locked
+	for _, tmp := range ordered {
+		lc := s.live[tmp.ID]
+		toSchedule := remainderCoflow(lc, lockedFuture[tmp.ID])
+		sched, err := core.IntraCoflow(prt, toSchedule, core.Options{
+			LinkBps: s.opts.LinkBps,
+			Delta:   s.opts.Delta,
+			Start:   math.Max(now, lc.c.Arrival),
+			Order:   s.opts.Order,
+			Seed:    s.opts.Seed,
+		})
+		if err != nil {
+			// IntraCoflow cannot stall on a finite PRT without blackout
+			// gaps shorter than δ, which FairWindows.Validate precludes;
+			// treat a failure as a fatal plan inconsistency.
+			panic(fmt.Sprintf("sim: replan failed for coflow %d: %v", tmp.ID, err))
+		}
+		finish := sched.Finish
+		for _, r := range locked {
+			if r.CoflowID == tmp.ID && r.End > finish {
+				finish = r.End
+			}
+		}
+		lc.finish = finish
+		s.plan = append(s.plan, sched.Reservations...)
+	}
+}
+
+// remainderCoflow builds a temporary Coflow from a live Coflow's remaining
+// demand, optionally excluding demand that locked reservations will serve.
+func remainderCoflow(lc *liveCoflow, exclude map[fabric.FlowKey]float64) *coflow.Coflow {
+	flows := make([]coflow.Flow, 0, len(lc.rem))
+	for k, b := range lc.rem {
+		if exclude != nil {
+			b -= exclude[k]
+		}
+		if b > byteEps {
+			flows = append(flows, coflow.Flow{Src: k.Src, Dst: k.Dst, Bytes: b})
+		}
+	}
+	sort.Slice(flows, func(a, b int) bool {
+		if flows[a].Src != flows[b].Src {
+			return flows[a].Src < flows[b].Src
+		}
+		return flows[a].Dst < flows[b].Dst
+	})
+	return &coflow.Coflow{ID: lc.c.ID, Arrival: lc.c.Arrival, Flows: flows}
+}

@@ -1,0 +1,368 @@
+// Package sim contains the trace-driven flow-level discrete-event
+// simulators of the Sunflow paper's evaluation (§5.1): a fluid simulator for
+// the packet-switched fabric driven by a rate allocator (Varys, Aalo, plain
+// fair sharing), and an online circuit-switched simulator that replans a
+// Sunflow schedule on every Coflow arrival and completion, never preempting
+// circuits already established.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"sunflow/internal/coflow"
+	"sunflow/internal/fabric"
+)
+
+// byteEps is the residual demand below which a flow counts as finished. One
+// byte is negligible against the ≥ 1 MB flows of real workloads yet safely
+// above the floating-point residue even of petabyte-scaled experiments.
+const byteEps = 1.0
+
+// timeEps absorbs floating-point residue in event times.
+const timeEps = 1e-9
+
+// ThresholdNotifier is implemented by rate allocators whose decisions change
+// when a Coflow's attained service crosses a boundary (Aalo's queue
+// demotions); the simulator inserts recomputation events at the crossings.
+type ThresholdNotifier interface {
+	// NextThreshold returns the attained-service level (bytes) at which the
+	// allocation must be recomputed, or +Inf.
+	NextThreshold(attained float64) float64
+}
+
+// CoflowEventPaced is implemented by rate allocators that recompute only on
+// Coflow arrivals and completions, as Varys does (§5.4, §6 of the Sunflow
+// paper): when a subflow finishes early, its bandwidth is left unused until
+// the next Coflow-level rescheduling decision.
+type CoflowEventPaced interface {
+	// PacedByCoflowEvents reports whether rates freeze between Coflow
+	// arrivals and completions.
+	PacedByCoflowEvents() bool
+}
+
+// Result reports one simulation run.
+type Result struct {
+	// CCT maps Coflow id to its completion time minus its arrival time.
+	CCT map[int]float64
+	// Finish maps Coflow id to its absolute completion time.
+	Finish map[int]float64
+	// SwitchCount maps Coflow id to circuit establishments made on its
+	// behalf (zero in packet-switched runs).
+	SwitchCount map[int]int
+	// Events is the number of simulator events processed.
+	Events int
+}
+
+// AverageCCT returns the mean CCT across all Coflows.
+func (r Result) AverageCCT() float64 {
+	if len(r.CCT) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range r.CCT {
+		sum += v
+	}
+	return sum / float64(len(r.CCT))
+}
+
+// ErrStalled is returned when live demand can make no progress.
+var ErrStalled = errors.New("sim: no progress possible with live demand")
+
+// maxEvents bounds any single simulation against runaway loops.
+const maxEvents = 50_000_000
+
+// flowState is one live flow's fluid state: rem is exact as of the owning
+// coflowState's sync time; rate is fixed until the next recomputation.
+type flowState struct {
+	key  fabric.FlowKey
+	rem  float64
+	rate float64
+	done bool
+}
+
+// coflowState tracks one admitted, unfinished Coflow.
+type coflowState struct {
+	id       int
+	arrival  float64
+	flows    []*flowState
+	liveN    int
+	attained float64
+}
+
+// pktEvent is a pending completion or threshold crossing.
+type pktEvent struct {
+	at   float64
+	gen  int64
+	flow *flowState // nil for a threshold-crossing event
+	cf   *coflowState
+}
+
+type pktHeap []pktEvent
+
+func (h pktHeap) Len() int            { return len(h) }
+func (h pktHeap) Less(a, b int) bool  { return h[a].at < h[b].at }
+func (h pktHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *pktHeap) Push(x interface{}) { *h = append(*h, x.(pktEvent)) }
+func (h *pktHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// RunPacket simulates the Coflows on a packet-switched fabric with the given
+// rate allocator. Rates are recomputed on every Coflow arrival and
+// completion, on attained-service threshold crossings (ThresholdNotifier),
+// and — unless the allocator declares itself CoflowEventPaced — on every
+// flow completion; between recomputations flows progress fluidly at frozen
+// rates, tracked lazily so each interval costs O(F) once rather than per
+// event.
+func RunPacket(coflows []*coflow.Coflow, ports int, linkBps float64, alloc fabric.RateAllocator) (Result, error) {
+	res := Result{CCT: map[int]float64{}, Finish: map[int]float64{}, SwitchCount: map[int]int{}}
+	if linkBps <= 0 {
+		return res, fmt.Errorf("sim: link bandwidth must be positive, got %v", linkBps)
+	}
+	arrivalsOrder, _, err := prepare(coflows, ports)
+	if err != nil {
+		return res, err
+	}
+	notifier, _ := alloc.(ThresholdNotifier)
+	frozen := false
+	if p, ok := alloc.(CoflowEventPaced); ok {
+		frozen = p.PacedByCoflowEvents()
+	}
+
+	live := map[int]*coflowState{}
+	next := 0
+	var gen int64
+	var events pktHeap
+	lastSync := 0.0
+
+	t := 0.0
+	if len(arrivalsOrder) > 0 {
+		t = arrivalsOrder[0].Arrival
+		lastSync = t
+	}
+
+	admit := func(now float64) bool {
+		any := false
+		for next < len(arrivalsOrder) && arrivalsOrder[next].Arrival <= now+timeEps {
+			c := arrivalsOrder[next]
+			next++
+			cs := &coflowState{id: c.ID, arrival: c.Arrival}
+			merged := map[fabric.FlowKey]float64{}
+			for _, f := range c.Flows {
+				if f.Bytes > 0 {
+					merged[fabric.FlowKey{Src: f.Src, Dst: f.Dst}] += f.Bytes
+				}
+			}
+			if len(merged) == 0 {
+				res.CCT[c.ID] = 0
+				res.Finish[c.ID] = c.Arrival
+				continue
+			}
+			for k, b := range merged {
+				cs.flows = append(cs.flows, &flowState{key: k, rem: b})
+			}
+			sort.Slice(cs.flows, func(a, b int) bool {
+				if cs.flows[a].key.Src != cs.flows[b].key.Src {
+					return cs.flows[a].key.Src < cs.flows[b].key.Src
+				}
+				return cs.flows[a].key.Dst < cs.flows[b].key.Dst
+			})
+			cs.liveN = len(cs.flows)
+			live[c.ID] = cs
+			any = true
+		}
+		return any
+	}
+
+	// sync brings every live flow's rem forward to time now.
+	sync := func(now float64) {
+		dt := now - lastSync
+		if dt <= 0 {
+			lastSync = now
+			return
+		}
+		for _, cs := range live {
+			for _, f := range cs.flows {
+				if f.done || f.rate <= 0 {
+					continue
+				}
+				served := math.Min(f.rem, f.rate*dt/8)
+				f.rem -= served
+				cs.attained += served
+			}
+		}
+		lastSync = now
+	}
+
+	// recompute reallocates rates at time now and rebuilds the event heap.
+	recompute := func(now float64) {
+		// Reap flows that a sync drove to completion exactly at an event
+		// boundary (their own completion event was invalidated by the
+		// generation bump); without this they would idle at zero demand.
+		for id, cs := range live {
+			for _, f := range cs.flows {
+				if !f.done && f.rem <= byteEps {
+					f.rem = 0
+					f.done = true
+					cs.liveN--
+				}
+			}
+			if cs.liveN == 0 {
+				delete(live, id)
+				res.Finish[id] = now
+				res.CCT[id] = now - cs.arrival
+			}
+		}
+
+		remaining := make(map[int]map[fabric.FlowKey]float64, len(live))
+		attained := make(map[int]float64, len(live))
+		arrival := make(map[int]float64, len(live))
+		for id, cs := range live {
+			m := make(map[fabric.FlowKey]float64, cs.liveN)
+			for _, f := range cs.flows {
+				if !f.done {
+					m[f.key] = f.rem
+				}
+			}
+			remaining[id] = m
+			attained[id] = cs.attained
+			arrival[id] = cs.arrival
+		}
+		rates := alloc.Allocate(remaining, attained, arrival, linkBps, ports)
+
+		gen++
+		events = events[:0]
+		for id, cs := range live {
+			var totalRate float64
+			for _, f := range cs.flows {
+				if f.done {
+					continue
+				}
+				f.rate = rates[id][f.key]
+				totalRate += f.rate
+				if f.rate > 0 {
+					fin := now + f.rem*8/f.rate
+					events = append(events, pktEvent{at: fin, gen: gen, flow: f, cf: cs})
+				}
+			}
+			if notifier != nil && totalRate > 0 {
+				if th := notifier.NextThreshold(cs.attained); !math.IsInf(th, 1) {
+					cross := now + (th-cs.attained)*8/totalRate
+					events = append(events, pktEvent{at: cross, gen: gen, cf: cs})
+				}
+			}
+		}
+		heap.Init(&events)
+	}
+
+	admit(t)
+	recompute(t)
+
+	for ev := 0; ; ev++ {
+		if ev > maxEvents {
+			return res, fmt.Errorf("sim: packet simulation exceeded %d events", maxEvents)
+		}
+		res.Events = ev
+
+		if len(live) == 0 {
+			if next >= len(arrivalsOrder) {
+				return res, nil
+			}
+			t = arrivalsOrder[next].Arrival
+			lastSync = t
+			admit(t)
+			recompute(t)
+			continue
+		}
+
+		// Next event: heap top (current generation) or the next arrival.
+		var nextEv *pktEvent
+		for events.Len() > 0 {
+			if events[0].gen != gen {
+				heap.Pop(&events)
+				continue
+			}
+			nextEv = &events[0]
+			break
+		}
+		te := math.Inf(1)
+		if nextEv != nil {
+			te = nextEv.at
+		}
+		arrivalNext := math.Inf(1)
+		if next < len(arrivalsOrder) {
+			arrivalNext = arrivalsOrder[next].Arrival
+		}
+		if arrivalNext <= te {
+			if math.IsInf(arrivalNext, 1) {
+				return res, fmt.Errorf("%w at t=%.6f (%d live coflows)", ErrStalled, t, len(live))
+			}
+			t = arrivalNext
+			sync(t)
+			admit(t)
+			recompute(t)
+			continue
+		}
+
+		e := heap.Pop(&events).(pktEvent)
+		t = e.at
+		if e.flow == nil {
+			// Threshold crossing: queue demotion changes the allocation.
+			sync(t)
+			recompute(t)
+			continue
+		}
+		if e.flow.done {
+			continue
+		}
+		// Flow completion at its frozen rate.
+		served := e.flow.rem
+		e.flow.rem = 0
+		e.flow.done = true
+		e.cf.attained += served
+		e.cf.liveN--
+		if e.cf.liveN == 0 {
+			delete(live, e.cf.id)
+			res.Finish[e.cf.id] = t
+			res.CCT[e.cf.id] = t - e.cf.arrival
+			sync(t)
+			recompute(t)
+			continue
+		}
+		if !frozen {
+			sync(t)
+			recompute(t)
+		}
+	}
+}
+
+// prepare validates the Coflows and returns them sorted by arrival plus an
+// id index.
+func prepare(coflows []*coflow.Coflow, ports int) ([]*coflow.Coflow, map[int]*coflow.Coflow, error) {
+	byID := make(map[int]*coflow.Coflow, len(coflows))
+	order := append([]*coflow.Coflow(nil), coflows...)
+	for _, c := range order {
+		if err := c.Validate(ports); err != nil {
+			return nil, nil, err
+		}
+		if _, dup := byID[c.ID]; dup {
+			return nil, nil, fmt.Errorf("sim: duplicate coflow id %d", c.ID)
+		}
+		byID[c.ID] = c
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if order[a].Arrival != order[b].Arrival {
+			return order[a].Arrival < order[b].Arrival
+		}
+		return order[a].ID < order[b].ID
+	})
+	return order, byID, nil
+}

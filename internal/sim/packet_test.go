@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sunflow/internal/aalo"
+	"sunflow/internal/coflow"
+	"sunflow/internal/fabric"
+	"sunflow/internal/varys"
+)
+
+const gbps = 1e9
+
+func TestPacketSingleCoflowMatchesLowerBound(t *testing.T) {
+	// One Coflow alone under Varys finishes exactly at TpL (MADD is optimal
+	// for a single Coflow).
+	c := coflow.New(1, 0, []coflow.Flow{
+		{Src: 0, Dst: 0, Bytes: 2e6},
+		{Src: 0, Dst: 1, Bytes: 1e6},
+		{Src: 1, Dst: 1, Bytes: 1e6},
+	})
+	res, err := RunPacket([]*coflow.Coflow{c}, 2, gbps, varys.Allocator{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tpl := c.PacketLowerBound(gbps)
+	if math.Abs(res.CCT[1]-tpl) > 1e-6 {
+		t.Fatalf("CCT = %v, want TpL = %v", res.CCT[1], tpl)
+	}
+}
+
+func TestPacketArrivalsRespected(t *testing.T) {
+	c := coflow.New(1, 2.5, []coflow.Flow{{Src: 0, Dst: 0, Bytes: 1e6}})
+	res, err := RunPacket([]*coflow.Coflow{c}, 1, gbps, fabric.FairSharing{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Finish[1]-(2.5+0.008)) > 1e-6 {
+		t.Fatalf("Finish = %v, want 2.508", res.Finish[1])
+	}
+	if math.Abs(res.CCT[1]-0.008) > 1e-6 {
+		t.Fatalf("CCT = %v, want 0.008", res.CCT[1])
+	}
+}
+
+func TestPacketEmptyCoflowCompletesInstantly(t *testing.T) {
+	c := coflow.New(1, 1, nil)
+	res, err := RunPacket([]*coflow.Coflow{c}, 1, gbps, fabric.FairSharing{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CCT[1] != 0 {
+		t.Fatalf("CCT = %v, want 0", res.CCT[1])
+	}
+}
+
+func TestPacketSequentialNonOverlapping(t *testing.T) {
+	// Two Coflows with disjoint active periods do not affect each other.
+	c1 := coflow.New(1, 0, []coflow.Flow{{Src: 0, Dst: 0, Bytes: 1e6}})
+	c2 := coflow.New(2, 10, []coflow.Flow{{Src: 0, Dst: 0, Bytes: 1e6}})
+	res, err := RunPacket([]*coflow.Coflow{c1, c2}, 1, gbps, varys.Allocator{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.CCT[1]-0.008) > 1e-6 || math.Abs(res.CCT[2]-0.008) > 1e-6 {
+		t.Fatalf("CCTs = %v", res.CCT)
+	}
+}
+
+func TestPacketVarysSCFBeatsFairForSmall(t *testing.T) {
+	// A tiny Coflow contending with a huge one: Varys serves the tiny one
+	// first, so its CCT is near its solo time.
+	big := coflow.New(1, 0, []coflow.Flow{{Src: 0, Dst: 0, Bytes: 1000e6}})
+	small := coflow.New(2, 0, []coflow.Flow{{Src: 1, Dst: 0, Bytes: 1e6}})
+	res, err := RunPacket([]*coflow.Coflow{big, small}, 2, gbps, varys.Allocator{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CCT[2] > 0.01 {
+		t.Fatalf("small coflow CCT = %v under SEBF, want ≈ 0.008", res.CCT[2])
+	}
+	// The big one finishes after both demands drain through out.0.
+	if want := (1001e6) * 8 / gbps; math.Abs(res.CCT[1]-want) > 1e-3 {
+		t.Fatalf("big coflow CCT = %v, want %v", res.CCT[1], want)
+	}
+}
+
+func TestPacketAaloThresholdDemotion(t *testing.T) {
+	// A long Coflow is demoted after 10 MB attained service; a later short
+	// Coflow then overtakes it on the shared port.
+	long := coflow.New(1, 0, []coflow.Flow{{Src: 0, Dst: 0, Bytes: 100e6}})
+	short := coflow.New(2, 0.2, []coflow.Flow{{Src: 1, Dst: 0, Bytes: 5e6}})
+	res, err := RunPacket([]*coflow.Coflow{long, short}, 2, gbps, aalo.Allocator{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// By 0.2 s the long Coflow has sent 25 MB > 10 MB (queue 1); the short
+	// one (queue 0) takes the port and finishes in ≈ 40 ms.
+	if res.CCT[2] > 0.05 {
+		t.Fatalf("short coflow CCT = %v, want ≈ 0.04 (D-CLAS demotion failed)", res.CCT[2])
+	}
+	// Long coflow: 100 MB total, delayed by the 5 MB intruder.
+	if want := 0.8 + 0.04; math.Abs(res.CCT[1]-want) > 1e-3 {
+		t.Fatalf("long coflow CCT = %v, want %v", res.CCT[1], want)
+	}
+}
+
+func TestPacketConservation(t *testing.T) {
+	// Total weighted completion sanity: all Coflows finish, none before
+	// their solo lower bound.
+	rng := rand.New(rand.NewSource(6))
+	var cs []*coflow.Coflow
+	for id := 0; id < 20; id++ {
+		c := randomCoflow(rng, 6, 8)
+		c.ID = id
+		c.Arrival = rng.Float64() * 2
+		cs = append(cs, c)
+	}
+	for _, alloc := range []fabric.RateAllocator{varys.Allocator{}, aalo.Allocator{}, fabric.FairSharing{}} {
+		res, err := RunPacket(cs, 6, gbps, alloc)
+		if err != nil {
+			t.Fatalf("%s: %v", alloc.Name(), err)
+		}
+		if len(res.CCT) != len(cs) {
+			t.Fatalf("%s: %d of %d coflows finished", alloc.Name(), len(res.CCT), len(cs))
+		}
+		for _, c := range cs {
+			if res.CCT[c.ID] < c.PacketLowerBound(gbps)-1e-6 {
+				t.Fatalf("%s: coflow %d beat its lower bound: %v < %v",
+					alloc.Name(), c.ID, res.CCT[c.ID], c.PacketLowerBound(gbps))
+			}
+		}
+	}
+}
+
+func TestPacketDuplicateIDRejected(t *testing.T) {
+	a := coflow.New(1, 0, []coflow.Flow{{Src: 0, Dst: 0, Bytes: 1}})
+	b := coflow.New(1, 0, []coflow.Flow{{Src: 0, Dst: 0, Bytes: 1}})
+	if _, err := RunPacket([]*coflow.Coflow{a, b}, 1, gbps, fabric.FairSharing{}); err == nil {
+		t.Fatal("duplicate ids accepted")
+	}
+}
+
+func TestPacketValidatesBandwidth(t *testing.T) {
+	if _, err := RunPacket(nil, 1, 0, fabric.FairSharing{}); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+}
+
+// randomCoflow builds a random Coflow with distinct port pairs.
+func randomCoflow(rng *rand.Rand, ports, maxFlows int) *coflow.Coflow {
+	n := 1 + rng.Intn(maxFlows)
+	used := map[[2]int]bool{}
+	var flows []coflow.Flow
+	for len(flows) < n {
+		i, j := rng.Intn(ports), rng.Intn(ports)
+		if used[[2]int{i, j}] {
+			continue
+		}
+		used[[2]int{i, j}] = true
+		flows = append(flows, coflow.Flow{Src: i, Dst: j, Bytes: float64(1+rng.Intn(100)) * 1e6})
+	}
+	return coflow.New(rng.Int(), 0, flows)
+}

@@ -1,0 +1,178 @@
+package solstice
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sunflow/internal/coflow"
+	"sunflow/internal/fabric"
+)
+
+const gbps = 1e9
+
+var opts = Options{LinkBps: gbps, Delta: 0.01}
+
+func randomCoflow(rng *rand.Rand, ports, maxFlows int) *coflow.Coflow {
+	n := 1 + rng.Intn(maxFlows)
+	used := map[[2]int]bool{}
+	var flows []coflow.Flow
+	for len(flows) < n {
+		i, j := rng.Intn(ports), rng.Intn(ports)
+		if used[[2]int{i, j}] {
+			continue
+		}
+		used[[2]int{i, j}] = true
+		flows = append(flows, coflow.Flow{Src: i, Dst: j, Bytes: float64(1+rng.Intn(100)) * 1e6})
+	}
+	return coflow.New(rng.Int(), 0, flows)
+}
+
+func TestScheduleCoversDemand(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + rng.Intn(5)
+		c := randomCoflow(rng, n, 3*n)
+		res, _, err := Run(c, n, opts, fabric.NotAllStop)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if res.Unserved > 1e-3 {
+			t.Fatalf("unserved demand %v", res.Unserved)
+		}
+		if len(res.FlowFinish) != c.NumFlows() {
+			t.Fatalf("%d flows finished of %d", len(res.FlowFinish), c.NumFlows())
+		}
+	}
+}
+
+func TestScheduleValidatesInput(t *testing.T) {
+	c := coflow.New(1, 0, []coflow.Flow{{Src: 0, Dst: 1, Bytes: 1e6}})
+	if _, _, err := Schedule(c, 0, opts); err == nil {
+		t.Fatal("zero ports accepted")
+	}
+	if _, _, err := Schedule(c, 2, Options{LinkBps: 0}); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+	bad := coflow.New(1, 0, []coflow.Flow{{Src: 9, Dst: 1, Bytes: 1}})
+	if _, _, err := Schedule(bad, 2, opts); err == nil {
+		t.Fatal("out-of-range port accepted")
+	}
+}
+
+func TestScheduleEmptyCoflow(t *testing.T) {
+	c := coflow.New(1, 0, nil)
+	asg, st, err := Schedule(c, 4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asg) != 0 || st.Assignments != 0 {
+		t.Fatalf("empty coflow produced %d assignments", len(asg))
+	}
+}
+
+func TestScheduleDurationsCoverLineSums(t *testing.T) {
+	// Total assignment duration must equal the stuffed matrix line sum,
+	// which is at least the busiest port's processing time.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 4
+		c := randomCoflow(rng, n, 10)
+		_, st, err := Schedule(c, n, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.TotalDuration < c.PacketLowerBound(gbps)-1e-9 {
+			t.Fatalf("durations %v below TpL %v", st.TotalDuration, c.PacketLowerBound(gbps))
+		}
+	}
+}
+
+func TestSolsticeSwitchesMoreThanSunflowMinimum(t *testing.T) {
+	// The crux of Figure 5: Solstice's establishment count generally
+	// exceeds |C| for dense many-to-many Coflows.
+	rng := rand.New(rand.NewSource(5))
+	exceeds := 0
+	trials := 20
+	for trial := 0; trial < trials; trial++ {
+		n := 6
+		var flows []coflow.Flow
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.7 {
+					flows = append(flows, coflow.Flow{Src: i, Dst: j, Bytes: float64(1+rng.Intn(50)) * 1e6})
+				}
+			}
+		}
+		c := coflow.New(trial, 0, flows)
+		res, _, err := Run(c, n, opts, fabric.NotAllStop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SwitchCount > c.NumFlows() {
+			exceeds++
+		}
+	}
+	if exceeds < trials/2 {
+		t.Fatalf("Solstice exceeded the minimal switching count in only %d/%d trials", exceeds, trials)
+	}
+}
+
+func TestOneFlowPerAssignmentForSingleRow(t *testing.T) {
+	// For a one-to-many Coflow, Solstice effectively serves one flow per
+	// assignment and lands near the circuit lower bound (§5.3.1); the
+	// power-of-two slicing leaves a small scheduling-order dependent gap.
+	// On a fabric sized to the Coflow (as the experiment harness compacts
+	// it): one sender, two receivers.
+	c := coflow.New(1, 0, []coflow.Flow{
+		{Src: 0, Dst: 0, Bytes: 3e6},
+		{Src: 0, Dst: 1, Bytes: 5e6},
+	})
+	res, _, err := Run(c, 2, opts, fabric.NotAllStop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcl := c.CircuitLowerBound(gbps, opts.Delta)
+	if res.Finish > 1.3*tcl+1e-9 {
+		t.Fatalf("O2M Solstice CCT %v > 1.3·TcL %v", res.Finish, tcl)
+	}
+}
+
+func TestNotAllStopNoSlowerThanAllStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 15; trial++ {
+		n := 5
+		c := randomCoflow(rng, n, 12)
+		nas, _, err := Run(c, n, opts, fabric.NotAllStop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		as, _, err := Run(c, n, opts, fabric.AllStop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nas.Finish > as.Finish+1e-9 {
+			t.Fatalf("not-all-stop (%v) slower than all-stop (%v)", nas.Finish, as.Finish)
+		}
+	}
+}
+
+func TestStuffedBytesReported(t *testing.T) {
+	// A skewed matrix needs stuffing; the stat must reflect it.
+	c := coflow.New(1, 0, []coflow.Flow{
+		{Src: 0, Dst: 0, Bytes: 10e6},
+		{Src: 1, Dst: 0, Bytes: 1e6},
+	})
+	_, st, err := Schedule(c, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StuffedBytes <= 0 {
+		t.Fatalf("StuffedBytes = %v, want > 0", st.StuffedBytes)
+	}
+	// Line-sum target is 11 MB (col 0); total mass must reach 2·11 from 11,
+	// so 11 MB of dummy demand is added.
+	if math.Abs(st.StuffedBytes-11e6) > 1e3 {
+		t.Fatalf("StuffedBytes = %v, want 11e6", st.StuffedBytes)
+	}
+}

@@ -1,0 +1,140 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 4 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(xs, 50); got != 2.5 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("p50(nil) = %v", got)
+	}
+	// Input must not be reordered.
+	if xs[0] != 4 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Avg != 3 || s.Min_ != 1 || s.Max_ != 5 || s.P50 != 3 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("Summary.String empty")
+	}
+}
+
+func TestCDFAndFractionBelow(t *testing.T) {
+	pts := CDF([]float64{3, 1, 2})
+	if len(pts) != 3 || pts[0].X != 1 || pts[2].F != 1 {
+		t.Fatalf("CDF = %v", pts)
+	}
+	if got := FractionBelow([]float64{1, 2, 3, 4}, 3); got != 0.5 {
+		t.Fatalf("FractionBelow = %v", got)
+	}
+	if got := FractionBelow(nil, 1); got != 0 {
+		t.Fatalf("FractionBelow(nil) = %v", got)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	if got := Pearson(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Pearson = %v, want 1", got)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if got := Pearson(xs, neg); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("Pearson = %v, want -1", got)
+	}
+	if got := Pearson(xs, []float64{5, 5, 5, 5}); got != 0 {
+		t.Fatalf("Pearson constant = %v", got)
+	}
+	if got := Pearson(xs, []float64{1}); got != 0 {
+		t.Fatalf("Pearson mismatched = %v", got)
+	}
+}
+
+func TestSpearmanMonotone(t *testing.T) {
+	// Any monotone relationship gives rank correlation 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125}
+	if got := Spearman(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Spearman = %v, want 1", got)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	xs := []float64{1, 1, 2, 2}
+	ys := []float64{1, 1, 2, 2}
+	if got := Spearman(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Spearman with ties = %v, want 1", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts := Histogram([]float64{0.5, 1.5, 2.5, 99}, 0, 3, 3)
+	if counts[0] != 1 || counts[1] != 1 || counts[2] != 2 {
+		t.Fatalf("Histogram = %v", counts)
+	}
+	if got := Histogram(nil, 0, 0, 0); len(got) != 0 {
+		t.Fatalf("Histogram degenerate = %v", got)
+	}
+}
+
+func TestQuickPercentileWithinRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		p := rng.Float64() * 100
+		v := Percentile(xs, p)
+		return v >= Min(xs)-1e-9 && v <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSpearmanBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64()
+			ys[i] = rng.Float64()
+		}
+		r := Spearman(xs, ys)
+		return r >= -1-1e-9 && r <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

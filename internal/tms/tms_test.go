@@ -1,0 +1,125 @@
+package tms
+
+import (
+	"math/rand"
+	"testing"
+
+	"sunflow/internal/coflow"
+	"sunflow/internal/fabric"
+)
+
+const gbps = 1e9
+
+var opts = Options{LinkBps: gbps, Delta: 0.01}
+
+func randomCoflow(rng *rand.Rand, ports, maxFlows int) *coflow.Coflow {
+	n := 1 + rng.Intn(maxFlows)
+	used := map[[2]int]bool{}
+	var flows []coflow.Flow
+	for len(flows) < n {
+		i, j := rng.Intn(ports), rng.Intn(ports)
+		if used[[2]int{i, j}] {
+			continue
+		}
+		used[[2]int{i, j}] = true
+		flows = append(flows, coflow.Flow{Src: i, Dst: j, Bytes: float64(1+rng.Intn(100)) * 1e6})
+	}
+	return coflow.New(rng.Int(), 0, flows)
+}
+
+func TestScheduleProducesValidAssignments(t *testing.T) {
+	demand := [][]float64{
+		{10e6, 5e6, 0},
+		{0, 8e6, 2e6},
+		{3e6, 0, 6e6},
+	}
+	asg, err := Schedule(demand, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asg) == 0 {
+		t.Fatal("no assignments")
+	}
+	// Durations descend (longest configurations first) and are positive.
+	for i := 1; i < len(asg); i++ {
+		if asg[i].Duration > asg[i-1].Duration+1e-12 {
+			t.Fatalf("durations not descending: %v then %v", asg[i-1].Duration, asg[i].Duration)
+		}
+	}
+	for _, a := range asg {
+		if a.Duration < 0 {
+			t.Fatalf("negative duration %v", a.Duration)
+		}
+	}
+}
+
+func TestScheduleEmptyDemand(t *testing.T) {
+	asg, err := Schedule([][]float64{{0, 0}, {0, 0}}, opts)
+	if err != nil || asg != nil {
+		t.Fatalf("empty demand: %v, %v", asg, err)
+	}
+}
+
+func TestScheduleRejectsBadBandwidth(t *testing.T) {
+	if _, err := Schedule([][]float64{{1}}, Options{}); err == nil {
+		t.Fatal("zero bandwidth accepted")
+	}
+}
+
+func TestRunDrainsCoflow(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		n := 4
+		c := randomCoflow(rng, n, 8)
+		res, err := Run(c, n, opts, fabric.NotAllStop)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if res.Unserved > 1e-3 {
+			t.Fatalf("unserved %v", res.Unserved)
+		}
+		if res.Finish <= 0 {
+			t.Fatalf("Finish = %v", res.Finish)
+		}
+	}
+}
+
+func TestRunSlowerThanLowerBound(t *testing.T) {
+	// Sanity: TMS can never beat the circuit lower bound.
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		c := randomCoflow(rng, 4, 8)
+		res, err := Run(c, 4, opts, fabric.NotAllStop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Finish < c.PacketLowerBound(gbps)-1e-9 {
+			t.Fatalf("TMS finish %v below TpL %v", res.Finish, c.PacketLowerBound(gbps))
+		}
+	}
+}
+
+func TestRunValidates(t *testing.T) {
+	bad := coflow.New(1, 0, []coflow.Flow{{Src: 9, Dst: 0, Bytes: 1}})
+	if _, err := Run(bad, 2, opts, fabric.NotAllStop); err == nil {
+		t.Fatal("invalid coflow accepted")
+	}
+}
+
+func TestMinSlotFiltersTinyTerms(t *testing.T) {
+	demand := [][]float64{
+		{100e6, 1e6},
+		{1e6, 100e6},
+	}
+	o := opts
+	o.MinSlot = 1 // drop terms shorter than δ
+	asg, err := Schedule(demand, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range asg {
+		if a.Duration < o.MinSlot*o.Delta {
+			t.Fatalf("term of %v survived MinSlot filter", a.Duration)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Generator synthesizes a Facebook-like Coflow workload matching the
+// statistics the Sunflow paper reports for its (non-redistributable) trace:
+// ≥500 Coflows on a 150-port fabric over one hour, the Table 4 category mix
+// (O2O 23.4%, O2M 9.9%, M2O 40.1%, M2M 26.6% of Coflows, with many-to-many
+// Coflows carrying ≈99.9% of the bytes), MB-rounded flow sizes with a 1 MB
+// floor, and a heavy tail of large shuffles. Generation is fully
+// deterministic for a given configuration.
+type Generator struct {
+	// Ports is the fabric size. Zero selects 150 (the trace's fabric).
+	Ports int
+	// Coflows is the number of Coflows. Zero selects 526.
+	Coflows int
+	// HorizonSec is the arrival span in seconds. Zero selects one hour.
+	HorizonSec float64
+	// Seed drives all randomness.
+	Seed int64
+	// MaxWidth caps the mapper and reducer counts of many-to-many shuffles.
+	// Zero selects 40.
+	MaxWidth int
+}
+
+// withDefaults fills unset fields with the paper's workload parameters.
+func (g Generator) withDefaults() Generator {
+	if g.Ports == 0 {
+		g.Ports = 150
+	}
+	if g.Coflows == 0 {
+		g.Coflows = 526
+	}
+	if g.HorizonSec == 0 {
+		g.HorizonSec = 3600
+	}
+	if g.MaxWidth == 0 {
+		g.MaxWidth = 60
+	}
+	return g
+}
+
+// Category mix of Table 4.
+var categoryShare = []struct {
+	class string
+	share float64
+}{
+	{"O2O", 0.234},
+	{"O2M", 0.099},
+	{"M2O", 0.401},
+	{"M2M", 0.266},
+}
+
+// Jobs generates the workload in benchmark form.
+func (g Generator) Jobs() (int, []Job) {
+	g = g.withDefaults()
+	rng := rand.New(rand.NewSource(g.Seed))
+
+	// Exponential inter-arrivals filling the horizon.
+	arrivals := make([]float64, g.Coflows)
+	mean := g.HorizonSec / float64(g.Coflows)
+	t := 0.0
+	for i := range arrivals {
+		t += rng.ExpFloat64() * mean
+		arrivals[i] = t
+	}
+	// Normalize so the last arrival lands inside the horizon.
+	scale := g.HorizonSec / (t + mean)
+	for i := range arrivals {
+		arrivals[i] *= scale
+	}
+
+	jobs := make([]Job, 0, g.Coflows)
+	for i := 0; i < g.Coflows; i++ {
+		class := pickClass(rng)
+		j := Job{ID: i, ArrivalMillis: int64(arrivals[i] * 1000)}
+		switch class {
+		case "O2O":
+			j.Mappers = g.pickPorts(rng, 1)
+			j.Reducers = g.pickPorts(rng, 1)
+			j.ReducerMB = []float64{smallMB(rng)}
+		case "O2M":
+			j.Mappers = g.pickPorts(rng, 1)
+			nr := 2 + rng.Intn(9)
+			j.Reducers = g.pickPorts(rng, nr)
+			j.ReducerMB = repeatMB(rng, nr)
+		case "M2O":
+			nm := 2 + rng.Intn(9)
+			j.Mappers = g.pickPorts(rng, nm)
+			j.Reducers = g.pickPorts(rng, 1)
+			// Each mapper contributes ≥1 MB, so the reducer total scales
+			// with the fan-in.
+			j.ReducerMB = []float64{math.Max(float64(nm), smallMB(rng)*float64(nm))}
+		case "M2M":
+			// Two-mode volume mixture: most shuffles are modest, a heavy
+			// tail of giants carries nearly all bytes (as in the trace,
+			// where M2M byte share is 99.94% but most M2M Coflows are
+			// small). Fan-in/out grows with volume — big jobs run many
+			// tasks — which keeps individual subflows modest: the real
+			// trace's multi-hundred-second port loads come from many flows
+			// per port, not monster flows.
+			var totalMB float64
+			if rng.Float64() < 0.7 {
+				totalMB = math.Min(pareto(rng, 1.3, 10), 2000)
+			} else {
+				totalMB = math.Min(pareto(rng, 1.05, 20000), 2e6)
+			}
+			width := int(math.Round(math.Sqrt(totalMB/50) * (0.7 + 0.7*rng.Float64())))
+			nm := clampWidth(width, g.MaxWidth)
+			nr := clampWidth(int(float64(width)*(0.7+0.7*rng.Float64())), g.MaxWidth)
+			j.Mappers = g.pickPorts(rng, nm)
+			j.Reducers = g.pickPorts(rng, nr)
+			nm, nr = len(j.Mappers), len(j.Reducers)
+			j.ReducerMB = make([]float64, nr)
+			base := totalMB / float64(nr)
+			for k := range j.ReducerMB {
+				// Log-normal partition skew: real shuffles are far from
+				// uniform across reducers, which is what fragments the
+				// decomposition-based schedulers.
+				skew := math.Exp(rng.NormFloat64() * 0.8)
+				if skew < 0.15 {
+					skew = 0.15
+				}
+				if skew > 6 {
+					skew = 6
+				}
+				mb := base * skew
+				// Round to MB with a floor of one MB per mapper so every
+				// subflow is ≥ 1 MB after the even split.
+				mb = math.Max(math.Round(mb), float64(nm))
+				j.ReducerMB[k] = mb
+			}
+		}
+		// Round small-category sizes to whole MB as the trace does.
+		if class != "M2M" {
+			for k := range j.ReducerMB {
+				j.ReducerMB[k] = math.Max(1, math.Round(j.ReducerMB[k]))
+			}
+		}
+		jobs = append(jobs, j)
+	}
+	return g.Ports, jobs
+}
+
+// Trace generates the workload as Coflows.
+func (g Generator) Trace() *Trace {
+	ports, jobs := g.Jobs()
+	return JobsToTrace(ports, jobs)
+}
+
+// pickClass draws a category per the Table 4 mix.
+func pickClass(rng *rand.Rand) string {
+	u := rng.Float64()
+	acc := 0.0
+	for _, cs := range categoryShare {
+		acc += cs.share
+		if u < acc {
+			return cs.class
+		}
+	}
+	return "M2M"
+}
+
+// pickPorts draws k distinct ports, clamping k to the fabric size so small
+// fabrics stay valid.
+func (g Generator) pickPorts(rng *rand.Rand, k int) []int {
+	if k > g.Ports {
+		k = g.Ports
+	}
+	perm := rng.Perm(g.Ports)[:k]
+	sort.Ints(perm)
+	return perm
+}
+
+// clampWidth bounds a shuffle fan to [2, maxWidth].
+func clampWidth(w, maxWidth int) int {
+	if w > maxWidth {
+		w = maxWidth
+	}
+	if w < 2 {
+		w = 2
+	}
+	return w
+}
+
+// smallMB draws the size of a non-shuffle flow: mostly 1 MB, occasionally a
+// few MB, matching the tiny byte share of the small categories.
+func smallMB(rng *rand.Rand) float64 {
+	if rng.Float64() < 0.95 {
+		return 1
+	}
+	return 1 + float64(rng.Intn(3))
+}
+
+// repeatMB draws n small sizes.
+func repeatMB(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = smallMB(rng)
+	}
+	return out
+}
+
+// pareto draws from a Pareto distribution with shape alpha and scale xm.
+func pareto(rng *rand.Rand, alpha, xm float64) float64 {
+	u := rng.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return xm / math.Pow(u, 1/alpha)
+}

@@ -1,0 +1,268 @@
+// Package trace reads, writes and synthesizes Coflow workloads in the
+// coflow-benchmark text format used by the Facebook Hive/MapReduce trace the
+// Sunflow paper evaluates on (github.com/coflow/coflow-benchmark):
+//
+//	<numPorts> <numJobs>
+//	<jobID> <arrivalMillis> <numMappers> <m...> <numReducers> <r:sizeMB...>
+//
+// Each job is a shuffle Coflow: every mapper port sends to every reducer
+// port, and a reducer's total received size is split evenly across the
+// mappers. Because the original trace is not redistributable, the package
+// also provides a deterministic generator calibrated to the trace statistics
+// the paper reports (Table 4 category mix, ≥500 Coflows on a 150-port fabric
+// over one hour, MB-rounded sizes with a heavy many-to-many tail).
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sunflow/internal/coflow"
+)
+
+// MB is one megabyte in bytes, the size unit of the benchmark format.
+const MB = 1e6
+
+// Job is one MapReduce shuffle in benchmark form.
+type Job struct {
+	// ID is the job identifier.
+	ID int
+	// ArrivalMillis is the arrival time in milliseconds.
+	ArrivalMillis int64
+	// Mappers and Reducers list the ports of the senders and receivers.
+	Mappers  []int
+	Reducers []int
+	// ReducerMB[k] is the total megabytes received by Reducers[k].
+	ReducerMB []float64
+}
+
+// Coflow expands the job into a Coflow: each reducer's bytes are divided
+// evenly across the mappers, the convention of the coflow-benchmark tools.
+func (j Job) Coflow() *coflow.Coflow {
+	flows := make([]coflow.Flow, 0, len(j.Mappers)*len(j.Reducers))
+	nm := float64(len(j.Mappers))
+	for _, m := range j.Mappers {
+		for k, r := range j.Reducers {
+			flows = append(flows, coflow.Flow{
+				Src:   m,
+				Dst:   r,
+				Bytes: j.ReducerMB[k] * MB / nm,
+			})
+		}
+	}
+	c := coflow.New(j.ID, float64(j.ArrivalMillis)/1000, flows)
+	return c.Normalize()
+}
+
+// Trace is a Coflow workload over an N-port fabric.
+type Trace struct {
+	Ports   int
+	Coflows []*coflow.Coflow
+}
+
+// ParseJobs reads a benchmark file into jobs. Port numbers are accepted
+// either 0-based or 1-based; a 1-based file (one that mentions port
+// numPorts) is shifted down.
+func ParseJobs(r io.Reader) (ports int, jobs []Job, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+
+	if !sc.Scan() {
+		return 0, nil, fmt.Errorf("trace: empty input")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 2 {
+		return 0, nil, fmt.Errorf("trace: header must be \"<ports> <jobs>\", got %q", sc.Text())
+	}
+	ports, err = strconv.Atoi(header[0])
+	if err != nil || ports <= 0 {
+		return 0, nil, fmt.Errorf("trace: bad port count %q", header[0])
+	}
+	numJobs, err := strconv.Atoi(header[1])
+	if err != nil || numJobs < 0 {
+		return 0, nil, fmt.Errorf("trace: bad job count %q", header[1])
+	}
+
+	oneBased := false
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		j, usedMax, err := parseJobLine(text, ports)
+		if err != nil {
+			return 0, nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if usedMax == ports {
+			oneBased = true
+		}
+		jobs = append(jobs, j)
+	}
+	if err := sc.Err(); err != nil {
+		return 0, nil, fmt.Errorf("trace: %w", err)
+	}
+	if len(jobs) != numJobs {
+		return 0, nil, fmt.Errorf("trace: header promised %d jobs, found %d", numJobs, len(jobs))
+	}
+	if oneBased {
+		for i := range jobs {
+			for k := range jobs[i].Mappers {
+				jobs[i].Mappers[k]--
+			}
+			for k := range jobs[i].Reducers {
+				jobs[i].Reducers[k]--
+			}
+		}
+	}
+	for _, j := range jobs {
+		for _, p := range append(append([]int(nil), j.Mappers...), j.Reducers...) {
+			if p < 0 || p >= ports {
+				return 0, nil, fmt.Errorf("trace: job %d references port %d outside [0,%d)", j.ID, p, ports)
+			}
+		}
+	}
+	return ports, jobs, nil
+}
+
+// parseJobLine parses one job record and reports the largest port mentioned.
+func parseJobLine(text string, ports int) (Job, int, error) {
+	f := strings.Fields(text)
+	var j Job
+	pos := 0
+	next := func() (string, error) {
+		if pos >= len(f) {
+			return "", fmt.Errorf("truncated record")
+		}
+		s := f[pos]
+		pos++
+		return s, nil
+	}
+	intField := func() (int, error) {
+		s, err := next()
+		if err != nil {
+			return 0, err
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return 0, fmt.Errorf("bad integer %q", s)
+		}
+		return v, nil
+	}
+
+	var err error
+	if j.ID, err = intField(); err != nil {
+		return j, 0, err
+	}
+	arr, err := intField()
+	if err != nil {
+		return j, 0, err
+	}
+	j.ArrivalMillis = int64(arr)
+
+	nm, err := intField()
+	if err != nil {
+		return j, 0, err
+	}
+	if nm <= 0 {
+		return j, 0, fmt.Errorf("job %d has %d mappers", j.ID, nm)
+	}
+	usedMax := 0
+	for i := 0; i < nm; i++ {
+		m, err := intField()
+		if err != nil {
+			return j, 0, err
+		}
+		if m > usedMax {
+			usedMax = m
+		}
+		j.Mappers = append(j.Mappers, m)
+	}
+
+	nr, err := intField()
+	if err != nil {
+		return j, 0, err
+	}
+	if nr <= 0 {
+		return j, 0, fmt.Errorf("job %d has %d reducers", j.ID, nr)
+	}
+	for i := 0; i < nr; i++ {
+		s, err := next()
+		if err != nil {
+			return j, 0, err
+		}
+		parts := strings.SplitN(s, ":", 2)
+		if len(parts) != 2 {
+			return j, 0, fmt.Errorf("bad reducer field %q (want port:sizeMB)", s)
+		}
+		r, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return j, 0, fmt.Errorf("bad reducer port %q", parts[0])
+		}
+		mb, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || mb < 0 {
+			return j, 0, fmt.Errorf("bad reducer size %q", parts[1])
+		}
+		if r > usedMax {
+			usedMax = r
+		}
+		j.Reducers = append(j.Reducers, r)
+		j.ReducerMB = append(j.ReducerMB, mb)
+	}
+	if pos != len(f) {
+		return j, 0, fmt.Errorf("job %d has %d trailing fields", j.ID, len(f)-pos)
+	}
+	return j, usedMax, nil
+}
+
+// WriteJobs renders jobs in benchmark format.
+func WriteJobs(w io.Writer, ports int, jobs []Job) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", ports, len(jobs)); err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%d %d %d", j.ID, j.ArrivalMillis, len(j.Mappers))
+		for _, m := range j.Mappers {
+			fmt.Fprintf(&sb, " %d", m)
+		}
+		fmt.Fprintf(&sb, " %d", len(j.Reducers))
+		for k, r := range j.Reducers {
+			fmt.Fprintf(&sb, " %d:%s", r, strconv.FormatFloat(j.ReducerMB[k], 'f', -1, 64))
+		}
+		if _, err := fmt.Fprintln(bw, sb.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Parse reads a benchmark file into a Trace.
+func Parse(r io.Reader) (*Trace, error) {
+	ports, jobs, err := ParseJobs(r)
+	if err != nil {
+		return nil, err
+	}
+	return JobsToTrace(ports, jobs), nil
+}
+
+// JobsToTrace expands jobs into Coflows sorted by arrival.
+func JobsToTrace(ports int, jobs []Job) *Trace {
+	tr := &Trace{Ports: ports}
+	for _, j := range jobs {
+		tr.Coflows = append(tr.Coflows, j.Coflow())
+	}
+	sort.SliceStable(tr.Coflows, func(a, b int) bool {
+		if tr.Coflows[a].Arrival != tr.Coflows[b].Arrival {
+			return tr.Coflows[a].Arrival < tr.Coflows[b].Arrival
+		}
+		return tr.Coflows[a].ID < tr.Coflows[b].ID
+	})
+	return tr
+}

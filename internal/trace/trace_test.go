@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"sunflow/internal/coflow"
+)
+
+const sample = `3 2
+1 0 2 0 1 1 2:4
+2 1500 1 2 2 0:2 1:6
+`
+
+func TestParseJobs(t *testing.T) {
+	ports, jobs, err := ParseJobs(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ports != 3 || len(jobs) != 2 {
+		t.Fatalf("ports=%d jobs=%d", ports, len(jobs))
+	}
+	j := jobs[0]
+	if j.ID != 1 || j.ArrivalMillis != 0 || len(j.Mappers) != 2 || len(j.Reducers) != 1 {
+		t.Fatalf("job 0 = %+v", j)
+	}
+	if j.Reducers[0] != 2 || j.ReducerMB[0] != 4 {
+		t.Fatalf("job 0 reducers = %v %v", j.Reducers, j.ReducerMB)
+	}
+}
+
+func TestJobCoflowSplitsEvenly(t *testing.T) {
+	j := Job{ID: 1, ArrivalMillis: 2000, Mappers: []int{0, 1}, Reducers: []int{2}, ReducerMB: []float64{4}}
+	c := j.Coflow()
+	if c.Arrival != 2.0 {
+		t.Fatalf("arrival = %v", c.Arrival)
+	}
+	if c.NumFlows() != 2 {
+		t.Fatalf("flows = %v", c.Flows)
+	}
+	for _, f := range c.Flows {
+		if f.Dst != 2 || math.Abs(f.Bytes-2e6) > 1 {
+			t.Fatalf("flow = %+v, want 2 MB to port 2", f)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"bad header":     "x 2\n",
+		"job mismatch":   "3 5\n1 0 1 0 1 1:1\n",
+		"truncated":      "3 1\n1 0 2 0\n",
+		"bad reducer":    "3 1\n1 0 1 0 1 1-4\n",
+		"port range":     "3 1\n1 0 1 7 1 1:4\n",
+		"zero mappers":   "3 1\n1 0 0 1 1:4\n",
+		"trailing junk":  "3 1\n1 0 1 0 1 1:4 junk\n",
+		"negative size":  "3 1\n1 0 1 0 1 1:-4\n",
+		"bad job count":  "3 x\n",
+		"bad port count": "0 1\n1 0 1 0 1 1:4\n",
+	}
+	for name, in := range cases {
+		if _, _, err := ParseJobs(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: no error", name)
+		}
+	}
+}
+
+func TestParseOneBased(t *testing.T) {
+	// Ports numbered 1..3 on a 3-port fabric: shifted to 0..2.
+	in := "3 1\n1 0 2 1 3 1 2:4\n"
+	ports, jobs, err := ParseJobs(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ports != 3 {
+		t.Fatalf("ports = %d", ports)
+	}
+	if jobs[0].Mappers[0] != 0 || jobs[0].Mappers[1] != 2 || jobs[0].Reducers[0] != 1 {
+		t.Fatalf("one-based shift failed: %+v", jobs[0])
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	_, jobs, err := ParseJobs(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJobs(&buf, 3, jobs); err != nil {
+		t.Fatal(err)
+	}
+	ports2, jobs2, err := ParseJobs(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if ports2 != 3 || len(jobs2) != len(jobs) {
+		t.Fatalf("round trip lost jobs")
+	}
+	for i := range jobs {
+		if jobs2[i].ID != jobs[i].ID || jobs2[i].ArrivalMillis != jobs[i].ArrivalMillis {
+			t.Fatalf("job %d identity changed", i)
+		}
+		if len(jobs2[i].Mappers) != len(jobs[i].Mappers) || jobs2[i].ReducerMB[0] != jobs[i].ReducerMB[0] {
+			t.Fatalf("job %d content changed", i)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g := Generator{Seed: 7, Coflows: 50}
+	a := g.Trace()
+	b := g.Trace()
+	if len(a.Coflows) != len(b.Coflows) {
+		t.Fatal("non-deterministic coflow count")
+	}
+	for i := range a.Coflows {
+		if a.Coflows[i].TotalBytes() != b.Coflows[i].TotalBytes() || a.Coflows[i].Arrival != b.Coflows[i].Arrival {
+			t.Fatalf("coflow %d differs between runs", i)
+		}
+	}
+	other := Generator{Seed: 8, Coflows: 50}.Trace()
+	same := true
+	for i := range a.Coflows {
+		if a.Coflows[i].TotalBytes() != other.Coflows[i].TotalBytes() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGeneratorStatistics(t *testing.T) {
+	tr := Generator{Seed: 1}.Trace()
+	if tr.Ports != 150 {
+		t.Fatalf("ports = %d, want 150", tr.Ports)
+	}
+	if len(tr.Coflows) != 526 {
+		t.Fatalf("coflows = %d, want 526", len(tr.Coflows))
+	}
+
+	// Category mix within a few points of Table 4.
+	count := map[coflow.Class]int{}
+	bytesBy := map[coflow.Class]float64{}
+	var total float64
+	minBytes := math.Inf(1)
+	for _, c := range tr.Coflows {
+		cl := c.Classify()
+		count[cl]++
+		bytesBy[cl] += c.TotalBytes()
+		total += c.TotalBytes()
+		if c.Arrival < 0 || c.Arrival > 3600 {
+			t.Fatalf("arrival %v outside horizon", c.Arrival)
+		}
+		if err := c.Validate(150); err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range c.Flows {
+			if f.Bytes < minBytes {
+				minBytes = f.Bytes
+			}
+		}
+	}
+	n := float64(len(tr.Coflows))
+	wantShare := map[coflow.Class]float64{
+		coflow.OneToOne: 0.234, coflow.OneToMany: 0.099,
+		coflow.ManyToOne: 0.401, coflow.ManyToMany: 0.266,
+	}
+	for cl, want := range wantShare {
+		got := float64(count[cl]) / n
+		if math.Abs(got-want) > 0.07 {
+			t.Fatalf("%v share = %.3f, want ≈ %.3f", cl, got, want)
+		}
+	}
+	// Many-to-many carries the overwhelming byte share (paper: 99.943%).
+	if share := bytesBy[coflow.ManyToMany] / total; share < 0.99 {
+		t.Fatalf("M2M byte share = %.4f, want > 0.99", share)
+	}
+	// 1 MB floor before perturbation.
+	if minBytes < 1e6-1 {
+		t.Fatalf("min flow bytes = %v, want >= 1 MB", minBytes)
+	}
+}
+
+func TestGeneratorRoundTripThroughFormat(t *testing.T) {
+	g := Generator{Seed: 3, Coflows: 40}
+	ports, jobs := g.Jobs()
+	var buf bytes.Buffer
+	if err := WriteJobs(&buf, ports, jobs); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := g.Trace()
+	if len(tr.Coflows) != len(want.Coflows) {
+		t.Fatalf("coflow count changed: %d vs %d", len(tr.Coflows), len(want.Coflows))
+	}
+	for i := range tr.Coflows {
+		if math.Abs(tr.Coflows[i].TotalBytes()-want.Coflows[i].TotalBytes()) > 1 {
+			t.Fatalf("coflow %d bytes changed through format", i)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Package varys implements the Varys Coflow scheduler (Chowdhury, Zhong and
+// Stoica, SIGCOMM 2014) for a packet-switched fabric: Smallest Effective
+// Bottleneck First (SEBF) ordering across Coflows, Minimum Allocation for
+// Desired Duration (MADD) rate assignment within a Coflow, and opportunistic
+// backfilling of residual bandwidth. Varys is the clairvoyant state-of-the-
+// art baseline of the Sunflow paper's inter-Coflow evaluation (§5.4).
+package varys
+
+import (
+	"math"
+	"sort"
+
+	"sunflow/internal/fabric"
+)
+
+// Allocator computes Varys rates; it implements fabric.RateAllocator. The
+// zero value is ready to use.
+type Allocator struct{}
+
+// Name implements fabric.RateAllocator.
+func (Allocator) Name() string { return "varys" }
+
+// PacedByCoflowEvents reports that Varys reschedules only on Coflow arrivals
+// and completions: a subflow finishing early leaves its bandwidth unused
+// until the next such event, the inefficiency §5.4 of the Sunflow paper
+// observes for large Coflows.
+func (Allocator) PacedByCoflowEvents() bool { return true }
+
+// Allocate implements fabric.RateAllocator.
+//
+// Coflows are ordered by their effective bottleneck (the completion time the
+// remaining demand would need on an empty fabric); each in turn receives
+// MADD rates sized so all its flows finish together at the Coflow's
+// bottleneck time given the bandwidth still available, and leftover port
+// bandwidth is finally backfilled greedily. The backfill is per flow, which
+// is why subflows of one Coflow may finish at different times — the
+// inefficiency §5.4 observes for large Coflows.
+func (Allocator) Allocate(remaining map[int]map[fabric.FlowKey]float64, attained map[int]float64, arrival map[int]float64, linkBps float64, ports int) map[int]map[fabric.FlowKey]float64 {
+	ids := sortSEBF(remaining, arrival, linkBps, ports)
+
+	availIn := make([]float64, ports)
+	availOut := make([]float64, ports)
+	for i := 0; i < ports; i++ {
+		availIn[i] = linkBps
+		availOut[i] = linkBps
+	}
+
+	out := make(map[int]map[fabric.FlowKey]float64, len(ids))
+	for _, id := range ids {
+		out[id] = madd(remaining[id], availIn, availOut)
+	}
+
+	// Work conservation: hand leftover bandwidth to flows in priority order.
+	for _, id := range ids {
+		flows := sortedFlows(remaining[id])
+		for _, k := range flows {
+			if remaining[id][k] <= 0 {
+				continue
+			}
+			extra := math.Min(availIn[k.Src], availOut[k.Dst])
+			if extra <= 0 {
+				continue
+			}
+			out[id][k] += extra
+			availIn[k.Src] -= extra
+			availOut[k.Dst] -= extra
+		}
+	}
+	return out
+}
+
+// Bottleneck returns Γ, the effective bottleneck completion time of the
+// remaining flows over an otherwise empty fabric — the SEBF key.
+func Bottleneck(flows map[fabric.FlowKey]float64, linkBps float64, ports int) float64 {
+	in, outLoads := fabric.PortLoads(flows, ports)
+	var maxBytes float64
+	for _, b := range in {
+		maxBytes = math.Max(maxBytes, b)
+	}
+	for _, b := range outLoads {
+		maxBytes = math.Max(maxBytes, b)
+	}
+	return maxBytes * 8 / linkBps
+}
+
+// sortSEBF orders Coflow ids by ascending effective bottleneck, breaking
+// ties by arrival then id.
+func sortSEBF(remaining map[int]map[fabric.FlowKey]float64, arrival map[int]float64, linkBps float64, ports int) []int {
+	ids := make([]int, 0, len(remaining))
+	for id := range remaining {
+		ids = append(ids, id)
+	}
+	key := make(map[int]float64, len(ids))
+	for _, id := range ids {
+		key[id] = Bottleneck(remaining[id], linkBps, ports)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if key[ids[a]] != key[ids[b]] {
+			return key[ids[a]] < key[ids[b]]
+		}
+		if arrival[ids[a]] != arrival[ids[b]] {
+			return arrival[ids[a]] < arrival[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+// madd assigns each flow the minimum rate that finishes it exactly at the
+// Coflow's bottleneck completion time under the currently available
+// bandwidth, and subtracts the rates from availability. A Coflow blocked on
+// a fully consumed port receives zero rates.
+func madd(flows map[fabric.FlowKey]float64, availIn, availOut []float64) map[fabric.FlowKey]float64 {
+	rates := make(map[fabric.FlowKey]float64, len(flows))
+
+	inLoad := make(map[int]float64)
+	outLoad := make(map[int]float64)
+	for k, b := range flows {
+		if b > 0 {
+			inLoad[k.Src] += b
+			outLoad[k.Dst] += b
+		}
+	}
+
+	// Γ under current availability: the most loaded port relative to what
+	// it can still offer.
+	gamma := 0.0
+	blocked := false
+	for p, b := range inLoad {
+		if availIn[p] <= 0 {
+			blocked = true
+			break
+		}
+		gamma = math.Max(gamma, b*8/availIn[p])
+	}
+	if !blocked {
+		for p, b := range outLoad {
+			if availOut[p] <= 0 {
+				blocked = true
+				break
+			}
+			gamma = math.Max(gamma, b*8/availOut[p])
+		}
+	}
+	if blocked || gamma <= 0 {
+		for k := range flows {
+			rates[k] = 0
+		}
+		return rates
+	}
+
+	for k, b := range flows {
+		if b <= 0 {
+			rates[k] = 0
+			continue
+		}
+		r := b * 8 / gamma
+		rates[k] = r
+		availIn[k.Src] -= r
+		availOut[k.Dst] -= r
+		if availIn[k.Src] < 0 {
+			availIn[k.Src] = 0
+		}
+		if availOut[k.Dst] < 0 {
+			availOut[k.Dst] = 0
+		}
+	}
+	return rates
+}
+
+// sortedFlows returns the flow keys in deterministic (src, dst) order.
+func sortedFlows(flows map[fabric.FlowKey]float64) []fabric.FlowKey {
+	keys := make([]fabric.FlowKey, 0, len(flows))
+	for k := range flows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].Src != keys[b].Src {
+			return keys[a].Src < keys[b].Src
+		}
+		return keys[a].Dst < keys[b].Dst
+	})
+	return keys
+}

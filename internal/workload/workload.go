@@ -1,0 +1,132 @@
+// Package workload contains the workload transformations of the Sunflow
+// paper's evaluation settings (§5.1 and §5.4): the ±5% flow-size
+// perturbation with a 1 MB floor, the network-idleness metric, and byte
+// scaling to reach a target idleness while preserving every Coflow's
+// structure.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"sunflow/internal/coflow"
+)
+
+// DefaultFloorBytes is the 1 MB lower bound applied after perturbation — the
+// smallest flow size in the trace, which fixes α ≤ 1.25 at B = 1 Gbps and
+// δ = 10 ms (Lemma 2).
+const DefaultFloorBytes = 1e6
+
+// Perturb returns copies of the Coflows with every flow size multiplied by a
+// uniform factor in [1-frac, 1+frac] and floored at floorBytes, as §5.1
+// prescribes with frac = 0.05 to undo the trace's MB rounding. The
+// perturbation is deterministic in seed.
+func Perturb(coflows []*coflow.Coflow, frac, floorBytes float64, seed int64) []*coflow.Coflow {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*coflow.Coflow, len(coflows))
+	for i, c := range coflows {
+		nc := c.Clone()
+		for k := range nc.Flows {
+			if nc.Flows[k].Bytes <= 0 {
+				continue
+			}
+			factor := 1 + frac*(2*rng.Float64()-1)
+			b := nc.Flows[k].Bytes * factor
+			if b < floorBytes {
+				b = floorBytes
+			}
+			nc.Flows[k].Bytes = b
+		}
+		out[i] = nc
+	}
+	return out
+}
+
+// ScaleBytes returns copies of the Coflows with every flow size multiplied
+// by factor (structure and arrivals unchanged).
+func ScaleBytes(coflows []*coflow.Coflow, factor float64) []*coflow.Coflow {
+	out := make([]*coflow.Coflow, len(coflows))
+	for i, c := range coflows {
+		nc := c.Clone()
+		for k := range nc.Flows {
+			nc.Flows[k].Bytes *= factor
+		}
+		out[i] = nc
+	}
+	return out
+}
+
+// Idleness computes the network idleness metric of §5.4: a Coflow is active
+// from its arrival until arrival + TpL at bandwidth linkBps, and idleness is
+// the fraction of the span from the first arrival to the last activity end
+// during which no Coflow is active. The metric is independent of any
+// scheduling policy.
+func Idleness(coflows []*coflow.Coflow, linkBps float64) float64 {
+	type span struct{ lo, hi float64 }
+	spans := make([]span, 0, len(coflows))
+	for _, c := range coflows {
+		tpl := c.PacketLowerBound(linkBps)
+		if tpl <= 0 {
+			continue
+		}
+		spans = append(spans, span{lo: c.Arrival, hi: c.Arrival + tpl})
+	}
+	if len(spans) == 0 {
+		return 1
+	}
+	sort.Slice(spans, func(a, b int) bool { return spans[a].lo < spans[b].lo })
+
+	first := spans[0].lo
+	last := first
+	busy := 0.0
+	curLo, curHi := spans[0].lo, spans[0].hi
+	for _, s := range spans[1:] {
+		if s.lo <= curHi {
+			if s.hi > curHi {
+				curHi = s.hi
+			}
+			continue
+		}
+		busy += curHi - curLo
+		curLo, curHi = s.lo, s.hi
+	}
+	busy += curHi - curLo
+	if curHi > last {
+		last = curHi
+	}
+	total := last - first
+	if total <= 0 {
+		return 0
+	}
+	return 1 - busy/total
+}
+
+// ScaleToIdleness finds (by bisection) the byte-scaling factor that brings
+// the workload's idleness to target, and returns the factor together with
+// the scaled Coflows. This is how §5.4 derives the 20% and 40% idleness
+// settings while "preserving Coflows' structural characteristics".
+func ScaleToIdleness(coflows []*coflow.Coflow, linkBps, target float64) (float64, []*coflow.Coflow, error) {
+	if target <= 0 || target >= 1 {
+		return 0, nil, fmt.Errorf("workload: idleness target must be in (0,1), got %v", target)
+	}
+	// Idleness decreases monotonically as bytes grow.
+	lo, hi := 1e-9, 1e9
+	if Idleness(ScaleBytes(coflows, lo), linkBps) < target {
+		return 0, nil, fmt.Errorf("workload: cannot reach idleness %.2f (even factor %g is too busy)", target, lo)
+	}
+	if Idleness(ScaleBytes(coflows, hi), linkBps) > target {
+		return 0, nil, fmt.Errorf("workload: cannot reach idleness %.2f (even factor %g is too idle)", target, hi)
+	}
+	for i := 0; i < 80; i++ {
+		mid := math.Sqrt(lo * hi) // geometric bisection over 18 decades
+		if Idleness(ScaleBytes(coflows, mid), linkBps) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	factor := math.Sqrt(lo * hi)
+	return factor, ScaleBytes(coflows, factor), nil
+}

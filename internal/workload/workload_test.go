@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"sunflow/internal/coflow"
+	"sunflow/internal/trace"
+)
+
+const gbps = 1e9
+
+func TestPerturbBoundsAndFloor(t *testing.T) {
+	cs := []*coflow.Coflow{
+		coflow.New(1, 0, []coflow.Flow{{Src: 0, Dst: 0, Bytes: 100e6}, {Src: 0, Dst: 1, Bytes: 1e6}}),
+	}
+	out := Perturb(cs, 0.05, DefaultFloorBytes, 9)
+	if out[0] == cs[0] {
+		t.Fatal("Perturb must copy")
+	}
+	for i, f := range out[0].Flows {
+		orig := cs[0].Flows[i].Bytes
+		if f.Bytes < DefaultFloorBytes-1e-9 {
+			t.Fatalf("flow below floor: %v", f.Bytes)
+		}
+		if f.Bytes > orig*1.05+1e-6 || (f.Bytes < orig*0.95-1e-6 && f.Bytes != DefaultFloorBytes) {
+			t.Fatalf("flow %d perturbed out of ±5%%: %v from %v", i, f.Bytes, orig)
+		}
+	}
+	// Deterministic.
+	again := Perturb(cs, 0.05, DefaultFloorBytes, 9)
+	for i := range out[0].Flows {
+		if out[0].Flows[i].Bytes != again[0].Flows[i].Bytes {
+			t.Fatal("Perturb not deterministic")
+		}
+	}
+}
+
+func TestScaleBytes(t *testing.T) {
+	cs := []*coflow.Coflow{coflow.New(1, 2, []coflow.Flow{{Src: 0, Dst: 0, Bytes: 10}})}
+	out := ScaleBytes(cs, 2.5)
+	if out[0].Flows[0].Bytes != 25 {
+		t.Fatalf("scaled = %v", out[0].Flows[0].Bytes)
+	}
+	if cs[0].Flows[0].Bytes != 10 {
+		t.Fatal("ScaleBytes mutated input")
+	}
+	if out[0].Arrival != 2 {
+		t.Fatal("arrival changed")
+	}
+}
+
+func TestIdlenessDisjoint(t *testing.T) {
+	// Two 8 ms active periods separated: active 0.016 of span 1.008 →
+	// idleness ≈ 0.984.
+	cs := []*coflow.Coflow{
+		coflow.New(1, 0, []coflow.Flow{{Src: 0, Dst: 0, Bytes: 1e6}}),
+		coflow.New(2, 1, []coflow.Flow{{Src: 0, Dst: 0, Bytes: 1e6}}),
+	}
+	got := Idleness(cs, gbps)
+	want := 1 - 0.016/1.008
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Idleness = %v, want %v", got, want)
+	}
+}
+
+func TestIdlenessOverlapping(t *testing.T) {
+	// Fully overlapping activity → idleness 0.
+	cs := []*coflow.Coflow{
+		coflow.New(1, 0, []coflow.Flow{{Src: 0, Dst: 0, Bytes: 100e6}}),
+		coflow.New(2, 0.1, []coflow.Flow{{Src: 1, Dst: 1, Bytes: 10e6}}),
+	}
+	if got := Idleness(cs, gbps); got != 0 {
+		t.Fatalf("Idleness = %v, want 0", got)
+	}
+}
+
+func TestIdlenessEmpty(t *testing.T) {
+	if got := Idleness(nil, gbps); got != 1 {
+		t.Fatalf("Idleness(empty) = %v, want 1", got)
+	}
+}
+
+func TestIdlenessMonotoneInScale(t *testing.T) {
+	tr := trace.Generator{Seed: 4, Coflows: 100}.Trace()
+	i1 := Idleness(tr.Coflows, gbps)
+	i2 := Idleness(ScaleBytes(tr.Coflows, 10), gbps)
+	if i2 > i1 {
+		t.Fatalf("idleness rose with more bytes: %v -> %v", i1, i2)
+	}
+}
+
+func TestScaleToIdleness(t *testing.T) {
+	tr := trace.Generator{Seed: 4, Coflows: 150}.Trace()
+	for _, target := range []float64{0.12, 0.20, 0.40, 0.81} {
+		factor, scaled, err := ScaleToIdleness(tr.Coflows, gbps, target)
+		if err != nil {
+			t.Fatalf("target %v: %v", target, err)
+		}
+		if factor <= 0 {
+			t.Fatalf("factor = %v", factor)
+		}
+		got := Idleness(scaled, gbps)
+		if math.Abs(got-target) > 0.02 {
+			t.Fatalf("target %v: achieved %v (factor %v)", target, got, factor)
+		}
+	}
+}
+
+func TestScaleToIdlenessRejectsBadTarget(t *testing.T) {
+	if _, _, err := ScaleToIdleness(nil, gbps, 1.5); err == nil {
+		t.Fatal("target > 1 accepted")
+	}
+	if _, _, err := ScaleToIdleness(nil, gbps, 0); err == nil {
+		t.Fatal("target 0 accepted")
+	}
+}
