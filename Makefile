@@ -1,0 +1,35 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# commands; keep the two in sync.
+
+GO ?= go
+
+.PHONY: build test race lint bench bench-ci bench-baseline clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) vet ./...
+
+# Print the benchmark timings without gating.
+bench:
+	$(GO) test -bench . -benchtime 1x -count 3 -run '^$$' .
+
+# What CI runs: benchmark, attach deterministic obs counters, gate ns/op
+# against the committed baseline (>25% regression fails).
+bench-ci:
+	$(GO) test -bench . -benchtime 1x -count 3 -run '^$$' . | $(GO) run ./cmd/benchci -out BENCH_ci.json -baseline BENCH_baseline.json
+
+# Refresh the committed baseline after an intentional performance change.
+bench-baseline:
+	$(GO) test -bench . -benchtime 1x -count 3 -run '^$$' . | $(GO) run ./cmd/benchci -write-baseline BENCH_baseline.json
+
+clean:
+	rm -f BENCH_ci.json

@@ -1,0 +1,207 @@
+// Command benchci turns `go test -bench` output into a CI artifact and gates
+// benchmark regressions.
+//
+// It reads benchmark lines on stdin, attaches the deterministic observability
+// counters of a fixed-seed small-configuration run (bench.CollectCIMetrics),
+// and writes the combined report as JSON. When a baseline file exists, each
+// benchmark's ns/op is compared against it and the command exits non-zero if
+// any benchmark regressed by more than the tolerance.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x -run '^$' . | benchci -out BENCH_ci.json -baseline BENCH_baseline.json
+//	go test -bench . -benchtime 1x -run '^$' . | benchci -write-baseline BENCH_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sunflow/internal/bench"
+)
+
+// Report is the benchci artifact: benchmark timings plus the observability
+// fingerprint of the fixed CI configuration.
+type Report struct {
+	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to ns/op.
+	Benchmarks map[string]float64 `json:"benchmarks"`
+	// Metrics carries the per-scheduler counters of the CI configuration.
+	Metrics bench.CIMetrics `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_ci.json", "write the benchmark report to this file")
+	baseline := flag.String("baseline", "", "compare ns/op against this baseline report; missing file skips the gate")
+	writeBaseline := flag.String("write-baseline", "", "write the report to this file as the new baseline and skip the gate")
+	tolerance := flag.Float64("tolerance", 0.25, "fail when ns/op exceeds baseline by more than this fraction")
+	flag.Parse()
+
+	benches, err := parseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(benches) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin (pipe `go test -bench . -benchtime 1x -run '^$'` into benchci)"))
+	}
+
+	metrics, err := bench.CollectCIMetrics()
+	if err != nil {
+		fatal(err)
+	}
+	report := Report{Benchmarks: benches, Metrics: metrics}
+
+	path := *out
+	if *writeBaseline != "" {
+		path = *writeBaseline
+	}
+	if err := writeReport(path, report); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchci: wrote %s (%d benchmarks)\n", path, len(benches))
+	if *writeBaseline != "" || *baseline == "" {
+		return
+	}
+
+	base, err := readReport(*baseline)
+	if os.IsNotExist(err) {
+		fmt.Printf("benchci: no baseline at %s; skipping the regression gate\n", *baseline)
+		return
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if failed := gate(report, base, *tolerance); failed {
+		os.Exit(1)
+	}
+}
+
+// parseBench extracts "BenchmarkName-N  iters  12345 ns/op" lines. A
+// benchmark appearing several times (go test -count N) keeps its fastest
+// run: the minimum is the least noisy estimate of true cost, which is what
+// both the baseline and the gated measurement should record.
+func parseBench(r *os.File) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		nsIdx := -1
+		for i, tok := range f {
+			if tok == "ns/op" {
+				nsIdx = i - 1
+				break
+			}
+		}
+		if nsIdx < 1 {
+			continue
+		}
+		ns, err := strconv.ParseFloat(f[nsIdx], 64)
+		if err != nil {
+			continue
+		}
+		name := stripProcs(f[0])
+		if prev, ok := out[name]; !ok || ns < prev {
+			out[name] = ns
+		}
+	}
+	return out, sc.Err()
+}
+
+// stripProcs removes the trailing -GOMAXPROCS suffix Go appends to benchmark
+// names, so baselines compare across machines with different core counts.
+func stripProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// gate compares current timings against the baseline, printing every
+// comparison; it returns true when any benchmark regressed beyond tol.
+func gate(cur, base Report, tol float64) bool {
+	failed := false
+	for _, name := range sortedKeys(cur.Benchmarks) {
+		ns := cur.Benchmarks[name]
+		old, ok := base.Benchmarks[name]
+		if !ok || old <= 0 {
+			fmt.Printf("benchci: %-40s %12.0f ns/op (no baseline)\n", name, ns)
+			continue
+		}
+		ratio := ns / old
+		status := "ok"
+		if ratio > 1+tol {
+			status = fmt.Sprintf("REGRESSION (>%.0f%%)", tol*100)
+			failed = true
+		}
+		fmt.Printf("benchci: %-40s %12.0f ns/op  baseline %12.0f  ratio %.2f  %s\n", name, ns, old, ratio, status)
+	}
+	// Counter drift is informational: counts legitimately change when the
+	// algorithms do, but silent drift has historically hidden accounting
+	// bugs, so surface it.
+	for _, scope := range sortedScopeNames(cur.Metrics) {
+		c, b := cur.Metrics.Scopes[scope], base.Metrics.Scopes[scope]
+		if c.CircuitSetups != b.CircuitSetups || c.Reservations != b.Reservations ||
+			c.CoflowsCompleted != b.CoflowsCompleted {
+			fmt.Printf("benchci: note: scope %q counters drifted from baseline: setups %d->%d reservations %d->%d completed %d->%d\n",
+				scope, b.CircuitSetups, c.CircuitSetups, b.Reservations, c.Reservations,
+				b.CoflowsCompleted, c.CoflowsCompleted)
+		}
+	}
+	if failed {
+		fmt.Println("benchci: FAIL — benchmark regression above tolerance")
+	}
+	return failed
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedScopeNames(m bench.CIMetrics) []string {
+	keys := make([]string, 0, len(m.Scopes))
+	for k := range m.Scopes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func writeReport(path string, r Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func readReport(path string) (Report, error) {
+	var r Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	return r, json.Unmarshal(data, &r)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchci:", err)
+	os.Exit(1)
+}

@@ -3,22 +3,32 @@
 //
 // Usage:
 //
-//	repro [-seed 1] [-coflows 526] [-ports 150] [-maxwidth 40] [experiments...]
+//	repro [-seed 1] [-coflows 526] [-ports 150] [-maxwidth 40]
+//	      [-metrics] [-trace file] [-pprof addr] [experiments...]
 //
 // With no arguments it runs everything. Experiment ids: table3, table4,
 // fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig10, baselines, ordering,
 // allstop, starvation, combining.
+//
+// -metrics prints each experiment's per-scheduler observability summary
+// (circuit setups, δ time paid, duty cycle, scheduler-pass wall time).
+// -trace writes the structured simulation event stream (circuit up/down,
+// flow and Coflow lifecycle) as JSON Lines to the given file. -pprof serves
+// net/http/pprof on the given address for live profiling of long runs.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strings"
 	"time"
 
 	"sunflow/internal/bench"
 	"sunflow/internal/core"
+	"sunflow/internal/obs"
 )
 
 func main() {
@@ -26,7 +36,30 @@ func main() {
 	coflows := flag.Int("coflows", 526, "number of Coflows")
 	ports := flag.Int("ports", 150, "fabric port count")
 	maxWidth := flag.Int("maxwidth", 60, "max shuffle fan-in/out")
+	metrics := flag.Bool("metrics", false, "print per-scheduler observability summaries after each experiment")
+	traceOut := flag.String("trace", "", "write the JSONL simulation event trace to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: pprof: %v\n", err)
+			}
+		}()
+		fmt.Printf("[pprof listening on %s]\n", *pprofAddr)
+	}
+
+	var sink *obs.JSONLSink
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(1)
+		}
+		sink = obs.NewJSONLSink(f)
+		defer sink.Close()
+	}
 
 	cfg := bench.Config{
 		Seed:     *seed,
@@ -46,6 +79,17 @@ func main() {
 	}
 
 	for _, id := range wanted {
+		if *metrics || sink != nil {
+			// A fresh observer per experiment keeps the printed summaries
+			// attributable; the trace sink is shared so one file carries the
+			// whole run. The nil *JSONLSink must not be wrapped in the Sink
+			// interface (a typed nil would read as trace-enabled).
+			var s obs.Sink
+			if sink != nil {
+				s = sink
+			}
+			cfg.Obs = obs.NewWith(obs.NewRegistry(), s)
+		}
 		start := time.Now()
 		out, err := run(cfg, strings.ToLower(id))
 		if err != nil {
@@ -53,7 +97,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(out)
+		if *metrics {
+			fmt.Print(obs.FormatSummaries(cfg.Obs))
+		}
 		fmt.Printf("[%s took %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if sink != nil {
+		if err := sink.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: trace: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 

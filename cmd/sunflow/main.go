@@ -8,18 +8,27 @@
 // Usage:
 //
 //	sunflow [-trace file] [-coflow id] [-b gbps] [-delta sec] [-policy scf|fifo] [-scheduler sunflow|solstice] [-v]
+//	        [-metrics] [-traceout file] [-pprof addr]
+//
+// -metrics prints the run's observability summary (circuit setups, δ time
+// paid, duty cycle, scheduler-pass wall time) and -traceout writes the
+// structured simulation event stream as JSON Lines; -pprof serves
+// net/http/pprof on the given address.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"sort"
 
 	"sunflow/internal/coflow"
 	"sunflow/internal/core"
 	"sunflow/internal/fabric"
+	"sunflow/internal/obs"
 	"sunflow/internal/sim"
 	"sunflow/internal/solstice"
 	"sunflow/internal/trace"
@@ -34,7 +43,36 @@ func main() {
 	scheduler := flag.String("scheduler", "sunflow", "intra scheduler for -coflow mode: sunflow or solstice")
 	verbose := flag.Bool("v", false, "print every reservation / completion")
 	gantt := flag.Int("gantt", 0, "with -coflow: render the schedule as a Gantt chart this many columns wide")
+	metrics := flag.Bool("metrics", false, "print the observability summary after the run")
+	traceOut := flag.String("traceout", "", "write the JSONL simulation event trace to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "sunflow: pprof: %v\n", err)
+			}
+		}()
+	}
+
+	var o *obs.Observer
+	var sink *obs.JSONLSink
+	if *metrics || *traceOut != "" {
+		// The Sink interface must stay nil when no trace file is wanted; a
+		// typed-nil *JSONLSink would read as trace-enabled.
+		var s obs.Sink
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			sink = obs.NewJSONLSink(f)
+			defer sink.Close()
+			s = sink
+		}
+		o = obs.NewWith(obs.NewRegistry(), s)
+	}
 
 	tr, err := readTrace(*traceFile)
 	if err != nil {
@@ -43,7 +81,11 @@ func main() {
 	linkBps := *gbits * 1e9
 
 	if *coflowID >= 0 {
-		if err := intraMode(tr, *coflowID, linkBps, *delta, *scheduler, *verbose, *gantt); err != nil {
+		err := intraMode(tr, *coflowID, linkBps, *delta, *scheduler, *verbose, *gantt, o)
+		if err == nil {
+			err = finishObs(o, sink, *metrics)
+		}
+		if err != nil {
 			fatal(err)
 		}
 		return
@@ -64,6 +106,7 @@ func main() {
 		LinkBps: linkBps,
 		Delta:   *delta,
 		Policy:  policy,
+		Obs:     o,
 	})
 	if err != nil {
 		fatal(err)
@@ -83,10 +126,24 @@ func main() {
 	}
 	fmt.Printf("coflows %d  policy %s  B %.0f Gbps  delta %gs\n", len(ids), policy.Name(), *gbits, *delta)
 	fmt.Printf("average CCT %.3fs\n", sum/float64(len(ids)))
+	if err := finishObs(o, sink, *metrics); err != nil {
+		fatal(err)
+	}
+}
+
+// finishObs prints the metrics table and flushes the trace sink.
+func finishObs(o *obs.Observer, sink *obs.JSONLSink, metrics bool) error {
+	if metrics {
+		fmt.Print(obs.FormatSummaries(o))
+	}
+	if sink != nil {
+		return sink.Flush()
+	}
+	return nil
 }
 
 // intraMode schedules one Coflow alone and prints its reservations.
-func intraMode(tr *trace.Trace, id int, linkBps, delta float64, scheduler string, verbose bool, gantt int) error {
+func intraMode(tr *trace.Trace, id int, linkBps, delta float64, scheduler string, verbose bool, gantt int, o *obs.Observer) error {
 	var target *coflow.Coflow
 	for _, c := range tr.Coflows {
 		if c.ID == id {
@@ -104,7 +161,7 @@ func intraMode(tr *trace.Trace, id int, linkBps, delta float64, scheduler string
 
 	switch scheduler {
 	case "sunflow":
-		sched, err := core.IntraCoflow(core.NewPRT(tr.Ports), target, core.Options{LinkBps: linkBps, Delta: delta})
+		sched, err := core.IntraCoflow(core.NewPRT(tr.Ports), target, core.Options{LinkBps: linkBps, Delta: delta, Obs: o})
 		if err != nil {
 			return err
 		}
@@ -120,7 +177,7 @@ func intraMode(tr *trace.Trace, id int, linkBps, delta float64, scheduler string
 			fmt.Print(core.Gantt(gantt, sched))
 		}
 	case "solstice":
-		res, st, err := solstice.Run(target, tr.Ports, solstice.Options{LinkBps: linkBps, Delta: delta}, fabric.NotAllStop)
+		res, st, err := solstice.Run(target, tr.Ports, solstice.Options{LinkBps: linkBps, Delta: delta, Obs: o}, fabric.NotAllStop)
 		if err != nil {
 			return err
 		}

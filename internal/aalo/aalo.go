@@ -12,8 +12,10 @@ package aalo
 import (
 	"math"
 	"sort"
+	"time"
 
 	"sunflow/internal/fabric"
+	"sunflow/internal/obs"
 )
 
 // Allocator computes Aalo D-CLAS rates; it implements fabric.RateAllocator
@@ -29,6 +31,11 @@ type Allocator struct {
 	// NumQueues is K, the number of priority queues (the last queue is
 	// unbounded). Zero selects Aalo's default of 10.
 	NumQueues int
+	// Obs optionally records allocator-level metrics: each Allocate call
+	// counts one intra pass with its wall time. The driving simulator
+	// accounts sim-level pass counters separately, so the two never double
+	// count. Nil disables instrumentation.
+	Obs *obs.Observer
 }
 
 // defaults fills in the Aalo paper's configuration.
@@ -96,6 +103,13 @@ func (a Allocator) NextThreshold(attained float64) float64 {
 // since Aalo does not know flow sizes. Residual bandwidth cascades to lower
 // priority Coflows, keeping the allocation work-conserving.
 func (a Allocator) Allocate(remaining map[int]map[fabric.FlowKey]float64, attained map[int]float64, arrival map[int]float64, linkBps float64, ports int) map[int]map[fabric.FlowKey]float64 {
+	if o := a.Obs; o != nil {
+		passStart := time.Now()
+		defer func() {
+			o.IntraPasses.Inc()
+			o.IntraSeconds.Add(time.Since(passStart).Seconds())
+		}()
+	}
 	a = a.defaults()
 
 	ids := make([]int, 0, len(remaining))

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"sunflow/internal/coflow"
+	"sunflow/internal/obs"
 	"sunflow/internal/trace"
 	"sunflow/internal/workload"
 )
@@ -37,8 +38,14 @@ type Config struct {
 	// Delta is the default reconfiguration delay. Zero selects 10 ms
 	// (typical 3D-MEMS).
 	Delta float64
-	// Workers bounds experiment parallelism. Zero selects GOMAXPROCS.
+	// Workers bounds experiment parallelism. Zero selects GOMAXPROCS;
+	// negative values are clamped to 1 (serial).
 	Workers int
+	// Obs optionally observes the runs. Runners thread per-scheduler scopes
+	// ("sunflow", "varys", "aalo", "solstice", "tms", "edmond") through the
+	// simulators so one observer separates the schedulers' counters. Nil
+	// disables instrumentation.
+	Obs *obs.Observer `json:"-"`
 }
 
 // WithDefaults fills unset fields with the paper's settings.
@@ -57,6 +64,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers < 0 {
+		c.Workers = 1
 	}
 	return c
 }

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"sunflow/internal/obs"
+)
+
+// CIMetrics is the observability fingerprint CI attaches to its benchmark
+// artifact: per-scheduler summaries from one fixed-seed small-configuration
+// run of both simulators. The counter fields (circuit setups, reservations,
+// coflows completed, byte totals) are deterministic in the seed, so two runs
+// of the same code produce identical counts; the wall-time fields are
+// informational only.
+type CIMetrics struct {
+	Config Config                 `json:"config"`
+	Scopes map[string]obs.Summary `json:"scopes"`
+}
+
+// CIConfig is the fixed small configuration CI measures: big enough to
+// exercise every scheduler, small enough to finish in seconds. Workers is
+// pinned to 1 so pass counts never depend on the runner's core count.
+func CIConfig() Config {
+	return Config{Seed: 1, Ports: 24, Coflows: 40, MaxWidth: 8, Workers: 1}
+}
+
+// CollectCIMetrics replays the CI configuration through the inter-Coflow
+// simulators (Sunflow on circuits, Varys and Aalo on packets) and the
+// serialized intra-Coflow replay (Sunflow and Solstice) under one fresh
+// observer, returning every scope's summary.
+func CollectCIMetrics() (CIMetrics, error) {
+	cfg := CIConfig()
+	cfg.Obs = obs.New()
+	cfg = cfg.WithDefaults()
+	cs := cfg.Workload()
+	if _, err := runInter(cfg, cs, cfg.LinkBps); err != nil {
+		return CIMetrics{}, err
+	}
+	runIntra(cfg, cs, cfg.LinkBps, cfg.Delta, true)
+
+	out := CIMetrics{Config: cfg, Scopes: map[string]obs.Summary{}}
+	for _, name := range cfg.Obs.ScopeNames() {
+		out.Scopes[name] = cfg.Obs.Scoped(name).Summary()
+	}
+	return out, nil
+}

@@ -6,41 +6,59 @@ import (
 	"sunflow/internal/aalo"
 	"sunflow/internal/coflow"
 	"sunflow/internal/core"
+	"sunflow/internal/obs"
 	"sunflow/internal/sim"
 	"sunflow/internal/stats"
 	"sunflow/internal/varys"
 	"sunflow/internal/workload"
 )
 
-// interRun holds the three schedulers' results on one workload setting.
+// interRun holds the three schedulers' results on one workload setting,
+// together with the observability deltas this run added to each scheduler's
+// scope (zero summaries when Config.Obs is nil).
 type interRun struct {
 	Sunflow sim.Result
 	Varys   sim.Result
 	Aalo    sim.Result
+
+	SunObs   obs.Summary
+	VarysObs obs.Summary
+	AaloObs  obs.Summary
 }
 
 // runInter replays the workload through Sunflow (circuit switched) and
-// Varys and Aalo (packet switched) at the given bandwidth.
+// Varys and Aalo (packet switched) at the given bandwidth. With Config.Obs
+// set, each scheduler runs under its own scope and the run's summary deltas
+// are attached to the result (the scopes accumulate across runs).
 func runInter(cfg Config, cs []*coflow.Coflow, linkBps float64) (interRun, error) {
 	cfg = cfg.WithDefaults()
+	sunObs := cfg.Obs.Scoped("sunflow")
+	varysObs := cfg.Obs.Scoped("varys")
+	aaloObs := cfg.Obs.Scoped("aalo")
+	sunPrev, varysPrev, aaloPrev := sunObs.Summary(), varysObs.Summary(), aaloObs.Summary()
+
 	var out interRun
 	var err error
 	out.Sunflow, err = sim.RunCircuit(cs, sim.CircuitOptions{
 		Ports:   cfg.Ports,
 		LinkBps: linkBps,
 		Delta:   cfg.Delta,
+		Obs:     sunObs,
 	})
 	if err != nil {
 		return out, fmt.Errorf("bench: sunflow inter: %w", err)
 	}
-	out.Varys, err = sim.RunPacket(cs, cfg.Ports, linkBps, varys.Allocator{})
+	out.Varys, err = sim.RunPacketObs(cs, cfg.Ports, linkBps, varys.Allocator{Obs: varysObs}, varysObs)
 	if err != nil {
 		return out, fmt.Errorf("bench: varys: %w", err)
 	}
-	out.Aalo, err = sim.RunPacket(cs, cfg.Ports, linkBps, aalo.Allocator{})
+	out.Aalo, err = sim.RunPacketObs(cs, cfg.Ports, linkBps, aalo.Allocator{Obs: aaloObs}, aaloObs)
 	if err != nil {
 		return out, fmt.Errorf("bench: aalo: %w", err)
 	}
+	out.SunObs = sunObs.Summary().Sub(sunPrev)
+	out.VarysObs = varysObs.Summary().Sub(varysPrev)
+	out.AaloObs = aaloObs.Summary().Sub(aaloPrev)
 	return out, nil
 }
 
@@ -56,6 +74,11 @@ type Fig8Row struct {
 	// figure plots.
 	SunOverVarys float64
 	SunOverAalo  float64
+	// SunObs, VarysObs and AaloObs carry this cell's observability deltas
+	// when Config.Obs is set (zero otherwise).
+	SunObs   obs.Summary
+	VarysObs obs.Summary
+	AaloObs  obs.Summary
 }
 
 // Fig8 reproduces Figure 8: Sunflow's average CCT normalized by Varys' and
@@ -97,6 +120,9 @@ func Fig8(cfg Config, bandwidths, idleness []float64) ([]Fig8Row, error) {
 				SunAvgCCT:   run.Sunflow.AverageCCT(),
 				VarysAvgCCT: run.Varys.AverageCCT(),
 				AaloAvgCCT:  run.Aalo.AverageCCT(),
+				SunObs:      run.SunObs,
+				VarysObs:    run.VarysObs,
+				AaloObs:     run.AaloObs,
 			}
 			if row.VarysAvgCCT > 0 {
 				row.SunOverVarys = row.SunAvgCCT / row.VarysAvgCCT

@@ -31,6 +31,10 @@ type intraSample struct {
 // Solstice at the given bandwidth and delta.
 func runIntra(cfg Config, cs []*coflow.Coflow, linkBps, delta float64, withSolstice bool) []intraSample {
 	cfg = cfg.WithDefaults()
+	// The obs metrics are atomic, so the scoped observers are shared safely
+	// by the parallel workers.
+	sunObs := cfg.Obs.Scoped("sunflow")
+	solObs := cfg.Obs.Scoped("solstice")
 	out := make([]intraSample, len(cs))
 	cfg.parallelEach(len(cs), func(i int) {
 		c, n := compact(cs[i])
@@ -41,14 +45,14 @@ func runIntra(cfg Config, cs []*coflow.Coflow, linkBps, delta float64, withSolst
 			TpL:   c.PacketLowerBound(linkBps),
 			TcL:   c.CircuitLowerBound(linkBps, delta),
 		}
-		sched, err := core.IntraCoflow(core.NewPRT(n), c, core.Options{LinkBps: linkBps, Delta: delta})
+		sched, err := core.IntraCoflow(core.NewPRT(n), c, core.Options{LinkBps: linkBps, Delta: delta, Obs: sunObs})
 		if err != nil {
 			panic(fmt.Sprintf("bench: sunflow on coflow %d: %v", c.ID, err))
 		}
 		s.SunCCT = sched.Finish
 		s.SunSwitch = sched.SwitchingCount()
 		if withSolstice {
-			res, _, err := solstice.Run(c, n, solstice.Options{LinkBps: linkBps, Delta: delta}, fabric.NotAllStop)
+			res, _, err := solstice.Run(c, n, solstice.Options{LinkBps: linkBps, Delta: delta, Obs: solObs}, fabric.NotAllStop)
 			if err != nil {
 				panic(fmt.Sprintf("bench: solstice on coflow %d: %v", c.ID, err))
 			}
@@ -476,13 +480,17 @@ func Baselines(cfg Config, maxCoflows int, maxTpL float64) BaselinesResult {
 	}
 	type res struct{ sun, sol, tm, ed float64 }
 	results := make([]res, len(sample))
+	sunObs := cfg.Obs.Scoped("sunflow")
+	solObs := cfg.Obs.Scoped("solstice")
+	tmsObs := cfg.Obs.Scoped("tms")
+	edObs := cfg.Obs.Scoped("edmond")
 	cfg.parallelEach(len(sample), func(i int) {
 		c, n := compact(sample[i])
-		sun, err := core.IntraCoflow(core.NewPRT(n), c, core.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta})
+		sun, err := core.IntraCoflow(core.NewPRT(n), c, core.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta, Obs: sunObs})
 		if err != nil {
 			panic(err)
 		}
-		sol, _, err := solstice.Run(c, n, solstice.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta}, fabric.NotAllStop)
+		sol, _, err := solstice.Run(c, n, solstice.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta, Obs: solObs}, fabric.NotAllStop)
 		if err != nil {
 			panic(err)
 		}
@@ -491,11 +499,11 @@ func Baselines(cfg Config, maxCoflows int, maxTpL float64) BaselinesResult {
 		// they execute under the all-stop model they were designed for
 		// (§3.1.1); Edmond's externally fixed slot is "on the order of
 		// hundreds of milliseconds".
-		tm, err := tms.Run(c, n, tms.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta}, fabric.AllStop)
+		tm, err := tms.Run(c, n, tms.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta, Obs: tmsObs}, fabric.AllStop)
 		if err != nil {
 			panic(err)
 		}
-		ed, err := edmond.Run(c, n, edmond.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta, Slot: 0.3}, fabric.AllStop)
+		ed, err := edmond.Run(c, n, edmond.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta, Slot: 0.3, Obs: edObs}, fabric.AllStop)
 		if err != nil {
 			panic(err)
 		}

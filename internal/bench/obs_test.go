@@ -1,0 +1,74 @@
+package bench
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"sunflow/internal/obs"
+)
+
+func TestNegativeWorkersClampedToSerial(t *testing.T) {
+	cfg := Config{Workers: -3}.WithDefaults()
+	if cfg.Workers != 1 {
+		t.Fatalf("Workers = %d, want 1", cfg.Workers)
+	}
+	var ran atomic.Int64
+	Config{Workers: -3}.parallelEach(10, func(i int) { ran.Add(1) })
+	if ran.Load() != 10 {
+		t.Fatalf("parallelEach ran %d of 10 items", ran.Load())
+	}
+}
+
+func TestFig8AttachesObsSummaries(t *testing.T) {
+	cfg := Config{Seed: 1, Ports: 16, Coflows: 20, MaxWidth: 5, Obs: obs.New()}
+	rows, err := Fig8(cfg, []float64{Gbps}, []float64{0.40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.SunObs.CircuitSetups == 0 || r.SunObs.SetupSeconds <= 0 {
+		t.Fatalf("sunflow summary not attached: %+v", r.SunObs)
+	}
+	if r.SunObs.DutyCycle <= 0 || r.SunObs.DutyCycle >= 1 {
+		t.Fatalf("duty cycle = %v, want in (0, 1)", r.SunObs.DutyCycle)
+	}
+	if r.VarysObs.SchedPasses == 0 || r.AaloObs.SchedPasses == 0 {
+		t.Fatalf("packet summaries not attached: varys %+v aalo %+v", r.VarysObs, r.AaloObs)
+	}
+	// The packet schedulers establish no circuits.
+	if r.VarysObs.CircuitSetups != 0 || r.AaloObs.CircuitSetups != 0 {
+		t.Fatalf("packet scheduler counted circuits: varys %+v aalo %+v", r.VarysObs, r.AaloObs)
+	}
+	// All three served the same workload.
+	if r.SunObs.CoflowsCompleted != r.VarysObs.CoflowsCompleted {
+		t.Fatalf("completion counts differ: sun %d varys %d",
+			r.SunObs.CoflowsCompleted, r.VarysObs.CoflowsCompleted)
+	}
+}
+
+func TestCollectCIMetricsDeterministicCounters(t *testing.T) {
+	a, err := CollectCIMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CollectCIMetrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scope := range []string{"sunflow", "varys", "aalo", "solstice"} {
+		sa, oka := a.Scopes[scope]
+		sb, okb := b.Scopes[scope]
+		if !oka || !okb {
+			t.Fatalf("scope %q missing (run1 %v, run2 %v); scopes %v", scope, oka, okb, a.Scopes)
+		}
+		if sa.CircuitSetups != sb.CircuitSetups ||
+			sa.Reservations != sb.Reservations ||
+			sa.CoflowsCompleted != sb.CoflowsCompleted ||
+			sa.SchedPasses != sb.SchedPasses {
+			t.Errorf("scope %q counters differ between runs:\n  %+v\n  %+v", scope, sa, sb)
+		}
+	}
+	if a.Scopes["sunflow"].CircuitSetups == 0 {
+		t.Error("sunflow scope recorded no circuit setups")
+	}
+}

@@ -7,8 +7,10 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"sunflow/internal/coflow"
+	"sunflow/internal/obs"
 )
 
 // Order selects the order in which Algorithm 1 considers the flows of a
@@ -58,6 +60,10 @@ type Options struct {
 	// latency. Circuits are held for the rounded time, so CCT can only
 	// grow; the ablation benchmarks quantify the trade.
 	Quantum float64
+	// Obs optionally records planning metrics (intra passes, reservations
+	// made, reservations shortened by later commitments). Nil disables
+	// instrumentation.
+	Obs *obs.Observer
 }
 
 // Validate reports an error for non-physical parameters.
@@ -141,6 +147,13 @@ func IntraCoflow(prt *PRT, c *coflow.Coflow, opts Options) (*Schedule, error) {
 	if err := c.Validate(prt.Ports()); err != nil {
 		return nil, err
 	}
+	if o := opts.Obs; o != nil {
+		passStart := time.Now()
+		defer func() {
+			o.IntraPasses.Inc()
+			o.IntraSeconds.Add(time.Since(passStart).Seconds())
+		}()
+	}
 
 	pending := make([]demand, 0, len(c.Flows))
 	for _, f := range c.Flows {
@@ -198,6 +211,14 @@ func IntraCoflow(prt *PRT, c *coflow.Coflow, opts Options) (*Schedule, error) {
 			}
 			prt.Reserve(r)
 			sched.Reservations = append(sched.Reservations, r)
+			if o := opts.Obs; o != nil {
+				o.Reservations.Inc()
+				if l < ld-timeEps {
+					// The slot was cut short by a later commitment: the
+					// flow's remainder will pay another δ.
+					o.ResShortened.Inc()
+				}
+			}
 			heap.Push(&releases, r.End)
 			d.p -= l - opts.Delta // remaining demand: ld - l
 			if d.p <= timeEps {

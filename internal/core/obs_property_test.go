@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"sunflow/internal/obs"
+	"sunflow/internal/trace"
+)
+
+// TestIntraObsReservationsMatchPRT reconciles the observability counters
+// with the scheduler's ground truth: the Reservations counter must equal
+// both the schedule's reservation list and the circuits actually placed in
+// the Port Reservation Table.
+func TestIntraObsReservationsMatchPRT(t *testing.T) {
+	tr := trace.Generator{Ports: 10, Coflows: 8, MaxWidth: 4, Seed: 11}.Trace()
+	prt := NewPRT(tr.Ports)
+	o := obs.New()
+	opts := Options{LinkBps: gbps, Delta: 0.01, Obs: o}
+
+	total := 0
+	for _, c := range tr.Coflows {
+		sched, err := IntraCoflow(prt, c, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(sched.Reservations)
+	}
+
+	if got := o.Reservations.Load(); got != int64(total) {
+		t.Errorf("Reservations counter = %d, schedules hold %d reservations", got, total)
+	}
+	if got := prt.Len(); got != total {
+		t.Errorf("PRT holds %d reservations, schedules hold %d", got, total)
+	}
+	if got := o.IntraPasses.Load(); got != int64(len(tr.Coflows)) {
+		t.Errorf("IntraPasses = %d, scheduled %d Coflows", got, len(tr.Coflows))
+	}
+	if o.IntraSeconds.Load() <= 0 {
+		t.Errorf("IntraSeconds = %v, want > 0", o.IntraSeconds.Load())
+	}
+}

@@ -10,10 +10,12 @@ package edmond
 
 import (
 	"fmt"
+	"time"
 
 	"sunflow/internal/coflow"
 	"sunflow/internal/fabric"
 	"sunflow/internal/matching"
+	"sunflow/internal/obs"
 )
 
 // Options configures the scheduler.
@@ -29,6 +31,9 @@ type Options struct {
 	// MaxRounds bounds the drain loop; zero means a generous default
 	// derived from the demand.
 	MaxRounds int
+	// Obs optionally records scheduling metrics and, via the executor,
+	// circuit and delivery counters. Nil disables instrumentation.
+	Obs *obs.Observer
 }
 
 // DefaultSlot is the assignment duration used when Options.Slot is zero.
@@ -83,11 +88,19 @@ func Schedule(c *coflow.Coflow, n int, opts Options) ([]fabric.Assignment, error
 
 // Run schedules the Coflow and executes the sequence on the fabric.
 func Run(c *coflow.Coflow, n int, opts Options, model fabric.Model) (fabric.ExecResult, error) {
+	passStart := time.Now()
 	schedule, err := Schedule(c, n, opts)
+	if o := opts.Obs; o != nil {
+		elapsed := time.Since(passStart).Seconds()
+		o.SchedPasses.Inc()
+		o.SchedSeconds.Add(elapsed)
+		o.SchedPassTime.Observe(elapsed)
+		o.Reservations.Add(int64(len(schedule)))
+	}
 	if err != nil {
 		return fabric.ExecResult{}, err
 	}
-	return fabric.Execute(c.DemandMatrix(n), schedule, opts.LinkBps, opts.Delta, 0, model)
+	return fabric.ExecuteObs(c.DemandMatrix(n), schedule, opts.LinkBps, opts.Delta, 0, model, opts.Obs)
 }
 
 func total(rem [][]float64) float64 {

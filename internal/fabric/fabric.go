@@ -8,6 +8,8 @@ package fabric
 import (
 	"fmt"
 	"math"
+
+	"sunflow/internal/obs"
 )
 
 // Assignment is one circuit configuration: a one-to-one matching between
@@ -78,6 +80,17 @@ func (m Model) String() string {
 // added by stuffing is simply absent from rem, so circuits serving only
 // dummy traffic idle through their slot.
 func Execute(rem [][]float64, schedule []Assignment, linkBps, delta, start float64, model Model) (ExecResult, error) {
+	return ExecuteObs(rem, schedule, linkBps, delta, start, model, nil)
+}
+
+// ExecuteObs is Execute with optional observability: when o is non-nil, each
+// circuit establishment counts toward CircuitSetups, the δ time every circuit
+// spends stopped accrues to SetupSeconds, the time circuits are held accrues
+// to HoldSeconds and the per-port busy vectors, delivered bytes accrue to
+// BytesDelivered, and — when a trace sink is attached — circuit_up/down
+// events are emitted at assignment boundaries. A nil o pays one pointer check
+// per assignment.
+func ExecuteObs(rem [][]float64, schedule []Assignment, linkBps, delta, start float64, model Model, o *obs.Observer) (ExecResult, error) {
 	n := len(rem)
 	res := ExecResult{FlowFinish: make(map[FlowKey]float64)}
 	for i := range rem {
@@ -111,6 +124,12 @@ func Execute(rem [][]float64, schedule []Assignment, linkBps, delta, start float
 				changed[i] = true
 				anyChange = true
 				res.SwitchCount++
+				if o != nil {
+					o.CircuitSetups.Inc()
+				}
+			}
+			if o != nil && prev[i] >= 0 && prev[i] != j && o.TraceEnabled() {
+				o.Emit(obs.Event{T: t, Kind: obs.KindCircuitDown, Coflow: -1, Src: i, Dst: prev[i], Bytes: -1, Dur: -1})
 			}
 		}
 
@@ -133,12 +152,27 @@ func Execute(rem [][]float64, schedule []Assignment, linkBps, delta, start float
 				// the reconfiguration window of the other circuits.
 				txStart = slotStart
 			}
+			if o != nil {
+				// The circuit occupies its ports for the whole slot whether
+				// or not it carries real demand; the stopped prefix is δ
+				// time paid.
+				o.SetupSeconds.Add(txStart - slotStart)
+				o.HoldSeconds.Add(transmitEnd - slotStart)
+				o.InBusySeconds.Add(i, transmitEnd-slotStart)
+				o.OutBusySeconds.Add(j, transmitEnd-slotStart)
+				if changed[i] && o.TraceEnabled() {
+					o.Emit(obs.Event{T: slotStart, Kind: obs.KindCircuitUp, Coflow: -1, Src: i, Dst: j, Bytes: -1, Dur: txStart - slotStart})
+				}
+			}
 			if rem[i][j] <= 0 {
 				continue
 			}
 			capacity := (transmitEnd - txStart) * linkBps / 8
 			served := math.Min(capacity, rem[i][j])
 			rem[i][j] -= served
+			if o != nil {
+				o.BytesDelivered.Add(served)
+			}
 			if rem[i][j] <= finishEpsBytes {
 				rem[i][j] = 0
 				finish := txStart + served*8/linkBps
@@ -159,6 +193,13 @@ func Execute(rem [][]float64, schedule []Assignment, linkBps, delta, start float
 		t = transmitEnd
 	}
 	res.End = t
+	if o != nil && o.TraceEnabled() {
+		for i, j := range prev {
+			if j >= 0 {
+				o.Emit(obs.Event{T: t, Kind: obs.KindCircuitDown, Coflow: -1, Src: i, Dst: j, Bytes: -1, Dur: -1})
+			}
+		}
+	}
 
 	for i := range rem {
 		for j := range rem[i] {

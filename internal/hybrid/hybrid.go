@@ -15,6 +15,7 @@ import (
 
 	"sunflow/internal/coflow"
 	"sunflow/internal/fabric"
+	"sunflow/internal/obs"
 	"sunflow/internal/sim"
 )
 
@@ -39,6 +40,11 @@ type Options struct {
 	PacketAlloc fabric.RateAllocator
 	// Circuit carries additional circuit-side options.
 	Circuit sim.CircuitOptions
+	// Obs optionally observes both partitions: the circuit partition under
+	// the "circuit" scope and the packet partition under the "packet" scope.
+	// An explicitly set Circuit.Obs takes precedence for the circuit side.
+	// Nil disables instrumentation.
+	Obs *obs.Observer
 }
 
 // Result reports a hybrid run: the combined per-Coflow CCTs plus the two
@@ -106,6 +112,9 @@ func Run(coflows []*coflow.Coflow, opts Options) (Result, error) {
 	copts.Ports = opts.Ports
 	copts.LinkBps = opts.CircuitBps
 	copts.Delta = opts.Delta
+	if copts.Obs == nil {
+		copts.Obs = opts.Obs.Scoped("circuit")
+	}
 	var err error
 	res.Circuit, err = sim.RunCircuit(circuitPart, copts)
 	if err != nil {
@@ -117,7 +126,7 @@ func Run(coflows []*coflow.Coflow, opts Options) (Result, error) {
 		alloc = fabric.FairSharing{}
 	}
 	if len(packetPart) > 0 {
-		res.Packet, err = sim.RunPacket(packetPart, opts.Ports, opts.PacketBps, alloc)
+		res.Packet, err = sim.RunPacketObs(packetPart, opts.Ports, opts.PacketBps, alloc, opts.Obs.Scoped("packet"))
 		if err != nil {
 			return res, fmt.Errorf("hybrid: packet partition: %w", err)
 		}

@@ -1,0 +1,428 @@
+// Package obs is the zero-dependency observability layer of the repository:
+// typed counters, gauges, histograms and per-port vectors held in an atomic,
+// concurrency-safe Registry, plus an optional structured event trace emitted
+// through a pluggable Sink (see trace.go).
+//
+// The layer is designed to disappear when unused: every simulator and
+// scheduler takes an optional *Observer, and a nil Observer costs the hot
+// paths exactly one nil-check. Metric update methods are additionally safe on
+// nil receivers so partially wired code never panics.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing int64, safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. Safe on a nil receiver (no-op).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Load returns the current value. A nil Counter reads zero.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// FloatCounter is a monotonically increasing float64 accumulated with a
+// compare-and-swap loop, safe for concurrent use.
+type FloatCounter struct{ bits atomic.Uint64 }
+
+// Add adds x. Safe on a nil receiver (no-op).
+func (f *FloatCounter) Add(x float64) {
+	if f == nil || x == 0 {
+		return
+	}
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+x)) {
+			return
+		}
+	}
+}
+
+// Load returns the current value. A nil FloatCounter reads zero.
+func (f *FloatCounter) Load() float64 {
+	if f == nil {
+		return 0
+	}
+	return math.Float64frombits(f.bits.Load())
+}
+
+// Gauge is a settable int64 that also remembers its high-water mark — used
+// for instantaneous levels such as event-queue depth.
+type Gauge struct{ v, high atomic.Int64 }
+
+// Set records the current level and raises the high-water mark if needed.
+// Safe on a nil receiver (no-op).
+func (g *Gauge) Set(x int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(x)
+	for {
+		h := g.high.Load()
+		if x <= h || g.high.CompareAndSwap(h, x) {
+			return
+		}
+	}
+}
+
+// Load returns the last set level.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// High returns the high-water mark.
+func (g *Gauge) High() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.high.Load()
+}
+
+// histBuckets is the fixed bucket count of Histogram: power-of-two buckets
+// centered so that values from nanoseconds to kiloseconds land in range.
+const histBuckets = 64
+
+// histOffset shifts the binary exponent so bucket 0 holds values below
+// 2^-histOffset.
+const histOffset = 40
+
+// Histogram records a distribution of positive float64 observations in
+// power-of-two buckets, with exact count, sum and max. All updates are
+// atomic; Observe never allocates.
+type Histogram struct {
+	count   atomic.Int64
+	sum     FloatCounter
+	maxBits atomic.Uint64
+	buckets [histBuckets]atomic.Int64
+}
+
+// histBucket maps a value to its bucket index.
+func histBucket(x float64) int {
+	if x <= 0 {
+		return 0
+	}
+	exp := math.Ilogb(x) + histOffset
+	if exp < 0 {
+		return 0
+	}
+	if exp >= histBuckets {
+		return histBuckets - 1
+	}
+	return exp
+}
+
+// histUpper returns the inclusive upper bound of bucket i.
+func histUpper(i int) float64 {
+	return math.Ldexp(1, i-histOffset+1)
+}
+
+// Observe records one sample. Safe on a nil receiver (no-op).
+func (h *Histogram) Observe(x float64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(x)
+	h.buckets[histBucket(x)].Add(1)
+	for {
+		old := h.maxBits.Load()
+		if x <= math.Float64frombits(old) {
+			return
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(x)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.maxBits.Load())
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q ≤ 1) from the
+// bucket boundaries; the answer is exact to within one power of two.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			return math.Min(histUpper(i), h.Max())
+		}
+	}
+	return h.Max()
+}
+
+// FloatVec is a growable vector of FloatCounters indexed by a small integer
+// — per-port accumulators. Growth takes a write lock; established indices
+// update lock-free after a read-locked lookup.
+type FloatVec struct {
+	mu sync.RWMutex
+	vs []*FloatCounter
+}
+
+// Add adds x at index i, growing the vector as needed. Safe on a nil
+// receiver (no-op); negative indices are ignored.
+func (v *FloatVec) Add(i int, x float64) {
+	if v == nil || i < 0 {
+		return
+	}
+	v.mu.RLock()
+	if i < len(v.vs) {
+		c := v.vs[i]
+		v.mu.RUnlock()
+		c.Add(x)
+		return
+	}
+	v.mu.RUnlock()
+	v.mu.Lock()
+	for len(v.vs) <= i {
+		v.vs = append(v.vs, &FloatCounter{})
+	}
+	c := v.vs[i]
+	v.mu.Unlock()
+	c.Add(x)
+}
+
+// At returns the value at index i (zero when out of range).
+func (v *FloatVec) At(i int) float64 {
+	if v == nil {
+		return 0
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if i < 0 || i >= len(v.vs) {
+		return 0
+	}
+	return v.vs[i].Load()
+}
+
+// Len returns the current vector length.
+func (v *FloatVec) Len() int {
+	if v == nil {
+		return 0
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.vs)
+}
+
+// Sum returns the sum across all indices.
+func (v *FloatVec) Sum() float64 {
+	if v == nil {
+		return 0
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	var s float64
+	for _, c := range v.vs {
+		s += c.Load()
+	}
+	return s
+}
+
+// Registry is a concurrency-safe, name-addressed set of metrics. Metric
+// constructors are idempotent: asking twice for the same name returns the
+// same metric, so scoped Observers sharing a Registry accumulate together.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]any
+	names   []string
+}
+
+// NewRegistry returns an empty Registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: map[string]any{}}
+}
+
+// register returns the metric under name, creating it with mk on first use,
+// and panics if the name is already bound to a different metric type — a
+// programming error.
+func register[T any](r *Registry, name string, mk func() T) T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		t, ok := m.(T)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q already registered as %T", name, m))
+		}
+		return t
+	}
+	t := mk()
+	r.metrics[name] = t
+	r.names = append(r.names, name)
+	return t
+}
+
+// Counter returns the Counter registered under name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	return register(r, name, func() *Counter { return &Counter{} })
+}
+
+// FloatCounter returns the FloatCounter registered under name.
+func (r *Registry) FloatCounter(name string) *FloatCounter {
+	return register(r, name, func() *FloatCounter { return &FloatCounter{} })
+}
+
+// Gauge returns the Gauge registered under name.
+func (r *Registry) Gauge(name string) *Gauge {
+	return register(r, name, func() *Gauge { return &Gauge{} })
+}
+
+// Histogram returns the Histogram registered under name.
+func (r *Registry) Histogram(name string) *Histogram {
+	return register(r, name, func() *Histogram { return &Histogram{} })
+}
+
+// FloatVec returns the FloatVec registered under name.
+func (r *Registry) FloatVec(name string) *FloatVec {
+	return register(r, name, func() *FloatVec { return &FloatVec{} })
+}
+
+// Snapshot is a point-in-time JSON-marshalable export of a Registry.
+type Snapshot map[string]any
+
+// GaugeValue is a Gauge's exported form.
+type GaugeValue struct {
+	Value int64 `json:"value"`
+	High  int64 `json:"high"`
+}
+
+// HistogramValue is a Histogram's exported form.
+type HistogramValue struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	Max   float64 `json:"max"`
+}
+
+// VecValue is a FloatVec's exported form: per-index values summarized.
+type VecValue struct {
+	Count int     `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+}
+
+// Snapshot exports every registered metric. Metrics that have never been
+// touched still appear, reading zero.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	metrics := make(map[string]any, len(names))
+	for _, n := range names {
+		metrics[n] = r.metrics[n]
+	}
+	r.mu.Unlock()
+
+	out := make(Snapshot, len(names))
+	for _, name := range names {
+		switch m := metrics[name].(type) {
+		case *Counter:
+			out[name] = m.Load()
+		case *FloatCounter:
+			out[name] = m.Load()
+		case *Gauge:
+			out[name] = GaugeValue{Value: m.Load(), High: m.High()}
+		case *Histogram:
+			hv := HistogramValue{Count: m.Count(), Sum: m.Sum(), Max: m.Max()}
+			if hv.Count > 0 {
+				hv.Mean = hv.Sum / float64(hv.Count)
+				hv.P50 = m.Quantile(0.50)
+				hv.P95 = m.Quantile(0.95)
+			}
+			out[name] = hv
+		case *FloatVec:
+			vv := VecValue{Count: m.Len()}
+			if vv.Count > 0 {
+				vv.Min = math.Inf(1)
+				for i := 0; i < vv.Count; i++ {
+					x := m.At(i)
+					vv.Sum += x
+					vv.Min = math.Min(vv.Min, x)
+					vv.Max = math.Max(vv.Max, x)
+				}
+				vv.Mean = vv.Sum / float64(vv.Count)
+			}
+			out[name] = vv
+		}
+	}
+	return out
+}
+
+// Names returns the registered metric names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
+// JSON renders the snapshot as indented JSON with sorted keys (the encoder
+// sorts map keys).
+func (s Snapshot) JSON() []byte {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		// Snapshot values are plain numbers and structs; marshalling cannot
+		// fail unless a NaN/Inf sneaks in, which we sanitize here.
+		return []byte(fmt.Sprintf("{%q: %q}", "error", err.Error()))
+	}
+	return b
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndFloatCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	f := r.FloatCounter("f")
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				f.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got, want := f.Load(), float64(workers*per)*0.5; math.Abs(got-want) > 1e-6 {
+		t.Errorf("float counter = %v, want %v", got, want)
+	}
+}
+
+func TestNilMetricsAreSafe(t *testing.T) {
+	var c *Counter
+	var f *FloatCounter
+	var g *Gauge
+	var h *Histogram
+	var v *FloatVec
+	c.Inc()
+	c.Add(5)
+	f.Add(1.5)
+	g.Set(3)
+	h.Observe(1)
+	v.Add(2, 1)
+	if c.Load() != 0 || f.Load() != 0 || g.Load() != 0 || g.High() != 0 ||
+		h.Count() != 0 || v.Sum() != 0 || v.Len() != 0 {
+		t.Error("nil metrics must read zero")
+	}
+}
+
+func TestNilObserverIsSafe(t *testing.T) {
+	var o *Observer
+	if o.Scoped("x") != nil {
+		t.Error("Scoped on nil observer must return nil")
+	}
+	if o.TraceEnabled() {
+		t.Error("nil observer must not trace")
+	}
+	o.Emit(Event{Kind: KindCircuitUp})
+	if o.Snapshot() != nil || o.Registry() != nil {
+		t.Error("nil observer snapshot/registry must be nil")
+	}
+	if s := o.Summary(); !s.zero() {
+		t.Errorf("nil observer summary = %+v, want zero", s)
+	}
+}
+
+func TestGaugeHighWaterMark(t *testing.T) {
+	g := &Gauge{}
+	for _, x := range []int64{3, 7, 2, 5} {
+		g.Set(x)
+	}
+	if g.Load() != 5 {
+		t.Errorf("Load = %d, want 5", g.Load())
+	}
+	if g.High() != 7 {
+		t.Errorf("High = %d, want 7", g.High())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 1e-3) // 1ms .. 100ms
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got, want := h.Sum(), 5.05; math.Abs(got-want) > 1e-9 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	if h.Max() != 0.1 {
+		t.Errorf("max = %v, want 0.1", h.Max())
+	}
+	p50 := h.Quantile(0.5)
+	// Power-of-two buckets: the p50 upper bound must sit within a factor of
+	// two of the true median (0.05) and never exceed the max.
+	if p50 < 0.05 || p50 > 0.1 {
+		t.Errorf("p50 = %v, want in [0.05, 0.1]", p50)
+	}
+	if q := h.Quantile(1); q != h.Max() {
+		t.Errorf("q100 = %v, want max %v", q, h.Max())
+	}
+}
+
+func TestFloatVecGrowsConcurrently(t *testing.T) {
+	v := &FloatVec{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				v.Add(i, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if v.Len() != 100 {
+		t.Fatalf("len = %d, want 100", v.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if v.At(i) != 8 {
+			t.Fatalf("vec[%d] = %v, want 8", i, v.At(i))
+		}
+	}
+	if v.Sum() != 800 {
+		t.Errorf("sum = %v, want 800", v.Sum())
+	}
+}
+
+func TestRegistryIdempotentAndTypeChecked(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("x") != r.Counter("x") {
+		t.Error("same name must return the same counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on type mismatch")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestScopedObserversShareRegistry(t *testing.T) {
+	o := New()
+	a := o.Scoped("sunflow")
+	b := o.Scoped("sunflow")
+	if a != b {
+		t.Error("Scoped must be idempotent")
+	}
+	a.CircuitSetups.Add(3)
+	if got := o.Registry().Counter("sunflow." + NameCircuitSetups).Load(); got != 3 {
+		t.Errorf("scoped counter via registry = %d, want 3", got)
+	}
+	if names := o.ScopeNames(); len(names) != 1 || names[0] != "sunflow" {
+		t.Errorf("ScopeNames = %v", names)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	o := New()
+	o.CircuitSetups.Add(2)
+	o.SetupSeconds.Add(0.02)
+	o.QueueDepth.Set(9)
+	o.QueueDepth.Set(4)
+	o.SchedPassTime.Observe(1e-4)
+	o.InBusySeconds.Add(0, 1.5)
+	o.InBusySeconds.Add(1, 0.5)
+
+	var got map[string]json.RawMessage
+	if err := json.Unmarshal(o.Snapshot().JSON(), &got); err != nil {
+		t.Fatalf("snapshot JSON invalid: %v", err)
+	}
+	var setups int64
+	if err := json.Unmarshal(got[NameCircuitSetups], &setups); err != nil || setups != 2 {
+		t.Errorf("circuit.setups = %s (err %v), want 2", got[NameCircuitSetups], err)
+	}
+	var gauge GaugeValue
+	if err := json.Unmarshal(got[NameQueueDepth], &gauge); err != nil {
+		t.Fatalf("gauge: %v", err)
+	}
+	if gauge.Value != 4 || gauge.High != 9 {
+		t.Errorf("gauge = %+v, want value 4 high 9", gauge)
+	}
+	var vec VecValue
+	if err := json.Unmarshal(got[NameInBusySeconds], &vec); err != nil {
+		t.Fatalf("vec: %v", err)
+	}
+	if vec.Count != 2 || vec.Sum != 2.0 || vec.Max != 1.5 {
+		t.Errorf("vec = %+v", vec)
+	}
+}
+
+func TestSummaryDutyCycleAndSub(t *testing.T) {
+	o := New()
+	o.CircuitSetups.Add(10)
+	o.SetupSeconds.Add(0.1)
+	o.HoldSeconds.Add(1.0)
+	first := o.Summary()
+	if math.Abs(first.DutyCycle-0.9) > 1e-12 {
+		t.Errorf("duty = %v, want 0.9", first.DutyCycle)
+	}
+	o.CircuitSetups.Add(5)
+	o.SetupSeconds.Add(0.05)
+	o.HoldSeconds.Add(0.1)
+	d := o.Summary().Sub(first)
+	if d.CircuitSetups != 5 {
+		t.Errorf("delta setups = %d, want 5", d.CircuitSetups)
+	}
+	if math.Abs(d.DutyCycle-0.5) > 1e-9 {
+		t.Errorf("delta duty = %v, want 0.5", d.DutyCycle)
+	}
+}
+
+// TestNewWithTypedNilSinkDisablesTracing guards the typed-nil interface
+// footgun: a nil *JSONLSink wrapped in the Sink interface must behave like
+// no sink at all.
+func TestNewWithTypedNilSinkDisablesTracing(t *testing.T) {
+	var sink *JSONLSink
+	o := NewWith(NewRegistry(), sink)
+	if o.TraceEnabled() {
+		t.Fatal("typed-nil sink reads as trace-enabled")
+	}
+	o.Emit(Event{Kind: KindCircuitUp}) // must not panic
+}

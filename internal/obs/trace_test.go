@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestJSONLSinkWritesOneObjectPerLine(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	o := NewWith(NewRegistry(), sink)
+	o.Emit(Event{T: 0, Kind: KindCoflowAdmit, Coflow: 7, Src: -1, Dst: -1})
+	o.Scoped("sunflow").Emit(Event{T: 0.5, Kind: KindCircuitUp, Coflow: 7, Src: 2, Dst: 3, Bytes: 1e6, Dur: 0.01})
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var first, second Event
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatalf("line 2 not JSON: %v", err)
+	}
+	if first.Kind != KindCoflowAdmit || first.Coflow != 7 || first.Src != -1 {
+		t.Errorf("first = %+v", first)
+	}
+	if second.Kind != KindCircuitUp || second.Scope != "sunflow" || second.Dur != 0.01 {
+		t.Errorf("second = %+v", second)
+	}
+}
+
+func TestJSONLSinkConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sink.Emit(Event{T: float64(i), Kind: KindFlowFinish, Coflow: i, Src: -1, Dst: -1})
+			}
+		}()
+	}
+	wg.Wait()
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 800 {
+		t.Fatalf("got %d lines, want 800", len(lines))
+	}
+	for _, ln := range lines {
+		var ev Event
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("interleaved write produced invalid JSON: %v in %q", err, ln)
+		}
+	}
+}
+
+func TestSliceSinkCount(t *testing.T) {
+	s := &SliceSink{}
+	o := NewWith(NewRegistry(), s)
+	if !o.TraceEnabled() {
+		t.Fatal("observer with sink must report tracing enabled")
+	}
+	o.Emit(Event{Kind: KindCircuitUp})
+	o.Emit(Event{Kind: KindCircuitUp})
+	o.Emit(Event{Kind: KindCircuitDown})
+	if s.Count(KindCircuitUp) != 2 || s.Count(KindCircuitDown) != 1 || s.Count(KindWindowOpen) != 0 {
+		t.Errorf("counts wrong: %+v", s.Events())
+	}
+}
+
+func TestFormatSummariesSkipsEmptyScopes(t *testing.T) {
+	o := New()
+	o.Scoped("sunflow").CircuitSetups.Add(4)
+	o.Scoped("sunflow").SetupSeconds.Add(0.04)
+	o.Scoped("sunflow").HoldSeconds.Add(0.4)
+	o.Scoped("idle") // never touched
+	out := FormatSummaries(o)
+	if !strings.Contains(out, "sunflow") {
+		t.Errorf("missing sunflow scope:\n%s", out)
+	}
+	if strings.Contains(out, "idle") {
+		t.Errorf("empty scope should be skipped:\n%s", out)
+	}
+	if FormatSummaries(nil) != "" {
+		t.Error("nil observer must format to empty string")
+	}
+}

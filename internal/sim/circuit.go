@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"sunflow/internal/coflow"
 	"sunflow/internal/core"
 	"sunflow/internal/fabric"
+	"sunflow/internal/obs"
 )
 
 // CircuitOptions configures the online circuit-switched simulation.
@@ -28,6 +30,9 @@ type CircuitOptions struct {
 	Seed int64
 	// Fair optionally enables the starvation-avoidance windows of §4.2.
 	Fair *core.FairWindows
+	// Obs optionally records metrics and trace events. Nil disables all
+	// instrumentation at the cost of one nil-check per site.
+	Obs *obs.Observer
 }
 
 // RunCircuit simulates the Coflows on a Sunflow-scheduled optical circuit
@@ -62,6 +67,9 @@ func RunCircuit(coflows []*coflow.Coflow, opts CircuitOptions) (Result, error) {
 		res:     &res,
 		live:    map[int]*liveCoflow{},
 		pending: arrivalsOrder,
+	}
+	if o := opts.Obs; o != nil {
+		defer func() { o.SimEvents.Add(int64(res.Events)) }()
 	}
 
 	t := 0.0
@@ -123,6 +131,9 @@ type liveCoflow struct {
 	finish float64
 	// flowFinish records actual flow completion instants.
 	flowFinish map[fabric.FlowKey]float64
+	// flowStarted marks flows whose first byte was carried; allocated only
+	// when event tracing is on.
+	flowStarted map[fabric.FlowKey]bool
 }
 
 // circuitState is the mutable simulation state.
@@ -153,12 +164,20 @@ func (s *circuitState) admit(now float64) {
 			s.res.Finish[c.ID] = c.Arrival
 			continue
 		}
-		s.live[c.ID] = &liveCoflow{
+		lc := &liveCoflow{
 			c:          c,
 			rem:        rem,
 			finish:     math.Inf(1),
 			flowFinish: make(map[fabric.FlowKey]float64, len(rem)),
 		}
+		if o := s.opts.Obs; o != nil {
+			o.CoflowsAdmitted.Inc()
+			if o.TraceEnabled() {
+				lc.flowStarted = make(map[fabric.FlowKey]bool, len(rem))
+				o.Emit(obs.Event{T: now, Kind: obs.KindCoflowAdmit, Coflow: c.ID, Src: -1, Dst: -1, Bytes: c.TotalBytes()})
+			}
+		}
+		s.live[c.ID] = lc
 	}
 }
 
@@ -172,9 +191,24 @@ func (s *circuitState) credit(from, to float64) {
 	// Reservations in start order so sequential reservations of one flow
 	// are credited in the order they deliver.
 	sort.Slice(s.plan, func(a, b int) bool { return s.plan[a].Start < s.plan[b].Start })
+	o := s.opts.Obs
 	for _, r := range s.plan {
 		if r.Start >= from-timeEps && r.Start < to-timeEps {
 			s.res.SwitchCount[r.CoflowID]++
+			if o != nil {
+				o.CircuitSetups.Inc()
+				o.SetupSeconds.Add(r.Setup)
+				o.HoldSeconds.Add(r.End - r.Start)
+				o.PlannedBytes.Add(r.Bytes)
+				o.InBusySeconds.Add(r.In, r.End-r.Start)
+				o.OutBusySeconds.Add(r.Out, r.End-r.Start)
+				if o.TraceEnabled() {
+					o.Emit(obs.Event{T: r.Start, Kind: obs.KindCircuitUp, Coflow: r.CoflowID, Src: r.In, Dst: r.Out, Bytes: r.Bytes, Dur: r.Setup})
+				}
+			}
+		}
+		if o.TraceEnabled() && r.End > from+timeEps && r.End <= to+timeEps {
+			o.Emit(obs.Event{T: r.End, Kind: obs.KindCircuitDown, Coflow: r.CoflowID, Src: r.In, Dst: r.Out})
 		}
 		lc := s.live[r.CoflowID]
 		if lc == nil {
@@ -189,6 +223,13 @@ func (s *circuitState) credit(from, to float64) {
 		if rem <= 0 {
 			continue
 		}
+		if o != nil {
+			o.BytesDelivered.Add(math.Min(rem, d))
+		}
+		if lc.flowStarted != nil && !lc.flowStarted[key] {
+			lc.flowStarted[key] = true
+			o.Emit(obs.Event{T: math.Max(from, r.TransmitStart()), Kind: obs.KindFlowStart, Coflow: r.CoflowID, Src: r.In, Dst: r.Out})
+		}
 		if rem <= d+byteEps {
 			// The flow drains inside this reservation; solve for the
 			// instant.
@@ -197,6 +238,9 @@ func (s *circuitState) credit(from, to float64) {
 			lc.rem[key] = 0
 			if _, done := lc.flowFinish[key]; !done {
 				lc.flowFinish[key] = finish
+				if o.TraceEnabled() {
+					o.Emit(obs.Event{T: finish, Kind: obs.KindFlowFinish, Coflow: r.CoflowID, Src: r.In, Dst: r.Out})
+				}
 			}
 		} else {
 			lc.rem[key] = rem - d
@@ -213,7 +257,18 @@ func (s *circuitState) credit(from, to float64) {
 // demand of all live Coflows on that port pair with equal instantaneous
 // shares.
 func (s *circuitState) creditFairWindows(from, to float64) {
+	o := s.opts.Obs
 	for _, w := range s.opts.Fair.WindowsIn(from, to) {
+		if o.TraceEnabled() {
+			// Windows can straddle several credit intervals; emit each
+			// boundary only in the interval containing it.
+			if w.Start >= from-timeEps && w.Start < to-timeEps {
+				o.Emit(obs.Event{T: w.Start, Kind: obs.KindWindowOpen, Coflow: -1, Src: -1, Dst: -1, Dur: w.End - w.Start})
+			}
+			if w.End > from+timeEps && w.End <= to+timeEps {
+				o.Emit(obs.Event{T: w.End, Kind: obs.KindWindowClose, Coflow: -1, Src: -1, Dst: -1})
+			}
+		}
 		txStart := w.Start + s.opts.Delta
 		segStart := math.Max(from, txStart)
 		segEnd := math.Min(to, w.End)
@@ -238,6 +293,13 @@ func (s *circuitState) creditFairWindows(from, to float64) {
 			served := core.ShareCircuit(rems, seconds, s.opts.LinkBps)
 			for idx, id := range ids {
 				lc := s.live[id]
+				if o != nil {
+					o.BytesDelivered.Add(math.Min(lc.rem[key], served[idx]))
+				}
+				if lc.flowStarted != nil && served[idx] > 0 && !lc.flowStarted[key] {
+					lc.flowStarted[key] = true
+					o.Emit(obs.Event{T: segStart, Kind: obs.KindFlowStart, Coflow: id, Src: i, Dst: j})
+				}
 				nr := lc.rem[key] - served[idx]
 				if nr <= byteEps {
 					lc.rem[key] = 0
@@ -245,6 +307,9 @@ func (s *circuitState) creditFairWindows(from, to float64) {
 						// Exact drain instants inside a shared window are
 						// not tracked; the window end bounds the error by τ.
 						lc.flowFinish[key] = segEnd
+						if o.TraceEnabled() {
+							o.Emit(obs.Event{T: segEnd, Kind: obs.KindFlowFinish, Coflow: id, Src: i, Dst: j})
+						}
 					}
 				} else {
 					lc.rem[key] = nr
@@ -292,6 +357,12 @@ func (s *circuitState) retire(now float64) {
 		s.res.Finish[id] = finish
 		s.res.CCT[id] = finish - lc.c.Arrival
 		delete(s.live, id)
+		if o := s.opts.Obs; o != nil {
+			o.CoflowsCompleted.Inc()
+			if o.TraceEnabled() {
+				o.Emit(obs.Event{T: finish, Kind: obs.KindCoflowComplete, Coflow: id, Src: -1, Dst: -1, Dur: finish - lc.c.Arrival})
+			}
+		}
 	}
 }
 
@@ -299,6 +370,11 @@ func (s *circuitState) retire(now float64) {
 // kept (non-preemption), everything else is rescheduled with InterCoflow in
 // policy order against the remaining demand.
 func (s *circuitState) replan(now float64) {
+	o := s.opts.Obs
+	var passStart time.Time
+	if o != nil {
+		passStart = time.Now()
+	}
 	// Keep only circuits already established and still holding their ports.
 	locked := s.plan[:0]
 	lockedFuture := map[int]map[fabric.FlowKey]float64{}
@@ -340,6 +416,7 @@ func (s *circuitState) replan(now float64) {
 			Start:   math.Max(now, lc.c.Arrival),
 			Order:   s.opts.Order,
 			Seed:    s.opts.Seed,
+			Obs:     s.opts.Obs,
 		})
 		if err != nil {
 			// IntraCoflow cannot stall on a finite PRT without blackout
@@ -355,6 +432,13 @@ func (s *circuitState) replan(now float64) {
 		}
 		lc.finish = finish
 		s.plan = append(s.plan, sched.Reservations...)
+	}
+	if o != nil {
+		d := time.Since(passStart).Seconds()
+		o.SchedPasses.Inc()
+		o.SchedSeconds.Add(d)
+		o.SchedPassTime.Observe(d)
+		o.QueueDepth.Set(int64(len(s.plan)))
 	}
 }
 

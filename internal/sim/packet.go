@@ -12,9 +12,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"sunflow/internal/coflow"
 	"sunflow/internal/fabric"
+	"sunflow/internal/obs"
 )
 
 // byteEps is the residual demand below which a flow counts as finished. One
@@ -78,10 +80,11 @@ const maxEvents = 50_000_000
 // flowState is one live flow's fluid state: rem is exact as of the owning
 // coflowState's sync time; rate is fixed until the next recomputation.
 type flowState struct {
-	key  fabric.FlowKey
-	rem  float64
-	rate float64
-	done bool
+	key     fabric.FlowKey
+	rem     float64
+	rate    float64
+	done    bool
+	started bool // first positive rate seen; only tracked when tracing
 }
 
 // coflowState tracks one admitted, unfinished Coflow.
@@ -123,6 +126,12 @@ func (h *pktHeap) Pop() interface{} {
 // rates, tracked lazily so each interval costs O(F) once rather than per
 // event.
 func RunPacket(coflows []*coflow.Coflow, ports int, linkBps float64, alloc fabric.RateAllocator) (Result, error) {
+	return RunPacketObs(coflows, ports, linkBps, alloc, nil)
+}
+
+// RunPacketObs is RunPacket with an optional Observer recording metrics and
+// trace events (nil behaves exactly like RunPacket).
+func RunPacketObs(coflows []*coflow.Coflow, ports int, linkBps float64, alloc fabric.RateAllocator, o *obs.Observer) (Result, error) {
 	res := Result{CCT: map[int]float64{}, Finish: map[int]float64{}, SwitchCount: map[int]int{}}
 	if linkBps <= 0 {
 		return res, fmt.Errorf("sim: link bandwidth must be positive, got %v", linkBps)
@@ -130,6 +139,9 @@ func RunPacket(coflows []*coflow.Coflow, ports int, linkBps float64, alloc fabri
 	arrivalsOrder, _, err := prepare(coflows, ports)
 	if err != nil {
 		return res, err
+	}
+	if o != nil {
+		defer func() { o.SimEvents.Add(int64(res.Events)) }()
 	}
 	notifier, _ := alloc.(ThresholdNotifier)
 	frozen := false
@@ -178,6 +190,12 @@ func RunPacket(coflows []*coflow.Coflow, ports int, linkBps float64, alloc fabri
 			cs.liveN = len(cs.flows)
 			live[c.ID] = cs
 			any = true
+			if o != nil {
+				o.CoflowsAdmitted.Inc()
+				if o.TraceEnabled() {
+					o.Emit(obs.Event{T: now, Kind: obs.KindCoflowAdmit, Coflow: c.ID, Src: -1, Dst: -1, Bytes: c.TotalBytes()})
+				}
+			}
 		}
 		return any
 	}
@@ -197,6 +215,9 @@ func RunPacket(coflows []*coflow.Coflow, ports int, linkBps float64, alloc fabri
 				served := math.Min(f.rem, f.rate*dt/8)
 				f.rem -= served
 				cs.attained += served
+				if o != nil {
+					o.BytesDelivered.Add(served)
+				}
 			}
 		}
 		lastSync = now
@@ -204,6 +225,10 @@ func RunPacket(coflows []*coflow.Coflow, ports int, linkBps float64, alloc fabri
 
 	// recompute reallocates rates at time now and rebuilds the event heap.
 	recompute := func(now float64) {
+		var passStart time.Time
+		if o != nil {
+			passStart = time.Now()
+		}
 		// Reap flows that a sync drove to completion exactly at an event
 		// boundary (their own completion event was invalidated by the
 		// generation bump); without this they would idle at zero demand.
@@ -213,12 +238,21 @@ func RunPacket(coflows []*coflow.Coflow, ports int, linkBps float64, alloc fabri
 					f.rem = 0
 					f.done = true
 					cs.liveN--
+					if o.TraceEnabled() {
+						o.Emit(obs.Event{T: now, Kind: obs.KindFlowFinish, Coflow: id, Src: f.key.Src, Dst: f.key.Dst})
+					}
 				}
 			}
 			if cs.liveN == 0 {
 				delete(live, id)
 				res.Finish[id] = now
 				res.CCT[id] = now - cs.arrival
+				if o != nil {
+					o.CoflowsCompleted.Inc()
+					if o.TraceEnabled() {
+						o.Emit(obs.Event{T: now, Kind: obs.KindCoflowComplete, Coflow: id, Src: -1, Dst: -1, Dur: now - cs.arrival})
+					}
+				}
 			}
 		}
 
@@ -249,6 +283,10 @@ func RunPacket(coflows []*coflow.Coflow, ports int, linkBps float64, alloc fabri
 				f.rate = rates[id][f.key]
 				totalRate += f.rate
 				if f.rate > 0 {
+					if !f.started && o.TraceEnabled() {
+						f.started = true
+						o.Emit(obs.Event{T: now, Kind: obs.KindFlowStart, Coflow: id, Src: f.key.Src, Dst: f.key.Dst})
+					}
 					fin := now + f.rem*8/f.rate
 					events = append(events, pktEvent{at: fin, gen: gen, flow: f, cf: cs})
 				}
@@ -261,6 +299,13 @@ func RunPacket(coflows []*coflow.Coflow, ports int, linkBps float64, alloc fabri
 			}
 		}
 		heap.Init(&events)
+		if o != nil {
+			d := time.Since(passStart).Seconds()
+			o.SchedPasses.Inc()
+			o.SchedSeconds.Add(d)
+			o.SchedPassTime.Observe(d)
+			o.QueueDepth.Set(int64(events.Len()))
+		}
 	}
 
 	admit(t)
@@ -329,10 +374,22 @@ func RunPacket(coflows []*coflow.Coflow, ports int, linkBps float64, alloc fabri
 		e.flow.done = true
 		e.cf.attained += served
 		e.cf.liveN--
+		if o != nil {
+			o.BytesDelivered.Add(served)
+			if o.TraceEnabled() {
+				o.Emit(obs.Event{T: t, Kind: obs.KindFlowFinish, Coflow: e.cf.id, Src: e.flow.key.Src, Dst: e.flow.key.Dst})
+			}
+		}
 		if e.cf.liveN == 0 {
 			delete(live, e.cf.id)
 			res.Finish[e.cf.id] = t
 			res.CCT[e.cf.id] = t - e.cf.arrival
+			if o != nil {
+				o.CoflowsCompleted.Inc()
+				if o.TraceEnabled() {
+					o.Emit(obs.Event{T: t, Kind: obs.KindCoflowComplete, Coflow: e.cf.id, Src: -1, Dst: -1, Dur: t - e.cf.arrival})
+				}
+			}
 			sync(t)
 			recompute(t)
 			continue

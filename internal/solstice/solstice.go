@@ -10,11 +10,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"sunflow/internal/bvn"
 	"sunflow/internal/coflow"
 	"sunflow/internal/fabric"
 	"sunflow/internal/matching"
+	"sunflow/internal/obs"
 )
 
 // Options configures the scheduler.
@@ -26,6 +28,10 @@ type Options struct {
 	// timescale are never scheduled; the executor charges the actual δ per
 	// reconfiguration.
 	Delta float64
+	// Obs optionally records scheduling metrics (pass counts, wall time,
+	// assignments produced) and, via the executor, circuit and delivery
+	// counters. Nil disables instrumentation.
+	Obs *obs.Observer
 }
 
 // Stats reports details of one scheduling run.
@@ -260,10 +266,18 @@ func maxEntry(m [][]float64) float64 {
 // the execution outcome. It is the one-call entry point used by the
 // intra-Coflow experiments.
 func Run(c *coflow.Coflow, n int, opts Options, model fabric.Model) (fabric.ExecResult, Stats, error) {
+	passStart := time.Now()
 	asg, st, err := Schedule(c, n, opts)
+	if o := opts.Obs; o != nil {
+		elapsed := time.Since(passStart).Seconds()
+		o.SchedPasses.Inc()
+		o.SchedSeconds.Add(elapsed)
+		o.SchedPassTime.Observe(elapsed)
+		o.Reservations.Add(int64(st.Assignments))
+	}
 	if err != nil {
 		return fabric.ExecResult{}, st, err
 	}
-	res, err := fabric.Execute(c.DemandMatrix(n), asg, opts.LinkBps, opts.Delta, 0, model)
+	res, err := fabric.ExecuteObs(c.DemandMatrix(n), asg, opts.LinkBps, opts.Delta, 0, model, opts.Obs)
 	return res, st, err
 }

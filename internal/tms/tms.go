@@ -17,10 +17,12 @@ package tms
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"sunflow/internal/bvn"
 	"sunflow/internal/coflow"
 	"sunflow/internal/fabric"
+	"sunflow/internal/obs"
 )
 
 // Options configures the scheduler.
@@ -35,6 +37,10 @@ type Options struct {
 	MinSlot float64
 	// MaxRounds bounds the drain loop in Run; zero means a generous default.
 	MaxRounds int
+	// Obs optionally records scheduling metrics (one pass per drain round)
+	// and, via the executor, circuit and delivery counters. Nil disables
+	// instrumentation.
+	Obs *obs.Observer
 }
 
 // Schedule computes one TMS round for the demand matrix (bytes): Sinkhorn
@@ -115,14 +121,22 @@ func Run(c *coflow.Coflow, n int, opts Options, model fabric.Model) (fabric.Exec
 			combined.Unserved = 0
 			return combined, nil
 		}
+		passStart := time.Now()
 		asg, err := Schedule(rem, opts)
+		if o := opts.Obs; o != nil {
+			elapsed := time.Since(passStart).Seconds()
+			o.SchedPasses.Inc()
+			o.SchedSeconds.Add(elapsed)
+			o.SchedPassTime.Observe(elapsed)
+			o.Reservations.Add(int64(len(asg)))
+		}
 		if err != nil {
 			return combined, err
 		}
 		if len(asg) == 0 {
 			break
 		}
-		res, err := fabric.Execute(rem, asg, opts.LinkBps, opts.Delta, t, model)
+		res, err := fabric.ExecuteObs(rem, asg, opts.LinkBps, opts.Delta, t, model, opts.Obs)
 		if err != nil {
 			return combined, err
 		}

@@ -9,13 +9,21 @@ package varys
 import (
 	"math"
 	"sort"
+	"time"
 
 	"sunflow/internal/fabric"
+	"sunflow/internal/obs"
 )
 
 // Allocator computes Varys rates; it implements fabric.RateAllocator. The
 // zero value is ready to use.
-type Allocator struct{}
+type Allocator struct {
+	// Obs optionally records allocator-level metrics: each Allocate call
+	// counts one intra pass with its wall time. The driving simulator
+	// accounts sim-level pass counters separately, so the two never double
+	// count. Nil disables instrumentation.
+	Obs *obs.Observer
+}
 
 // Name implements fabric.RateAllocator.
 func (Allocator) Name() string { return "varys" }
@@ -35,7 +43,14 @@ func (Allocator) PacedByCoflowEvents() bool { return true }
 // bandwidth is finally backfilled greedily. The backfill is per flow, which
 // is why subflows of one Coflow may finish at different times — the
 // inefficiency §5.4 observes for large Coflows.
-func (Allocator) Allocate(remaining map[int]map[fabric.FlowKey]float64, attained map[int]float64, arrival map[int]float64, linkBps float64, ports int) map[int]map[fabric.FlowKey]float64 {
+func (a Allocator) Allocate(remaining map[int]map[fabric.FlowKey]float64, attained map[int]float64, arrival map[int]float64, linkBps float64, ports int) map[int]map[fabric.FlowKey]float64 {
+	if o := a.Obs; o != nil {
+		passStart := time.Now()
+		defer func() {
+			o.IntraPasses.Inc()
+			o.IntraSeconds.Add(time.Since(passStart).Seconds())
+		}()
+	}
 	ids := sortSEBF(remaining, arrival, linkBps, ports)
 
 	availIn := make([]float64, ports)

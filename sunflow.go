@@ -32,6 +32,7 @@ import (
 	"sunflow/internal/core"
 	"sunflow/internal/fabric"
 	"sunflow/internal/hybrid"
+	"sunflow/internal/obs"
 	"sunflow/internal/sim"
 	"sunflow/internal/trace"
 	"sunflow/internal/workload"
@@ -104,6 +105,32 @@ type (
 	// HybridResult reports a hybrid simulation.
 	HybridResult = hybrid.Result
 )
+
+// Observability. An Observer threads counters and an optional JSONL event
+// trace through the simulators and schedulers (CircuitOptions.Obs,
+// Options.Obs, allocator Obs fields); a nil Observer disables everything.
+type (
+	// Observer is the instrumentation handle; see NewObserver.
+	Observer = obs.Observer
+	// ObsSummary is the headline metric set of one Observer scope.
+	ObsSummary = obs.Summary
+	// ObsEvent is one structured simulation trace event.
+	ObsEvent = obs.Event
+	// ObsSink consumes trace events (obs.NewJSONLSink writes JSON Lines).
+	ObsSink = obs.Sink
+)
+
+// NewObserver returns an Observer with tracing disabled; metrics accumulate
+// in a fresh registry and Snapshot()/Summary() export them.
+func NewObserver() *Observer { return obs.New() }
+
+// NewTracingObserver returns an Observer that additionally emits structured
+// simulation events to w as JSON Lines. Flush (or Close) the returned sink
+// before reading the output.
+func NewTracingObserver(w io.Writer) (*Observer, *obs.JSONLSink) {
+	sink := obs.NewJSONLSink(w)
+	return obs.NewWith(obs.NewRegistry(), sink), sink
+}
 
 // SimulateHybrid replays the workload on a hybrid fabric: a Sunflow-
 // scheduled circuit switch for bulk flows plus a small-bandwidth packet
