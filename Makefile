@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench bench-ci bench-baseline clean
+.PHONY: build test race lint bench bench-ci bench-baseline trace-lint clean
 
 build:
 	$(GO) build ./...
@@ -31,5 +31,12 @@ bench-ci:
 bench-baseline:
 	$(GO) test -bench . -benchtime 1x -count 3 -run '^$$' . | $(GO) run ./cmd/benchci -write-baseline BENCH_baseline.json
 
+# Trace a fixed-seed run, check the docs/TRACE.md invariants, render the
+# HTML report. Same pipeline as the CI trace job.
+trace-lint:
+	$(GO) run ./cmd/repro -seed 1 -coflows 40 -ports 24 -maxwidth 8 -trace events.jsonl fig9
+	$(GO) run ./cmd/sunflow-analyze lint events.jsonl
+	$(GO) run ./cmd/sunflow-analyze report -o report.html events.jsonl
+
 clean:
-	rm -f BENCH_ci.json
+	rm -f BENCH_ci.json events.jsonl report.html

@@ -11,6 +11,12 @@
 //
 //	go test -bench . -benchtime 1x -run '^$' . | benchci -out BENCH_ci.json -baseline BENCH_baseline.json
 //	go test -bench . -benchtime 1x -run '^$' . | benchci -write-baseline BENCH_baseline.json
+//	go test -bench . -benchtime 1x -run '^$' . | benchci -list
+//
+// At startup benchci prints how each raw benchmark name was normalized
+// (the -GOMAXPROCS suffix stripped) so baseline mismatches across machines
+// are diagnosable from the CI log. -list stops after that: it prints the
+// parsed benchmarks and exits without collecting metrics or gating.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -40,14 +47,30 @@ func main() {
 	baseline := flag.String("baseline", "", "compare ns/op against this baseline report; missing file skips the gate")
 	writeBaseline := flag.String("write-baseline", "", "write the report to this file as the new baseline and skip the gate")
 	tolerance := flag.Float64("tolerance", 0.25, "fail when ns/op exceeds baseline by more than this fraction")
+	list := flag.Bool("list", false, "print the parsed benchmarks and exit without writing a report or gating")
 	flag.Parse()
 
-	benches, err := parseBench(os.Stdin)
+	benches, mapping, err := parseBench(os.Stdin)
 	if err != nil {
 		fatal(err)
 	}
 	if len(benches) == 0 {
 		fatal(fmt.Errorf("no benchmark lines on stdin (pipe `go test -bench . -benchtime 1x -run '^$'` into benchci)"))
+	}
+	// Name normalization is the part of the pipeline that silently breaks
+	// when machines disagree, so say what happened up front, once.
+	for _, raw := range sortedKeysOf(mapping) {
+		if norm := mapping[raw]; norm != raw {
+			fmt.Printf("benchci: name %s -> %s\n", raw, norm)
+		} else {
+			fmt.Printf("benchci: name %s (unchanged)\n", raw)
+		}
+	}
+	if *list {
+		for _, name := range sortedKeys(benches) {
+			fmt.Printf("benchci: %-40s %12.0f ns/op\n", name, benches[name])
+		}
+		return
 	}
 
 	metrics, err := bench.CollectCIMetrics()
@@ -84,9 +107,11 @@ func main() {
 // parseBench extracts "BenchmarkName-N  iters  12345 ns/op" lines. A
 // benchmark appearing several times (go test -count N) keeps its fastest
 // run: the minimum is the least noisy estimate of true cost, which is what
-// both the baseline and the gated measurement should record.
-func parseBench(r *os.File) (map[string]float64, error) {
+// both the baseline and the gated measurement should record. The second
+// return value maps each raw name to its normalized form.
+func parseBench(r io.Reader) (map[string]float64, map[string]string, error) {
 	out := map[string]float64{}
+	mapping := map[string]string{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -109,11 +134,12 @@ func parseBench(r *os.File) (map[string]float64, error) {
 			continue
 		}
 		name := stripProcs(f[0])
+		mapping[f[0]] = name
 		if prev, ok := out[name]; !ok || ns < prev {
 			out[name] = ns
 		}
 	}
-	return out, sc.Err()
+	return out, mapping, sc.Err()
 }
 
 // stripProcs removes the trailing -GOMAXPROCS suffix Go appends to benchmark
@@ -167,6 +193,15 @@ func gate(cur, base Report, tol float64) bool {
 }
 
 func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedKeysOf(m map[string]string) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)

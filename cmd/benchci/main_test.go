@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchNormalizesAndKeepsFastest(t *testing.T) {
+	in := `goos: linux
+BenchmarkFig8_InterAvgCCT-8   	       1	 123456789 ns/op
+BenchmarkFig8_InterAvgCCT-8   	       1	 100000000 ns/op
+BenchmarkIntraSchedule/n=4    	    5000	      2500 ns/op	 320 B/op
+PASS
+`
+	benches, mapping, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := benches["BenchmarkFig8_InterAvgCCT"]; got != 100000000 {
+		t.Errorf("fastest run not kept: %v", got)
+	}
+	if got := benches["BenchmarkIntraSchedule/n=4"]; got != 2500 {
+		t.Errorf("sub-benchmark = %v, want 2500", got)
+	}
+	if mapping["BenchmarkFig8_InterAvgCCT-8"] != "BenchmarkFig8_InterAvgCCT" {
+		t.Errorf("mapping = %v", mapping)
+	}
+	if mapping["BenchmarkIntraSchedule/n=4"] != "BenchmarkIntraSchedule/n=4" {
+		t.Errorf("suffix-free name must map to itself: %v", mapping)
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkX-16":     "BenchmarkX",
+		"BenchmarkX":        "BenchmarkX",
+		"BenchmarkX-n":      "BenchmarkX-n",
+		"BenchmarkA/b=2-4":  "BenchmarkA/b=2",
+		"BenchmarkTrailing": "BenchmarkTrailing",
+	}
+	for in, want := range cases {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

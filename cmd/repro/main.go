@@ -4,7 +4,7 @@
 // Usage:
 //
 //	repro [-seed 1] [-coflows 526] [-ports 150] [-maxwidth 40]
-//	      [-metrics] [-trace file] [-pprof addr] [experiments...]
+//	      [-metrics] [-trace file] [-http addr] [-pprof addr] [experiments...]
 //
 // With no arguments it runs everything. Experiment ids: table3, table4,
 // fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig10, baselines, ordering,
@@ -13,7 +13,10 @@
 // -metrics prints each experiment's per-scheduler observability summary
 // (circuit setups, δ time paid, duty cycle, scheduler-pass wall time).
 // -trace writes the structured simulation event stream (circuit up/down,
-// flow and Coflow lifecycle) as JSON Lines to the given file. -pprof serves
+// flow and Coflow lifecycle) as JSON Lines to the given file; feed it to
+// sunflow-analyze for timelines, linting and reports. -http serves live
+// Prometheus /metrics, /healthz, expvar and net/http/pprof for the whole
+// run (all experiments accumulate into one registry). -pprof serves bare
 // net/http/pprof on the given address for live profiling of long runs.
 package main
 
@@ -29,6 +32,7 @@ import (
 	"sunflow/internal/bench"
 	"sunflow/internal/core"
 	"sunflow/internal/obs"
+	"sunflow/internal/obs/obshttp"
 )
 
 func main() {
@@ -38,6 +42,7 @@ func main() {
 	maxWidth := flag.Int("maxwidth", 60, "max shuffle fan-in/out")
 	metrics := flag.Bool("metrics", false, "print per-scheduler observability summaries after each experiment")
 	traceOut := flag.String("trace", "", "write the JSONL simulation event trace to this file")
+	httpAddr := flag.String("http", "", "serve live /metrics, /healthz, expvar and pprof on this address (e.g. :8080)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
@@ -61,6 +66,21 @@ func main() {
 		defer sink.Close()
 	}
 
+	// With -http all experiments share one Registry so a scraper watching
+	// /metrics sees the whole run accumulate; without it each experiment gets
+	// a fresh Registry and the printed summaries stay per-experiment.
+	var liveReg *obs.Registry
+	if *httpAddr != "" {
+		liveReg = obs.NewRegistry()
+		srv, err := obshttp.Serve(*httpAddr, liveReg, obshttp.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("[metrics listening on http://%s/metrics]\n", srv.Addr())
+	}
+
 	cfg := bench.Config{
 		Seed:     *seed,
 		Coflows:  *coflows,
@@ -79,7 +99,7 @@ func main() {
 	}
 
 	for _, id := range wanted {
-		if *metrics || sink != nil {
+		if *metrics || sink != nil || liveReg != nil {
 			// A fresh observer per experiment keeps the printed summaries
 			// attributable; the trace sink is shared so one file carries the
 			// whole run. The nil *JSONLSink must not be wrapped in the Sink
@@ -88,7 +108,11 @@ func main() {
 			if sink != nil {
 				s = sink
 			}
-			cfg.Obs = obs.NewWith(obs.NewRegistry(), s)
+			reg := liveReg
+			if reg == nil {
+				reg = obs.NewRegistry()
+			}
+			cfg.Obs = obs.NewWith(reg, s)
 		}
 		start := time.Now()
 		out, err := run(cfg, strings.ToLower(id))

@@ -1,0 +1,164 @@
+// Command sunflow-analyze inspects JSONL simulation traces written with
+// -trace / -traceout: it reconstructs per-port circuit timelines, duty-cycle
+// and δ-overhead accounting and per-Coflow CCT distributions, lints the
+// trace's structural invariants, and renders SVG Gantt charts and an HTML
+// report.
+//
+// Usage:
+//
+//	sunflow-analyze analyze [trace.jsonl]   text summary per scheduler scope
+//	sunflow-analyze lint    [trace.jsonl]   check invariants; exit 1 on violations
+//	sunflow-analyze gantt   [trace.jsonl]   SVG circuit timeline to -o
+//	sunflow-analyze report  [trace.jsonl]   self-contained HTML report to -o
+//
+// With no file argument (or "-") the trace is read from stdin, so the tool
+// pipes: go run ./cmd/sunflow -traceout /dev/stdout ... | sunflow-analyze lint
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sunflow/internal/obs"
+	"sunflow/internal/obs/render"
+	"sunflow/internal/obs/replay"
+	"sunflow/internal/stats"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: sunflow-analyze <analyze|lint|gantt|report> [flags] [trace.jsonl]
+
+subcommands:
+  analyze   print per-scheduler duty cycle, δ overhead and CCT percentiles
+  lint      check trace invariants; exits 1 when violations are found
+  gantt     write an SVG per-port circuit timeline
+  report    write a self-contained HTML report
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+func main() {
+	out := flag.String("o", "", "output file for gantt/report (default stdout)")
+	scope := flag.String("scope", "", "scheduler scope for gantt (default: first scope with circuits)")
+	outPorts := flag.Bool("out-ports", false, "gantt: chart output ports instead of input ports")
+	width := flag.Int("width", 0, "gantt: chart width in pixels")
+	title := flag.String("title", "", "report/gantt title")
+	flag.Usage = usage
+	// Accept "sunflow-analyze <sub> [flags] [file]": carve the subcommand
+	// off before flag parsing so flags may follow it.
+	args := os.Args[1:]
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	sub := args[0]
+	_ = flag.CommandLine.Parse(args[1:])
+
+	events, err := readTrace(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	a := replay.Analyze(events)
+
+	switch sub {
+	case "analyze":
+		printAnalysis(os.Stdout, a)
+	case "lint":
+		for _, v := range a.Violations {
+			fmt.Fprintln(os.Stderr, v)
+		}
+		if n := len(a.Violations); n > 0 {
+			fmt.Fprintf(os.Stderr, "sunflow-analyze: %d violation(s) in %d events\n", n, a.Events)
+			os.Exit(1)
+		}
+		fmt.Printf("ok: %d events, %d scope(s), no violations\n", a.Events, len(a.Scopes))
+	case "gantt":
+		s := pickScope(a, *scope)
+		if s == nil {
+			fatal(fmt.Errorf("no scope with circuits in trace (scopes: %v)", a.ScopeNames()))
+		}
+		err = writeOut(*out, func(w io.Writer) error {
+			return render.GanttSVG(w, s, render.GanttOptions{Width: *width, In: !*outPorts, Title: *title})
+		})
+	case "report":
+		err = writeOut(*out, func(w io.Writer) error {
+			return render.Report(w, a, *title)
+		})
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sunflow-analyze:", err)
+	os.Exit(1)
+}
+
+func readTrace(path string) ([]obs.Event, error) {
+	if path == "" || path == "-" {
+		return replay.ReadAll(os.Stdin)
+	}
+	return replay.ReadFile(path)
+}
+
+func pickScope(a *replay.Analysis, name string) *replay.Scope {
+	if name != "" {
+		return a.Scope(name)
+	}
+	for _, n := range a.ScopeNames() {
+		if len(a.Scopes[n].Circuits) > 0 {
+			return a.Scopes[n]
+		}
+	}
+	return nil
+}
+
+func writeOut(path string, fn func(io.Writer) error) error {
+	if path == "" {
+		return fn(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func printAnalysis(w io.Writer, a *replay.Analysis) {
+	fmt.Fprintf(w, "%d events, span %.6gs – %.6gs\n", a.Events, a.Start, a.End)
+	for _, name := range a.ScopeNames() {
+		s := a.Scopes[name]
+		label := name
+		if label == "" {
+			label = "<root>"
+		}
+		fmt.Fprintf(w, "\n%s\n", label)
+		if s.CircuitSetups > 0 {
+			fmt.Fprintf(w, "  circuits: %d setups, %.6gs setup, %.6gs hold, duty %.4f, δ overhead %.4f\n",
+				s.CircuitSetups, s.SetupSeconds, s.HoldSeconds, s.DutyCycle, s.DeltaOverhead())
+		}
+		if s.Windows > 0 {
+			fmt.Fprintf(w, "  fair windows: %d\n", s.Windows)
+		}
+		if ccts := s.CCTs(); len(ccts) > 0 {
+			fmt.Fprintf(w, "  coflows: %d   CCT mean %.6gs  p50 %.6gs  p95 %.6gs  max %.6gs\n",
+				len(ccts), stats.Mean(ccts), stats.Percentile(ccts, 50),
+				stats.Percentile(ccts, 95), stats.Max(ccts))
+		}
+	}
+	if len(a.Violations) > 0 {
+		fmt.Fprintf(w, "\nlint: %d violation(s) — run `sunflow-analyze lint` for detail\n", len(a.Violations))
+	}
+}

@@ -8,12 +8,14 @@
 // Usage:
 //
 //	sunflow [-trace file] [-coflow id] [-b gbps] [-delta sec] [-policy scf|fifo] [-scheduler sunflow|solstice] [-v]
-//	        [-metrics] [-traceout file] [-pprof addr]
+//	        [-metrics] [-traceout file] [-http addr] [-pprof addr]
 //
 // -metrics prints the run's observability summary (circuit setups, δ time
 // paid, duty cycle, scheduler-pass wall time) and -traceout writes the
-// structured simulation event stream as JSON Lines; -pprof serves
-// net/http/pprof on the given address.
+// structured simulation event stream as JSON Lines (inspect it with
+// sunflow-analyze); -http serves live Prometheus /metrics, /healthz, expvar
+// and net/http/pprof; -pprof serves bare net/http/pprof on the given
+// address.
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"sunflow/internal/core"
 	"sunflow/internal/fabric"
 	"sunflow/internal/obs"
+	"sunflow/internal/obs/obshttp"
 	"sunflow/internal/sim"
 	"sunflow/internal/solstice"
 	"sunflow/internal/trace"
@@ -45,6 +48,7 @@ func main() {
 	gantt := flag.Int("gantt", 0, "with -coflow: render the schedule as a Gantt chart this many columns wide")
 	metrics := flag.Bool("metrics", false, "print the observability summary after the run")
 	traceOut := flag.String("traceout", "", "write the JSONL simulation event trace to this file")
+	httpAddr := flag.String("http", "", "serve live /metrics, /healthz, expvar and pprof on this address (e.g. :8080)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
@@ -58,7 +62,7 @@ func main() {
 
 	var o *obs.Observer
 	var sink *obs.JSONLSink
-	if *metrics || *traceOut != "" {
+	if *metrics || *traceOut != "" || *httpAddr != "" {
 		// The Sink interface must stay nil when no trace file is wanted; a
 		// typed-nil *JSONLSink would read as trace-enabled.
 		var s obs.Sink
@@ -72,6 +76,14 @@ func main() {
 			s = sink
 		}
 		o = obs.NewWith(obs.NewRegistry(), s)
+	}
+	if *httpAddr != "" {
+		srv, err := obshttp.Serve(*httpAddr, o.Registry(), obshttp.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("[metrics listening on http://%s/metrics]\n", srv.Addr())
 	}
 
 	tr, err := readTrace(*traceFile)

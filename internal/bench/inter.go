@@ -7,6 +7,7 @@ import (
 	"sunflow/internal/coflow"
 	"sunflow/internal/core"
 	"sunflow/internal/obs"
+	"sunflow/internal/obs/replay"
 	"sunflow/internal/sim"
 	"sunflow/internal/stats"
 	"sunflow/internal/varys"
@@ -24,6 +25,11 @@ type interRun struct {
 	SunObs   obs.Summary
 	VarysObs obs.Summary
 	AaloObs  obs.Summary
+	// SunReplayDuty is the Sunflow duty cycle reconstructed by replaying
+	// this run's trace events — an end-to-end cross-check of the counters
+	// (the two agree bit-exactly; see internal/obs/replay). Zero when
+	// Config.Obs is nil.
+	SunReplayDuty float64
 }
 
 // runInter replays the workload through Sunflow (circuit switched) and
@@ -37,6 +43,15 @@ func runInter(cfg Config, cs []*coflow.Coflow, linkBps float64) (interRun, error
 	aaloObs := cfg.Obs.Scoped("aalo")
 	sunPrev, varysPrev, aaloPrev := sunObs.Summary(), varysObs.Summary(), aaloObs.Summary()
 
+	// Tee this run's Sunflow events into a private buffer so the duty cycle
+	// can be re-derived from the trace alone; the user's sink (if any) still
+	// receives everything.
+	var cellSink *obs.SliceSink
+	if cfg.Obs != nil {
+		cellSink = &obs.SliceSink{}
+		sunObs = obs.NewWith(cfg.Obs.Registry(), obs.Tee(cfg.Obs.Sink(), cellSink)).Scoped("sunflow")
+	}
+
 	var out interRun
 	var err error
 	out.Sunflow, err = sim.RunCircuit(cs, sim.CircuitOptions{
@@ -47,6 +62,11 @@ func runInter(cfg Config, cs []*coflow.Coflow, linkBps float64) (interRun, error
 	})
 	if err != nil {
 		return out, fmt.Errorf("bench: sunflow inter: %w", err)
+	}
+	if cellSink != nil {
+		if s := replay.Analyze(cellSink.Events()).Scope("sunflow"); s != nil {
+			out.SunReplayDuty = s.DutyCycle
+		}
 	}
 	out.Varys, err = sim.RunPacketObs(cs, cfg.Ports, linkBps, varys.Allocator{Obs: varysObs}, varysObs)
 	if err != nil {
@@ -79,6 +99,9 @@ type Fig8Row struct {
 	SunObs   obs.Summary
 	VarysObs obs.Summary
 	AaloObs  obs.Summary
+	// SunReplayDuty is Sunflow's duty cycle re-derived from this cell's
+	// trace by internal/obs/replay (zero when Config.Obs is nil).
+	SunReplayDuty float64
 }
 
 // Fig8 reproduces Figure 8: Sunflow's average CCT normalized by Varys' and
@@ -114,15 +137,16 @@ func Fig8(cfg Config, bandwidths, idleness []float64) ([]Fig8Row, error) {
 				return rows, err
 			}
 			row := Fig8Row{
-				LinkBps:     b,
-				Idleness:    idle,
-				ScaleFactor: factor,
-				SunAvgCCT:   run.Sunflow.AverageCCT(),
-				VarysAvgCCT: run.Varys.AverageCCT(),
-				AaloAvgCCT:  run.Aalo.AverageCCT(),
-				SunObs:      run.SunObs,
-				VarysObs:    run.VarysObs,
-				AaloObs:     run.AaloObs,
+				LinkBps:       b,
+				Idleness:      idle,
+				ScaleFactor:   factor,
+				SunAvgCCT:     run.Sunflow.AverageCCT(),
+				VarysAvgCCT:   run.Varys.AverageCCT(),
+				AaloAvgCCT:    run.Aalo.AverageCCT(),
+				SunObs:        run.SunObs,
+				VarysObs:      run.VarysObs,
+				AaloObs:       run.AaloObs,
+				SunReplayDuty: run.SunReplayDuty,
 			}
 			if row.VarysAvgCCT > 0 {
 				row.SunOverVarys = row.SunAvgCCT / row.VarysAvgCCT
@@ -136,12 +160,24 @@ func Fig8(cfg Config, bandwidths, idleness []float64) ([]Fig8Row, error) {
 	return rows, nil
 }
 
-// FormatFig8 renders the Figure 8 grid.
+// FormatFig8 renders the Figure 8 grid. The duty column (Sunflow's circuit
+// duty cycle re-derived from the cell's trace) appears only when the rows
+// were collected with observability on.
 func FormatFig8(rows []Fig8Row) string {
+	withDuty := false
+	for _, r := range rows {
+		if r.SunReplayDuty > 0 {
+			withDuty = true
+			break
+		}
+	}
 	header := []string{"B", "idleness", "Sun avg CCT", "Varys avg", "Aalo avg", "Sun/Varys", "Sun/Aalo"}
+	if withDuty {
+		header = append(header, "Sun duty")
+	}
 	var out [][]string
 	for _, r := range rows {
-		out = append(out, []string{
+		row := []string{
 			fmt.Sprintf("%.0f Gbps", r.LinkBps/Gbps),
 			fmt.Sprintf("%.0f%%", r.Idleness*100),
 			fmt.Sprintf("%.3fs", r.SunAvgCCT),
@@ -149,7 +185,11 @@ func FormatFig8(rows []Fig8Row) string {
 			fmt.Sprintf("%.3fs", r.AaloAvgCCT),
 			fmt.Sprintf("%.2f", r.SunOverVarys),
 			fmt.Sprintf("%.2f", r.SunOverAalo),
-		})
+		}
+		if withDuty {
+			row = append(row, fmt.Sprintf("%.4f", r.SunReplayDuty))
+		}
+		out = append(out, row)
 	}
 	return "Figure 8 — inter-Coflow average CCT, Sunflow (OCS) vs Varys/Aalo (packet)\n" + table(header, out)
 }

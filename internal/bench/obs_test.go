@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -43,6 +44,14 @@ func TestFig8AttachesObsSummaries(t *testing.T) {
 	if r.SunObs.CoflowsCompleted != r.VarysObs.CoflowsCompleted {
 		t.Fatalf("completion counts differ: sun %d varys %d",
 			r.SunObs.CoflowsCompleted, r.VarysObs.CoflowsCompleted)
+	}
+	// The trace-replayed duty cycle must equal the counter-derived one
+	// exactly: same events, same accumulation order, same formula.
+	if r.SunReplayDuty != r.SunObs.DutyCycle {
+		t.Fatalf("replay duty %v != counter duty %v", r.SunReplayDuty, r.SunObs.DutyCycle)
+	}
+	if out := FormatFig8(rows); !strings.Contains(out, "Sun duty") {
+		t.Fatalf("FormatFig8 missing the duty column with obs on:\n%s", out)
 	}
 }
 

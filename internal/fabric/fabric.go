@@ -129,7 +129,7 @@ func ExecuteObs(rem [][]float64, schedule []Assignment, linkBps, delta, start fl
 				}
 			}
 			if o != nil && prev[i] >= 0 && prev[i] != j && o.TraceEnabled() {
-				o.Emit(obs.Event{T: t, Kind: obs.KindCircuitDown, Coflow: -1, Src: i, Dst: prev[i], Bytes: -1, Dur: -1})
+				o.Emit(obs.Event{T: t, Kind: obs.KindCircuitDown, Coflow: -1, Src: i, Dst: prev[i]})
 			}
 		}
 
@@ -161,7 +161,9 @@ func ExecuteObs(rem [][]float64, schedule []Assignment, linkBps, delta, start fl
 				o.InBusySeconds.Add(i, transmitEnd-slotStart)
 				o.OutBusySeconds.Add(j, transmitEnd-slotStart)
 				if changed[i] && o.TraceEnabled() {
-					o.Emit(obs.Event{T: slotStart, Kind: obs.KindCircuitUp, Coflow: -1, Src: i, Dst: j, Bytes: -1, Dur: txStart - slotStart})
+					// Bytes is omitted: assignment executors do not know the
+					// per-circuit planned demand, only the slot capacity.
+					o.Emit(obs.Event{T: slotStart, Kind: obs.KindCircuitUp, Coflow: -1, Src: i, Dst: j, Dur: txStart - slotStart})
 				}
 			}
 			if rem[i][j] <= 0 {
@@ -196,7 +198,7 @@ func ExecuteObs(rem [][]float64, schedule []Assignment, linkBps, delta, start fl
 	if o != nil && o.TraceEnabled() {
 		for i, j := range prev {
 			if j >= 0 {
-				o.Emit(obs.Event{T: t, Kind: obs.KindCircuitDown, Coflow: -1, Src: i, Dst: j, Bytes: -1, Dur: -1})
+				o.Emit(obs.Event{T: t, Kind: obs.KindCircuitDown, Coflow: -1, Src: i, Dst: j})
 			}
 		}
 	}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestHistogramQuantileEdges covers the degenerate shapes Quantile must
+// handle: no observations, a single occupied bucket, and q at the extremes.
+func TestHistogramQuantileEdges(t *testing.T) {
+	var empty Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram Quantile(0.5) = %v, want 0", got)
+	}
+	if got := empty.Quantile(1); got != 0 {
+		t.Errorf("empty histogram Quantile(1) = %v, want 0", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.99); got != 0 {
+		t.Errorf("nil histogram Quantile = %v, want 0", got)
+	}
+
+	// Single bucket: every quantile is clamped to the one observation.
+	var single Histogram
+	single.Observe(5)
+	for _, q := range []float64{0.01, 0.5, 0.95, 1} {
+		if got := single.Quantile(q); got != 5 {
+			t.Errorf("single-observation Quantile(%v) = %v, want 5 (clamped to max)", q, got)
+		}
+	}
+
+	// q=1 must return the max exactly, not a bucket upper bound above it.
+	var h Histogram
+	for _, x := range []float64{0.5, 1.5, 3, 7.25} {
+		h.Observe(x)
+	}
+	if got := h.Quantile(1); got != 7.25 {
+		t.Errorf("Quantile(1) = %v, want the exact max 7.25", got)
+	}
+	// A tiny q still ranks at least one observation.
+	if got := h.Quantile(1e-12); got <= 0 {
+		t.Errorf("Quantile(~0) = %v, want a positive bucket bound", got)
+	}
+	// Quantiles are monotone in q.
+	prev := 0.0
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1} {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Errorf("Quantile not monotone: Quantile(%v) = %v < %v", q, got, prev)
+		}
+		prev = got
+	}
+
+	// Zero and negative observations land in bucket 0 and stay finite.
+	var zero Histogram
+	zero.Observe(0)
+	if got := zero.Quantile(1); got != 0 {
+		t.Errorf("all-zero Quantile(1) = %v, want 0 (max is 0)", got)
+	}
+}
+
+// TestScopedConcurrentFirstUse hammers first-time scope creation from many
+// goroutines; under -race this proves the scope cache is safe, and the
+// pointer comparison proves every caller got the same child.
+func TestScopedConcurrentFirstUse(t *testing.T) {
+	o := New()
+	const workers = 16
+	names := []string{"sunflow", "varys", "aalo", "solstice"}
+	got := make([][]*Observer, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w] = make([]*Observer, len(names))
+			for i, n := range names {
+				c := o.Scoped(n)
+				c.CircuitSetups.Inc()
+				got[w][i] = c
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i, n := range names {
+		first := got[0][i]
+		if first == nil {
+			t.Fatalf("scope %q: nil child", n)
+		}
+		for w := 1; w < workers; w++ {
+			if got[w][i] != first {
+				t.Errorf("scope %q: goroutine %d got a different child observer", n, w)
+			}
+		}
+		if c := o.Scoped(n).CircuitSetups.Load(); c != workers {
+			t.Errorf("scope %q: CircuitSetups = %d, want %d (all goroutines shared one counter)", n, c, workers)
+		}
+	}
+}

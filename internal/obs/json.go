@@ -1,0 +1,87 @@
+package obs
+
+// Event JSON encoding. The documented contract is that Coflow, Src and Dst
+// hold -1 when they do not apply to a kind, and that Bytes and Dur are
+// omitted when zero. The default struct encoding broke the round trip: -1
+// sentinels were always written, and an event re-decoded from a line missing
+// those keys read 0 — a valid coflow/port id. The custom codec below omits
+// the -1 sentinels on encode and restores them on decode, so
+// Event -> JSON -> Event is the identity for every event the simulators
+// emit.
+
+import "encoding/json"
+
+// eventWire is Event's on-the-wire shape: the identity fields become
+// pointers so "absent" and "0" stay distinguishable in both directions.
+type eventWire struct {
+	T      float64 `json:"t"`
+	Kind   Kind    `json:"kind"`
+	Scope  string  `json:"scope,omitempty"`
+	Coflow *int    `json:"coflow,omitempty"`
+	Src    *int    `json:"src,omitempty"`
+	Dst    *int    `json:"dst,omitempty"`
+	Bytes  float64 `json:"bytes,omitempty"`
+	Dur    float64 `json:"dur,omitempty"`
+}
+
+// MarshalJSON writes the event with -1 identity sentinels omitted.
+func (e Event) MarshalJSON() ([]byte, error) {
+	w := eventWire{T: e.T, Kind: e.Kind, Scope: e.Scope, Bytes: e.Bytes, Dur: e.Dur}
+	if e.Coflow != -1 {
+		w.Coflow = &e.Coflow
+	}
+	if e.Src != -1 {
+		w.Src = &e.Src
+	}
+	if e.Dst != -1 {
+		w.Dst = &e.Dst
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON reads the event, defaulting absent identity fields to -1.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var w eventWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*e = Event{T: w.T, Kind: w.Kind, Scope: w.Scope, Bytes: w.Bytes, Dur: w.Dur, Coflow: -1, Src: -1, Dst: -1}
+	if w.Coflow != nil {
+		e.Coflow = *w.Coflow
+	}
+	if w.Src != nil {
+		e.Src = *w.Src
+	}
+	if w.Dst != nil {
+		e.Dst = *w.Dst
+	}
+	return nil
+}
+
+// Tee returns a sink forwarding every event to all non-nil sinks. With one
+// usable sink that sink is returned directly; with none, Tee returns nil so
+// the result still disables tracing.
+func Tee(sinks ...Sink) Sink {
+	var live []Sink
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return teeSink(live)
+}
+
+type teeSink []Sink
+
+// Emit implements Sink.
+func (t teeSink) Emit(ev Event) {
+	for _, s := range t {
+		s.Emit(ev)
+	}
+}

@@ -160,6 +160,16 @@ func (o *Observer) Registry() *Registry {
 	return o.reg
 }
 
+// Sink returns the trace sink events are emitted to, or nil when tracing is
+// disabled (nil-safe). Callers that want to tee extra consumers onto an
+// existing observer combine this with Tee and NewWith.
+func (o *Observer) Sink() Sink {
+	if o == nil {
+		return nil
+	}
+	return o.sink
+}
+
 // Snapshot exports the whole Registry (nil-safe).
 func (o *Observer) Snapshot() Snapshot {
 	if o == nil {

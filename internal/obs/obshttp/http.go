@@ -1,0 +1,164 @@
+// Package obshttp gives long simulation runs a live window: an HTTP server
+// exposing the obs Registry as Prometheus text exposition (/metrics) and
+// JSON (/metrics.json), a liveness probe (/healthz), the process expvar
+// table (/debug/vars) fed by a periodic Registry snapshot publisher, and
+// net/http/pprof (/debug/pprof/*) for profiling.
+//
+// The package is strictly opt-in: nothing is registered on the default
+// serve mux and no goroutine exists until Serve is called, so binaries that
+// do not pass -http pay nothing.
+package obshttp
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sunflow/internal/obs"
+)
+
+// DefaultPublishInterval is how often the expvar publisher refreshes its
+// Registry snapshot when Options.PublishInterval is zero.
+const DefaultPublishInterval = 5 * time.Second
+
+// expvarName is the key the Registry snapshot is published under in
+// /debug/vars.
+const expvarName = "sunflow"
+
+// expvar.Publish panics on duplicate names and offers no unpublish, so the
+// snapshot slot is process-global: every Server stores into the same atomic
+// cell and the expvar Func reads whichever snapshot was stored last.
+var (
+	expvarOnce sync.Once
+	expvarSnap atomic.Value // obs.Snapshot
+)
+
+// publishSnapshot refreshes the process-global expvar snapshot.
+func publishSnapshot(s obs.Snapshot) {
+	expvarSnap.Store(s)
+	expvarOnce.Do(func() {
+		expvar.Publish(expvarName, expvar.Func(func() any {
+			v, _ := expvarSnap.Load().(obs.Snapshot)
+			return v
+		}))
+	})
+}
+
+// Options tunes Serve.
+type Options struct {
+	// PublishInterval is the period of the Registry→expvar publisher; zero
+	// selects DefaultPublishInterval, negative disables the publisher (the
+	// /metrics endpoints still read the live Registry on every request).
+	PublishInterval time.Duration
+}
+
+// Handler returns the exposition mux for the Registry: /metrics (Prometheus
+// text), /metrics.json (Snapshot JSON), /healthz, /debug/vars (expvar) and
+// /debug/pprof/*.
+func Handler(reg *obs.Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = obs.WritePrometheus(w, reg)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var snap obs.Snapshot
+		if reg != nil {
+			snap = reg.Snapshot()
+		}
+		_, _ = w.Write(snap.JSON())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running exposition endpoint.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Serve binds addr (e.g. ":8080", "localhost:0") and serves Handler(reg) in
+// the background, refreshing the expvar snapshot on opts.PublishInterval
+// until Close. The returned Server reports the bound address via Addr.
+func Serve(addr string, reg *obs.Registry, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obshttp: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln:   ln,
+		srv:  &http.Server{Handler: Handler(reg)},
+		stop: make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		// ErrServerClosed is the normal Close path; anything else surfaces
+		// on the next scrape as a refused connection, which is the failure
+		// mode operators already watch for.
+		_ = s.srv.Serve(ln)
+	}()
+
+	interval := opts.PublishInterval
+	if interval == 0 {
+		interval = DefaultPublishInterval
+	}
+	if interval > 0 && reg != nil {
+		publishSnapshot(reg.Snapshot())
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					publishSnapshot(reg.Snapshot())
+				case <-s.stop:
+					// One final refresh so /debug/vars scraped between Close
+					// and process exit sees the run's end state.
+					publishSnapshot(reg.Snapshot())
+					return
+				}
+			}
+		}()
+	}
+	return s, nil
+}
+
+// Addr returns the bound listen address ("127.0.0.1:43211").
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the publisher and the HTTP server. Safe on nil.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	close(s.stop)
+	err := s.srv.Close()
+	s.wg.Wait()
+	return err
+}

@@ -1,0 +1,148 @@
+package obshttp
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"sunflow/internal/obs"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	o := obs.NewWith(reg, nil)
+	o.CircuitSetups.Add(42)
+	o.SetupSeconds.Add(0.5)
+	o.Scoped("sunflow").CoflowsCompleted.Add(7)
+
+	srv, err := Serve("127.0.0.1:0", reg, Options{PublishInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE circuit_setups counter",
+		"circuit_setups 42",
+		"circuit_setup_seconds 0.5",
+		"sunflow_sim_coflows_completed 7",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, base+"/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics.json status %d", code)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json not JSON: %v\n%s", err, body)
+	}
+	if snap["circuit.setups"] != float64(42) {
+		t.Errorf("/metrics.json circuit.setups = %v, want 42", snap["circuit.setups"])
+	}
+
+	code, body = get(t, base+"/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	// expvar carries the published snapshot (the publisher primed it at
+	// Serve time, before any tick).
+	code, body = get(t, base+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	if !strings.Contains(body, `"sunflow"`) || !strings.Contains(body, "circuit.setups") {
+		t.Errorf("/debug/vars missing published registry snapshot:\n%s", body)
+	}
+
+	// The publisher picks up later counter movement.
+	o.CircuitSetups.Add(1)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, body = get(t, base+"/debug/vars")
+		if strings.Contains(body, `"circuit.setups": 43`) || strings.Contains(body, `"circuit.setups":43`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("expvar snapshot never refreshed to 43:\n%s", body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	code, body = get(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d, body %d bytes", code, len(body))
+	}
+	code, _ = get(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+	// A CPU profile is reachable (1s keeps the test quick).
+	code, _ = get(t, base+"/debug/pprof/profile?seconds=1")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/profile status %d", code)
+	}
+}
+
+// TestCloseStopsGoroutines verifies Close reclaims both the serve and the
+// publisher goroutine — the "zero goroutines when disabled" half is the
+// absence of any Serve call at all, this guards the enabled half from leaks.
+func TestCloseStopsGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	srv, err := Serve("127.0.0.1:0", obs.NewRegistry(), Options{PublishInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, body := get(t, "http://"+srv.Addr()+"/healthz"); strings.TrimSpace(body) != "ok" {
+		t.Fatalf("healthz = %q", body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines after Close: %d, was %d before Serve", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServeNilPublisher disables the publisher with a negative interval.
+func TestServeNilPublisher(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", obs.NewRegistry(), Options{PublishInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if code, _ := get(t, "http://"+srv.Addr()+"/metrics"); code != http.StatusOK {
+		t.Errorf("/metrics status %d", code)
+	}
+}

@@ -1,0 +1,130 @@
+package obs
+
+// Prometheus text exposition (version 0.0.4) rendered straight from a
+// Registry, so a live /metrics endpoint needs no external client library.
+// Metric names are sanitized into the Prometheus grammar
+// ([a-zA-Z_:][a-zA-Z0-9_:]*): scoped dotted names like
+// "sunflow.circuit.setups" become "sunflow_circuit_setups". Histograms are
+// exported in the classic cumulative-bucket form, per-port vectors as one
+// sample per index under a "port" label, and gauges carry a companion
+// "_high" gauge for the high-water mark.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Each calls fn for every registered metric in sorted name order. The metric
+// values are the live metric objects (*Counter, *FloatCounter, *Gauge,
+// *Histogram, *FloatVec); fn must not retain them past the Registry's
+// lifetime but may read them freely.
+func (r *Registry) Each(fn func(name string, metric any)) {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	metrics := make(map[string]any, len(names))
+	for _, n := range names {
+		metrics[n] = r.metrics[n]
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	for _, n := range names {
+		fn(n, metrics[n])
+	}
+}
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format. A nil Registry writes nothing. The writer's error, if
+// any, is returned.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	if r == nil {
+		return nil
+	}
+	var err error
+	pr := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	r.Each(func(name string, m any) {
+		pn := PromName(name)
+		switch v := m.(type) {
+		case *Counter:
+			pr("# TYPE %s counter\n%s %d\n", pn, pn, v.Load())
+		case *FloatCounter:
+			pr("# TYPE %s counter\n%s %s\n", pn, pn, promFloat(v.Load()))
+		case *Gauge:
+			pr("# TYPE %s gauge\n%s %d\n", pn, pn, v.Load())
+			pr("# TYPE %s_high gauge\n%s_high %d\n", pn, pn, v.High())
+		case *Histogram:
+			writePromHistogram(pr, pn, v)
+		case *FloatVec:
+			n := v.Len()
+			if n == 0 {
+				return
+			}
+			pr("# TYPE %s gauge\n", pn)
+			for i := 0; i < n; i++ {
+				pr("%s{port=\"%d\"} %s\n", pn, i, promFloat(v.At(i)))
+			}
+		}
+	})
+	return err
+}
+
+// writePromHistogram renders the classic cumulative _bucket/_sum/_count
+// triple. Empty power-of-two buckets are skipped — cumulative counts stay
+// valid over any increasing subsequence of boundaries — keeping the output
+// proportional to the occupied range rather than the 64 fixed buckets.
+func writePromHistogram(pr func(string, ...any), pn string, h *Histogram) {
+	pr("# TYPE %s histogram\n", pn)
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		cum += n
+		pr("%s_bucket{le=\"%s\"} %d\n", pn, promFloat(histUpper(i)), cum)
+	}
+	pr("%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count())
+	pr("%s_sum %s\n", pn, promFloat(h.Sum()))
+	pr("%s_count %d\n", pn, h.Count())
+}
+
+// promFloat renders a float64 the way Prometheus expects.
+func promFloat(x float64) string {
+	switch {
+	case math.IsInf(x, 1):
+		return "+Inf"
+	case math.IsInf(x, -1):
+		return "-Inf"
+	case math.IsNaN(x):
+		return "NaN"
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+// PromName maps a registry metric name onto the Prometheus metric-name
+// grammar: every character outside [a-zA-Z0-9_:] becomes '_', and a leading
+// digit is prefixed with '_'.
+func PromName(name string) string {
+	var sb strings.Builder
+	sb.Grow(len(name) + 1)
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9')
+		if !ok {
+			sb.WriteByte('_')
+			continue
+		}
+		if i == 0 && c >= '0' && c <= '9' {
+			sb.WriteByte('_')
+		}
+		sb.WriteRune(c)
+	}
+	return sb.String()
+}

@@ -1,0 +1,98 @@
+package render
+
+import (
+	"bytes"
+	"encoding/xml"
+	"io"
+	"strings"
+	"testing"
+
+	"sunflow/internal/obs"
+	"sunflow/internal/obs/replay"
+	"sunflow/internal/sim"
+	"sunflow/internal/trace"
+)
+
+func analysis(t *testing.T) *replay.Analysis {
+	t.Helper()
+	sink := &obs.SliceSink{}
+	o := obs.NewWith(obs.NewRegistry(), sink).Scoped("sunflow")
+	cs := trace.Generator{Ports: 8, Coflows: 6, MaxWidth: 4, Seed: 3}.Trace().Coflows
+	if _, err := sim.RunCircuit(cs, sim.CircuitOptions{Ports: 8, LinkBps: 1e9, Delta: 0.01, Obs: o}); err != nil {
+		t.Fatal(err)
+	}
+	return replay.Analyze(sink.Events())
+}
+
+// wellFormedXML rejects unescaped text and unbalanced tags — the failure
+// modes of string-built SVG.
+func wellFormedXML(t *testing.T, doc string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	for {
+		if _, err := dec.Token(); err == io.EOF {
+			return
+		} else if err != nil {
+			t.Fatalf("malformed XML: %v\n%s", err, doc)
+		}
+	}
+}
+
+func TestGanttSVG(t *testing.T) {
+	a := analysis(t)
+	var buf bytes.Buffer
+	if err := GanttSVG(&buf, a.Scope("sunflow"), GanttOptions{In: true}); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	wellFormedXML(t, svg)
+	for _, want := range []string{"<svg", "circuit timeline", "in.0", "coflow"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("gantt missing %q", want)
+		}
+	}
+	// One rect per closed circuit plus the background and δ prefixes.
+	if n := strings.Count(svg, "<rect"); n < len(a.Scope("sunflow").Circuits) {
+		t.Errorf("only %d rects for %d circuits", n, len(a.Scope("sunflow").Circuits))
+	}
+}
+
+func TestGanttSVGEmptyScope(t *testing.T) {
+	var buf bytes.Buffer
+	empty := &replay.Scope{Name: "empty"}
+	if err := GanttSVG(&buf, empty, GanttOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	wellFormedXML(t, buf.String())
+}
+
+func TestReport(t *testing.T) {
+	a := analysis(t)
+	var buf bytes.Buffer
+	if err := Report(&buf, a, "unit test report"); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>", "unit test report", "lint: no violations",
+		"Coflow completion times", "CCT CDF", "Duty cycle",
+		"δ overhead", "sunflow", "</html>",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestReportShowsViolations(t *testing.T) {
+	a := replay.Analyze([]obs.Event{
+		{T: 0, Kind: obs.KindCircuitUp, Coflow: -1, Src: 0, Dst: 1, Dur: 0.01},
+	})
+	var buf bytes.Buffer
+	if err := Report(&buf, a, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "unmatched_circuit_up") {
+		t.Errorf("report does not surface the lint violation:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,110 @@
+package render
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"strings"
+
+	"sunflow/internal/obs/replay"
+	"sunflow/internal/stats"
+)
+
+const reportCSS = `body{font-family:sans-serif;margin:24px;color:#222;max-width:1100px}
+h1{font-size:20px}h2{font-size:15px;margin-top:28px;border-bottom:1px solid #ddd;padding-bottom:4px}
+table{border-collapse:collapse;font-size:12px;margin:8px 0}
+td,th{border:1px solid #ccc;padding:4px 9px;text-align:right}
+th{background:#f4f5f7}td:first-child,th:first-child{text-align:left}
+.ok{color:#188038}.bad{color:#c5221f}.small{font-size:11px;color:#666}`
+
+// Report writes a single-file HTML report for the analysis: per-scheduler
+// summary and δ-overhead tables, CCT percentiles and CDF, duty-cycle bars,
+// lint findings and per-port Gantt charts. Everything is inlined — the file
+// can be mailed around or attached to CI with no side-cars.
+func Report(w io.Writer, a *replay.Analysis, title string) error {
+	if title == "" {
+		title = "Sunflow trace report"
+	}
+	var scopes []*replay.Scope
+	for _, name := range a.ScopeNames() {
+		scopes = append(scopes, a.Scopes[name])
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>%s</title><style>%s</style></head><body>\n",
+		html.EscapeString(title), reportCSS)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(title))
+	fmt.Fprintf(&b, "<p class=\"small\">%d events, %d scope(s), time span %s – %s</p>\n",
+		a.Events, len(scopes), fmtSec(a.Start), fmtSec(a.End))
+
+	if len(a.Violations) == 0 {
+		b.WriteString("<p class=\"ok\">lint: no violations</p>\n")
+	} else {
+		fmt.Fprintf(&b, "<h2>Lint violations (%d)</h2>\n<table><tr><th>rule</th><th>scope</th><th>t</th><th>detail</th></tr>\n", len(a.Violations))
+		max := len(a.Violations)
+		if max > 100 {
+			max = 100
+		}
+		for _, v := range a.Violations[:max] {
+			scope := v.Scope
+			if scope == "" {
+				scope = "&lt;root&gt;"
+			} else {
+				scope = html.EscapeString(scope)
+			}
+			fmt.Fprintf(&b, "<tr class=\"bad\"><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+				html.EscapeString(string(v.Rule)), scope, fmtSec(v.T), html.EscapeString(v.Msg))
+		}
+		b.WriteString("</table>\n")
+		if len(a.Violations) > 100 {
+			fmt.Fprintf(&b, "<p class=\"small\">… %d more suppressed</p>\n", len(a.Violations)-100)
+		}
+	}
+
+	b.WriteString("<h2>Coflow completion times</h2>\n")
+	b.WriteString("<table><tr><th>scheduler</th><th>coflows</th><th>mean</th><th>p50</th><th>p95</th><th>p99</th><th>max</th></tr>\n")
+	for _, s := range scopes {
+		ccts := s.CCTs()
+		if len(ccts) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+			scopeName(s), len(ccts),
+			fmtSec(stats.Mean(ccts)), fmtSec(stats.Percentile(ccts, 50)),
+			fmtSec(stats.Percentile(ccts, 95)), fmtSec(stats.Percentile(ccts, 99)),
+			fmtSec(stats.Max(ccts)))
+	}
+	b.WriteString("</table>\n")
+	cdfSVG(&b, scopes, 760)
+
+	b.WriteString("<h2>Circuit accounting and δ overhead</h2>\n")
+	b.WriteString("<table><tr><th>scheduler</th><th>setups</th><th>setup s</th><th>hold s</th><th>duty cycle</th><th>δ overhead</th><th>planned MB</th><th>windows</th></tr>\n")
+	for _, s := range scopes {
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%d</td><td>%.6g</td><td>%.6g</td><td>%.4f</td><td>%.4f</td><td>%.1f</td><td>%d</td></tr>\n",
+			scopeName(s), s.CircuitSetups, s.SetupSeconds, s.HoldSeconds,
+			s.DutyCycle, s.DeltaOverhead(), s.PlannedBytes/1e6, s.Windows)
+	}
+	b.WriteString("</table>\n")
+	dutySVG(&b, scopes, 760)
+
+	for _, s := range scopes {
+		if len(s.Circuits) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "<h2>Circuit timeline — %s</h2>\n", scopeName(s))
+		if err := GanttSVG(&b, s, GanttOptions{Width: 1000, In: true}); err != nil {
+			return err
+		}
+	}
+
+	b.WriteString("</body></html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func scopeName(s *replay.Scope) string {
+	if s.Name == "" {
+		return "root"
+	}
+	return html.EscapeString(s.Name)
+}

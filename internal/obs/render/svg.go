@@ -1,0 +1,231 @@
+// Package render turns replay analyses into self-contained artifacts: SVG
+// Gantt charts of per-port circuit timelines, CCT CDF plots, duty-cycle bar
+// charts, and a single-file HTML report stitching them together — the raw
+// material of the paper's figures, with no external assets or scripts.
+package render
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"math"
+	"strings"
+
+	"sunflow/internal/obs/replay"
+)
+
+// palette colours Coflows (and scopes) deterministically; unattributed
+// circuits (Coflow −1) render grey.
+var palette = []string{
+	"#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1",
+	"#76b7b2", "#edc948", "#ff9da7", "#9c755f", "#86bcb6",
+}
+
+func colorFor(id int) string {
+	if id < 0 {
+		return "#9aa0a6"
+	}
+	return palette[id%len(palette)]
+}
+
+// GanttOptions tunes GanttSVG.
+type GanttOptions struct {
+	// Width is the chart width in pixels; 0 selects 960.
+	Width int
+	// In selects input-port (src) timelines; otherwise output ports.
+	In bool
+	// Title overrides the default chart title.
+	Title string
+}
+
+const (
+	rowH      = 16
+	rowGap    = 4
+	marginL   = 72
+	marginTop = 34
+	marginBot = 26
+)
+
+func fmtSec(t float64) string {
+	switch {
+	case t == 0:
+		return "0"
+	case math.Abs(t) < 1e-3:
+		return fmt.Sprintf("%.0fµs", t*1e6)
+	case math.Abs(t) < 1:
+		return fmt.Sprintf("%.1fms", t*1e3)
+	default:
+		return fmt.Sprintf("%.3gs", t)
+	}
+}
+
+// GanttSVG renders the scope's per-port circuit timeline as a standalone
+// SVG document: one row per port, one rectangle per circuit hold with the δ
+// reconfiguration prefix hatched dark, coloured by owning Coflow.
+func GanttSVG(w io.Writer, s *replay.Scope, opt GanttOptions) error {
+	width := opt.Width
+	if width <= 0 {
+		width = 960
+	}
+	ports, segs := s.PortTimeline(opt.In)
+	side := "output"
+	if opt.In {
+		side = "input"
+	}
+	title := opt.Title
+	if title == "" {
+		name := s.Name
+		if name == "" {
+			name = "root"
+		}
+		title = fmt.Sprintf("%s — %s-port circuit timeline", name, side)
+	}
+
+	t0, t1 := math.Inf(1), math.Inf(-1)
+	for _, p := range ports {
+		for _, seg := range segs[p] {
+			t0 = math.Min(t0, seg.Start)
+			t1 = math.Max(t1, seg.End)
+		}
+	}
+	if len(ports) == 0 || t1 <= t0 {
+		t0, t1 = 0, 1
+	}
+	span := t1 - t0
+
+	height := marginTop + len(ports)*(rowH+rowGap) + marginBot
+	plotW := float64(width - marginL - 12)
+	x := func(t float64) float64 { return float64(marginL) + (t-t0)/span*plotW }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="100%%" height="100%%" fill="#ffffff"/>`+"\n")
+	fmt.Fprintf(&b, `<text x="%d" y="18" font-size="13" font-weight="bold">%s</text>`+"\n",
+		marginL, html.EscapeString(title))
+
+	// Time axis: a light gridline per tick.
+	for i := 0; i <= 6; i++ {
+		tt := t0 + span*float64(i)/6
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#e0e0e0"/>`+"\n",
+			x(tt), marginTop-6, x(tt), height-marginBot+4)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="9" fill="#666" text-anchor="middle">%s</text>`+"\n",
+			x(tt), height-marginBot+16, fmtSec(tt))
+	}
+
+	for row, p := range ports {
+		y := marginTop + row*(rowH+rowGap)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" fill="#333" text-anchor="end">%s.%d</text>`+"\n",
+			marginL-6, y+rowH-4, side[:len(side)-3], p)
+		for _, seg := range segs[p] {
+			w0, w1 := x(seg.Start), x(seg.End)
+			if w1-w0 < 0.5 {
+				w1 = w0 + 0.5
+			}
+			fmt.Fprintf(&b, `<rect x="%.2f" y="%d" width="%.2f" height="%d" fill="%s" rx="1"><title>coflow %d  (%d→%d)  %s – %s  δ %s</title></rect>`+"\n",
+				w0, y, w1-w0, rowH, colorFor(seg.Coflow), seg.Coflow, seg.Port, seg.Peer,
+				fmtSec(seg.Start), fmtSec(seg.End), fmtSec(seg.Setup))
+			if seg.Setup > 0 {
+				sw := x(seg.Start+seg.Setup) - w0
+				if sw < 0.5 {
+					sw = 0.5
+				}
+				fmt.Fprintf(&b, `<rect x="%.2f" y="%d" width="%.2f" height="%d" fill="#000" fill-opacity="0.45"/>`+"\n",
+					w0, y, sw, rowH)
+			}
+		}
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="9" fill="#666">dark prefix = δ reconfiguration; span %s</text>`+"\n",
+		marginL, height-6, fmtSec(span))
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// cdfSVG plots one CCT CDF per scope as step curves.
+func cdfSVG(b *strings.Builder, scopes []*replay.Scope, width int) {
+	const h = 260
+	const mL, mR, mT, mB = 56, 16, 28, 34
+	xMax := 0.0
+	any := false
+	for _, s := range scopes {
+		if ccts := s.CCTs(); len(ccts) > 0 {
+			xMax = math.Max(xMax, ccts[len(ccts)-1])
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	if xMax <= 0 {
+		xMax = 1
+	}
+	plotW, plotH := float64(width-mL-mR), float64(h-mT-mB)
+	x := func(t float64) float64 { return mL + t/xMax*plotW }
+	y := func(f float64) float64 { return mT + (1-f)*plotH }
+
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", width, h)
+	fmt.Fprintf(b, `<rect width="100%%" height="100%%" fill="#fff"/>`+"\n")
+	fmt.Fprintf(b, `<text x="%d" y="16" font-size="13" font-weight="bold">CCT CDF</text>`+"\n", mL)
+	for i := 0; i <= 4; i++ {
+		f := float64(i) / 4
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#e8e8e8"/>`+"\n", mL, y(f), width-mR, y(f))
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" font-size="9" fill="#666" text-anchor="end">%.2f</text>`+"\n", mL-6, y(f)+3, f)
+		tt := xMax * f
+		fmt.Fprintf(b, `<text x="%.1f" y="%d" font-size="9" fill="#666" text-anchor="middle">%s</text>`+"\n", x(tt), h-mB+14, fmtSec(tt))
+	}
+	for si, s := range scopes {
+		ccts := s.CCTs()
+		if len(ccts) == 0 {
+			continue
+		}
+		var pts strings.Builder
+		fmt.Fprintf(&pts, "%.1f,%.1f", x(0), y(0))
+		for i, c := range ccts {
+			fmt.Fprintf(&pts, " %.1f,%.1f", x(c), y(float64(i)/float64(len(ccts))))
+			fmt.Fprintf(&pts, " %.1f,%.1f", x(c), y(float64(i+1)/float64(len(ccts))))
+		}
+		col := palette[si%len(palette)]
+		fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"/>`+"\n", pts.String(), col)
+		name := s.Name
+		if name == "" {
+			name = "root"
+		}
+		fmt.Fprintf(b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/><text x="%d" y="%d" font-size="10">%s (%d coflows)</text>`+"\n",
+			width-mR-170, mT+16*si, col, width-mR-155, mT+9+16*si, html.EscapeString(name), len(ccts))
+	}
+	b.WriteString("</svg>\n")
+}
+
+// dutySVG draws one duty-cycle bar per scope with a circuit timeline.
+func dutySVG(b *strings.Builder, scopes []*replay.Scope, width int) {
+	var withCircuits []*replay.Scope
+	for _, s := range scopes {
+		if s.HoldSeconds > 0 {
+			withCircuits = append(withCircuits, s)
+		}
+	}
+	if len(withCircuits) == 0 {
+		return
+	}
+	const barH, gap, mL, mT = 22, 8, 110, 30
+	h := mT + len(withCircuits)*(barH+gap) + 18
+	plotW := float64(width - mL - 70)
+	fmt.Fprintf(b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", width, h)
+	fmt.Fprintf(b, `<rect width="100%%" height="100%%" fill="#fff"/>`+"\n")
+	fmt.Fprintf(b, `<text x="%d" y="16" font-size="13" font-weight="bold">Duty cycle (transmit / hold)</text>`+"\n", mL)
+	for i, s := range withCircuits {
+		y := mT + i*(barH+gap)
+		name := s.Name
+		if name == "" {
+			name = "root"
+		}
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-size="10" text-anchor="end">%s</text>`+"\n", mL-8, y+barH-7, html.EscapeString(name))
+		fmt.Fprintf(b, `<rect x="%d" y="%d" width="%.1f" height="%d" fill="#eceff1"/>`+"\n", mL, y, plotW, barH)
+		fmt.Fprintf(b, `<rect x="%d" y="%d" width="%.1f" height="%d" fill="%s"/>`+"\n",
+			mL, y, plotW*math.Max(0, math.Min(1, s.DutyCycle)), barH, palette[i%len(palette)])
+		fmt.Fprintf(b, `<text x="%.1f" y="%d" font-size="10" fill="#333">%.4f</text>`+"\n",
+			float64(mL)+plotW+6, y+barH-7, s.DutyCycle)
+	}
+	b.WriteString("</svg>\n")
+}

@@ -1,0 +1,53 @@
+package replay
+
+import (
+	"fmt"
+
+	"sunflow/internal/obs"
+)
+
+// Rule names one structural invariant a trace can break.
+type Rule string
+
+// The linted invariants. A well-formed single-run trace (one simulator
+// invocation per scope) satisfies all of them; concatenated traces reset
+// the per-port chains at time regressions instead of flagging the seam.
+const (
+	// RuleUnmatchedUp: a circuit_up whose circuit never comes down.
+	RuleUnmatchedUp Rule = "unmatched_circuit_up"
+	// RuleUnmatchedDown: a circuit_down with no circuit up on that pair.
+	RuleUnmatchedDown Rule = "unmatched_circuit_down"
+	// RulePortOverlap: two circuits hold the same port at the same time.
+	RulePortOverlap Rule = "port_overlap"
+	// RuleBytesMismatch: Σ flow_finish bytes disagrees with the demand
+	// declared by coflow_admit.
+	RuleBytesMismatch Rule = "bytes_mismatch"
+	// RuleTimeOrder: an entity's events run backwards in time, or a
+	// timestamp is negative / NaN / infinite.
+	RuleTimeOrder Rule = "time_order"
+	// RuleLifecycle: admit/complete/start/finish events out of protocol
+	// (duplicates, orphans, never-completing Coflows, unknown kinds).
+	RuleLifecycle Rule = "lifecycle"
+)
+
+// Violation is one broken invariant, anchored at the event that exposed it.
+type Violation struct {
+	Rule  Rule    `json:"rule"`
+	Scope string  `json:"scope,omitempty"`
+	T     float64 `json:"t"`
+	Msg   string  `json:"msg"`
+}
+
+// String renders the violation for CLI output.
+func (v Violation) String() string {
+	scope := v.Scope
+	if scope == "" {
+		scope = "<root>"
+	}
+	return fmt.Sprintf("%s [%s] t=%.6g: %s", v.Rule, scope, v.T, v.Msg)
+}
+
+// Lint replays the events and returns only the violations.
+func Lint(events []obs.Event) []Violation {
+	return Analyze(events).Violations
+}

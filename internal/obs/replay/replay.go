@@ -1,0 +1,579 @@
+// Package replay reconstructs a simulation from its JSONL trace: per-port
+// circuit timelines (busy / δ / idle segments), per-scheduler duty-cycle and
+// δ-overhead accounting, per-Coflow completion times, and a structural
+// linter (see lint.go) that verifies the invariants every well-formed trace
+// must satisfy.
+//
+// Replay is exact, not approximate: circuits are accumulated in circuit_up
+// emission order — the same order the simulators add to their SetupSeconds /
+// HoldSeconds / PlannedBytes counters — so the floating-point sums replay
+// produces are bit-identical to the live Registry counters, and a CCT read
+// from a coflow_complete event equals the simulator's returned CCT exactly.
+// The property tests in replay_test.go pin this down.
+package replay
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"sunflow/internal/obs"
+)
+
+// timeEps absorbs floating-point noise when comparing event timestamps.
+const timeEps = 1e-9
+
+// Reader streams events from a JSONL trace without loading the whole file.
+type Reader struct {
+	sc   *bufio.Scanner
+	line int
+	err  error
+}
+
+// NewReader wraps r for line-at-a-time event decoding.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	// Trace lines are small, but leave generous headroom over the 64 KiB
+	// Scanner default so a pathological line fails loudly, not silently.
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	return &Reader{sc: sc}
+}
+
+// Next returns the next event. io.EOF signals a clean end of trace; any
+// other error names the offending line.
+func (r *Reader) Next() (obs.Event, error) {
+	if r.err != nil {
+		return obs.Event{}, r.err
+	}
+	for r.sc.Scan() {
+		r.line++
+		raw := r.sc.Bytes()
+		if len(trimSpace(raw)) == 0 {
+			continue
+		}
+		var ev obs.Event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			r.err = fmt.Errorf("replay: line %d: %w", r.line, err)
+			return obs.Event{}, r.err
+		}
+		return ev, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		r.err = fmt.Errorf("replay: line %d: %w", r.line, err)
+	} else {
+		r.err = io.EOF
+	}
+	return obs.Event{}, r.err
+}
+
+// trimSpace is bytes.TrimSpace for the blank-line check without the import.
+func trimSpace(b []byte) []byte {
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t' || b[0] == '\r') {
+		b = b[1:]
+	}
+	for len(b) > 0 && (b[len(b)-1] == ' ' || b[len(b)-1] == '\t' || b[len(b)-1] == '\r') {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+// ReadAll decodes a whole JSONL trace.
+func ReadAll(r io.Reader) ([]obs.Event, error) {
+	rd := NewReader(r)
+	var evs []obs.Event
+	for {
+		ev, err := rd.Next()
+		if err == io.EOF {
+			return evs, nil
+		}
+		if err != nil {
+			return evs, err
+		}
+		evs = append(evs, ev)
+	}
+}
+
+// ReadFile decodes the JSONL trace at path.
+func ReadFile(path string) ([]obs.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadAll(f)
+}
+
+// flowKey identifies a flow by its port pair, mirroring fabric.FlowKey
+// without the import.
+type flowKey struct{ Src, Dst int }
+
+// Circuit is one reconstructed circuit reservation on a (src, dst) port
+// pair. Up/Down bracket the hold; the first Setup seconds of the hold are
+// reconfiguration (δ) time, the rest transmission.
+type Circuit struct {
+	Scope  string
+	Coflow int // -1 when the executor does not attribute circuits to Coflows
+	Src    int
+	Dst    int
+	Up     float64
+	Down   float64 // NaN while unmatched
+	Setup  float64 // δ paid at establishment (the up event's Dur)
+	Bytes  float64 // planned demand, 0 when the executor does not know it
+}
+
+// Closed reports whether the circuit's down event was seen.
+func (c Circuit) Closed() bool { return !math.IsNaN(c.Down) }
+
+// Hold is the port occupancy in seconds (NaN while unmatched).
+func (c Circuit) Hold() float64 { return c.Down - c.Up }
+
+// CoflowStat is one Coflow's reconstructed lifetime.
+type CoflowStat struct {
+	ID         int
+	Admit      float64
+	Complete   float64
+	CCT        float64 // the complete event's Dur: exactly finish − arrival
+	AdmitBytes float64 // total demand declared at admission
+	FlowBytes  float64 // Σ flow_finish bytes (0 for traces predating per-flow bytes)
+	Flows      int     // distinct (src, dst) flows seen
+	Completed  bool
+
+	flows map[flowKey]*flowLife
+}
+
+type flowLife struct {
+	start, finish     float64
+	started, finished bool
+	bytes             float64
+}
+
+// Segment is one busy interval on a port timeline: [Start, Start+Setup) is
+// δ reconfiguration, [Start+Setup, End) is transmission.
+type Segment struct {
+	Port   int
+	Peer   int
+	Coflow int
+	Start  float64
+	Setup  float64
+	End    float64
+}
+
+// Scope aggregates everything replayed for one trace scope (one scheduler
+// run; the root scope is the empty string).
+type Scope struct {
+	Name string
+
+	// Circuits in circuit_up emission order — the accumulation order that
+	// makes SetupSeconds / HoldSeconds / PlannedBytes bit-exact against the
+	// live counters.
+	Circuits []Circuit
+	// Coflows in admission order, one entry per admission (a re-admitted id
+	// in a concatenated trace gets a fresh entry).
+	Coflows []*CoflowStat
+	Windows int // fair windows opened
+
+	// Counter-equivalent aggregates, filled by Finish.
+	CircuitSetups int64
+	SetupSeconds  float64
+	HoldSeconds   float64
+	PlannedBytes  float64
+	DutyCycle     float64
+
+	open       map[flowKey]int // circuit index currently holding (src, dst)
+	openCoflow map[int]*CoflowStat
+	windowOpen bool
+	windowT    float64
+}
+
+// DeltaOverhead is the fraction of port-holding time spent reconfiguring:
+// Σsetup / Σhold. Zero when no circuit was held.
+func (s *Scope) DeltaOverhead() float64 {
+	if s.HoldSeconds <= 0 {
+		return 0
+	}
+	return s.SetupSeconds / s.HoldSeconds
+}
+
+// CCTs returns the completed Coflows' completion times, ascending.
+func (s *Scope) CCTs() []float64 {
+	var out []float64
+	for _, c := range s.Coflows {
+		if c.Completed {
+			out = append(out, c.CCT)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// PortTimeline groups closed circuits into per-port busy segments. in
+// selects input-port (src) timelines, otherwise output-port (dst). Ports are
+// returned ascending; each port's segments are in circuit-up order, which is
+// time order for a single-run trace.
+func (s *Scope) PortTimeline(in bool) (ports []int, segs map[int][]Segment) {
+	segs = make(map[int][]Segment)
+	for _, c := range s.Circuits {
+		if !c.Closed() {
+			continue
+		}
+		port, peer := c.Src, c.Dst
+		if !in {
+			port, peer = c.Dst, c.Src
+		}
+		segs[port] = append(segs[port], Segment{
+			Port: port, Peer: peer, Coflow: c.Coflow,
+			Start: c.Up, Setup: c.Setup, End: c.Down,
+		})
+	}
+	for p := range segs {
+		ports = append(ports, p)
+	}
+	sort.Ints(ports)
+	return ports, segs
+}
+
+// Analysis is the reconstructed simulation.
+type Analysis struct {
+	Scopes     map[string]*Scope
+	Events     int
+	Start, End float64 // timestamp range over all events
+	Violations []Violation
+}
+
+// ScopeNames returns the scope keys sorted, root ("") first.
+func (a *Analysis) ScopeNames() []string {
+	names := make([]string, 0, len(a.Scopes))
+	for n := range a.Scopes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Scope returns the named scope, or nil.
+func (a *Analysis) Scope(name string) *Scope { return a.Scopes[name] }
+
+// Builder replays events incrementally; feed every event to Add, then call
+// Finish once. Analyze and AnalyzeReader wrap the common cases.
+type Builder struct {
+	a        *Analysis
+	finished bool
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{a: &Analysis{
+		Scopes: make(map[string]*Scope),
+		Start:  math.Inf(1),
+		End:    math.Inf(-1),
+	}}
+}
+
+func (b *Builder) scope(name string) *Scope {
+	s, ok := b.a.Scopes[name]
+	if !ok {
+		s = &Scope{
+			Name:       name,
+			open:       make(map[flowKey]int),
+			openCoflow: make(map[int]*CoflowStat),
+		}
+		b.a.Scopes[name] = s
+	}
+	return s
+}
+
+func (b *Builder) violate(rule Rule, scope string, t float64, format string, args ...any) {
+	b.a.Violations = append(b.a.Violations, Violation{
+		Rule: rule, Scope: scope, T: t, Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+// Add replays one event.
+func (b *Builder) Add(ev obs.Event) {
+	b.a.Events++
+	if math.IsNaN(ev.T) || math.IsInf(ev.T, 0) || ev.T < 0 {
+		b.violate(RuleTimeOrder, ev.Scope, ev.T, "%s has invalid timestamp %v", ev.Kind, ev.T)
+		return
+	}
+	if ev.T < b.a.Start {
+		b.a.Start = ev.T
+	}
+	if ev.T > b.a.End {
+		b.a.End = ev.T
+	}
+	s := b.scope(ev.Scope)
+
+	switch ev.Kind {
+	case obs.KindCircuitUp:
+		key := flowKey{ev.Src, ev.Dst}
+		if idx, ok := s.open[key]; ok {
+			b.violate(RulePortOverlap, ev.Scope, ev.T,
+				"circuit_up on (%d,%d) while the circuit from t=%.6g is still up", ev.Src, ev.Dst, s.Circuits[idx].Up)
+		}
+		s.open[key] = len(s.Circuits)
+		s.Circuits = append(s.Circuits, Circuit{
+			Scope: ev.Scope, Coflow: ev.Coflow, Src: ev.Src, Dst: ev.Dst,
+			Up: ev.T, Down: math.NaN(), Setup: ev.Dur, Bytes: ev.Bytes,
+		})
+
+	case obs.KindCircuitDown:
+		key := flowKey{ev.Src, ev.Dst}
+		idx, ok := s.open[key]
+		if !ok {
+			b.violate(RuleUnmatchedDown, ev.Scope, ev.T,
+				"circuit_down on (%d,%d) with no circuit up", ev.Src, ev.Dst)
+			return
+		}
+		c := &s.Circuits[idx]
+		if ev.T < c.Up-timeEps {
+			b.violate(RuleTimeOrder, ev.Scope, ev.T,
+				"circuit on (%d,%d) comes down at t=%.6g before it went up at t=%.6g", ev.Src, ev.Dst, ev.T, c.Up)
+		}
+		c.Down = ev.T
+		delete(s.open, key)
+
+	case obs.KindCoflowAdmit:
+		if prev, ok := s.openCoflow[ev.Coflow]; ok {
+			b.violate(RuleLifecycle, ev.Scope, ev.T,
+				"coflow %d re-admitted while the admission from t=%.6g is still open", ev.Coflow, prev.Admit)
+		}
+		st := &CoflowStat{
+			ID: ev.Coflow, Admit: ev.T, AdmitBytes: ev.Bytes,
+			flows: make(map[flowKey]*flowLife),
+		}
+		s.openCoflow[ev.Coflow] = st
+		s.Coflows = append(s.Coflows, st)
+
+	case obs.KindCoflowComplete:
+		st, ok := s.openCoflow[ev.Coflow]
+		if !ok {
+			b.violate(RuleLifecycle, ev.Scope, ev.T, "coflow %d completes without an admission", ev.Coflow)
+			return
+		}
+		if ev.T < st.Admit-timeEps {
+			b.violate(RuleTimeOrder, ev.Scope, ev.T,
+				"coflow %d completes at t=%.6g before its admission at t=%.6g", ev.Coflow, ev.T, st.Admit)
+		}
+		st.Complete = ev.T
+		st.CCT = ev.Dur
+		if d := ev.T - st.Admit; math.Abs(d-ev.Dur) > timeEps*math.Max(1, math.Abs(d)) {
+			b.violate(RuleLifecycle, ev.Scope, ev.T,
+				"coflow %d CCT %.9g disagrees with complete−admit %.9g", ev.Coflow, ev.Dur, d)
+		}
+		for k, f := range st.flows {
+			if f.started && !f.finished {
+				b.violate(RuleLifecycle, ev.Scope, ev.T,
+					"coflow %d completes with flow (%d,%d) still in flight", ev.Coflow, k.Src, k.Dst)
+			}
+		}
+		st.Completed = true
+		delete(s.openCoflow, ev.Coflow)
+
+	case obs.KindFlowStart, obs.KindFlowFinish:
+		st, ok := s.openCoflow[ev.Coflow]
+		if !ok {
+			b.violate(RuleLifecycle, ev.Scope, ev.T,
+				"%s for coflow %d with no open admission", ev.Kind, ev.Coflow)
+			return
+		}
+		key := flowKey{ev.Src, ev.Dst}
+		f := st.flows[key]
+		if f == nil {
+			f = &flowLife{}
+			st.flows[key] = f
+			st.Flows++
+		}
+		if ev.T < st.Admit-timeEps {
+			b.violate(RuleTimeOrder, ev.Scope, ev.T,
+				"%s for coflow %d flow (%d,%d) precedes admission at t=%.6g", ev.Kind, ev.Coflow, ev.Src, ev.Dst, st.Admit)
+		}
+		if ev.Kind == obs.KindFlowStart {
+			if f.started {
+				b.violate(RuleLifecycle, ev.Scope, ev.T,
+					"duplicate flow_start for coflow %d flow (%d,%d)", ev.Coflow, ev.Src, ev.Dst)
+			}
+			f.started, f.start = true, ev.T
+		} else {
+			switch {
+			case f.finished:
+				b.violate(RuleLifecycle, ev.Scope, ev.T,
+					"duplicate flow_finish for coflow %d flow (%d,%d)", ev.Coflow, ev.Src, ev.Dst)
+			case !f.started:
+				b.violate(RuleLifecycle, ev.Scope, ev.T,
+					"flow_finish before flow_start for coflow %d flow (%d,%d)", ev.Coflow, ev.Src, ev.Dst)
+			case ev.T < f.start-timeEps:
+				b.violate(RuleTimeOrder, ev.Scope, ev.T,
+					"flow (%d,%d) of coflow %d finishes at t=%.6g before starting at t=%.6g", ev.Src, ev.Dst, ev.Coflow, ev.T, f.start)
+			}
+			f.finished, f.finish = true, ev.T
+			f.bytes = ev.Bytes
+			st.FlowBytes += ev.Bytes
+		}
+
+	case obs.KindWindowOpen:
+		if s.windowOpen {
+			b.violate(RuleLifecycle, ev.Scope, ev.T,
+				"window_open while the window from t=%.6g is still open", s.windowT)
+		}
+		s.windowOpen, s.windowT = true, ev.T
+		s.Windows++
+
+	case obs.KindWindowClose:
+		if !s.windowOpen {
+			b.violate(RuleLifecycle, ev.Scope, ev.T, "window_close with no window open")
+			return
+		}
+		if ev.T < s.windowT-timeEps {
+			b.violate(RuleTimeOrder, ev.Scope, ev.T,
+				"window closes at t=%.6g before opening at t=%.6g", ev.T, s.windowT)
+		}
+		s.windowOpen = false
+
+	default:
+		b.violate(RuleLifecycle, ev.Scope, ev.T, "unknown event kind %q", ev.Kind)
+	}
+}
+
+// Finish runs the end-of-trace checks (unmatched circuits, unfinished
+// Coflows, port overlaps, demand reconciliation), computes the counter-
+// equivalent aggregates and returns the Analysis. Add must not be called
+// afterwards.
+func (b *Builder) Finish() *Analysis {
+	if b.finished {
+		return b.a
+	}
+	b.finished = true
+	if b.a.Events == 0 {
+		b.a.Start, b.a.End = 0, 0
+	}
+	for _, name := range b.a.ScopeNames() {
+		s := b.a.Scopes[name]
+		b.finishScope(s)
+	}
+	return b.a
+}
+
+func (b *Builder) finishScope(s *Scope) {
+	for _, idx := range sortedValues(s.open) {
+		c := s.Circuits[idx]
+		b.violate(RuleUnmatchedUp, s.Name, c.Up,
+			"circuit on (%d,%d) up at t=%.6g never comes down", c.Src, c.Dst, c.Up)
+	}
+	for _, st := range s.Coflows {
+		if !st.Completed {
+			b.violate(RuleLifecycle, s.Name, st.Admit,
+				"coflow %d admitted at t=%.6g never completes", st.ID, st.Admit)
+			continue
+		}
+		b.checkDemand(s, st)
+	}
+	b.checkOverlap(s, true)
+	b.checkOverlap(s, false)
+
+	// Counter-equivalent accounting, in circuit_up emission order. The live
+	// counters accrue setups / setup seconds / planned bytes at circuit_up
+	// (so unmatched ups still count) and hold at up time with the planned
+	// value, which for a well-formed trace equals down − up exactly.
+	for _, c := range s.Circuits {
+		s.CircuitSetups++
+		s.SetupSeconds += c.Setup
+		s.PlannedBytes += c.Bytes
+		if c.Closed() {
+			s.HoldSeconds += c.Down - c.Up
+		}
+	}
+	// Same formula as obs.Summary's duty cycle.
+	if s.HoldSeconds > 0 {
+		s.DutyCycle = (s.HoldSeconds - s.SetupSeconds) / s.HoldSeconds
+	}
+}
+
+// checkDemand reconciles Σ flow_finish bytes against the demand declared at
+// admission. Traces written before flow_finish carried bytes are skipped
+// (any finished flow reporting zero bytes makes the sum meaningless).
+func (b *Builder) checkDemand(s *Scope, st *CoflowStat) {
+	if st.AdmitBytes <= 0 || len(st.flows) == 0 {
+		return
+	}
+	for _, f := range st.flows {
+		if f.finished && f.bytes <= 0 {
+			return
+		}
+	}
+	// The admission total and the per-flow demands come from the same
+	// float64 values summed in different orders; allow association noise
+	// plus the 1-byte residual the simulators forgive at flow finish.
+	tol := math.Max(1e-9*st.AdmitBytes, 1.0+float64(len(st.flows)))
+	if diff := math.Abs(st.FlowBytes - st.AdmitBytes); diff > tol {
+		b.violate(RuleBytesMismatch, s.Name, st.Complete,
+			"coflow %d finished %.6g bytes but admitted %.6g (diff %.6g)", st.ID, st.FlowBytes, st.AdmitBytes, diff)
+	}
+}
+
+// checkOverlap walks one side's per-port circuits in up order and flags any
+// circuit that rises before the previous one on the same port released. Ups
+// per port are monotone within a run, so a backwards jump marks the seam of
+// a concatenated trace and resets the chain instead of flagging it.
+func (b *Builder) checkOverlap(s *Scope, in bool) {
+	last := make(map[int]Circuit)
+	side := "out"
+	if in {
+		side = "in"
+	}
+	for _, c := range s.Circuits {
+		if !c.Closed() {
+			continue
+		}
+		port := c.Dst
+		if in {
+			port = c.Src
+		}
+		prev, ok := last[port]
+		if ok && c.Up >= prev.Up-timeEps && c.Up < prev.Down-timeEps {
+			b.violate(RulePortOverlap, s.Name, c.Up,
+				"%s port %d: circuit (%d,%d) up at t=%.6g overlaps (%d,%d) held until t=%.6g",
+				side, port, c.Src, c.Dst, c.Up, prev.Src, prev.Dst, prev.Down)
+		}
+		if !ok || c.Down > prev.Down || c.Up < prev.Up-timeEps {
+			last[port] = c
+		}
+	}
+}
+
+func sortedValues(m map[flowKey]int) []int {
+	out := make([]int, 0, len(m))
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Analyze replays a slice of events.
+func Analyze(events []obs.Event) *Analysis {
+	b := NewBuilder()
+	for _, ev := range events {
+		b.Add(ev)
+	}
+	return b.Finish()
+}
+
+// AnalyzeReader streams a JSONL trace through a Builder.
+func AnalyzeReader(r io.Reader) (*Analysis, error) {
+	b := NewBuilder()
+	rd := NewReader(r)
+	for {
+		ev, err := rd.Next()
+		if err == io.EOF {
+			return b.Finish(), nil
+		}
+		if err != nil {
+			return b.Finish(), err
+		}
+		b.Add(ev)
+	}
+}

@@ -88,6 +88,7 @@ func RunCircuit(coflows []*coflow.Coflow, opts CircuitOptions) (Result, error) {
 
 		if len(s.live) == 0 {
 			if len(s.pending) == 0 {
+				s.closeTrace(tPrev)
 				return res, nil
 			}
 			tPrev = s.pending[0].Arrival
@@ -134,6 +135,9 @@ type liveCoflow struct {
 	// flowStarted marks flows whose first byte was carried; allocated only
 	// when event tracing is on.
 	flowStarted map[fabric.FlowKey]bool
+	// demand keeps each flow's original demand so flow_finish events can
+	// report the bytes the flow carried; allocated only when tracing is on.
+	demand map[fabric.FlowKey]float64
 }
 
 // circuitState is the mutable simulation state.
@@ -174,6 +178,10 @@ func (s *circuitState) admit(now float64) {
 			o.CoflowsAdmitted.Inc()
 			if o.TraceEnabled() {
 				lc.flowStarted = make(map[fabric.FlowKey]bool, len(rem))
+				lc.demand = make(map[fabric.FlowKey]float64, len(rem))
+				for k, b := range rem {
+					lc.demand[k] = b
+				}
 				o.Emit(obs.Event{T: now, Kind: obs.KindCoflowAdmit, Coflow: c.ID, Src: -1, Dst: -1, Bytes: c.TotalBytes()})
 			}
 		}
@@ -239,7 +247,7 @@ func (s *circuitState) credit(from, to float64) {
 			if _, done := lc.flowFinish[key]; !done {
 				lc.flowFinish[key] = finish
 				if o.TraceEnabled() {
-					o.Emit(obs.Event{T: finish, Kind: obs.KindFlowFinish, Coflow: r.CoflowID, Src: r.In, Dst: r.Out})
+					o.Emit(obs.Event{T: finish, Kind: obs.KindFlowFinish, Coflow: r.CoflowID, Src: r.In, Dst: r.Out, Bytes: lc.demand[key]})
 				}
 			}
 		} else {
@@ -308,7 +316,7 @@ func (s *circuitState) creditFairWindows(from, to float64) {
 						// not tracked; the window end bounds the error by τ.
 						lc.flowFinish[key] = segEnd
 						if o.TraceEnabled() {
-							o.Emit(obs.Event{T: segEnd, Kind: obs.KindFlowFinish, Coflow: id, Src: i, Dst: j})
+							o.Emit(obs.Event{T: segEnd, Kind: obs.KindFlowFinish, Coflow: id, Src: i, Dst: j, Bytes: lc.demand[key]})
 						}
 					}
 				} else {
@@ -330,6 +338,25 @@ func (s *idRemSorter) Less(a, b int) bool { return s.ids[a] < s.ids[b] }
 func (s *idRemSorter) Swap(a, b int) {
 	s.ids[a], s.ids[b] = s.ids[b], s.ids[a]
 	s.rems[a], s.rems[b] = s.rems[b], s.rems[a]
+}
+
+// closeTrace emits circuit_down for circuits still holding their ports when
+// the simulation ends. Non-preemption commits an established circuit through
+// its reservation end, so when fair windows (or plan overlap) drain the last
+// demand early the port is still held past the final event; the trace must
+// close those circuits or every consumer would see an unmatched circuit_up.
+// The down is stamped at the reservation end — the instant the port is
+// actually released — matching the HoldSeconds the counters accrued at setup.
+func (s *circuitState) closeTrace(now float64) {
+	o := s.opts.Obs
+	if !o.TraceEnabled() {
+		return
+	}
+	for _, r := range s.plan {
+		if r.Start < now-timeEps && r.End > now+timeEps {
+			o.Emit(obs.Event{T: r.End, Kind: obs.KindCircuitDown, Coflow: r.CoflowID, Src: r.In, Dst: r.Out})
+		}
+	}
 }
 
 // retire records Coflows whose demand has fully drained.

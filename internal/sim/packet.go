@@ -82,6 +82,7 @@ const maxEvents = 50_000_000
 type flowState struct {
 	key     fabric.FlowKey
 	rem     float64
+	total   float64 // original demand, reported on flow_finish trace events
 	rate    float64
 	done    bool
 	started bool // first positive rate seen; only tracked when tracing
@@ -179,7 +180,7 @@ func RunPacketObs(coflows []*coflow.Coflow, ports int, linkBps float64, alloc fa
 				continue
 			}
 			for k, b := range merged {
-				cs.flows = append(cs.flows, &flowState{key: k, rem: b})
+				cs.flows = append(cs.flows, &flowState{key: k, rem: b, total: b})
 			}
 			sort.Slice(cs.flows, func(a, b int) bool {
 				if cs.flows[a].key.Src != cs.flows[b].key.Src {
@@ -239,7 +240,7 @@ func RunPacketObs(coflows []*coflow.Coflow, ports int, linkBps float64, alloc fa
 					f.done = true
 					cs.liveN--
 					if o.TraceEnabled() {
-						o.Emit(obs.Event{T: now, Kind: obs.KindFlowFinish, Coflow: id, Src: f.key.Src, Dst: f.key.Dst})
+						o.Emit(obs.Event{T: now, Kind: obs.KindFlowFinish, Coflow: id, Src: f.key.Src, Dst: f.key.Dst, Bytes: f.total})
 					}
 				}
 			}
@@ -377,7 +378,7 @@ func RunPacketObs(coflows []*coflow.Coflow, ports int, linkBps float64, alloc fa
 		if o != nil {
 			o.BytesDelivered.Add(served)
 			if o.TraceEnabled() {
-				o.Emit(obs.Event{T: t, Kind: obs.KindFlowFinish, Coflow: e.cf.id, Src: e.flow.key.Src, Dst: e.flow.key.Dst})
+				o.Emit(obs.Event{T: t, Kind: obs.KindFlowFinish, Coflow: e.cf.id, Src: e.flow.key.Src, Dst: e.flow.key.Dst, Bytes: e.flow.total})
 			}
 		}
 		if e.cf.liveN == 0 {
