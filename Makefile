@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench bench-ci bench-baseline trace-lint clean
+.PHONY: build test race lint bench bench-ci bench-baseline trace-lint fault-lint fuzz clean
 
 build:
 	$(GO) build ./...
@@ -38,5 +38,20 @@ trace-lint:
 	$(GO) run ./cmd/sunflow-analyze lint events.jsonl
 	$(GO) run ./cmd/sunflow-analyze report -o report.html events.jsonl
 
+# Fault-injection pipeline (docs/FAULTS.md): run the resilience experiment
+# with tracing and verify the degraded-fabric trace satisfies every replay
+# invariant, including retry_delta and down_port_overlap. Same as the CI
+# faults job.
+fault-lint:
+	$(GO) run ./cmd/repro -seed 1 -trace fault-events.jsonl resilience
+	$(GO) run ./cmd/sunflow-analyze lint fault-events.jsonl
+
+# Short fuzz smoke over the two untrusted-input decoders: the benchmark
+# trace parser and the JSON fault-plan decoder. Same as the CI fuzz job.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzParseJobs -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/fault -run '^$$' -fuzz FuzzDecodePlan -fuzztime $(FUZZTIME)
+
 clean:
-	rm -f BENCH_ci.json events.jsonl report.html
+	rm -f BENCH_ci.json events.jsonl fault-events.jsonl report.html

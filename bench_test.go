@@ -26,7 +26,9 @@ var benchCfg = bench.Config{Seed: 1, Ports: 40, Coflows: 80, MaxWidth: 10}
 
 func BenchmarkTable3_SchedulerCost(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		bench.Table3(bench.Config{Seed: 1}, []int{8, 16})
+		if _, err := bench.Table3(bench.Config{Seed: 1}, []int{8, 16}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -38,31 +40,41 @@ func BenchmarkTable4_Classification(b *testing.B) {
 
 func BenchmarkFig3_IntraCCTvsTcL(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		bench.Fig3(benchCfg)
+		if _, err := bench.Fig3(benchCfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
 func BenchmarkFig4_M2MRatios(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		bench.Fig4(benchCfg)
+		if _, err := bench.Fig4(benchCfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
 func BenchmarkFig5_SwitchingCounts(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		bench.Fig5(benchCfg)
+		if _, err := bench.Fig5(benchCfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
 func BenchmarkFig6_IntraDeltaSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		bench.Fig6(benchCfg)
+		if _, err := bench.Fig6(benchCfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
 func BenchmarkFig7_CCTvsTpL(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		bench.Fig7(benchCfg)
+		if _, err := bench.Fig7(benchCfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -94,13 +106,17 @@ func BenchmarkFig10_InterDeltaSweep(b *testing.B) {
 func BenchmarkBaselines_TMSEdmond(b *testing.B) {
 	cfg := bench.Config{Seed: 1, Ports: 20, Coflows: 40, MaxWidth: 5}
 	for i := 0; i < b.N; i++ {
-		bench.Baselines(cfg, 10, 5)
+		if _, err := bench.Baselines(cfg, 10, 5); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
 func BenchmarkOrderingSensitivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		bench.OrderingSensitivity(benchCfg)
+		if _, err := bench.OrderingSensitivity(benchCfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -114,7 +130,9 @@ func BenchmarkStarvationAvoidance(b *testing.B) {
 
 func BenchmarkAblation_AllStop(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		bench.AllStopAblation(benchCfg)
+		if _, err := bench.AllStopAblation(benchCfg); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -8,7 +8,7 @@
 //
 // With no arguments it runs everything. Experiment ids: table3, table4,
 // fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig10, baselines, ordering,
-// allstop, starvation, combining.
+// allstop, starvation, combining, approximation, hybrid, resilience.
 //
 // -metrics prints each experiment's per-scheduler observability summary
 // (circuit setups, δ time paid, duty cycle, scheduler-pass wall time).
@@ -94,7 +94,7 @@ func main() {
 			"table4", "fig3", "fig4", "fig5", "fig6", "fig7",
 			"fig8", "fig9", "fig10",
 			"table3", "baselines", "ordering", "allstop", "starvation", "combining",
-			"approximation", "hybrid",
+			"approximation", "hybrid", "resilience",
 		}
 	}
 
@@ -137,19 +137,43 @@ func main() {
 func run(cfg bench.Config, id string) (string, error) {
 	switch id {
 	case "table3":
-		return bench.FormatTable3(bench.Table3(cfg, nil)), nil
+		rows, err := bench.Table3(cfg, nil)
+		if err != nil {
+			return "", err
+		}
+		return bench.FormatTable3(rows), nil
 	case "table4":
 		return bench.FormatTable4(bench.Table4(cfg)), nil
 	case "fig3":
-		return bench.FormatFig3(bench.Fig3(cfg)), nil
+		rows, err := bench.Fig3(cfg)
+		if err != nil {
+			return "", err
+		}
+		return bench.FormatFig3(rows), nil
 	case "fig4":
-		return bench.Fig4(cfg).Format(), nil
+		r, err := bench.Fig4(cfg)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
 	case "fig5":
-		return bench.Fig5(cfg).Format(), nil
+		r, err := bench.Fig5(cfg)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
 	case "fig6":
-		return bench.FormatDeltaSweep("Figure 6 — intra-Coflow δ sensitivity", bench.Fig6(cfg)), nil
+		rows, err := bench.Fig6(cfg)
+		if err != nil {
+			return "", err
+		}
+		return bench.FormatDeltaSweep("Figure 6 — intra-Coflow δ sensitivity", rows), nil
 	case "fig7":
-		return bench.Fig7(cfg).Format(), nil
+		r, err := bench.Fig7(cfg)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
 	case "fig8":
 		rows, err := bench.Fig8(cfg, nil, nil)
 		if err != nil {
@@ -169,11 +193,23 @@ func run(cfg bench.Config, id string) (string, error) {
 		}
 		return bench.FormatDeltaSweep("Figure 10 — inter-Coflow δ sensitivity", rows), nil
 	case "baselines":
-		return bench.Baselines(cfg, 0, 0).Format(), nil
+		r, err := bench.Baselines(cfg, 0, 0)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
 	case "ordering":
-		return bench.FormatOrdering(bench.OrderingSensitivity(cfg)), nil
+		rows, err := bench.OrderingSensitivity(cfg)
+		if err != nil {
+			return "", err
+		}
+		return bench.FormatOrdering(rows), nil
 	case "allstop":
-		return bench.AllStopAblation(cfg).Format(), nil
+		r, err := bench.AllStopAblation(cfg)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
 	case "starvation":
 		r, err := bench.Starvation(cfg, core.FairWindows{})
 		if err != nil {
@@ -187,14 +223,24 @@ func run(cfg bench.Config, id string) (string, error) {
 		}
 		return r.Format(), nil
 	case "approximation":
-		return bench.FormatApproximation(bench.Approximation(cfg)), nil
+		rows, err := bench.Approximation(cfg)
+		if err != nil {
+			return "", err
+		}
+		return bench.FormatApproximation(rows), nil
 	case "hybrid":
 		rows, err := bench.Hybrid(cfg, 0.1, 0.4)
 		if err != nil {
 			return "", err
 		}
 		return bench.FormatHybrid(rows), nil
+	case "resilience":
+		rows, err := bench.Resilience(cfg, nil)
+		if err != nil {
+			return "", err
+		}
+		return bench.FormatResilience(rows), nil
 	default:
-		return "", fmt.Errorf("unknown experiment (want table3 table4 fig3..fig10 baselines ordering allstop starvation combining approximation hybrid)")
+		return "", fmt.Errorf("unknown experiment (want table3 table4 fig3..fig10 baselines ordering allstop starvation combining approximation hybrid resilience)")
 	}
 }

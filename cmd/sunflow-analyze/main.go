@@ -4,6 +4,13 @@
 // trace's structural invariants, and renders SVG Gantt charts and an HTML
 // report.
 //
+// Fault-injected runs (see docs/FAULTS.md) add port_down/port_up,
+// circuit_retry and flow_stranded events; the linter checks two extra
+// invariants over them: retry_delta (every failed setup attempt re-pays δ)
+// and down_port_overlap (no circuit holds a port inside one of its outage
+// intervals). Stranded Coflows are exempt from the must-complete lifecycle
+// rule but may not also report a completion.
+//
 // Usage:
 //
 //	sunflow-analyze analyze [trace.jsonl]   text summary per scheduler scope
@@ -32,7 +39,8 @@ func usage() {
 
 subcommands:
   analyze   print per-scheduler duty cycle, δ overhead and CCT percentiles
-  lint      check trace invariants; exits 1 when violations are found
+  lint      check trace invariants, including the fault rules retry_delta
+            and down_port_overlap; exits 1 when violations are found
   gantt     write an SVG per-port circuit timeline
   report    write a self-contained HTML report
 

@@ -148,6 +148,23 @@ func (c Config) parallelEach(n int, fn func(i int)) {
 	wg.Wait()
 }
 
+// parallelEachErr runs fn over [0, n) on Config.Workers goroutines and
+// returns the error of the lowest index that failed, so the reported error
+// is deterministic regardless of goroutine interleaving. All indices run
+// even after a failure (runs are cheap and side-effect free).
+func (c Config) parallelEachErr(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	c.parallelEach(n, func(i int) {
+		errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // table renders rows of columns with aligned widths.
 func table(header []string, rows [][]string) string {
 	width := make([]int, len(header))

@@ -52,7 +52,10 @@ func TestCompact(t *testing.T) {
 }
 
 func TestFig3Shape(t *testing.T) {
-	rows := Fig3(smallCfg)
+	rows, err := Fig3(smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 3 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -78,7 +81,10 @@ func TestFig3Shape(t *testing.T) {
 }
 
 func TestFig4Shape(t *testing.T) {
-	r := Fig4(smallCfg)
+	r, err := Fig4(smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.M2MCoflows == 0 {
 		t.Fatal("no M2M coflows in workload")
 	}
@@ -97,7 +103,10 @@ func TestFig4Shape(t *testing.T) {
 }
 
 func TestFig5Shape(t *testing.T) {
-	r := Fig5(smallCfg)
+	r, err := Fig5(smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !r.SunAlwaysMinimal {
 		t.Fatal("Sunflow switching must be minimal for intra scheduling")
 	}
@@ -116,7 +125,10 @@ func TestFig5Shape(t *testing.T) {
 }
 
 func TestFig6Shape(t *testing.T) {
-	rows := Fig6(smallCfg)
+	rows, err := Fig6(smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 5 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -145,7 +157,10 @@ func TestFig6Shape(t *testing.T) {
 }
 
 func TestFig7Shape(t *testing.T) {
-	r := Fig7(smallCfg)
+	r, err := Fig7(smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.MaxRatio > r.TheoreticalCap {
 		t.Fatalf("CCT/TpL %v exceeds cap %v", r.MaxRatio, r.TheoreticalCap)
 	}
@@ -182,7 +197,10 @@ func TestTable4Shape(t *testing.T) {
 }
 
 func TestOrderingSensitivityShape(t *testing.T) {
-	rows := OrderingSensitivity(smallCfg)
+	rows, err := OrderingSensitivity(smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -195,7 +213,10 @@ func TestOrderingSensitivityShape(t *testing.T) {
 }
 
 func TestBaselinesShape(t *testing.T) {
-	r := Baselines(Config{Seed: 42, Ports: 20, Coflows: 40, MaxWidth: 5}, 15, 5)
+	r, err := Baselines(Config{Seed: 42, Ports: 20, Coflows: 40, MaxWidth: 5}, 15, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Coflows == 0 {
 		t.Fatal("no coflows sampled")
 	}
@@ -214,7 +235,10 @@ func TestBaselinesShape(t *testing.T) {
 }
 
 func TestAllStopAblationShape(t *testing.T) {
-	r := AllStopAblation(smallCfg)
+	r, err := AllStopAblation(smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.AvgRatio < 1-1e-9 {
 		t.Fatalf("all-stop ratio = %v, must be >= 1", r.AvgRatio)
 	}
@@ -319,7 +343,10 @@ func TestCombiningSmall(t *testing.T) {
 }
 
 func TestTable3Shape(t *testing.T) {
-	rows := Table3(Config{Seed: 1}, []int{4, 8})
+	rows, err := Table3(Config{Seed: 1}, []int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -334,7 +361,10 @@ func TestTable3Shape(t *testing.T) {
 }
 
 func TestApproximationShape(t *testing.T) {
-	rows := Approximation(smallCfg)
+	rows, err := Approximation(smallCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 4 {
 		t.Fatalf("rows = %d", len(rows))
 	}

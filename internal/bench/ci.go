@@ -34,7 +34,9 @@ func CollectCIMetrics() (CIMetrics, error) {
 	if _, err := runInter(cfg, cs, cfg.LinkBps); err != nil {
 		return CIMetrics{}, err
 	}
-	runIntra(cfg, cs, cfg.LinkBps, cfg.Delta, true)
+	if _, err := runIntra(cfg, cs, cfg.LinkBps, cfg.Delta, true); err != nil {
+		return CIMetrics{}, err
+	}
 
 	out := CIMetrics{Config: cfg, Scopes: map[string]obs.Summary{}}
 	for _, name := range cfg.Obs.ScopeNames() {

@@ -28,30 +28,37 @@ type ApproximationRow struct {
 
 // Approximation sweeps the scheduling quantum over {0, δ/2, δ, 5δ} on the
 // serialized workload.
-func Approximation(cfg Config) []ApproximationRow {
+func Approximation(cfg Config) ([]ApproximationRow, error) {
 	cfg = cfg.WithDefaults()
 	cs := cfg.Workload()
 
-	run := func(q float64) ([]float64, time.Duration) {
+	run := func(q float64) ([]float64, time.Duration, error) {
 		ccts := make([]float64, len(cs))
 		start := time.Now()
-		cfg.parallelEach(len(cs), func(i int) {
+		err := cfg.parallelEachErr(len(cs), func(i int) error {
 			c, n := compact(cs[i])
 			sched, err := core.IntraCoflow(core.NewPRT(n), c, core.Options{
 				LinkBps: cfg.LinkBps, Delta: cfg.Delta, Quantum: q,
 			})
 			if err != nil {
-				panic(err)
+				return fmt.Errorf("bench: approximation q=%g on coflow %d: %w", q, c.ID, err)
 			}
 			ccts[i] = sched.Finish
+			return nil
 		})
-		return ccts, time.Since(start)
+		return ccts, time.Since(start), err
 	}
 
-	base, baseTime := run(0)
+	base, baseTime, err := run(0)
+	if err != nil {
+		return nil, err
+	}
 	rows := []ApproximationRow{{Quantum: 0, AvgCCTRatio: 1, P95CCTRatio: 1, SchedulingTime: baseTime}}
 	for _, q := range []float64{cfg.Delta / 2, cfg.Delta, 5 * cfg.Delta} {
-		ccts, dur := run(q)
+		ccts, dur, err := run(q)
+		if err != nil {
+			return rows, err
+		}
 		var ratios []float64
 		for i := range ccts {
 			if base[i] > 0 {
@@ -65,7 +72,7 @@ func Approximation(cfg Config) []ApproximationRow {
 			SchedulingTime: dur,
 		})
 	}
-	return rows
+	return rows, nil
 }
 
 // FormatApproximation renders the quantum sweep.

@@ -29,14 +29,14 @@ type intraSample struct {
 
 // runIntra replays every Coflow alone through Sunflow and (optionally)
 // Solstice at the given bandwidth and delta.
-func runIntra(cfg Config, cs []*coflow.Coflow, linkBps, delta float64, withSolstice bool) []intraSample {
+func runIntra(cfg Config, cs []*coflow.Coflow, linkBps, delta float64, withSolstice bool) ([]intraSample, error) {
 	cfg = cfg.WithDefaults()
 	// The obs metrics are atomic, so the scoped observers are shared safely
 	// by the parallel workers.
 	sunObs := cfg.Obs.Scoped("sunflow")
 	solObs := cfg.Obs.Scoped("solstice")
 	out := make([]intraSample, len(cs))
-	cfg.parallelEach(len(cs), func(i int) {
+	err := cfg.parallelEachErr(len(cs), func(i int) error {
 		c, n := compact(cs[i])
 		s := intraSample{
 			Class: c.Classify(),
@@ -47,21 +47,22 @@ func runIntra(cfg Config, cs []*coflow.Coflow, linkBps, delta float64, withSolst
 		}
 		sched, err := core.IntraCoflow(core.NewPRT(n), c, core.Options{LinkBps: linkBps, Delta: delta, Obs: sunObs})
 		if err != nil {
-			panic(fmt.Sprintf("bench: sunflow on coflow %d: %v", c.ID, err))
+			return fmt.Errorf("bench: sunflow on coflow %d: %w", c.ID, err)
 		}
 		s.SunCCT = sched.Finish
 		s.SunSwitch = sched.SwitchingCount()
 		if withSolstice {
 			res, _, err := solstice.Run(c, n, solstice.Options{LinkBps: linkBps, Delta: delta, Obs: solObs}, fabric.NotAllStop)
 			if err != nil {
-				panic(fmt.Sprintf("bench: solstice on coflow %d: %v", c.ID, err))
+				return fmt.Errorf("bench: solstice on coflow %d: %w", c.ID, err)
 			}
 			s.SolCCT = res.Finish
 			s.SolSwitch = res.SwitchCount
 		}
 		out[i] = s
+		return nil
 	})
-	return out
+	return out, err
 }
 
 // Fig3Row is one bandwidth setting of Figure 3: the distribution of CCT/TcL
@@ -77,12 +78,15 @@ type Fig3Row struct {
 // Fig3 reproduces Figure 3: intra-Coflow CCT against the circuit lower
 // bound TcL for B ∈ {1, 10, 100} Gbps at δ = 10 ms, for Sunflow and
 // Solstice.
-func Fig3(cfg Config) []Fig3Row {
+func Fig3(cfg Config) ([]Fig3Row, error) {
 	cfg = cfg.WithDefaults()
 	cs := cfg.Workload()
 	var rows []Fig3Row
 	for _, b := range []float64{Gbps, 10 * Gbps, 100 * Gbps} {
-		samples := runIntra(cfg, cs, b, cfg.Delta, true)
+		samples, err := runIntra(cfg, cs, b, cfg.Delta, true)
+		if err != nil {
+			return rows, fmt.Errorf("bench: fig3 at B=%.0f: %w", b, err)
+		}
 		var sun, sol []float64
 		row := Fig3Row{LinkBps: b, Coflows: len(samples)}
 		for _, s := range samples {
@@ -103,7 +107,7 @@ func Fig3(cfg Config) []Fig3Row {
 		row.SolAvg, row.SolP95, row.SolMax = stats.Mean(sol), stats.Percentile(sol, 95), stats.Max(sol)
 		rows = append(rows, row)
 	}
-	return rows
+	return rows, nil
 }
 
 // FormatFig3 renders Figure 3 rows.
@@ -139,10 +143,13 @@ type Fig4Result struct {
 
 // Fig4 reproduces Figure 4: the distribution of CCT/TcL and CCT/TpL on
 // many-to-many Coflows for Sunflow and Solstice at B = 1 Gbps, δ = 10 ms.
-func Fig4(cfg Config) Fig4Result {
+func Fig4(cfg Config) (Fig4Result, error) {
 	cfg = cfg.WithDefaults()
 	cs := cfg.Workload()
-	samples := runIntra(cfg, cs, cfg.LinkBps, cfg.Delta, true)
+	samples, err := runIntra(cfg, cs, cfg.LinkBps, cfg.Delta, true)
+	if err != nil {
+		return Fig4Result{}, fmt.Errorf("bench: fig4: %w", err)
+	}
 	var sunTcL, sunTpL, solTcL []float64
 	for _, s := range samples {
 		if s.Class != coflow.ManyToMany || s.TcL <= 0 || s.TpL <= 0 {
@@ -164,7 +171,7 @@ func Fig4(cfg Config) Fig4Result {
 		SunUnderTpL4p5: stats.FractionBelow(sunTpL, 4.5),
 		SunTcLCDF:      stats.CDF(sunTcL),
 		SolTcLCDF:      stats.CDF(solTcL),
-	}
+	}, nil
 }
 
 // Format renders the Figure 4 summary.
@@ -191,10 +198,13 @@ type Fig5Result struct {
 
 // Fig5 reproduces Figure 5: switching counts over the per-Coflow minimum
 // for many-to-many Coflows.
-func Fig5(cfg Config) Fig5Result {
+func Fig5(cfg Config) (Fig5Result, error) {
 	cfg = cfg.WithDefaults()
 	cs := cfg.Workload()
-	samples := runIntra(cfg, cs, cfg.LinkBps, cfg.Delta, true)
+	samples, err := runIntra(cfg, cs, cfg.LinkBps, cfg.Delta, true)
+	if err != nil {
+		return Fig5Result{}, fmt.Errorf("bench: fig5: %w", err)
+	}
 	var sun, sol, flows []float64
 	minimal := true
 	for _, s := range samples {
@@ -219,7 +229,7 @@ func Fig5(cfg Config) Fig5Result {
 		SolMax:           stats.Max(sol),
 		SolFlowsCorr:     stats.Pearson(sol, flows),
 		SunAlwaysMinimal: minimal,
-	}
+	}, nil
 }
 
 // Format renders the Figure 5 summary.
@@ -244,18 +254,24 @@ type DeltaSweepRow struct {
 // Fig6 reproduces Figure 6: intra-Coflow sensitivity to δ over
 // {100 ms, 10 ms, 1 ms, 100 µs, 10 µs} at B = 1 Gbps, normalized per Coflow
 // to its CCT at δ = 10 ms.
-func Fig6(cfg Config) []DeltaSweepRow {
+func Fig6(cfg Config) ([]DeltaSweepRow, error) {
 	cfg = cfg.WithDefaults()
 	cs := cfg.Workload()
 	deltas := []float64{0.1, 0.01, 0.001, 0.0001, 0.00001}
-	base := runIntra(cfg, cs, cfg.LinkBps, 0.01, false)
+	base, err := runIntra(cfg, cs, cfg.LinkBps, 0.01, false)
+	if err != nil {
+		return nil, fmt.Errorf("bench: fig6 baseline: %w", err)
+	}
 	var rows []DeltaSweepRow
 	for _, d := range deltas {
 		var samples []intraSample
 		if d == 0.01 {
 			samples = base
 		} else {
-			samples = runIntra(cfg, cs, cfg.LinkBps, d, false)
+			samples, err = runIntra(cfg, cs, cfg.LinkBps, d, false)
+			if err != nil {
+				return rows, fmt.Errorf("bench: fig6 at δ=%g: %w", d, err)
+			}
 		}
 		var norm []float64
 		for i, s := range samples {
@@ -267,7 +283,7 @@ func Fig6(cfg Config) []DeltaSweepRow {
 			Delta: d, Avg: stats.Mean(norm), P95: stats.Percentile(norm, 95), Coflows: len(norm),
 		})
 	}
-	return rows
+	return rows, nil
 }
 
 // FormatDeltaSweep renders a δ sweep (Figures 6 and 10).
@@ -305,10 +321,13 @@ type Fig7Result struct {
 
 // Fig7 reproduces Figure 7: Sunflow CCT/TpL at B = 1 Gbps, δ = 10 ms. A
 // Coflow is long when its average processing time exceeds 40·δ (§5.3.2).
-func Fig7(cfg Config) Fig7Result {
+func Fig7(cfg Config) (Fig7Result, error) {
 	cfg = cfg.WithDefaults()
 	cs := cfg.Workload()
-	samples := runIntra(cfg, cs, cfg.LinkBps, cfg.Delta, false)
+	samples, err := runIntra(cfg, cs, cfg.LinkBps, cfg.Delta, false)
+	if err != nil {
+		return Fig7Result{}, fmt.Errorf("bench: fig7: %w", err)
+	}
 	var all, long, pavg []float64
 	var longBytes, totalBytes float64
 	for i, s := range samples {
@@ -337,7 +356,7 @@ func Fig7(cfg Config) Fig7Result {
 		MaxRatio:        stats.Max(all),
 		TheoreticalCap:  2 * (1 + alpha),
 		RankCorrelation: stats.Spearman(pavg, all),
-	}
+	}, nil
 }
 
 // Format renders the Figure 7 summary.
@@ -403,27 +422,34 @@ type OrderingRow struct {
 
 // OrderingSensitivity reproduces the §5.3.1 ordering experiment: per-Coflow
 // CCT of Random and SortedDemand normalized by OrderedPort.
-func OrderingSensitivity(cfg Config) []OrderingRow {
+func OrderingSensitivity(cfg Config) ([]OrderingRow, error) {
 	cfg = cfg.WithDefaults()
 	cs := cfg.Workload()
-	run := func(order core.Order) []float64 {
+	run := func(order core.Order) ([]float64, error) {
 		out := make([]float64, len(cs))
-		cfg.parallelEach(len(cs), func(i int) {
+		err := cfg.parallelEachErr(len(cs), func(i int) error {
 			c, n := compact(cs[i])
 			sched, err := core.IntraCoflow(core.NewPRT(n), c, core.Options{
 				LinkBps: cfg.LinkBps, Delta: cfg.Delta, Order: order, Seed: cfg.Seed,
 			})
 			if err != nil {
-				panic(err)
+				return fmt.Errorf("bench: ordering %v on coflow %d: %w", order, c.ID, err)
 			}
 			out[i] = sched.Finish
+			return nil
 		})
-		return out
+		return out, err
 	}
-	base := run(core.OrderedPort)
+	base, err := run(core.OrderedPort)
+	if err != nil {
+		return nil, err
+	}
 	var rows []OrderingRow
 	for _, order := range []core.Order{core.RandomOrder, core.SortedDemand} {
-		ccts := run(order)
+		ccts, err := run(order)
+		if err != nil {
+			return rows, err
+		}
 		var ratios []float64
 		for i := range ccts {
 			if base[i] > 0 {
@@ -436,7 +462,7 @@ func OrderingSensitivity(cfg Config) []OrderingRow {
 			P95Ratio: stats.Percentile(ratios, 95),
 		})
 	}
-	return rows
+	return rows, nil
 }
 
 // FormatOrdering renders the ordering sensitivity rows.
@@ -461,7 +487,7 @@ type BaselinesResult struct {
 // Baselines compares Solstice, TMS and Edmond (and Sunflow) on a bounded
 // sample of the trace: Coflows whose packet lower bound is below maxTpL
 // seconds, capped at maxCoflows, to keep the slow baselines tractable.
-func Baselines(cfg Config, maxCoflows int, maxTpL float64) BaselinesResult {
+func Baselines(cfg Config, maxCoflows int, maxTpL float64) (BaselinesResult, error) {
 	cfg = cfg.WithDefaults()
 	if maxCoflows == 0 {
 		maxCoflows = 60
@@ -484,15 +510,15 @@ func Baselines(cfg Config, maxCoflows int, maxTpL float64) BaselinesResult {
 	solObs := cfg.Obs.Scoped("solstice")
 	tmsObs := cfg.Obs.Scoped("tms")
 	edObs := cfg.Obs.Scoped("edmond")
-	cfg.parallelEach(len(sample), func(i int) {
+	perr := cfg.parallelEachErr(len(sample), func(i int) error {
 		c, n := compact(sample[i])
 		sun, err := core.IntraCoflow(core.NewPRT(n), c, core.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta, Obs: sunObs})
 		if err != nil {
-			panic(err)
+			return fmt.Errorf("bench: baselines sunflow on coflow %d: %w", c.ID, err)
 		}
 		sol, _, err := solstice.Run(c, n, solstice.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta, Obs: solObs}, fabric.NotAllStop)
 		if err != nil {
-			panic(err)
+			return fmt.Errorf("bench: baselines solstice on coflow %d: %w", c.ID, err)
 		}
 		// TMS and Edmond drive fabrics that stop all circuits during a
 		// reconfiguration (Mordia's ring, Helios' shared MEMS stage), so
@@ -501,14 +527,18 @@ func Baselines(cfg Config, maxCoflows int, maxTpL float64) BaselinesResult {
 		// hundreds of milliseconds".
 		tm, err := tms.Run(c, n, tms.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta, Obs: tmsObs}, fabric.AllStop)
 		if err != nil {
-			panic(err)
+			return fmt.Errorf("bench: baselines tms on coflow %d: %w", c.ID, err)
 		}
 		ed, err := edmond.Run(c, n, edmond.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta, Slot: 0.3, Obs: edObs}, fabric.AllStop)
 		if err != nil {
-			panic(err)
+			return fmt.Errorf("bench: baselines edmond on coflow %d: %w", c.ID, err)
 		}
 		results[i] = res{sun: sun.Finish, sol: sol.Finish, tm: tm.Finish, ed: ed.Finish}
+		return nil
 	})
+	if perr != nil {
+		return BaselinesResult{}, perr
+	}
 	var tmsR, edR, sunR []float64
 	for _, r := range results {
 		if r.sol > 0 {
@@ -522,7 +552,7 @@ func Baselines(cfg Config, maxCoflows int, maxTpL float64) BaselinesResult {
 		TMSOverSol:    stats.Mean(tmsR),
 		EdmondOverSol: stats.Mean(edR),
 		SunOverSol:    stats.Mean(sunR),
-	}
+	}, nil
 }
 
 // Format renders the baselines comparison.
@@ -543,32 +573,36 @@ type AllStopResult struct {
 }
 
 // AllStopAblation runs Solstice under both switch models.
-func AllStopAblation(cfg Config) AllStopResult {
+func AllStopAblation(cfg Config) (AllStopResult, error) {
 	cfg = cfg.WithDefaults()
 	cs := cfg.Workload()
 	ratios := make([]float64, len(cs))
-	cfg.parallelEach(len(cs), func(i int) {
+	err := cfg.parallelEachErr(len(cs), func(i int) error {
 		c, n := compact(cs[i])
 		opts := solstice.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta}
 		nas, _, err := solstice.Run(c, n, opts, fabric.NotAllStop)
 		if err != nil {
-			panic(err)
+			return fmt.Errorf("bench: ablation not-all-stop on coflow %d: %w", c.ID, err)
 		}
 		as, _, err := solstice.Run(c, n, opts, fabric.AllStop)
 		if err != nil {
-			panic(err)
+			return fmt.Errorf("bench: ablation all-stop on coflow %d: %w", c.ID, err)
 		}
 		if nas.Finish > 0 {
 			ratios[i] = as.Finish / nas.Finish
 		} else {
 			ratios[i] = 1
 		}
+		return nil
 	})
+	if err != nil {
+		return AllStopResult{}, err
+	}
 	return AllStopResult{
 		Coflows:  len(ratios),
 		AvgRatio: stats.Mean(ratios),
 		P95Ratio: stats.Percentile(ratios, 95),
-	}
+	}, nil
 }
 
 // Format renders the all-stop ablation.

@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"fmt"
+
+	"sunflow/internal/aalo"
+	"sunflow/internal/fabric"
+	"sunflow/internal/fault"
+	"sunflow/internal/hybrid"
+	"sunflow/internal/obs"
+	"sunflow/internal/sim"
+	"sunflow/internal/varys"
+)
+
+// ResilienceRow is one (scenario, scheduler) cell of the resilience
+// experiment: the scheduler's average CCT under the injected faults,
+// normalized by its own fault-free baseline.
+type ResilienceRow struct {
+	// Scenario names the fault setting ("fail=0.05" or "permanent").
+	Scenario string
+	// Scheduler is one of "sunflow", "hybrid", "varys", "aalo", "fair".
+	Scheduler string
+	// AvgCCT is the mean completion time of the Coflows that finished.
+	AvgCCT float64
+	// Inflation is AvgCCT over the scheduler's fault-free AvgCCT (1 at rate
+	// zero by construction; 0 when the baseline is empty).
+	Inflation float64
+	// Completed and Stranded count Coflows that finished and flows that were
+	// quarantined by permanent port failures.
+	Completed int
+	Stranded  int
+	// Retries counts failed circuit-setup attempts (circuit schedulers only).
+	Retries int64
+}
+
+// ResiliencePlan is the fault setting the sweep exercises at one failure
+// rate: every setup attempt fails with probability rate, each link is
+// degraded with probability rate, and each port suffers transient outages at
+// rate/10 outages per second over the horizon. A rate of zero is the
+// fault-free baseline (nil plan).
+func ResiliencePlan(seed int64, rate, horizon float64) *fault.Plan {
+	if rate <= 0 {
+		return nil
+	}
+	return &fault.Plan{
+		Seed:             seed,
+		SetupFailProb:    rate,
+		TransientRate:    rate / 10,
+		MeanOutage:       0.2,
+		Horizon:          horizon,
+		DegradedLinkProb: rate,
+	}
+}
+
+// resilienceScenario is one fault setting applied to all five schedulers.
+type resilienceScenario struct {
+	name string
+	plan *fault.Plan
+}
+
+// Resilience measures CCT inflation under injected faults for five
+// schedulers: Sunflow on circuits, the REACToR-style hybrid, and Varys, Aalo
+// and per-flow fair sharing on packets. Each rate in rates (default
+// {0, 0.02, 0.05, 0.1}) becomes one ResiliencePlan scenario; a final
+// "permanent" scenario kills one port for good mid-run and reports the
+// stranded flows. The workload is capped (≤40 ports, ≤80 Coflows) to keep
+// the len(rates)+1 sweeps over five schedulers tractable.
+func Resilience(cfg Config, rates []float64) ([]ResilienceRow, error) {
+	cfg = cfg.WithDefaults()
+	if len(rates) == 0 {
+		rates = []float64{0, 0.02, 0.05, 0.1}
+	}
+	wl := Config{
+		Seed:     cfg.Seed,
+		Ports:    min(cfg.Ports, 40),
+		Coflows:  min(cfg.Coflows, 80),
+		MaxWidth: cfg.MaxWidth,
+		LinkBps:  cfg.LinkBps,
+		Delta:    cfg.Delta,
+		Workers:  cfg.Workers,
+	}.WithDefaults()
+	cs := wl.Workload()
+
+	// Transient outages must cover the whole run to matter; size the horizon
+	// off the workload's arrival span.
+	horizon := 10.0
+	for _, c := range cs {
+		if c.Arrival+10 > horizon {
+			horizon = c.Arrival + 10
+		}
+	}
+
+	scenarios := make([]resilienceScenario, 0, len(rates)+1)
+	for _, r := range rates {
+		scenarios = append(scenarios, resilienceScenario{
+			name: fmt.Sprintf("fail=%.2f", r),
+			plan: ResiliencePlan(cfg.Seed, r, horizon),
+		})
+	}
+	// One port dies permanently a third into the arrival span: every flow
+	// touching it after that is stranded and reported, not served.
+	scenarios = append(scenarios, resilienceScenario{
+		name: "permanent",
+		plan: &fault.Plan{PortFailures: []fault.PortFailure{{Port: 1, At: horizon / 3}}},
+	})
+
+	root := cfg.Obs
+	if root == nil {
+		root = obs.New() // counters only; no trace sink
+	}
+
+	type runner struct {
+		name string
+		run  func(o *obs.Observer, plan *fault.Plan) (map[int]float64, *sim.PartialResult, error)
+	}
+	runners := []runner{
+		{"sunflow", func(o *obs.Observer, plan *fault.Plan) (map[int]float64, *sim.PartialResult, error) {
+			res, err := sim.RunCircuit(cs, sim.CircuitOptions{
+				Ports: wl.Ports, LinkBps: wl.LinkBps, Delta: wl.Delta, Obs: o, Faults: plan,
+			})
+			return res.CCT, res.Partial, err
+		}},
+		{"hybrid", func(o *obs.Observer, plan *fault.Plan) (map[int]float64, *sim.PartialResult, error) {
+			res, err := hybrid.Run(cs, hybrid.Options{
+				Ports: wl.Ports, CircuitBps: wl.LinkBps, PacketBps: wl.LinkBps / 10,
+				Delta: wl.Delta, ThresholdBytes: 10e6, Obs: o, Faults: plan,
+			})
+			return res.CCT, res.Partial, err
+		}},
+		{"varys", func(o *obs.Observer, plan *fault.Plan) (map[int]float64, *sim.PartialResult, error) {
+			res, err := sim.RunPacketOpts(cs, sim.PacketOptions{
+				Ports: wl.Ports, LinkBps: wl.LinkBps, Alloc: varys.Allocator{Obs: o}, Obs: o, Faults: plan,
+			})
+			return res.CCT, res.Partial, err
+		}},
+		{"aalo", func(o *obs.Observer, plan *fault.Plan) (map[int]float64, *sim.PartialResult, error) {
+			res, err := sim.RunPacketOpts(cs, sim.PacketOptions{
+				Ports: wl.Ports, LinkBps: wl.LinkBps, Alloc: aalo.Allocator{Obs: o}, Obs: o, Faults: plan,
+			})
+			return res.CCT, res.Partial, err
+		}},
+		{"fair", func(o *obs.Observer, plan *fault.Plan) (map[int]float64, *sim.PartialResult, error) {
+			res, err := sim.RunPacketOpts(cs, sim.PacketOptions{
+				Ports: wl.Ports, LinkBps: wl.LinkBps, Alloc: fabric.FairSharing{}, Obs: o, Faults: plan,
+			})
+			return res.CCT, res.Partial, err
+		}},
+	}
+
+	baseline := map[string]float64{}
+	var rows []ResilienceRow
+	for _, sc := range scenarios {
+		for _, rn := range runners {
+			// One scope per cell keeps the trace events and fault counters of
+			// every (scenario, scheduler) run separable.
+			o := root.Scoped(fmt.Sprintf("%s@%s", rn.name, sc.name))
+			retryCtr := o.CircuitRetries
+			if rn.name == "hybrid" {
+				// The hybrid runs its circuit partition under a "circuit"
+				// sub-scope; the retries accumulate there.
+				retryCtr = o.Scoped("circuit").CircuitRetries
+			}
+			retries0 := retryCtr.Load()
+			cct, partial, err := rn.run(o, sc.plan)
+			if err != nil {
+				return rows, fmt.Errorf("bench: resilience %s under %s: %w", rn.name, sc.name, err)
+			}
+			var sum float64
+			for _, v := range cct {
+				sum += v
+			}
+			row := ResilienceRow{
+				Scenario:  sc.name,
+				Scheduler: rn.name,
+				Completed: len(cct),
+				Retries:   retryCtr.Load() - retries0,
+			}
+			if len(cct) > 0 {
+				row.AvgCCT = sum / float64(len(cct))
+			}
+			if partial != nil {
+				row.Stranded = len(partial.Stranded)
+			}
+			if sc.plan == nil {
+				baseline[rn.name] = row.AvgCCT
+			}
+			if b := baseline[rn.name]; b > 0 {
+				row.Inflation = row.AvgCCT / b
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// FormatResilience renders the resilience sweep grouped by scenario.
+func FormatResilience(rows []ResilienceRow) string {
+	header := []string{"scenario", "scheduler", "avg CCT", "inflation", "completed", "stranded", "retries"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Scenario,
+			r.Scheduler,
+			fmt.Sprintf("%.3fs", r.AvgCCT),
+			fmt.Sprintf("%.3f", r.Inflation),
+			fmt.Sprintf("%d", r.Completed),
+			fmt.Sprintf("%d", r.Stranded),
+			fmt.Sprintf("%d", r.Retries),
+		})
+	}
+	return "Resilience — CCT inflation under injected faults (capped workload)\n" + table(header, out)
+}

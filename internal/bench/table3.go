@@ -27,7 +27,7 @@ type Table3Row struct {
 }
 
 // Table3 measures scheduling cost on dense Coflows over growing fabrics.
-func Table3(cfg Config, sizes []int) []Table3Row {
+func Table3(cfg Config, sizes []int) ([]Table3Row, error) {
 	cfg = cfg.WithDefaults()
 	if len(sizes) == 0 {
 		sizes = []int{8, 16, 32, 64}
@@ -44,33 +44,41 @@ func Table3(cfg Config, sizes []int) []Table3Row {
 		c := coflow.New(n, 0, flows)
 		row := Table3Row{Ports: n, Flows: n * n}
 
-		row.Sunflow = timeIt(func() {
-			if _, err := core.IntraCoflow(core.NewPRT(n), c, core.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta}); err != nil {
-				panic(err)
-			}
-		})
-		row.Solstice = timeIt(func() {
-			if _, _, err := solstice.Schedule(c, n, solstice.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta}); err != nil {
-				panic(err)
-			}
-		})
-		row.TMS = timeIt(func() {
-			if _, err := tms.Schedule(c.DemandMatrix(n), tms.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta}); err != nil {
-				panic(err)
-			}
-		})
-		row.Edmond = timeIt(func() {
+		var err error
+		row.Sunflow = timeIt(func() error {
+			_, e := core.IntraCoflow(core.NewPRT(n), c, core.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta})
+			return e
+		}, &err)
+		if err != nil {
+			return rows, fmt.Errorf("bench: table3 sunflow on N=%d: %w", n, err)
+		}
+		row.Solstice = timeIt(func() error {
+			_, _, e := solstice.Schedule(c, n, solstice.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta})
+			return e
+		}, &err)
+		if err != nil {
+			return rows, fmt.Errorf("bench: table3 solstice on N=%d: %w", n, err)
+		}
+		row.TMS = timeIt(func() error {
+			_, e := tms.Schedule(c.DemandMatrix(n), tms.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta})
+			return e
+		}, &err)
+		if err != nil {
+			return rows, fmt.Errorf("bench: table3 tms on N=%d: %w", n, err)
+		}
+		row.Edmond = timeIt(func() error {
 			matching.MaxWeightMatching(c.DemandMatrix(n))
-		})
+			return nil
+		}, &err)
 		rows = append(rows, row)
 	}
-	return rows
+	return rows, nil
 }
 
-// timeIt returns fn's wall-clock duration.
-func timeIt(fn func()) time.Duration {
+// timeIt returns fn's wall-clock duration, storing its error through errp.
+func timeIt(fn func() error, errp *error) time.Duration {
 	start := time.Now()
-	fn()
+	*errp = fn()
 	return time.Since(start)
 }
 

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -104,6 +105,39 @@ func (tl *timeline) insert(start, end float64, peer int) bool {
 	return true
 }
 
+// remove deletes the interval starting exactly at start, if present.
+func (tl *timeline) remove(start float64) {
+	for i, iv := range tl.iv {
+		if iv.start == start {
+			tl.iv = append(tl.iv[:i], tl.iv[i+1:]...)
+			return
+		}
+	}
+}
+
+// block fills the free gaps of [start, end) with busy intervals (peer -1),
+// leaving existing intervals untouched.
+func (tl *timeline) block(start, end float64) {
+	if end <= start {
+		return
+	}
+	cur := start
+	var gaps []interval
+	i := sort.Search(len(tl.iv), func(k int) bool { return tl.iv[k].end > start+timeEps })
+	for ; i < len(tl.iv) && tl.iv[i].start < end-timeEps; i++ {
+		if tl.iv[i].start > cur+timeEps {
+			gaps = append(gaps, interval{start: cur, end: math.Min(tl.iv[i].start, end), peer: -1})
+		}
+		cur = math.Max(cur, tl.iv[i].end)
+	}
+	if cur < end-timeEps {
+		gaps = append(gaps, interval{start: cur, end: end, peer: -1})
+	}
+	for _, g := range gaps {
+		tl.insert(g.start, g.end, g.peer)
+	}
+}
+
 // endsAfter appends to dst the end times of all intervals ending after t.
 func (tl *timeline) endsAfter(t float64, dst []float64) []float64 {
 	for _, iv := range tl.iv {
@@ -173,20 +207,52 @@ func (p *PRT) NextCommitment(i, j int, t float64) float64 {
 	return tm
 }
 
-// Reserve records the reservation on both port timelines. It panics if the
-// interval overlaps an existing reservation on either port, which would mean
-// the scheduler violated the port constraint — a programming error.
-func (p *PRT) Reserve(r Reservation) {
+// ErrDoubleBooked reports a reservation overlapping an existing one on a
+// port timeline.
+var ErrDoubleBooked = errors.New("core: port double-booked")
+
+// ErrEmptyReservation reports a reservation with a non-positive interval.
+var ErrEmptyReservation = errors.New("core: empty reservation")
+
+// TryReserve records the reservation on both port timelines, or returns a
+// typed error (ErrEmptyReservation, ErrDoubleBooked) leaving the table
+// unchanged. The fault repair path uses it to preload in-flight circuits
+// into a degraded table where a conflict is an expected outcome, not a
+// programming error.
+func (p *PRT) TryReserve(r Reservation) error {
 	if r.End <= r.Start {
-		panic(fmt.Sprintf("core: empty reservation %+v", r))
+		return fmt.Errorf("%w: %+v", ErrEmptyReservation, r)
 	}
 	if !p.in[r.In].insert(r.Start, r.End, r.Out) {
-		panic(fmt.Sprintf("core: input port %d double-booked at [%.9f,%.9f)", r.In, r.Start, r.End))
+		return fmt.Errorf("%w: input port %d at [%.9f,%.9f)", ErrDoubleBooked, r.In, r.Start, r.End)
 	}
 	if !p.out[r.Out].insert(r.Start, r.End, r.In) {
-		panic(fmt.Sprintf("core: output port %d double-booked at [%.9f,%.9f)", r.Out, r.Start, r.End))
+		// Roll the input side back so a failed TryReserve is a no-op.
+		p.in[r.In].remove(r.Start)
+		return fmt.Errorf("%w: output port %d at [%.9f,%.9f)", ErrDoubleBooked, r.Out, r.Start, r.End)
 	}
 	p.count++
+	return nil
+}
+
+// Reserve records the reservation on both port timelines. It panics if the
+// interval overlaps an existing reservation on either port, which would mean
+// the scheduler violated the port constraint — a programming error. Callers
+// that can legitimately collide use TryReserve.
+func (p *PRT) Reserve(r Reservation) {
+	if err := p.TryReserve(r); err != nil {
+		panic(err.Error())
+	}
+}
+
+// Block marks [start, end) unusable on both sides of the port — a fault
+// outage. End may be +Inf for a permanent failure. Portions of the window
+// already covered by existing intervals are skipped, so blocking composes
+// with reservations preloaded first (an established circuit spanning a
+// future outage edge is truncated by the simulator at the edge, not here).
+func (p *PRT) Block(port int, start, end float64) {
+	p.in[port].block(start, end)
+	p.out[port].block(start, end)
 }
 
 // Preload seeds the PRT with reservations that must not be preempted —

@@ -8,6 +8,7 @@ package fabric
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"sunflow/internal/obs"
 )
@@ -244,15 +245,39 @@ type RateAllocator interface {
 	Name() string
 }
 
+// SortedKeys returns the flow keys in (src, dst) order. Accumulating float
+// sums over Go's randomized map iteration makes results differ in the last
+// ulp between otherwise identical runs, so every allocator loop that sums or
+// spends bandwidth walks this instead.
+func SortedKeys(flows map[FlowKey]float64) []FlowKey {
+	keys := make([]FlowKey, 0, len(flows))
+	for k := range flows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].Src != keys[b].Src {
+			return keys[a].Src < keys[b].Src
+		}
+		return keys[a].Dst < keys[b].Dst
+	})
+	return keys
+}
+
 // PortLoads sums remaining bytes per input and output port for one Coflow's
 // remaining flows — the bottleneck computation shared by Varys' SEBF and the
 // lower bounds.
 func PortLoads(flows map[FlowKey]float64, ports int) (in, out []float64) {
+	return PortLoadsKeys(SortedKeys(flows), flows, ports)
+}
+
+// PortLoadsKeys is PortLoads over an already-sorted key slice, for callers
+// that walk the same flow set repeatedly and want to pay the sort once.
+func PortLoadsKeys(keys []FlowKey, flows map[FlowKey]float64, ports int) (in, out []float64) {
 	in = make([]float64, ports)
 	out = make([]float64, ports)
-	for k, b := range flows {
-		in[k.Src] += b
-		out[k.Dst] += b
+	for _, k := range keys {
+		in[k.Src] += flows[k]
+		out[k.Dst] += flows[k]
 	}
 	return in, out
 }

@@ -1,0 +1,303 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestZeroPlanCompilesNil(t *testing.T) {
+	var nilPlan *Plan
+	for _, p := range []*Plan{nil, {}, {Seed: 99}} {
+		m, err := p.Compile(4)
+		if err != nil || m != nil {
+			t.Fatalf("zero plan %+v compiled to (%v, %v), want (nil, nil)", p, m, err)
+		}
+	}
+	if !nilPlan.IsZero() {
+		t.Fatal("nil plan not zero")
+	}
+	// Every query on a nil model must be the no-fault answer.
+	var m *Model
+	if m.Down(0, 1) || m.PermanentlyDown(0, 1) || m.AnyPermanent() {
+		t.Fatal("nil model reports faults")
+	}
+	if !math.IsInf(m.NextBoundary(0), 1) || !math.IsInf(m.PermanentFrom(0), 1) {
+		t.Fatal("nil model has boundaries")
+	}
+	if m.RateFactor(1, 2, 3) != 1 {
+		t.Fatal("nil model degrades rates")
+	}
+	if out := m.Setup(1, 2, 3, 1.0, 0.01); !out.Established || out.Setup != 0.01 || len(out.Retries) != 0 {
+		t.Fatalf("nil model faulted a setup: %+v", out)
+	}
+}
+
+func TestValidateRejectsBadPlans(t *testing.T) {
+	cases := map[string]*Plan{
+		"negative port":    {PortFailures: []PortFailure{{Port: -1, At: 1}}},
+		"nan start":        {PortFailures: []PortFailure{{Port: 0, At: math.NaN()}}},
+		"negative start":   {PortFailures: []PortFailure{{Port: 0, At: -1}}},
+		"nan duration":     {PortFailures: []PortFailure{{Port: 0, At: 1, Duration: math.NaN()}}},
+		"negative rate":    {TransientRate: -1},
+		"rate no outage":   {TransientRate: 1, Horizon: 10},
+		"rate no horizon":  {TransientRate: 1, MeanOutage: 0.1},
+		"setup prob 1":     {SetupFailProb: 1},
+		"setup prob neg":   {SetupFailProb: -0.1},
+		"neg retries":      {MaxRetries: -1, SetupFailProb: 0.1},
+		"neg fail first":   {FailFirstSetups: -1},
+		"degraded prob":    {DegradedLinkProb: 1.5},
+		"degraded factor":  {DegradedLinkProb: 0.1, DegradedFactor: 2},
+		"straggler prob":   {StragglerProb: math.NaN()},
+		"straggler factor": {StragglerProb: 0.1, StragglerFactor: -0.5},
+	}
+	for name, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+	good := &Plan{Seed: 3, SetupFailProb: 0.2, PortFailures: []PortFailure{{Port: 1, At: 5, Duration: 2}}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}
+
+func TestCompileRejectsOutOfRangePort(t *testing.T) {
+	p := &Plan{PortFailures: []PortFailure{{Port: 4, At: 1}}}
+	if _, err := p.Compile(4); err == nil {
+		t.Fatal("port 4 on a 4-port fabric accepted")
+	}
+	if _, err := p.Compile(0); err == nil {
+		t.Fatal("zero-port fabric accepted")
+	}
+}
+
+func TestOutageMergeAndQueries(t *testing.T) {
+	p := &Plan{PortFailures: []PortFailure{
+		{Port: 0, At: 1, Duration: 2},   // [1,3)
+		{Port: 0, At: 2.5, Duration: 1}, // overlaps -> [1,3.5)
+		{Port: 0, At: 10},               // permanent from 10
+		{Port: 1, At: 5, Duration: 1},
+	}}
+	m, err := p.Compile(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Outages(0); len(got) != 2 || got[0].Start != 1 || got[0].End != 3.5 || !got[1].Permanent() {
+		t.Fatalf("merged outages = %+v", got)
+	}
+	if !m.Down(0, 2) || m.Down(0, 4) || !m.Down(0, 11) || m.Down(2, 2) {
+		t.Fatal("Down answers wrong")
+	}
+	if m.PermanentlyDown(0, 9) || !m.PermanentlyDown(0, 10) || m.PermanentlyDown(1, 100) {
+		t.Fatal("PermanentlyDown answers wrong")
+	}
+	if !m.AnyPermanent() || m.PermanentFrom(0) != 10 || !math.IsInf(m.PermanentFrom(1), 1) {
+		t.Fatal("permanent bookkeeping wrong")
+	}
+	// Boundaries: 1, 3.5, 5, 6, 10 — strictly-after semantics.
+	want := []float64{1, 3.5, 5, 6, 10}
+	at := math.Inf(-1)
+	for _, w := range want {
+		got := m.NextBoundary(at)
+		if got != w {
+			t.Fatalf("NextBoundary(%v) = %v, want %v", at, got, w)
+		}
+		at = got
+	}
+	if !math.IsInf(m.NextBoundary(at), 1) {
+		t.Fatal("boundaries did not end")
+	}
+	down, up := m.BoundariesAt(3.5)
+	if len(down) != 0 || len(up) != 1 || up[0].Port != 0 {
+		t.Fatalf("BoundariesAt(3.5) = %v %v", down, up)
+	}
+	down, _ = m.BoundariesAt(10)
+	if len(down) != 1 || !down[0].Permanent() {
+		t.Fatalf("BoundariesAt(10) down = %v", down)
+	}
+}
+
+func TestTransientOutagesDeterministic(t *testing.T) {
+	p := &Plan{Seed: 7, TransientRate: 0.5, MeanOutage: 0.3, Horizon: 20}
+	a, err := p.Compile(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := p.Compile(6)
+	total := 0
+	for port := 0; port < 6; port++ {
+		oa, ob := a.Outages(port), b.Outages(port)
+		if len(oa) != len(ob) {
+			t.Fatalf("port %d outage count differs", port)
+		}
+		for i := range oa {
+			if oa[i] != ob[i] {
+				t.Fatalf("port %d outage %d differs: %+v vs %+v", port, i, oa[i], ob[i])
+			}
+			if oa[i].Start >= p.Horizon {
+				t.Fatalf("outage starts past horizon: %+v", oa[i])
+			}
+		}
+		total += len(oa)
+	}
+	if total == 0 {
+		t.Fatal("no transient outages at rate 0.5 over 20s x 6 ports")
+	}
+	other, _ := (&Plan{Seed: 8, TransientRate: 0.5, MeanOutage: 0.3, Horizon: 20}).Compile(6)
+	same := true
+	for port := 0; port < 6; port++ {
+		ao, oo := a.Outages(port), other.Outages(port)
+		if len(ao) != len(oo) {
+			same = false
+			break
+		}
+		for i := range ao {
+			if ao[i] != oo[i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical outages")
+	}
+}
+
+func TestRateFactorDeterministicAndBounded(t *testing.T) {
+	p := &Plan{Seed: 5, DegradedLinkProb: 0.5, DegradedFactor: 0.25, StragglerProb: 0.5, StragglerFactor: 0.5}
+	m, err := p.Compile(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := p.Compile(8)
+	seen := map[float64]int{}
+	for c := 0; c < 4; c++ {
+		for s := 0; s < 8; s++ {
+			for d := 0; d < 8; d++ {
+				f := m.RateFactor(c, s, d)
+				if f != m2.RateFactor(c, s, d) {
+					t.Fatal("rate factor not deterministic")
+				}
+				if f <= 0 || f > 1 {
+					t.Fatalf("rate factor %v outside (0,1]", f)
+				}
+				seen[f]++
+			}
+		}
+	}
+	// With both draws at 0.5 all four products must appear: 1, 0.25, 0.5, 0.125.
+	for _, want := range []float64{1, 0.25, 0.5, 0.125} {
+		if seen[want] == 0 {
+			t.Fatalf("factor %v never drawn: %v", want, seen)
+		}
+	}
+}
+
+// TestSetupRetryAccounting pins the δ arithmetic: each failed attempt pays δ,
+// then backs off δ·2ⁱ. Two scripted failures then success cost
+// δ + δ + δ + 2δ + δ = 6δ.
+func TestSetupRetryAccounting(t *testing.T) {
+	p := &Plan{FailFirstSetups: 2}
+	m, err := p.Compile(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const delta = 0.01
+	out := m.Setup(1, 0, 1, 10, delta)
+	if !out.Established {
+		t.Fatalf("setup with room did not establish: %+v", out)
+	}
+	if math.Abs(out.Setup-6*delta) > 1e-12 {
+		t.Fatalf("setup = %v, want 6δ = %v", out.Setup, 6*delta)
+	}
+	if len(out.Retries) != 2 || math.Abs(out.Retries[0]-delta) > 1e-12 || math.Abs(out.Retries[1]-3*delta) > 1e-12 {
+		t.Fatalf("retries = %v, want [δ, 3δ]", out.Retries)
+	}
+	// The budget drained: the next setup succeeds first try.
+	if out := m.Setup(1, 0, 1, 10, delta); out.Setup != delta || len(out.Retries) != 0 {
+		t.Fatalf("budget did not drain: %+v", out)
+	}
+}
+
+func TestSetupRunsOutOfRoom(t *testing.T) {
+	m, err := (&Plan{FailFirstSetups: 100}).Compile(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const delta = 0.01
+	// Slot fits the first attempt only: it fails, and the backoff leaves no
+	// room for a second, so the hold is all setup and nothing establishes.
+	out := m.Setup(1, 0, 1, 2.5*delta, delta)
+	if out.Established {
+		t.Fatalf("established inside a hopeless slot: %+v", out)
+	}
+	if out.Setup != 2.5*delta {
+		t.Fatalf("setup = %v, want the whole slot", out.Setup)
+	}
+	if len(out.Retries) != 1 {
+		t.Fatalf("retries = %v, want one", out.Retries)
+	}
+}
+
+func TestSetupBoundedByMaxRetries(t *testing.T) {
+	m, err := (&Plan{FailFirstSetups: 100, MaxRetries: 2}).Compile(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.Setup(1, 0, 1, 1000, 0.01)
+	if out.Established {
+		t.Fatal("established despite an endless failure budget")
+	}
+	if len(out.Retries) != 3 { // initial attempt + 2 retries, all failed
+		t.Fatalf("retries = %v, want 3 failed attempts", out.Retries)
+	}
+	if out.Setup != 1000 {
+		t.Fatalf("setup = %v, want the whole slot", out.Setup)
+	}
+}
+
+func TestDecodePlan(t *testing.T) {
+	p, err := DecodePlan(strings.NewReader(`{"seed": 3, "setup_fail_prob": 0.1, "port_failures": [{"port": 2, "at": 5, "duration": 1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 3 || p.SetupFailProb != 0.1 || len(p.PortFailures) != 1 {
+		t.Fatalf("decoded %+v", p)
+	}
+	if _, err := DecodePlan(strings.NewReader(`{"bogus_field": 1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := DecodePlan(strings.NewReader(`{"setup_fail_prob": 1.0}`)); err == nil {
+		t.Fatal("invalid probability accepted")
+	}
+	if _, err := DecodePlan(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// FuzzDecodePlan drives arbitrary bytes through the JSON plan decoder. The
+// decoder must never panic, and any plan it accepts must compile on a small
+// fabric without panicking (port-range errors are fine).
+func FuzzDecodePlan(f *testing.F) {
+	f.Add(`{"seed": 3, "setup_fail_prob": 0.1}`)
+	f.Add(`{"port_failures": [{"port": 2, "at": 5, "duration": 1}]}`)
+	f.Add(`{"transient_rate": 0.5, "mean_outage": 0.3, "horizon": 20}`)
+	f.Add(`{"degraded_link_prob": 0.2, "straggler_prob": 0.1}`)
+	f.Add(`{"setup_fail_prob": 1e309}`)
+	f.Add(`{}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		p, err := DecodePlan(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("decoder accepted a plan Validate rejects: %v", err)
+		}
+		if _, err := p.Compile(8); err != nil {
+			// Only port range can fail once Validate has passed.
+			if len(p.PortFailures) == 0 {
+				t.Fatalf("compile of accepted plan failed: %v", err)
+			}
+		}
+	})
+}

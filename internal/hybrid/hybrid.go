@@ -15,6 +15,7 @@ import (
 
 	"sunflow/internal/coflow"
 	"sunflow/internal/fabric"
+	"sunflow/internal/fault"
 	"sunflow/internal/obs"
 	"sunflow/internal/sim"
 )
@@ -45,6 +46,10 @@ type Options struct {
 	// An explicitly set Circuit.Obs takes precedence for the circuit side.
 	// Nil disables instrumentation.
 	Obs *obs.Observer
+	// Faults optionally injects port outages, setup failures and degraded
+	// rates into both partitions (the fabric shares its ToR ports). An
+	// explicitly set Circuit.Faults takes precedence for the circuit side.
+	Faults *fault.Plan
 }
 
 // Result reports a hybrid run: the combined per-Coflow CCTs plus the two
@@ -58,6 +63,9 @@ type Result struct {
 	// Circuit and Packet are the partition results (ids appear only in the
 	// partitions that carried any of their demand).
 	Circuit, Packet sim.Result
+	// Partial merges the partitions' stranded-flow reports; nil when no flow
+	// was quarantined. A Coflow stranded in either partition has no CCT.
+	Partial *sim.PartialResult
 }
 
 // AverageCCT returns the mean combined CCT.
@@ -115,6 +123,9 @@ func Run(coflows []*coflow.Coflow, opts Options) (Result, error) {
 	if copts.Obs == nil {
 		copts.Obs = opts.Obs.Scoped("circuit")
 	}
+	if copts.Faults == nil {
+		copts.Faults = opts.Faults
+	}
 	var err error
 	res.Circuit, err = sim.RunCircuit(circuitPart, copts)
 	if err != nil {
@@ -126,7 +137,13 @@ func Run(coflows []*coflow.Coflow, opts Options) (Result, error) {
 		alloc = fabric.FairSharing{}
 	}
 	if len(packetPart) > 0 {
-		res.Packet, err = sim.RunPacketObs(packetPart, opts.Ports, opts.PacketBps, alloc, opts.Obs.Scoped("packet"))
+		res.Packet, err = sim.RunPacketOpts(packetPart, sim.PacketOptions{
+			Ports:   opts.Ports,
+			LinkBps: opts.PacketBps,
+			Alloc:   alloc,
+			Obs:     opts.Obs.Scoped("packet"),
+			Faults:  opts.Faults,
+		})
 		if err != nil {
 			return res, fmt.Errorf("hybrid: packet partition: %w", err)
 		}
@@ -138,5 +155,33 @@ func Run(coflows []*coflow.Coflow, opts Options) (Result, error) {
 	for id, v := range res.Packet.CCT {
 		res.CCT[id] = math.Max(res.CCT[id], v)
 	}
+	res.Partial = mergePartials(res.Circuit.Partial, res.Packet.Partial)
+	if res.Partial != nil {
+		// A Coflow stranded in either partition did not complete: it must
+		// not report a combined CCT off its other half.
+		for id := range res.Partial.Finish {
+			delete(res.CCT, id)
+		}
+	}
 	return res, nil
+}
+
+// mergePartials combines the partitions' stranded-flow reports (nil when both
+// partitions served everything).
+func mergePartials(a, b *sim.PartialResult) *sim.PartialResult {
+	if a == nil && b == nil {
+		return nil
+	}
+	m := &sim.PartialResult{Finish: map[int]float64{}}
+	for _, p := range []*sim.PartialResult{a, b} {
+		if p == nil {
+			continue
+		}
+		m.Stranded = append(m.Stranded, p.Stranded...)
+		m.Bytes += p.Bytes
+		for id, f := range p.Finish {
+			m.Finish[id] = math.Max(m.Finish[id], f)
+		}
+	}
+	return m
 }

@@ -27,6 +27,11 @@ const (
 	NameResShortened     = "sched.reservations_shortened"
 	NameInBusySeconds    = "port.in_busy_seconds"
 	NameOutBusySeconds   = "port.out_busy_seconds"
+	NameCircuitRetries   = "fault.circuit_retries"
+	NameRetrySeconds     = "fault.retry_seconds"
+	NamePortDowns        = "fault.port_downs"
+	NameFlowsStranded    = "fault.flows_stranded"
+	NameStrandedBytes    = "fault.stranded_bytes"
 )
 
 // Observer is the instrumentation handle threaded through the simulators and
@@ -64,6 +69,13 @@ type Observer struct {
 	// independent on an optical switch).
 	InBusySeconds  *FloatVec
 	OutBusySeconds *FloatVec
+
+	// Fault injection (all zero on a fault-free run).
+	CircuitRetries *Counter      // failed circuit-setup attempts, each paying δ
+	RetrySeconds   *FloatCounter // extra setup time beyond the base δ (retries + backoff)
+	PortDowns      *Counter      // port outages that began
+	FlowsStranded  *Counter      // flows quarantined by permanent port failures
+	StrandedBytes  *FloatCounter // demand those flows could not deliver
 
 	reg    *Registry
 	sink   Sink
@@ -109,6 +121,11 @@ func newScoped(reg *Registry, sink Sink, prefix string) *Observer {
 		ResShortened:     reg.Counter(prefix + NameResShortened),
 		InBusySeconds:    reg.FloatVec(prefix + NameInBusySeconds),
 		OutBusySeconds:   reg.FloatVec(prefix + NameOutBusySeconds),
+		CircuitRetries:   reg.Counter(prefix + NameCircuitRetries),
+		RetrySeconds:     reg.FloatCounter(prefix + NameRetrySeconds),
+		PortDowns:        reg.Counter(prefix + NamePortDowns),
+		FlowsStranded:    reg.Counter(prefix + NameFlowsStranded),
+		StrandedBytes:    reg.FloatCounter(prefix + NameStrandedBytes),
 		reg:              reg,
 		sink:             sink,
 		prefix:           prefix,

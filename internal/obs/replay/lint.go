@@ -28,6 +28,12 @@ const (
 	// RuleLifecycle: admit/complete/start/finish events out of protocol
 	// (duplicates, orphans, never-completing Coflows, unknown kinds).
 	RuleLifecycle Rule = "lifecycle"
+	// RuleRetryDelta: a retried circuit whose effective setup does not
+	// re-pay δ for every failed attempt (or an orphan circuit_retry).
+	RuleRetryDelta Rule = "retry_delta"
+	// RuleDownPort: a circuit held its port inside a port_down/port_up
+	// outage interval.
+	RuleDownPort Rule = "down_port_overlap"
 )
 
 // Violation is one broken invariant, anchored at the event that exposed it.

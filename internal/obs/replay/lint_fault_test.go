@@ -1,0 +1,136 @@
+package replay
+
+import (
+	"testing"
+
+	"sunflow/internal/obs"
+)
+
+// TestLintFaultRuleViolations hand-builds traces that break each fault
+// invariant: retries that skip the δ re-payment, circuits held across port
+// outages, and malformed outage/strand lifecycles.
+func TestLintFaultRuleViolations(t *testing.T) {
+	up := func(tm float64, src, dst int, setup, bytes float64) obs.Event {
+		return obs.Event{T: tm, Kind: obs.KindCircuitUp, Coflow: -1, Src: src, Dst: dst, Dur: setup, Bytes: bytes}
+	}
+	down := func(tm float64, src, dst int) obs.Event {
+		return obs.Event{T: tm, Kind: obs.KindCircuitDown, Coflow: -1, Src: src, Dst: dst}
+	}
+	retry := func(tm float64, src, dst int, delta float64) obs.Event {
+		return obs.Event{T: tm, Kind: obs.KindCircuitRetry, Coflow: -1, Src: src, Dst: dst, Dur: delta}
+	}
+	portDown := func(tm float64, port int) obs.Event {
+		return obs.Event{T: tm, Kind: obs.KindPortDown, Coflow: -1, Src: port, Dst: -1}
+	}
+	portUp := func(tm float64, port int) obs.Event {
+		return obs.Event{T: tm, Kind: obs.KindPortUp, Coflow: -1, Src: port, Dst: -1}
+	}
+
+	cases := []struct {
+		name string
+		evs  []obs.Event
+		want Rule
+	}{
+		{"retry without delta repayment", []obs.Event{
+			// One failed attempt (δ=0.01) should cost 2δ of setup on a
+			// data-carrying circuit; the up event only paid 1δ.
+			up(0, 0, 1, 0.01, 5e6),
+			retry(0.01, 0, 1, 0.01),
+			down(1, 0, 1),
+		}, RuleRetryDelta},
+		{"orphan retry", []obs.Event{
+			retry(0.5, 0, 1, 0.01),
+		}, RuleRetryDelta},
+		{"retry precedes its up", []obs.Event{
+			up(1, 0, 1, 0.03, 5e6),
+			retry(0.5, 0, 1, 0.01),
+			down(2, 0, 1),
+		}, RuleTimeOrder},
+		{"circuit held across outage", []obs.Event{
+			up(0.5, 0, 1, 0.01, 5e6),
+			portDown(1, 0),
+			portUp(2, 0),
+			down(3, 0, 1),
+		}, RuleDownPort},
+		{"circuit established inside outage", []obs.Event{
+			portDown(1, 1),
+			up(1.2, 0, 1, 0.01, 5e6),
+			down(1.8, 0, 1),
+			portUp(2, 1),
+		}, RuleDownPort},
+		{"double port_down", []obs.Event{
+			portDown(1, 0),
+			portDown(2, 0),
+		}, RuleLifecycle},
+		{"port_up with no outage", []obs.Event{
+			portUp(1, 0),
+		}, RuleLifecycle},
+		{"stranded flow with no admission", []obs.Event{
+			{T: 1, Kind: obs.KindFlowStranded, Coflow: 3, Src: 0, Dst: 1, Bytes: 5e6},
+		}, RuleLifecycle},
+		{"completed despite stranded flow", []obs.Event{
+			{T: 0, Kind: obs.KindCoflowAdmit, Coflow: 3, Src: -1, Dst: -1, Bytes: 10e6},
+			{T: 1, Kind: obs.KindFlowStranded, Coflow: 3, Src: 0, Dst: 1, Bytes: 10e6},
+			{T: 2, Kind: obs.KindCoflowComplete, Coflow: 3, Src: -1, Dst: -1, Dur: 2},
+		}, RuleLifecycle},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := Analyze(tc.evs)
+			if kinds(a.Violations)[tc.want] == 0 {
+				t.Errorf("want a %s violation, got %v", tc.want, a.Violations)
+			}
+		})
+	}
+}
+
+// TestLintFaultRulesAcceptLegalTraces pins the other side of each rule: the
+// shapes a degraded-fabric run legitimately produces must stay lint-clean.
+func TestLintFaultRulesAcceptLegalTraces(t *testing.T) {
+	cases := []struct {
+		name string
+		evs  []obs.Event
+	}{
+		{"retry fully paid", []obs.Event{
+			// δ=0.01: one failed attempt + one success ⇒ setup ≥ 2δ (the
+			// backoff makes it 3δ here).
+			{T: 0, Kind: obs.KindCircuitUp, Coflow: -1, Src: 0, Dst: 1, Dur: 0.03, Bytes: 5e6},
+			{T: 0.01, Kind: obs.KindCircuitRetry, Coflow: -1, Src: 0, Dst: 1, Dur: 0.01},
+			{T: 1, Kind: obs.KindCircuitDown, Coflow: -1, Src: 0, Dst: 1},
+		}},
+		{"all-setup circuit never establishes", []obs.Event{
+			// The slot ran out of room: the whole hold is setup, no data —
+			// only the failed attempts' δ must be covered.
+			{T: 0, Kind: obs.KindCircuitUp, Coflow: -1, Src: 0, Dst: 1, Dur: 0.025, Bytes: 0},
+			{T: 0.01, Kind: obs.KindCircuitRetry, Coflow: -1, Src: 0, Dst: 1, Dur: 0.01},
+			{T: 0.025, Kind: obs.KindCircuitRetry, Coflow: -1, Src: 0, Dst: 1, Dur: 0.01},
+			{T: 0.025, Kind: obs.KindCircuitDown, Coflow: -1, Src: 0, Dst: 1},
+		}},
+		{"circuit truncated at the failure instant", []obs.Event{
+			{T: 0.5, Kind: obs.KindCircuitUp, Coflow: -1, Src: 0, Dst: 1, Dur: 0.01, Bytes: 5e6},
+			{T: 1, Kind: obs.KindCircuitDown, Coflow: -1, Src: 0, Dst: 1},
+			{T: 1, Kind: obs.KindPortDown, Coflow: -1, Src: 0, Dst: -1},
+			{T: 2, Kind: obs.KindPortUp, Coflow: -1, Src: 0, Dst: -1},
+		}},
+		{"circuit after recovery", []obs.Event{
+			{T: 1, Kind: obs.KindPortDown, Coflow: -1, Src: 0, Dst: -1},
+			{T: 2, Kind: obs.KindPortUp, Coflow: -1, Src: 0, Dst: -1},
+			{T: 2, Kind: obs.KindCircuitUp, Coflow: -1, Src: 0, Dst: 1, Dur: 0.01, Bytes: 5e6},
+			{T: 3, Kind: obs.KindCircuitDown, Coflow: -1, Src: 0, Dst: 1},
+		}},
+		{"permanent outage never recovers", []obs.Event{
+			{T: 1, Kind: obs.KindPortDown, Coflow: -1, Src: 0, Dst: -1, Dur: 0},
+		}},
+		{"stranded coflow never completes", []obs.Event{
+			{T: 0, Kind: obs.KindCoflowAdmit, Coflow: 3, Src: -1, Dst: -1, Bytes: 10e6},
+			{T: 1, Kind: obs.KindFlowStranded, Coflow: 3, Src: 0, Dst: 1, Bytes: 10e6},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if vs := Lint(tc.evs); len(vs) != 0 {
+				t.Errorf("unexpected violations: %v", vs)
+			}
+		})
+	}
+}

@@ -123,6 +123,11 @@ type Circuit struct {
 	Down   float64 // NaN while unmatched
 	Setup  float64 // δ paid at establishment (the up event's Dur)
 	Bytes  float64 // planned demand, 0 when the executor does not know it
+
+	// Fault-injection reconstruction: failed setup attempts inside the hold.
+	Retries   int     // circuit_retry events seen
+	RetrySec  float64 // Σ retry Dur — the δ paid by failed attempts
+	RetryUnit float64 // the per-attempt δ (max retry Dur)
 }
 
 // Closed reports whether the circuit's down event was seen.
@@ -142,13 +147,27 @@ type CoflowStat struct {
 	Flows      int     // distinct (src, dst) flows seen
 	Completed  bool
 
+	// Stranded counts flows quarantined by permanent port failures and
+	// StrandedBytes their unserved demand. A stranded Coflow legitimately
+	// never completes and is exempt from the lifecycle and demand checks.
+	Stranded      int
+	StrandedBytes float64
+
 	flows map[flowKey]*flowLife
 }
 
 type flowLife struct {
 	start, finish     float64
 	started, finished bool
+	stranded          bool
 	bytes             float64
+}
+
+// PortOutage is one reconstructed port failure interval. Up is +Inf for a
+// permanent failure (or an outage still open at end of trace).
+type PortOutage struct {
+	Port     int
+	Down, Up float64
 }
 
 // Segment is one busy interval on a port timeline: [Start, Start+Setup) is
@@ -169,12 +188,20 @@ type Scope struct {
 
 	// Circuits in circuit_up emission order — the accumulation order that
 	// makes SetupSeconds / HoldSeconds / PlannedBytes bit-exact against the
-	// live counters.
+	// live counters (on fault-free traces; truncated circuits under faults
+	// correct their counters after the up was emitted).
 	Circuits []Circuit
 	// Coflows in admission order, one entry per admission (a re-admitted id
 	// in a concatenated trace gets a fresh entry).
 	Coflows []*CoflowStat
 	Windows int // fair windows opened
+
+	// Fault-injection reconstruction.
+	FaultInjected bool         // a fault_inject event marked this scope
+	PortOutages   []PortOutage // port_down/port_up pairs, in down order
+	Retries       int64        // circuit_retry events
+	StrandedFlows int          // flow_stranded events
+	StrandedBytes float64      // Σ stranded demand
 
 	// Counter-equivalent aggregates, filled by Finish.
 	CircuitSetups int64
@@ -185,6 +212,7 @@ type Scope struct {
 
 	open       map[flowKey]int // circuit index currently holding (src, dst)
 	openCoflow map[int]*CoflowStat
+	portDown   map[int]int // open outage index per port
 	windowOpen bool
 	windowT    float64
 }
@@ -280,6 +308,7 @@ func (b *Builder) scope(name string) *Scope {
 			Name:       name,
 			open:       make(map[flowKey]int),
 			openCoflow: make(map[int]*CoflowStat),
+			portDown:   make(map[int]int),
 		}
 		b.a.Scopes[name] = s
 	}
@@ -433,6 +462,79 @@ func (b *Builder) Add(ev obs.Event) {
 		}
 		s.windowOpen = false
 
+	case obs.KindFaultInject:
+		s.FaultInjected = true
+
+	case obs.KindPortDown:
+		if idx, ok := s.portDown[ev.Src]; ok {
+			b.violate(RuleLifecycle, ev.Scope, ev.T,
+				"port %d goes down at t=%.6g while already down since t=%.6g", ev.Src, ev.T, s.PortOutages[idx].Down)
+		}
+		s.portDown[ev.Src] = len(s.PortOutages)
+		s.PortOutages = append(s.PortOutages, PortOutage{Port: ev.Src, Down: ev.T, Up: math.Inf(1)})
+
+	case obs.KindPortUp:
+		idx, ok := s.portDown[ev.Src]
+		if !ok {
+			b.violate(RuleLifecycle, ev.Scope, ev.T, "port_up for port %d with no outage open", ev.Src)
+			return
+		}
+		og := &s.PortOutages[idx]
+		if ev.T < og.Down-timeEps {
+			b.violate(RuleTimeOrder, ev.Scope, ev.T,
+				"port %d comes up at t=%.6g before going down at t=%.6g", ev.Src, ev.T, og.Down)
+		}
+		og.Up = ev.T
+		delete(s.portDown, ev.Src)
+
+	case obs.KindCircuitRetry:
+		key := flowKey{ev.Src, ev.Dst}
+		idx, ok := s.open[key]
+		if !ok {
+			b.violate(RuleRetryDelta, ev.Scope, ev.T,
+				"circuit_retry on (%d,%d) with no circuit up", ev.Src, ev.Dst)
+			return
+		}
+		c := &s.Circuits[idx]
+		if ev.T < c.Up-timeEps {
+			b.violate(RuleTimeOrder, ev.Scope, ev.T,
+				"circuit_retry on (%d,%d) at t=%.6g precedes the up at t=%.6g", ev.Src, ev.Dst, ev.T, c.Up)
+		}
+		c.Retries++
+		c.RetrySec += ev.Dur
+		if ev.Dur > c.RetryUnit {
+			c.RetryUnit = ev.Dur
+		}
+		s.Retries++
+
+	case obs.KindFlowStranded:
+		st, ok := s.openCoflow[ev.Coflow]
+		if !ok {
+			b.violate(RuleLifecycle, ev.Scope, ev.T,
+				"flow_stranded for coflow %d with no open admission", ev.Coflow)
+			return
+		}
+		key := flowKey{ev.Src, ev.Dst}
+		f := st.flows[key]
+		if f == nil {
+			f = &flowLife{}
+			st.flows[key] = f
+			st.Flows++
+		}
+		if f.stranded {
+			b.violate(RuleLifecycle, ev.Scope, ev.T,
+				"duplicate flow_stranded for coflow %d flow (%d,%d)", ev.Coflow, ev.Src, ev.Dst)
+		}
+		if f.finished {
+			b.violate(RuleLifecycle, ev.Scope, ev.T,
+				"flow (%d,%d) of coflow %d stranded after finishing", ev.Src, ev.Dst, ev.Coflow)
+		}
+		f.stranded = true
+		st.Stranded++
+		st.StrandedBytes += ev.Bytes
+		s.StrandedFlows++
+		s.StrandedBytes += ev.Bytes
+
 	default:
 		b.violate(RuleLifecycle, ev.Scope, ev.T, "unknown event kind %q", ev.Kind)
 	}
@@ -464,6 +566,16 @@ func (b *Builder) finishScope(s *Scope) {
 			"circuit on (%d,%d) up at t=%.6g never comes down", c.Src, c.Dst, c.Up)
 	}
 	for _, st := range s.Coflows {
+		if st.Stranded > 0 {
+			// A quarantined Coflow leaves the fabric without completing —
+			// that is the contract, not a violation — but it must never claim
+			// a completion.
+			if st.Completed {
+				b.violate(RuleLifecycle, s.Name, st.Complete,
+					"coflow %d completed despite %d stranded flows", st.ID, st.Stranded)
+			}
+			continue
+		}
 		if !st.Completed {
 			b.violate(RuleLifecycle, s.Name, st.Admit,
 				"coflow %d admitted at t=%.6g never completes", st.ID, st.Admit)
@@ -473,6 +585,8 @@ func (b *Builder) finishScope(s *Scope) {
 	}
 	b.checkOverlap(s, true)
 	b.checkOverlap(s, false)
+	b.checkRetries(s)
+	b.checkDownPorts(s)
 
 	// Counter-equivalent accounting, in circuit_up emission order. The live
 	// counters accrue setups / setup seconds / planned bytes at circuit_up
@@ -540,6 +654,47 @@ func (b *Builder) checkOverlap(s *Scope, in bool) {
 		}
 		if !ok || c.Down > prev.Down || c.Up < prev.Up-timeEps {
 			last[port] = c
+		}
+	}
+}
+
+// checkRetries verifies that every retried circuit re-paid δ: the effective
+// setup reported by its up event must cover the δ of each failed attempt,
+// plus one final successful δ when the circuit went on to carry data
+// (Bytes > 0).
+func (b *Builder) checkRetries(s *Scope) {
+	for i := range s.Circuits {
+		c := &s.Circuits[i]
+		if c.Retries == 0 {
+			continue
+		}
+		want := c.RetrySec
+		if c.Bytes > 0 {
+			want += c.RetryUnit
+		}
+		if c.Setup+timeEps < want {
+			b.violate(RuleRetryDelta, s.Name, c.Up,
+				"circuit (%d,%d) up at t=%.6g retried %d times but paid setup %.6g < %.6g — each retry must re-pay δ",
+				c.Src, c.Dst, c.Up, c.Retries, c.Setup, want)
+		}
+	}
+}
+
+// checkDownPorts verifies that no circuit held a port inside one of its
+// outage intervals: a truncated circuit must release at the failure instant
+// and nothing may be established before the port recovers.
+func (b *Builder) checkDownPorts(s *Scope) {
+	for _, og := range s.PortOutages {
+		for i := range s.Circuits {
+			c := &s.Circuits[i]
+			if !c.Closed() || (c.Src != og.Port && c.Dst != og.Port) {
+				continue
+			}
+			if c.Up < og.Up-timeEps && c.Down > og.Down+timeEps {
+				b.violate(RuleDownPort, s.Name, og.Down,
+					"circuit (%d,%d) held [%.6g,%.6g) across port %d outage [%.6g,%.6g)",
+					c.Src, c.Dst, c.Up, c.Down, og.Port, og.Down, og.Up)
+			}
 		}
 	}
 }

@@ -29,6 +29,21 @@ const (
 	// fair window (§4.2).
 	KindWindowOpen  Kind = "window_open"
 	KindWindowClose Kind = "window_close"
+	// KindFaultInject marks a run executing under a nonzero fault plan,
+	// emitted once at simulation start.
+	KindFaultInject Kind = "fault_inject"
+	// KindPortDown / KindPortUp bracket one port outage (Src carries the
+	// port, Dst is -1). A permanent failure's down has Dur 0 and never pairs
+	// with an up; a transient down carries the outage length in Dur.
+	KindPortDown Kind = "port_down"
+	KindPortUp   Kind = "port_up"
+	// KindCircuitRetry records one failed circuit-setup attempt inside an
+	// open circuit's hold; Dur is the δ the attempt paid.
+	KindCircuitRetry Kind = "circuit_retry"
+	// KindFlowStranded records a flow quarantined because a permanent port
+	// failure left it unroutable; Bytes is the demand still unserved. A
+	// Coflow with a stranded flow never emits coflow_complete.
+	KindFlowStranded Kind = "flow_stranded"
 )
 
 // Event is one structured trace record. Fields that do not apply to a kind

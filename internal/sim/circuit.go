@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"sunflow/internal/coflow"
 	"sunflow/internal/core"
 	"sunflow/internal/fabric"
+	"sunflow/internal/fault"
 	"sunflow/internal/obs"
 )
 
@@ -33,7 +35,16 @@ type CircuitOptions struct {
 	// Obs optionally records metrics and trace events. Nil disables all
 	// instrumentation at the cost of one nil-check per site.
 	Obs *obs.Observer
+	// Faults optionally injects port outages, circuit-setup failures and
+	// degraded link rates. Nil — or a plan whose IsZero reports true — leaves
+	// the simulation bit-identical to the fault-free baseline.
+	Faults *fault.Plan
 }
+
+// ErrReplan wraps a scheduler failure during an online reschedule. It used to
+// be a panic; now the simulator surfaces it to the caller together with the
+// Coflow that could not be placed.
+var ErrReplan = errors.New("sim: replan failed")
 
 // RunCircuit simulates the Coflows on a Sunflow-scheduled optical circuit
 // switch. Following §6, the schedule is recomputed only on Coflow arrivals
@@ -60,13 +71,19 @@ func RunCircuit(coflows []*coflow.Coflow, opts CircuitOptions) (Result, error) {
 	if err != nil {
 		return res, err
 	}
+	fm, err := opts.Faults.Compile(opts.Ports)
+	if err != nil {
+		return res, fmt.Errorf("sim: %w", err)
+	}
 
 	s := &circuitState{
-		opts:    opts,
-		policy:  policy,
-		res:     &res,
-		live:    map[int]*liveCoflow{},
-		pending: arrivalsOrder,
+		opts:        opts,
+		policy:      policy,
+		res:         &res,
+		live:        map[int]*liveCoflow{},
+		pending:     arrivalsOrder,
+		faults:      fm,
+		faultCursor: math.Inf(-1),
 	}
 	if o := opts.Obs; o != nil {
 		defer func() { o.SimEvents.Add(int64(res.Events)) }()
@@ -76,8 +93,20 @@ func RunCircuit(coflows []*coflow.Coflow, opts CircuitOptions) (Result, error) {
 	if len(arrivalsOrder) > 0 {
 		t = arrivalsOrder[0].Arrival
 	}
+	if fm != nil {
+		if o := opts.Obs; o.TraceEnabled() {
+			o.Emit(obs.Event{T: t, Kind: obs.KindFaultInject, Coflow: -1, Src: -1, Dst: -1})
+		}
+		s.syncFaults(t)
+	}
 	s.admit(t)
-	s.replan(t)
+	if fm != nil {
+		s.quarantine(t)
+		s.retire(t)
+	}
+	if err := s.replan(t); err != nil {
+		return res, err
+	}
 	tPrev := t
 
 	for ev := 0; ; ev++ {
@@ -92,14 +121,23 @@ func RunCircuit(coflows []*coflow.Coflow, opts CircuitOptions) (Result, error) {
 				return res, nil
 			}
 			tPrev = s.pending[0].Arrival
+			if fm != nil {
+				s.syncFaults(tPrev)
+			}
 			s.admit(tPrev)
-			s.replan(tPrev)
+			if fm != nil {
+				s.quarantine(tPrev)
+				s.retire(tPrev)
+			}
+			if err := s.replan(tPrev); err != nil {
+				return res, err
+			}
 			continue
 		}
 
-		// Next event: an arrival, a planned Coflow completion, or a fair
-		// window boundary (fair service is not part of the plan, so demand
-		// must be re-credited and the plan refreshed there).
+		// Next event: an arrival, a planned Coflow completion, a fair window
+		// boundary (fair service is not part of the plan, so demand must be
+		// re-credited and the plan refreshed there), or a port-outage edge.
 		te := math.Inf(1)
 		if len(s.pending) > 0 {
 			te = s.pending[0].Arrival
@@ -110,15 +148,28 @@ func RunCircuit(coflows []*coflow.Coflow, opts CircuitOptions) (Result, error) {
 		if opts.Fair != nil {
 			te = math.Min(te, opts.Fair.NextEnd(tPrev))
 		}
+		if fm != nil {
+			te = math.Min(te, fm.NextBoundary(tPrev))
+		}
 		if math.IsInf(te, 1) {
 			return res, fmt.Errorf("%w at t=%.6f (%d live coflows)", ErrStalled, tPrev, len(s.live))
 		}
 
 		s.credit(tPrev, te)
 		tPrev = te
+		if fm != nil {
+			s.syncFaults(te)
+			s.quarantine(te)
+		}
 		s.retire(te)
 		s.admit(te)
-		s.replan(te)
+		if fm != nil {
+			s.quarantine(te)
+			s.retire(te)
+		}
+		if err := s.replan(te); err != nil {
+			return res, err
+		}
 	}
 }
 
@@ -138,6 +189,9 @@ type liveCoflow struct {
 	// demand keeps each flow's original demand so flow_finish events can
 	// report the bytes the flow carried; allocated only when tracing is on.
 	demand map[fabric.FlowKey]float64
+	// stranded marks a Coflow that lost at least one flow to a permanent
+	// port failure: it retires into the PartialResult, never into CCT.
+	stranded bool
 }
 
 // circuitState is the mutable simulation state.
@@ -150,6 +204,11 @@ type circuitState struct {
 	// plan holds all reservations not yet fully credited: circuits in
 	// flight plus the planned future.
 	plan []core.Reservation
+	// faults is the compiled fault model; nil on a fault-free run, keeping
+	// every fault branch behind one nil-check.
+	faults *fault.Model
+	// faultCursor is the last outage boundary already applied to the plan.
+	faultCursor float64
 }
 
 // admit moves Coflows arriving at or before now into the live set.
@@ -200,9 +259,15 @@ func (s *circuitState) credit(from, to float64) {
 	// are credited in the order they deliver.
 	sort.Slice(s.plan, func(a, b int) bool { return s.plan[a].Start < s.plan[b].Start })
 	o := s.opts.Obs
-	for _, r := range s.plan {
+	for idx := range s.plan {
+		r := &s.plan[idx]
 		if r.Start >= from-timeEps && r.Start < to-timeEps {
 			s.res.SwitchCount[r.CoflowID]++
+			var retries []float64
+			delta := r.Setup
+			if s.faults != nil {
+				retries = s.establishFaulty(r)
+			}
 			if o != nil {
 				o.CircuitSetups.Inc()
 				o.SetupSeconds.Add(r.Setup)
@@ -212,6 +277,11 @@ func (s *circuitState) credit(from, to float64) {
 				o.OutBusySeconds.Add(r.Out, r.End-r.Start)
 				if o.TraceEnabled() {
 					o.Emit(obs.Event{T: r.Start, Kind: obs.KindCircuitUp, Coflow: r.CoflowID, Src: r.In, Dst: r.Out, Bytes: r.Bytes, Dur: r.Setup})
+					// Retries follow the circuit_up that owns them so replay
+					// sees an open circuit; Dur carries the per-attempt δ.
+					for _, off := range retries {
+						o.Emit(obs.Event{T: r.Start + off, Kind: obs.KindCircuitRetry, Coflow: r.CoflowID, Src: r.In, Dst: r.Out, Dur: delta})
+					}
 				}
 			}
 		}
@@ -222,7 +292,17 @@ func (s *circuitState) credit(from, to float64) {
 		if lc == nil {
 			continue
 		}
-		d := r.TransmittedBy(to, s.opts.LinkBps) - r.TransmittedBy(from, s.opts.LinkBps)
+		bps := s.opts.LinkBps
+		var d float64
+		if factor := s.rateFactor(r); factor != 1 {
+			// Degraded link or straggler flow: the circuit carries data at a
+			// reduced rate and may release its ports before the planned Bytes
+			// are through; the shortfall is replanned.
+			bps *= factor
+			d = transmittedAt(r, to, bps) - transmittedAt(r, from, bps)
+		} else {
+			d = r.TransmittedBy(to, bps) - r.TransmittedBy(from, bps)
+		}
 		if d <= 0 {
 			continue
 		}
@@ -242,7 +322,7 @@ func (s *circuitState) credit(from, to float64) {
 			// The flow drains inside this reservation; solve for the
 			// instant.
 			deliveryStart := math.Max(from, r.TransmitStart())
-			finish := deliveryStart + rem*8/s.opts.LinkBps
+			finish := deliveryStart + rem*8/bps
 			lc.rem[key] = 0
 			if _, done := lc.flowFinish[key]; !done {
 				lc.flowFinish[key] = finish
@@ -381,6 +461,14 @@ func (s *circuitState) retire(now float64) {
 		if finish == 0 {
 			finish = now
 		}
+		if lc.stranded {
+			// Quarantined Coflow: its routable demand has drained but
+			// stranded flows never will. It leaves the fabric without a CCT;
+			// the PartialResult records what it could not deliver.
+			s.partial().Finish[id] = finish
+			delete(s.live, id)
+			continue
+		}
 		s.res.Finish[id] = finish
 		s.res.CCT[id] = finish - lc.c.Arrival
 		delete(s.live, id)
@@ -393,38 +481,85 @@ func (s *circuitState) retire(now float64) {
 	}
 }
 
-// replan rebuilds the circuit plan at time now: in-flight reservations are
-// kept (non-preemption), everything else is rescheduled with InterCoflow in
-// policy order against the remaining demand.
-func (s *circuitState) replan(now float64) {
+// replan rebuilds the circuit plan at time now. On a fault-free run a
+// scheduler failure is a plan inconsistency surfaced as ErrReplan (this used
+// to panic). Under faults, a stall means permanent outages left a Coflow
+// unroutable: its doomed flows are quarantined and the pass retried, so every
+// solvable workload still completes.
+func (s *circuitState) replan(now float64) error {
+	for {
+		id, err := s.replanOnce(now)
+		if err == nil {
+			return nil
+		}
+		if s.faults != nil && errors.Is(err, core.ErrStalled) {
+			if lc := s.live[id]; lc != nil && s.strandDoomed(lc, now) {
+				// Fully stranded Coflows must leave the live set before the
+				// retry or they would stall it again.
+				s.retire(now)
+				continue
+			}
+		}
+		return fmt.Errorf("%w: coflow %d at t=%.6f: %w", ErrReplan, id, now, err)
+	}
+}
+
+// replanOnce is one scheduling pass: in-flight reservations are kept
+// (non-preemption), everything else is rescheduled with IntraCoflow in policy
+// order against the remaining demand. It returns the Coflow that could not be
+// placed alongside the error.
+func (s *circuitState) replanOnce(now float64) (int, error) {
 	o := s.opts.Obs
 	var passStart time.Time
 	if o != nil {
 		passStart = time.Now()
 	}
 	// Keep only circuits already established and still holding their ports.
-	locked := s.plan[:0]
-	lockedFuture := map[int]map[fabric.FlowKey]float64{}
+	locked := make([]core.Reservation, 0, len(s.plan))
 	for _, r := range s.plan {
 		if r.Start < now-timeEps && r.End > now+timeEps {
 			locked = append(locked, r)
-			if s.live[r.CoflowID] != nil {
-				m := lockedFuture[r.CoflowID]
-				if m == nil {
-					m = map[fabric.FlowKey]float64{}
-					lockedFuture[r.CoflowID] = m
-				}
-				m[fabric.FlowKey{Src: r.In, Dst: r.Out}] += r.Bytes - r.TransmittedBy(now, s.opts.LinkBps)
-			}
 		}
 	}
-	locked = append([]core.Reservation(nil), locked...)
 
 	prt := core.NewPRT(s.opts.Ports)
 	if s.opts.Fair != nil {
 		prt.SetBlackout(*s.opts.Fair)
 	}
-	prt.Preload(locked)
+	if s.faults == nil {
+		prt.Preload(locked)
+	} else {
+		// Repair path: re-seed the degraded table defensively — a locked
+		// circuit that no longer fits is invalidated rather than crashing the
+		// run — then block every port interval a fault keeps down.
+		kept := locked[:0]
+		for _, r := range locked {
+			if prt.TryReserve(r) == nil {
+				kept = append(kept, r)
+			}
+		}
+		locked = kept
+		for port := 0; port < s.opts.Ports; port++ {
+			for _, og := range s.faults.Outages(port) {
+				if og.End > now+timeEps {
+					prt.Block(port, math.Max(og.Start, now), og.End)
+				}
+			}
+		}
+	}
+
+	lockedFuture := map[int]map[fabric.FlowKey]float64{}
+	for i := range locked {
+		r := &locked[i]
+		if s.live[r.CoflowID] != nil {
+			m := lockedFuture[r.CoflowID]
+			if m == nil {
+				m = map[fabric.FlowKey]float64{}
+				lockedFuture[r.CoflowID] = m
+			}
+			m[fabric.FlowKey{Src: r.In, Dst: r.Out}] += s.resFutureBytes(r, now)
+		}
+	}
 
 	// Priority-sort the live Coflows on their full remaining demand.
 	tmps := make([]*coflow.Coflow, 0, len(s.live))
@@ -446,10 +581,7 @@ func (s *circuitState) replan(now float64) {
 			Obs:     s.opts.Obs,
 		})
 		if err != nil {
-			// IntraCoflow cannot stall on a finite PRT without blackout
-			// gaps shorter than δ, which FairWindows.Validate precludes;
-			// treat a failure as a fatal plan inconsistency.
-			panic(fmt.Sprintf("sim: replan failed for coflow %d: %v", tmp.ID, err))
+			return tmp.ID, err
 		}
 		finish := sched.Finish
 		for _, r := range locked {
@@ -467,6 +599,7 @@ func (s *circuitState) replan(now float64) {
 		o.SchedPassTime.Observe(d)
 		o.QueueDepth.Set(int64(len(s.plan)))
 	}
+	return 0, nil
 }
 
 // remainderCoflow builds a temporary Coflow from a live Coflow's remaining

@@ -16,6 +16,7 @@ import (
 
 	"sunflow/internal/coflow"
 	"sunflow/internal/fabric"
+	"sunflow/internal/fault"
 	"sunflow/internal/obs"
 )
 
@@ -57,6 +58,10 @@ type Result struct {
 	SwitchCount map[int]int
 	// Events is the number of simulator events processed.
 	Events int
+	// Partial records flows quarantined by permanent port failures; nil on a
+	// fault-free (or fully routable) run. Quarantined Coflows appear here
+	// instead of CCT/Finish.
+	Partial *PartialResult
 }
 
 // AverageCCT returns the mean CCT across all Coflows.
@@ -95,20 +100,29 @@ type coflowState struct {
 	flows    []*flowState
 	liveN    int
 	attained float64
+	// stranded marks a Coflow that lost a flow to a permanent port failure;
+	// it retires into the PartialResult, never into CCT.
+	stranded bool
 }
 
 // pktEvent is a pending completion or threshold crossing.
 type pktEvent struct {
 	at   float64
 	gen  int64
+	seq  int64      // insertion order, the deterministic tie-break
 	flow *flowState // nil for a threshold-crossing event
 	cf   *coflowState
 }
 
 type pktHeap []pktEvent
 
-func (h pktHeap) Len() int            { return len(h) }
-func (h pktHeap) Less(a, b int) bool  { return h[a].at < h[b].at }
+func (h pktHeap) Len() int { return len(h) }
+func (h pktHeap) Less(a, b int) bool {
+	if h[a].at != h[b].at {
+		return h[a].at < h[b].at
+	}
+	return h[a].seq < h[b].seq
+}
 func (h pktHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
 func (h *pktHeap) Push(x interface{}) { *h = append(*h, x.(pktEvent)) }
 func (h *pktHeap) Pop() interface{} {
@@ -119,6 +133,23 @@ func (h *pktHeap) Pop() interface{} {
 	return x
 }
 
+// PacketOptions configures the packet-switched simulation.
+type PacketOptions struct {
+	// Ports is the fabric port count N.
+	Ports int
+	// LinkBps is the per-port bandwidth B in bits/s.
+	LinkBps float64
+	// Alloc is the rate allocator (Varys, Aalo, fair sharing).
+	Alloc fabric.RateAllocator
+	// Obs optionally records metrics and trace events.
+	Obs *obs.Observer
+	// Faults optionally injects port outages, degraded link rates and
+	// straggler flows. Nil — or a plan whose IsZero reports true — leaves the
+	// simulation bit-identical to the fault-free baseline. Circuit-setup
+	// failures do not apply to a packet fabric.
+	Faults *fault.Plan
+}
+
 // RunPacket simulates the Coflows on a packet-switched fabric with the given
 // rate allocator. Rates are recomputed on every Coflow arrival and
 // completion, on attained-service threshold crossings (ThresholdNotifier),
@@ -127,12 +158,18 @@ func (h *pktHeap) Pop() interface{} {
 // rates, tracked lazily so each interval costs O(F) once rather than per
 // event.
 func RunPacket(coflows []*coflow.Coflow, ports int, linkBps float64, alloc fabric.RateAllocator) (Result, error) {
-	return RunPacketObs(coflows, ports, linkBps, alloc, nil)
+	return RunPacketOpts(coflows, PacketOptions{Ports: ports, LinkBps: linkBps, Alloc: alloc})
 }
 
 // RunPacketObs is RunPacket with an optional Observer recording metrics and
 // trace events (nil behaves exactly like RunPacket).
 func RunPacketObs(coflows []*coflow.Coflow, ports int, linkBps float64, alloc fabric.RateAllocator, o *obs.Observer) (Result, error) {
+	return RunPacketOpts(coflows, PacketOptions{Ports: ports, LinkBps: linkBps, Alloc: alloc, Obs: o})
+}
+
+// RunPacketOpts is the fully-optioned packet simulation entry point.
+func RunPacketOpts(coflows []*coflow.Coflow, opts PacketOptions) (Result, error) {
+	ports, linkBps, alloc, o := opts.Ports, opts.LinkBps, opts.Alloc, opts.Obs
 	res := Result{CCT: map[int]float64{}, Finish: map[int]float64{}, SwitchCount: map[int]int{}}
 	if linkBps <= 0 {
 		return res, fmt.Errorf("sim: link bandwidth must be positive, got %v", linkBps)
@@ -140,6 +177,10 @@ func RunPacketObs(coflows []*coflow.Coflow, ports int, linkBps float64, alloc fa
 	arrivalsOrder, _, err := prepare(coflows, ports)
 	if err != nil {
 		return res, err
+	}
+	fm, err := opts.Faults.Compile(ports)
+	if err != nil {
+		return res, fmt.Errorf("sim: %w", err)
 	}
 	if o != nil {
 		defer func() { o.SimEvents.Add(int64(res.Events)) }()
@@ -152,14 +193,101 @@ func RunPacketObs(coflows []*coflow.Coflow, ports int, linkBps float64, alloc fa
 
 	live := map[int]*coflowState{}
 	next := 0
-	var gen int64
+	var gen, seq int64
 	var events pktHeap
 	lastSync := 0.0
+
+	// liveIDs snapshots the live coflow ids in ascending order. Every pass
+	// over the live set — syncs, reaps, heap rebuilds, strands — walks this
+	// instead of the map: map-order iteration would reorder simultaneous
+	// completions in the trace and drift float accumulation between
+	// otherwise identical runs.
+	liveIDs := func() []int {
+		ids := make([]int, 0, len(live))
+		for id := range live {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		return ids
+	}
 
 	t := 0.0
 	if len(arrivalsOrder) > 0 {
 		t = arrivalsOrder[0].Arrival
 		lastSync = t
+	}
+
+	// portEvents emits port_down / port_up for every outage boundary in
+	// (faultCursor, upTo].
+	faultCursor := math.Inf(-1)
+	portEvents := func(upTo float64) {
+		for fm != nil {
+			bt := fm.NextBoundary(faultCursor)
+			if math.IsInf(bt, 1) || bt > upTo+timeEps {
+				return
+			}
+			faultCursor = bt
+			downs, ups := fm.BoundariesAt(bt)
+			for _, og := range ups {
+				if o.TraceEnabled() {
+					o.Emit(obs.Event{T: bt, Kind: obs.KindPortUp, Coflow: -1, Src: og.Port, Dst: -1})
+				}
+			}
+			for _, og := range downs {
+				if o != nil {
+					o.PortDowns.Inc()
+					if o.TraceEnabled() {
+						dur := 0.0
+						if !og.Permanent() {
+							dur = og.End - og.Start
+						}
+						o.Emit(obs.Event{T: bt, Kind: obs.KindPortDown, Coflow: -1, Src: og.Port, Dst: -1, Dur: dur})
+					}
+				}
+			}
+		}
+	}
+
+	// strand quarantines every live flow whose port is permanently dead as of
+	// now; a Coflow losing a flow retires into the PartialResult, not CCT.
+	strand := func(now float64) {
+		if fm == nil || !fm.AnyPermanent() {
+			return
+		}
+		for _, id := range liveIDs() {
+			cs := live[id]
+			for _, f := range cs.flows {
+				if f.done || f.rem <= byteEps {
+					// An (almost) drained flow is a completion, not a strand;
+					// the next recompute reaps it.
+					continue
+				}
+				if !(fm.PermanentlyDown(f.key.Src, now) || fm.PermanentlyDown(f.key.Dst, now)) {
+					continue
+				}
+				b := f.rem
+				f.rem = 0
+				f.done = true
+				cs.liveN--
+				cs.stranded = true
+				if res.Partial == nil {
+					res.Partial = &PartialResult{Finish: map[int]float64{}}
+				}
+				res.Partial.Stranded = append(res.Partial.Stranded, StrandedFlow{Coflow: id, Src: f.key.Src, Dst: f.key.Dst, Bytes: b, At: now})
+				res.Partial.Bytes += b
+				if o != nil {
+					o.FlowsStranded.Inc()
+					o.StrandedBytes.Add(b)
+					if o.TraceEnabled() {
+						o.Emit(obs.Event{T: now, Kind: obs.KindFlowStranded, Coflow: id, Src: f.key.Src, Dst: f.key.Dst, Bytes: b})
+					}
+				}
+			}
+			if cs.liveN == 0 {
+				delete(live, id)
+				res.Partial.Finish[id] = now
+			}
+		}
 	}
 
 	admit := func(now float64) bool {
@@ -208,7 +336,8 @@ func RunPacketObs(coflows []*coflow.Coflow, ports int, linkBps float64, alloc fa
 			lastSync = now
 			return
 		}
-		for _, cs := range live {
+		for _, id := range liveIDs() {
+			cs := live[id]
 			for _, f := range cs.flows {
 				if f.done || f.rate <= 0 {
 					continue
@@ -233,7 +362,8 @@ func RunPacketObs(coflows []*coflow.Coflow, ports int, linkBps float64, alloc fa
 		// Reap flows that a sync drove to completion exactly at an event
 		// boundary (their own completion event was invalidated by the
 		// generation bump); without this they would idle at zero demand.
-		for id, cs := range live {
+		for _, id := range liveIDs() {
+			cs := live[id]
 			for _, f := range cs.flows {
 				if !f.done && f.rem <= byteEps {
 					f.rem = 0
@@ -246,6 +376,13 @@ func RunPacketObs(coflows []*coflow.Coflow, ports int, linkBps float64, alloc fa
 			}
 			if cs.liveN == 0 {
 				delete(live, id)
+				if cs.stranded {
+					if res.Partial == nil {
+						res.Partial = &PartialResult{Finish: map[int]float64{}}
+					}
+					res.Partial.Finish[id] = now
+					continue
+				}
 				res.Finish[id] = now
 				res.CCT[id] = now - cs.arrival
 				if o != nil {
@@ -275,13 +412,23 @@ func RunPacketObs(coflows []*coflow.Coflow, ports int, linkBps float64, alloc fa
 
 		gen++
 		events = events[:0]
-		for id, cs := range live {
+		for _, id := range liveIDs() {
+			cs := live[id]
 			var totalRate float64
 			for _, f := range cs.flows {
 				if f.done {
 					continue
 				}
 				f.rate = rates[id][f.key]
+				if fm != nil {
+					if fm.Down(f.key.Src, now) || fm.Down(f.key.Dst, now) {
+						// The port is in an outage: the flow pauses until the
+						// boundary recompute restores it.
+						f.rate = 0
+					} else if fac := fm.RateFactor(id, f.key.Src, f.key.Dst); fac != 1 {
+						f.rate *= fac
+					}
+				}
 				totalRate += f.rate
 				if f.rate > 0 {
 					if !f.started && o.TraceEnabled() {
@@ -289,13 +436,15 @@ func RunPacketObs(coflows []*coflow.Coflow, ports int, linkBps float64, alloc fa
 						o.Emit(obs.Event{T: now, Kind: obs.KindFlowStart, Coflow: id, Src: f.key.Src, Dst: f.key.Dst})
 					}
 					fin := now + f.rem*8/f.rate
-					events = append(events, pktEvent{at: fin, gen: gen, flow: f, cf: cs})
+					seq++
+					events = append(events, pktEvent{at: fin, gen: gen, seq: seq, flow: f, cf: cs})
 				}
 			}
 			if notifier != nil && totalRate > 0 {
 				if th := notifier.NextThreshold(cs.attained); !math.IsInf(th, 1) {
 					cross := now + (th-cs.attained)*8/totalRate
-					events = append(events, pktEvent{at: cross, gen: gen, cf: cs})
+					seq++
+					events = append(events, pktEvent{at: cross, gen: gen, seq: seq, cf: cs})
 				}
 			}
 		}
@@ -309,7 +458,14 @@ func RunPacketObs(coflows []*coflow.Coflow, ports int, linkBps float64, alloc fa
 		}
 	}
 
+	if fm != nil {
+		if o.TraceEnabled() {
+			o.Emit(obs.Event{T: t, Kind: obs.KindFaultInject, Coflow: -1, Src: -1, Dst: -1})
+		}
+		portEvents(t)
+	}
 	admit(t)
+	strand(t)
 	recompute(t)
 
 	for ev := 0; ; ev++ {
@@ -324,7 +480,9 @@ func RunPacketObs(coflows []*coflow.Coflow, ports int, linkBps float64, alloc fa
 			}
 			t = arrivalsOrder[next].Arrival
 			lastSync = t
+			portEvents(t)
 			admit(t)
+			strand(t)
 			recompute(t)
 			continue
 		}
@@ -347,6 +505,19 @@ func RunPacketObs(coflows []*coflow.Coflow, ports int, linkBps float64, alloc fa
 		if next < len(arrivalsOrder) {
 			arrivalNext = arrivalsOrder[next].Arrival
 		}
+		if fm != nil {
+			// A port-outage boundary changes which flows can progress; ties
+			// with other events are processed boundary-first so the rate
+			// recompute sees the new fabric state.
+			if faultNext := fm.NextBoundary(t); !math.IsInf(faultNext, 1) && faultNext <= te && faultNext <= arrivalNext {
+				t = faultNext
+				sync(t)
+				portEvents(t)
+				strand(t)
+				recompute(t)
+				continue
+			}
+		}
 		if arrivalNext <= te {
 			if math.IsInf(arrivalNext, 1) {
 				return res, fmt.Errorf("%w at t=%.6f (%d live coflows)", ErrStalled, t, len(live))
@@ -354,6 +525,7 @@ func RunPacketObs(coflows []*coflow.Coflow, ports int, linkBps float64, alloc fa
 			t = arrivalNext
 			sync(t)
 			admit(t)
+			strand(t)
 			recompute(t)
 			continue
 		}
@@ -383,6 +555,15 @@ func RunPacketObs(coflows []*coflow.Coflow, ports int, linkBps float64, alloc fa
 		}
 		if e.cf.liveN == 0 {
 			delete(live, e.cf.id)
+			if e.cf.stranded {
+				if res.Partial == nil {
+					res.Partial = &PartialResult{Finish: map[int]float64{}}
+				}
+				res.Partial.Finish[e.cf.id] = t
+				sync(t)
+				recompute(t)
+				continue
+			}
 			res.Finish[e.cf.id] = t
 			res.CCT[e.cf.id] = t - e.cf.arrival
 			if o != nil {

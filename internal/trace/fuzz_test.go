@@ -1,0 +1,45 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseJobs drives arbitrary bytes through the benchmark-format parser.
+// The parser must never panic, and any input it accepts must be well-formed
+// enough to survive a write/parse round trip with ports in range.
+func FuzzParseJobs(f *testing.F) {
+	f.Add(sample)
+	f.Add("3 1\n1 0 1 0 1 0:4\n")
+	f.Add("3 1\n1 0 2 1 3 1 2:4\n")               // one-based
+	f.Add("3 1\n1 0 1 0 1 1:NaN\n")               // NaN size
+	f.Add("3 2\n1 0 1 0 1 1:4\n1 10 1 0 1 2:4\n") // duplicate id
+	f.Add("2 1\n1 0 1 0 1 1:1e308\n")             // huge size
+	f.Add("150 1\n9 3600000 2 0 1 2 2:0.5 3:12.25\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		ports, jobs, err := ParseJobs(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for _, j := range jobs {
+			for _, p := range append(append([]int(nil), j.Mappers...), j.Reducers...) {
+				if p < 0 || p >= ports {
+					t.Fatalf("accepted job %d with port %d outside [0,%d)", j.ID, p, ports)
+				}
+			}
+			if j.ArrivalMillis < 0 {
+				t.Fatalf("accepted job %d with negative arrival %d", j.ID, j.ArrivalMillis)
+			}
+			// Expansion must be safe on accepted input.
+			j.Coflow()
+		}
+		var buf bytes.Buffer
+		if err := WriteJobs(&buf, ports, jobs); err != nil {
+			t.Fatalf("write accepted jobs: %v", err)
+		}
+		if _, _, err := ParseJobs(&buf); err != nil {
+			t.Fatalf("round trip of accepted input failed: %v", err)
+		}
+	})
+}

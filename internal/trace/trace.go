@@ -17,6 +17,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -89,6 +90,7 @@ func ParseJobs(r io.Reader) (ports int, jobs []Job, err error) {
 
 	oneBased := false
 	line := 1
+	seenID := map[int]bool{}
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
@@ -99,6 +101,10 @@ func ParseJobs(r io.Reader) (ports int, jobs []Job, err error) {
 		if err != nil {
 			return 0, nil, fmt.Errorf("trace: line %d: %w", line, err)
 		}
+		if seenID[j.ID] {
+			return 0, nil, fmt.Errorf("trace: line %d: duplicate job id %d", line, j.ID)
+		}
+		seenID[j.ID] = true
 		if usedMax == ports {
 			oneBased = true
 		}
@@ -163,6 +169,9 @@ func parseJobLine(text string, ports int) (Job, int, error) {
 	if err != nil {
 		return j, 0, err
 	}
+	if arr < 0 {
+		return j, 0, fmt.Errorf("job %d arrives at negative time %d ms", j.ID, arr)
+	}
 	j.ArrivalMillis = int64(arr)
 
 	nm, err := intField()
@@ -173,11 +182,24 @@ func parseJobLine(text string, ports int) (Job, int, error) {
 		return j, 0, fmt.Errorf("job %d has %d mappers", j.ID, nm)
 	}
 	usedMax := 0
+	// Duplicate ports within a side would expand into duplicate flow keys
+	// (double-counted demand), so each side must be distinct. A port may
+	// still appear on both sides: the input and output sides of an optical
+	// switch port are independent (§2.1), so a mapper sending to a reducer
+	// on its own port is a real circuit, not a degenerate self-loop.
+	seenM := make(map[int]bool, nm)
 	for i := 0; i < nm; i++ {
 		m, err := intField()
 		if err != nil {
 			return j, 0, err
 		}
+		if m < 0 {
+			return j, 0, fmt.Errorf("job %d names negative mapper port %d", j.ID, m)
+		}
+		if seenM[m] {
+			return j, 0, fmt.Errorf("job %d lists mapper port %d twice", j.ID, m)
+		}
+		seenM[m] = true
 		if m > usedMax {
 			usedMax = m
 		}
@@ -191,6 +213,7 @@ func parseJobLine(text string, ports int) (Job, int, error) {
 	if nr <= 0 {
 		return j, 0, fmt.Errorf("job %d has %d reducers", j.ID, nr)
 	}
+	seenR := make(map[int]bool, nr)
 	for i := 0; i < nr; i++ {
 		s, err := next()
 		if err != nil {
@@ -204,8 +227,15 @@ func parseJobLine(text string, ports int) (Job, int, error) {
 		if err != nil {
 			return j, 0, fmt.Errorf("bad reducer port %q", parts[0])
 		}
+		if r < 0 {
+			return j, 0, fmt.Errorf("job %d names negative reducer port %d", j.ID, r)
+		}
+		if seenR[r] {
+			return j, 0, fmt.Errorf("job %d lists reducer port %d twice", j.ID, r)
+		}
+		seenR[r] = true
 		mb, err := strconv.ParseFloat(parts[1], 64)
-		if err != nil || mb < 0 {
+		if err != nil || mb < 0 || math.IsNaN(mb) || math.IsInf(mb, 0) {
 			return j, 0, fmt.Errorf("bad reducer size %q", parts[1])
 		}
 		if r > usedMax {

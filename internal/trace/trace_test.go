@@ -60,11 +60,36 @@ func TestParseErrors(t *testing.T) {
 		"negative size":  "3 1\n1 0 1 0 1 1:-4\n",
 		"bad job count":  "3 x\n",
 		"bad port count": "0 1\n1 0 1 0 1 1:4\n",
+		"nan size":       "3 1\n1 0 1 0 1 1:NaN\n",
+		"inf size":       "3 1\n1 0 1 0 1 1:Inf\n",
+		"neg arrival":    "3 1\n1 -5 1 0 1 1:4\n",
+		"neg mapper":     "3 1\n1 0 1 -2 1 1:4\n",
+		"neg reducer":    "3 1\n1 0 1 0 1 -1:4\n",
+		"dup mapper":     "3 1\n1 0 2 0 0 1 1:4\n",
+		"dup reducer":    "3 1\n1 0 1 0 2 1:4 1:2\n",
+		"dup job id":     "3 2\n1 0 1 0 1 1:4\n1 10 1 0 1 2:4\n",
 	}
 	for name, in := range cases {
 		if _, _, err := ParseJobs(strings.NewReader(in)); err == nil {
 			t.Fatalf("%s: no error", name)
 		}
+	}
+}
+
+// TestParseKeepsCrossSideLoops pins the deliberate permissiveness: the same
+// port acting as mapper and reducer is a real circuit (input and output sides
+// of an optical port are independent), not a parse error.
+func TestParseKeepsCrossSideLoops(t *testing.T) {
+	ports, jobs, err := ParseJobs(strings.NewReader("3 1\n1 0 1 0 1 0:4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ports != 3 || len(jobs) != 1 {
+		t.Fatalf("ports=%d jobs=%d", ports, len(jobs))
+	}
+	c := jobs[0].Coflow()
+	if c.NumFlows() != 1 || c.Flows[0].Src != 0 || c.Flows[0].Dst != 0 {
+		t.Fatalf("flows = %+v", c.Flows)
 	}
 }
 

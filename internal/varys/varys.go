@@ -51,7 +51,13 @@ func (a Allocator) Allocate(remaining map[int]map[fabric.FlowKey]float64, attain
 			o.IntraSeconds.Add(time.Since(passStart).Seconds())
 		}()
 	}
-	ids := sortSEBF(remaining, arrival, linkBps, ports)
+	// One sort per Coflow per pass; sortSEBF, madd and the work-conservation
+	// sweep all walk the same slice.
+	keys := make(map[int][]fabric.FlowKey, len(remaining))
+	for id, flows := range remaining {
+		keys[id] = fabric.SortedKeys(flows)
+	}
+	ids := sortSEBF(remaining, keys, arrival, linkBps, ports)
 
 	availIn := make([]float64, ports)
 	availOut := make([]float64, ports)
@@ -62,13 +68,12 @@ func (a Allocator) Allocate(remaining map[int]map[fabric.FlowKey]float64, attain
 
 	out := make(map[int]map[fabric.FlowKey]float64, len(ids))
 	for _, id := range ids {
-		out[id] = madd(remaining[id], availIn, availOut)
+		out[id] = madd(remaining[id], keys[id], availIn, availOut)
 	}
 
 	// Work conservation: hand leftover bandwidth to flows in priority order.
 	for _, id := range ids {
-		flows := sortedFlows(remaining[id])
-		for _, k := range flows {
+		for _, k := range keys[id] {
 			if remaining[id][k] <= 0 {
 				continue
 			}
@@ -87,7 +92,11 @@ func (a Allocator) Allocate(remaining map[int]map[fabric.FlowKey]float64, attain
 // Bottleneck returns Γ, the effective bottleneck completion time of the
 // remaining flows over an otherwise empty fabric — the SEBF key.
 func Bottleneck(flows map[fabric.FlowKey]float64, linkBps float64, ports int) float64 {
-	in, outLoads := fabric.PortLoads(flows, ports)
+	return bottleneckKeys(fabric.SortedKeys(flows), flows, linkBps, ports)
+}
+
+func bottleneckKeys(keys []fabric.FlowKey, flows map[fabric.FlowKey]float64, linkBps float64, ports int) float64 {
+	in, outLoads := fabric.PortLoadsKeys(keys, flows, ports)
 	var maxBytes float64
 	for _, b := range in {
 		maxBytes = math.Max(maxBytes, b)
@@ -100,14 +109,14 @@ func Bottleneck(flows map[fabric.FlowKey]float64, linkBps float64, ports int) fl
 
 // sortSEBF orders Coflow ids by ascending effective bottleneck, breaking
 // ties by arrival then id.
-func sortSEBF(remaining map[int]map[fabric.FlowKey]float64, arrival map[int]float64, linkBps float64, ports int) []int {
+func sortSEBF(remaining map[int]map[fabric.FlowKey]float64, keys map[int][]fabric.FlowKey, arrival map[int]float64, linkBps float64, ports int) []int {
 	ids := make([]int, 0, len(remaining))
 	for id := range remaining {
 		ids = append(ids, id)
 	}
 	key := make(map[int]float64, len(ids))
 	for _, id := range ids {
-		key[id] = Bottleneck(remaining[id], linkBps, ports)
+		key[id] = bottleneckKeys(keys[id], remaining[id], linkBps, ports)
 	}
 	sort.Slice(ids, func(a, b int) bool {
 		if key[ids[a]] != key[ids[b]] {
@@ -125,13 +134,15 @@ func sortSEBF(remaining map[int]map[fabric.FlowKey]float64, arrival map[int]floa
 // Coflow's bottleneck completion time under the currently available
 // bandwidth, and subtracts the rates from availability. A Coflow blocked on
 // a fully consumed port receives zero rates.
-func madd(flows map[fabric.FlowKey]float64, availIn, availOut []float64) map[fabric.FlowKey]float64 {
+func madd(flows map[fabric.FlowKey]float64, keys []fabric.FlowKey, availIn, availOut []float64) map[fabric.FlowKey]float64 {
 	rates := make(map[fabric.FlowKey]float64, len(flows))
 
+	// keys is the sorted flow order; walking it keeps the float accumulation
+	// (and the availability spending below) byte-for-byte reproducible.
 	inLoad := make(map[int]float64)
 	outLoad := make(map[int]float64)
-	for k, b := range flows {
-		if b > 0 {
+	for _, k := range keys {
+		if b := flows[k]; b > 0 {
 			inLoad[k.Src] += b
 			outLoad[k.Dst] += b
 		}
@@ -164,7 +175,8 @@ func madd(flows map[fabric.FlowKey]float64, availIn, availOut []float64) map[fab
 		return rates
 	}
 
-	for k, b := range flows {
+	for _, k := range keys {
+		b := flows[k]
 		if b <= 0 {
 			rates[k] = 0
 			continue
@@ -181,19 +193,4 @@ func madd(flows map[fabric.FlowKey]float64, availIn, availOut []float64) map[fab
 		}
 	}
 	return rates
-}
-
-// sortedFlows returns the flow keys in deterministic (src, dst) order.
-func sortedFlows(flows map[fabric.FlowKey]float64) []fabric.FlowKey {
-	keys := make([]fabric.FlowKey, 0, len(flows))
-	for k := range flows {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(a, b int) bool {
-		if keys[a].Src != keys[b].Src {
-			return keys[a].Src < keys[b].Src
-		}
-		return keys[a].Dst < keys[b].Dst
-	})
-	return keys
 }

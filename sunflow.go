@@ -31,6 +31,7 @@ import (
 	"sunflow/internal/coflow"
 	"sunflow/internal/core"
 	"sunflow/internal/fabric"
+	"sunflow/internal/fault"
 	"sunflow/internal/hybrid"
 	"sunflow/internal/obs"
 	"sunflow/internal/sim"
@@ -94,9 +95,30 @@ type (
 	SimResult = sim.Result
 	// CircuitOptions configures the online circuit-switched simulation.
 	CircuitOptions = sim.CircuitOptions
+	// PacketOptions configures the packet-switched simulation.
+	PacketOptions = sim.PacketOptions
 	// RateAllocator computes packet-switched flow rates (Varys, Aalo, fair).
 	RateAllocator = fabric.RateAllocator
 )
+
+// Fault injection (docs/FAULTS.md). A FaultPlan in CircuitOptions.Faults or
+// PacketOptions.Faults deterministically injects port outages, circuit-setup
+// failures (retried with exponential backoff, each attempt re-paying δ),
+// degraded link rates and straggler flows; a nil or zero plan leaves the
+// simulation bit-identical to the fault-free baseline. Flows a permanent
+// failure makes unroutable are quarantined into SimResult.Partial.
+type (
+	// FaultPlan declares the faults of one simulation run.
+	FaultPlan = fault.Plan
+	// PortFailure is one scripted port outage in a FaultPlan.
+	PortFailure = fault.PortFailure
+	// PartialResult reports the flows stranded by permanent failures.
+	PartialResult = sim.PartialResult
+)
+
+// DecodeFaultPlan reads and validates a JSON FaultPlan. Unknown fields,
+// malformed probabilities and negative times are rejected.
+func DecodeFaultPlan(r io.Reader) (*FaultPlan, error) { return fault.DecodePlan(r) }
 
 // Hybrid fabric extension (§6 / REACToR).
 type (
@@ -192,6 +214,12 @@ func SimulateCircuit(cs []*Coflow, opts CircuitOptions) (SimResult, error) {
 // fabric.FairSharing) and returns per-Coflow CCTs.
 func SimulatePacket(cs []*Coflow, ports int, linkBps float64, alloc RateAllocator) (SimResult, error) {
 	return sim.RunPacket(cs, ports, linkBps, alloc)
+}
+
+// SimulatePacketOpts is SimulatePacket with the full option set — an
+// Observer for metrics/tracing and a FaultPlan for degraded-fabric runs.
+func SimulatePacketOpts(cs []*Coflow, opts PacketOptions) (SimResult, error) {
+	return sim.RunPacketOpts(cs, opts)
 }
 
 // PacketLowerBound returns TpL, the Coflow's packet-switched completion
