@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench bench-ci bench-baseline trace-lint fault-lint fuzz clean
+.PHONY: build test race lint bench bench-ci bench-alloc bench-baseline trace-lint fault-lint fuzz clean
 
 build:
 	$(GO) build ./...
@@ -25,11 +25,17 @@ bench:
 # What CI runs: benchmark, attach deterministic obs counters, gate ns/op
 # against the committed baseline (>25% regression fails).
 bench-ci:
-	$(GO) test -bench . -benchtime 1x -count 3 -run '^$$' . | $(GO) run ./cmd/benchci -out BENCH_ci.json -baseline BENCH_baseline.json
+	$(GO) test -bench . -benchtime 1x -count 3 -benchmem -run '^$$' . | $(GO) run ./cmd/benchci -out BENCH_ci.json -baseline BENCH_baseline.json
+
+# Allocation gate over the scheduler hot-path microbenchmarks: the intra
+# planner and PRT benchmarks run with -benchmem and fail on allocs/op
+# regressions against the committed baseline, mirroring the >25% ns/op gate.
+bench-alloc:
+	$(GO) test -bench 'SunflowIntra|SunflowInter|PRT_' -benchtime 1x -count 3 -benchmem -run '^$$' . | $(GO) run ./cmd/benchci -out BENCH_alloc.json -baseline BENCH_baseline.json -gate-allocs -tolerance 10
 
 # Refresh the committed baseline after an intentional performance change.
 bench-baseline:
-	$(GO) test -bench . -benchtime 1x -count 3 -run '^$$' . | $(GO) run ./cmd/benchci -write-baseline BENCH_baseline.json
+	$(GO) test -bench . -benchtime 1x -count 3 -benchmem -run '^$$' . | $(GO) run ./cmd/benchci -write-baseline BENCH_baseline.json
 
 # Trace a fixed-seed run, check the docs/TRACE.md invariants, render the
 # HTML report. Same pipeline as the CI trace job.
@@ -54,4 +60,4 @@ fuzz:
 	$(GO) test ./internal/fault -run '^$$' -fuzz FuzzDecodePlan -fuzztime $(FUZZTIME)
 
 clean:
-	rm -f BENCH_ci.json events.jsonl fault-events.jsonl report.html
+	rm -f BENCH_ci.json BENCH_alloc.json events.jsonl fault-events.jsonl report.html

@@ -181,6 +181,120 @@ func BenchmarkSunflowIntra_Shuffle40(b *testing.B) {
 	}
 }
 
+func BenchmarkSunflowIntra_Shuffle40_Reference(b *testing.B) {
+	c := benchShuffle(40, 7)
+	opts := Options{LinkBps: 1e9, Delta: 0.01, Reference: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.IntraCoflow(core.NewPRT(80), c, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFacebook150 is the full-scale inter-Coflow pass: the 526-Coflow
+// Facebook-derived trace on a 150-port fabric, priority-ordered shortest
+// first — the workload whose planning cost the indexed PRT and horizon
+// compaction target.
+func benchFacebook150() []*Coflow {
+	cs := bench.Config{Seed: 1, Ports: 150}.Workload()
+	return core.ShortestFirst{LinkBps: 1e9}.Sort(cs)
+}
+
+func BenchmarkSunflowInter_Facebook150(b *testing.B) {
+	ordered := benchFacebook150()
+	opts := Options{LinkBps: 1e9, Delta: 0.01}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.InterCoflow(core.NewPRT(150), ordered, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSunflowInter_Facebook150_Reference(b *testing.B) {
+	ordered := benchFacebook150()
+	opts := Options{LinkBps: 1e9, Delta: 0.01, Reference: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.InterCoflow(core.NewPRT(150), ordered, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPRTLoad describes a 1k-reservation table: sequential back-to-back
+// circuits round-robined over the port pairs, the shape an inter pass leaves
+// behind.
+func benchPRTLoad(ports, n int) []Reservation {
+	rs := make([]Reservation, 0, n)
+	for k := 0; k < n; k++ {
+		i, j := k%ports, (k*7+3)%ports
+		start := float64(k/ports) * 0.1
+		rs = append(rs, Reservation{
+			CoflowID: k, In: i, Out: j,
+			Start: start, End: start + 0.09, Setup: 0.01,
+		})
+	}
+	return rs
+}
+
+func BenchmarkPRT_Preload1k(b *testing.B) {
+	rs := benchPRTLoad(64, 1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := core.NewPRT(64)
+		for _, r := range rs {
+			if err := p.TryReserve(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkPRT_ReleasesAfter1k(b *testing.B) {
+	rs := benchPRTLoad(64, 1000)
+	p := core.NewPRT(64)
+	for _, r := range rs {
+		if err := p.TryReserve(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ins := []int{0, 1, 2, 3}
+	outs := []int{3, 4, 5, 6}
+	var dst []float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for q := 0; q < 100; q++ {
+			dst = p.ReleasesAfter(float64(q)*0.015, ins, outs, dst[:0])
+		}
+	}
+}
+
+func BenchmarkPRT_Compact1k(b *testing.B) {
+	rs := benchPRTLoad(64, 1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := core.NewPRT(64)
+		for _, r := range rs {
+			if err := p.TryReserve(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Sweep the horizon forward the way an inter pass does, probing the
+		// live window after each advance.
+		for h := 0.0; h < 1.7; h += 0.1 {
+			p.CompactBefore(h)
+			for q := 0; q < 32; q++ {
+				p.FreeAt(q%64, (q*7+3)%64, h+0.05)
+			}
+		}
+	}
+}
+
 func BenchmarkSolstice_Shuffle16(b *testing.B) {
 	c := benchShuffle(16, 7)
 	opts := solstice.Options{LinkBps: 1e9, Delta: 0.01}

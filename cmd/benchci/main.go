@@ -5,12 +5,16 @@
 // counters of a fixed-seed small-configuration run (bench.CollectCIMetrics),
 // and writes the combined report as JSON. When a baseline file exists, each
 // benchmark's ns/op is compared against it and the command exits non-zero if
-// any benchmark regressed by more than the tolerance.
+// any benchmark regressed by more than the tolerance. With -gate-allocs,
+// allocs/op (from b.ReportAllocs or -benchmem) is gated the same way against
+// its own tolerance — the zero-allocation scheduler hot path is a measured
+// property, so CI pins it.
 //
 // Usage:
 //
-//	go test -bench . -benchtime 1x -run '^$' . | benchci -out BENCH_ci.json -baseline BENCH_baseline.json
-//	go test -bench . -benchtime 1x -run '^$' . | benchci -write-baseline BENCH_baseline.json
+//	go test -bench . -benchtime 1x -benchmem -run '^$' . | benchci -out BENCH_ci.json -baseline BENCH_baseline.json
+//	go test -bench . -benchtime 1x -benchmem -run '^$' . | benchci -write-baseline BENCH_baseline.json
+//	go test -bench . -benchtime 1x -benchmem -run '^$' . | benchci -baseline BENCH_baseline.json -gate-allocs
 //	go test -bench . -benchtime 1x -run '^$' . | benchci -list
 //
 // At startup benchci prints how each raw benchmark name was normalized
@@ -38,6 +42,9 @@ import (
 type Report struct {
 	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to ns/op.
 	Benchmarks map[string]float64 `json:"benchmarks"`
+	// Allocs maps benchmark name to allocs/op, for benchmarks that report
+	// allocations (b.ReportAllocs or -benchmem).
+	Allocs map[string]float64 `json:"allocs,omitempty"`
 	// Metrics carries the per-scheduler counters of the CI configuration.
 	Metrics bench.CIMetrics `json:"metrics"`
 }
@@ -47,10 +54,12 @@ func main() {
 	baseline := flag.String("baseline", "", "compare ns/op against this baseline report; missing file skips the gate")
 	writeBaseline := flag.String("write-baseline", "", "write the report to this file as the new baseline and skip the gate")
 	tolerance := flag.Float64("tolerance", 0.25, "fail when ns/op exceeds baseline by more than this fraction")
+	gateAllocs := flag.Bool("gate-allocs", false, "also fail when allocs/op exceeds baseline by more than -alloc-tolerance")
+	allocTolerance := flag.Float64("alloc-tolerance", 0.10, "allocs/op regression tolerance for -gate-allocs")
 	list := flag.Bool("list", false, "print the parsed benchmarks and exit without writing a report or gating")
 	flag.Parse()
 
-	benches, mapping, err := parseBench(os.Stdin)
+	benches, allocs, mapping, err := parseBench(os.Stdin)
 	if err != nil {
 		fatal(err)
 	}
@@ -77,7 +86,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	report := Report{Benchmarks: benches, Metrics: metrics}
+	report := Report{Benchmarks: benches, Allocs: allocs, Metrics: metrics}
 
 	path := *out
 	if *writeBaseline != "" {
@@ -99,18 +108,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if failed := gate(report, base, *tolerance); failed {
+	failed := gate(report, base, *tolerance)
+	if *gateAllocs {
+		failed = gateAllocRegressions(report, base, *allocTolerance) || failed
+	}
+	if failed {
 		os.Exit(1)
 	}
 }
 
-// parseBench extracts "BenchmarkName-N  iters  12345 ns/op" lines. A
-// benchmark appearing several times (go test -count N) keeps its fastest
-// run: the minimum is the least noisy estimate of true cost, which is what
-// both the baseline and the gated measurement should record. The second
-// return value maps each raw name to its normalized form.
-func parseBench(r io.Reader) (map[string]float64, map[string]string, error) {
+// parseBench extracts "BenchmarkName-N  iters  12345 ns/op [... allocs/op]"
+// lines. A benchmark appearing several times (go test -count N) keeps its
+// fastest run: the minimum is the least noisy estimate of true cost, which is
+// what both the baseline and the gated measurement should record. Minimum is
+// right for allocs/op too — allocations are deterministic up to pool warmup,
+// and warm is the steady state worth gating. The third return value maps each
+// raw name to its normalized form.
+func parseBench(r io.Reader) (map[string]float64, map[string]float64, map[string]string, error) {
 	out := map[string]float64{}
+	allocs := map[string]float64{}
 	mapping := map[string]string{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -119,27 +135,34 @@ func parseBench(r io.Reader) (map[string]float64, map[string]string, error) {
 		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
 			continue
 		}
-		nsIdx := -1
-		for i, tok := range f {
-			if tok == "ns/op" {
-				nsIdx = i - 1
-				break
-			}
-		}
-		if nsIdx < 1 {
-			continue
-		}
-		ns, err := strconv.ParseFloat(f[nsIdx], 64)
-		if err != nil {
+		ns, ok := unitValue(f, "ns/op")
+		if !ok {
 			continue
 		}
 		name := stripProcs(f[0])
 		mapping[f[0]] = name
-		if prev, ok := out[name]; !ok || ns < prev {
+		if prev, seen := out[name]; !seen || ns < prev {
 			out[name] = ns
 		}
+		if ac, ok := unitValue(f, "allocs/op"); ok {
+			if prev, seen := allocs[name]; !seen || ac < prev {
+				allocs[name] = ac
+			}
+		}
 	}
-	return out, mapping, sc.Err()
+	return out, allocs, mapping, sc.Err()
+}
+
+// unitValue returns the number preceding the given unit token in a benchmark
+// line's fields.
+func unitValue(f []string, unit string) (float64, bool) {
+	for i := 1; i < len(f); i++ {
+		if f[i] == unit {
+			v, err := strconv.ParseFloat(f[i-1], 64)
+			return v, err == nil
+		}
+	}
+	return 0, false
 }
 
 // stripProcs removes the trailing -GOMAXPROCS suffix Go appends to benchmark
@@ -188,6 +211,32 @@ func gate(cur, base Report, tol float64) bool {
 	}
 	if failed {
 		fmt.Println("benchci: FAIL — benchmark regression above tolerance")
+	}
+	return failed
+}
+
+// gateAllocRegressions mirrors the ns/op gate for allocs/op: any benchmark
+// whose allocation count grew beyond tol over the baseline fails the build.
+// Benchmarks without alloc data on either side are skipped.
+func gateAllocRegressions(cur, base Report, tol float64) bool {
+	failed := false
+	for _, name := range sortedKeys(cur.Allocs) {
+		ac := cur.Allocs[name]
+		old, ok := base.Allocs[name]
+		if !ok || old <= 0 {
+			fmt.Printf("benchci: %-40s %12.0f allocs/op (no baseline)\n", name, ac)
+			continue
+		}
+		ratio := ac / old
+		status := "ok"
+		if ratio > 1+tol {
+			status = fmt.Sprintf("ALLOC REGRESSION (>%.0f%%)", tol*100)
+			failed = true
+		}
+		fmt.Printf("benchci: %-40s %12.0f allocs/op  baseline %12.0f  ratio %.2f  %s\n", name, ac, old, ratio, status)
+	}
+	if failed {
+		fmt.Println("benchci: FAIL — allocation regression above tolerance")
 	}
 	return failed
 }

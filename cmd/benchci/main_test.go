@@ -9,10 +9,11 @@ func TestParseBenchNormalizesAndKeepsFastest(t *testing.T) {
 	in := `goos: linux
 BenchmarkFig8_InterAvgCCT-8   	       1	 123456789 ns/op
 BenchmarkFig8_InterAvgCCT-8   	       1	 100000000 ns/op
-BenchmarkIntraSchedule/n=4    	    5000	      2500 ns/op	 320 B/op
+BenchmarkIntraSchedule/n=4    	    5000	      2500 ns/op	 320 B/op	      12 allocs/op
+BenchmarkIntraSchedule/n=4    	    5000	      2600 ns/op	 320 B/op	       9 allocs/op
 PASS
 `
-	benches, mapping, err := parseBench(strings.NewReader(in))
+	benches, allocs, mapping, err := parseBench(strings.NewReader(in))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,11 +23,29 @@ PASS
 	if got := benches["BenchmarkIntraSchedule/n=4"]; got != 2500 {
 		t.Errorf("sub-benchmark = %v, want 2500", got)
 	}
+	if got := allocs["BenchmarkIntraSchedule/n=4"]; got != 9 {
+		t.Errorf("minimum allocs/op not kept: %v", got)
+	}
+	if _, ok := allocs["BenchmarkFig8_InterAvgCCT"]; ok {
+		t.Error("benchmark without alloc data must not get an alloc entry")
+	}
 	if mapping["BenchmarkFig8_InterAvgCCT-8"] != "BenchmarkFig8_InterAvgCCT" {
 		t.Errorf("mapping = %v", mapping)
 	}
 	if mapping["BenchmarkIntraSchedule/n=4"] != "BenchmarkIntraSchedule/n=4" {
 		t.Errorf("suffix-free name must map to itself: %v", mapping)
+	}
+}
+
+func TestGateAllocRegressions(t *testing.T) {
+	base := Report{Allocs: map[string]float64{"BenchmarkA": 100, "BenchmarkB": 10}}
+	ok := Report{Allocs: map[string]float64{"BenchmarkA": 105, "BenchmarkB": 10, "BenchmarkNew": 50}}
+	if gateAllocRegressions(ok, base, 0.10) {
+		t.Error("within-tolerance growth and baseline-free benchmarks must pass")
+	}
+	bad := Report{Allocs: map[string]float64{"BenchmarkA": 120}}
+	if !gateAllocRegressions(bad, base, 0.10) {
+		t.Error("20% allocation growth must fail the 10% gate")
 	}
 }
 

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"sunflow/internal/coflow"
+)
+
+// This file is the differential harness for the event-driven fast path: every
+// property drives the fast and the scan-based reference implementations over
+// the same inputs and requires bit-identical results — reflect.DeepEqual on
+// whole Schedule structs (reservation sequences, FlowFinish maps, Finish
+// instants) and on the merged port timelines left behind. Determinism is
+// load-bearing for the fault subsystem's reproducibility guarantees, so exact
+// equality, not approximate equality, is the bar.
+
+// quickCount is the iteration floor the acceptance criteria require for the
+// seeded differential properties.
+const quickCount = 200
+
+// prtScenario deterministically prepares one PRT for the given seed:
+// preloaded reservations, optional blackout windows, optional fault-style
+// Block calls (including permanent +Inf outages), and optional compaction.
+// Called twice per trial, it yields two independently built but identical
+// tables.
+func prtScenario(rng *rand.Rand, ports int) *PRT {
+	prt := NewPRT(ports)
+	blackout := rng.Intn(2) == 0
+	if blackout {
+		fw := FairWindows{N: ports, T: 0.5 + rng.Float64(), Tau: 0.01 + 0.05*rng.Float64()}
+		prt.SetBlackout(fw)
+	}
+	// Preloads: short reservations scattered over the near future, placed
+	// with TryReserve so colliding draws are simply skipped.
+	for k, n := 0, rng.Intn(6); k < n; k++ {
+		start := rng.Float64() * 2
+		_ = prt.TryReserve(Reservation{
+			CoflowID: -100 - k,
+			In:       rng.Intn(ports),
+			Out:      rng.Intn(ports),
+			Start:    start,
+			End:      start + 0.05 + rng.Float64()*0.5,
+			Setup:    0.01,
+		})
+	}
+	// Fault-style outage blocks, occasionally permanent. A permanent block
+	// under a recurring blackout would make the scheduler loop forever on a
+	// doomed demand (each window end is a finite "next event", so the stall
+	// check never fires — in both implementations), so +Inf outages are only
+	// drawn on blackout-free tables, where they surface as ErrStalled.
+	for k, n := 0, rng.Intn(3); k < n; k++ {
+		start := rng.Float64() * 2
+		end := start + 0.1 + rng.Float64()
+		if !blackout && rng.Intn(8) == 0 {
+			end = math.Inf(1)
+		}
+		prt.Block(rng.Intn(ports), start, end)
+	}
+	return prt
+}
+
+func randomOptions(rng *rand.Rand) Options {
+	opts := Options{
+		LinkBps: gbps,
+		Delta:   []float64{0, 0.001, 0.01}[rng.Intn(3)],
+		Start:   rng.Float64() * 2,
+		Order:   Order(rng.Intn(3)),
+		Seed:    rng.Int63(),
+	}
+	if rng.Intn(4) == 0 {
+		opts.Quantum = 0.001 + 0.01*rng.Float64()
+	}
+	return opts
+}
+
+// mergedIntervals flattens a timeline's archive and live window into one
+// list, so equality checks see through compaction.
+func mergedIntervals(tl *timeline) []interval {
+	out := make([]interval, 0, len(tl.old)+len(tl.iv))
+	out = append(out, tl.old...)
+	out = append(out, tl.iv...)
+	return out
+}
+
+// samePRT reports whether two tables hold identical reservations, bit for
+// bit, regardless of how each has been compacted.
+func samePRT(a, b *PRT) bool {
+	if a.n != b.n || a.count != b.count {
+		return false
+	}
+	for i := 0; i < a.n; i++ {
+		if !reflect.DeepEqual(mergedIntervals(&a.in[i]), mergedIntervals(&b.in[i])) {
+			return false
+		}
+		if !reflect.DeepEqual(mergedIntervals(&a.out[i]), mergedIntervals(&b.out[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// sameSchedule is bit-exact equality of schedules. reflect.DeepEqual covers
+// the reservation slice, the FlowFinish map and every float field.
+func sameSchedule(a, b *Schedule) bool { return reflect.DeepEqual(a, b) }
+
+// TestQuickFastMatchesReferenceIntra is the core acceptance property: over
+// random Coflows, preloads, blackouts and fault-degraded tables, the
+// event-driven fast path and the scan-based reference produce bit-identical
+// Schedules and leave bit-identical PRTs behind.
+func TestQuickFastMatchesReferenceIntra(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ports := 3 + rng.Intn(8)
+		c := randomCoflow(rng, ports, 2*ports)
+		opts := randomOptions(rng)
+
+		build := rand.New(rand.NewSource(seed + 1))
+		fastPRT := prtScenario(rand.New(rand.NewSource(build.Int63())), ports)
+		build = rand.New(rand.NewSource(seed + 1))
+		refPRT := prtScenario(rand.New(rand.NewSource(build.Int63())), ports)
+
+		fast, fastErr := IntraCoflow(fastPRT, c, opts)
+		refOpts := opts
+		refOpts.Reference = true
+		ref, refErr := IntraCoflow(refPRT, c, refOpts)
+
+		if (fastErr == nil) != (refErr == nil) {
+			t.Logf("seed %d: error divergence fast=%v ref=%v", seed, fastErr, refErr)
+			return false
+		}
+		if fastErr != nil {
+			return fastErr.Error() == refErr.Error()
+		}
+		if !sameSchedule(fast, ref) {
+			t.Logf("seed %d: schedules diverge\nfast: %+v\nref:  %+v", seed, fast, ref)
+			return false
+		}
+		if !samePRT(fastPRT, refPRT) {
+			t.Logf("seed %d: PRTs diverge", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: quickCount}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFastMatchesReferenceInter runs whole inter-Coflow passes — the
+// shared-PRT regime where Coflows shorten each other's reservations and the
+// horizon compaction kicks in — and requires every schedule in the pass to
+// match bit for bit.
+func TestQuickFastMatchesReferenceInter(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ports := 4 + rng.Intn(6)
+		var cs []*coflow.Coflow
+		for k, n := 0, 2+rng.Intn(6); k < n; k++ {
+			c := randomCoflow(rng, ports, ports)
+			c.ID = k
+			c.Arrival = rng.Float64() * 3
+			cs = append(cs, c)
+		}
+		opts := randomOptions(rng)
+		ordered := ShortestFirst{LinkBps: opts.LinkBps}.Sort(cs)
+
+		fastPRT, refPRT := NewPRT(ports), NewPRT(ports)
+		fast, fastErr := InterCoflow(fastPRT, ordered, opts)
+		refOpts := opts
+		refOpts.Reference = true
+		ref, refErr := InterCoflow(refPRT, ordered, refOpts)
+
+		if (fastErr == nil) != (refErr == nil) || len(fast) != len(ref) {
+			return false
+		}
+		for i := range fast {
+			if !sameSchedule(fast[i], ref[i]) {
+				t.Logf("seed %d: schedule %d diverges", seed, i)
+				return false
+			}
+		}
+		return samePRT(fastPRT, refPRT)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: quickCount}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCompactionIsExact pins the tentpole invariant down directly:
+// an InterCoflow pass over a compacting PRT equals, bit for bit, the
+// pre-compaction semantics — an uncompacted PRT driven Coflow by Coflow —
+// and utilization accounting over any slice is unchanged.
+func TestQuickCompactionIsExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ports := 4 + rng.Intn(6)
+		var cs []*coflow.Coflow
+		for k, n := 0, 3+rng.Intn(6); k < n; k++ {
+			c := randomCoflow(rng, ports, ports)
+			c.ID = k
+			c.Arrival = rng.Float64() * 5
+			cs = append(cs, c)
+		}
+		opts := randomOptions(rng)
+		ordered := FIFO{}.Sort(cs)
+
+		compacted := NewPRT(ports)
+		got, err1 := InterCoflow(compacted, ordered, opts)
+
+		plain := NewPRT(ports)
+		var want []*Schedule
+		var err2 error
+		for _, c := range ordered {
+			co := opts
+			co.Start = math.Max(opts.Start, c.Arrival)
+			var s *Schedule
+			if s, err2 = IntraCoflow(plain, c, co); err2 != nil {
+				break
+			}
+			want = append(want, s)
+		}
+
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if !sameSchedule(got[i], want[i]) {
+				return false
+			}
+		}
+		if !samePRT(compacted, plain) {
+			return false
+		}
+		// busyTime over random slices must agree despite the archives.
+		for k := 0; k < 10; k++ {
+			i := rng.Intn(ports)
+			from := rng.Float64() * 10
+			to := from + rng.Float64()*10
+			if compacted.busyTime(i, from, to) != plain.busyTime(i, from, to) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: quickCount}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRemoveTolerance: satellite guarantee for timeline.remove — a
+// TryReserve rollback must remove the input-side interval it just inserted
+// even when the caller's start differs by float residue, and must never
+// remove a neighbour further than timeEps away.
+func TestQuickRemoveTolerance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var tl timeline
+		starts := make([]float64, 0, 8)
+		for k := 0; k < 8; k++ {
+			s := float64(k) + rng.Float64()*0.5
+			if tl.insert(s, s+0.2, 0) {
+				starts = append(starts, s)
+			}
+		}
+		// Sometimes compact a prefix into the archive, so removal is
+		// exercised on both halves.
+		if rng.Intn(2) == 0 {
+			tl.compact(float64(rng.Intn(9)))
+		}
+		pick := starts[rng.Intn(len(starts))]
+		// Perturb within eps: removal must still find the interval.
+		tl.remove(pick + (rng.Float64()*2-1)*0.9e-9)
+		if got := len(tl.iv) + len(tl.old); got != len(starts)-1 {
+			t.Logf("seed %d: remove missed, %d intervals left of %d", seed, got, len(starts))
+			return false
+		}
+		for _, iv := range mergedIntervals(&tl) {
+			if math.Abs(iv.start-pick) <= timeEps {
+				return false // removed the wrong one
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: quickCount}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -110,9 +110,23 @@ func (PriorityClasses) Name() string { return "priority-classes" }
 //
 // Each Coflow's scheduling starts at max(opts.Start, its arrival time).
 // Returned schedules parallel the input order.
+//
+// As the pass advances, the PRT is compacted up to the earliest scheduling
+// start of the Coflows still to place (a suffix minimum): intervals the
+// remaining passes can only ever see as "already ended" retire into the
+// per-port archives, keeping the live windows the hot queries walk small on
+// long workloads. Compaction is exact — see PRT.CompactBefore — so the
+// schedules are unchanged by it.
 func InterCoflow(prt *PRT, ordered []*coflow.Coflow, opts Options) ([]*Schedule, error) {
+	// starts[k] = min over c in ordered[k:] of that Coflow's scheduling start.
+	starts := make([]float64, len(ordered)+1)
+	starts[len(ordered)] = math.Inf(1)
+	for k := len(ordered) - 1; k >= 0; k-- {
+		starts[k] = math.Min(starts[k+1], math.Max(opts.Start, ordered[k].Arrival))
+	}
 	scheds := make([]*Schedule, 0, len(ordered))
-	for _, c := range ordered {
+	for k, c := range ordered {
+		prt.CompactBefore(starts[k])
 		co := opts
 		co.Start = math.Max(opts.Start, c.Arrival)
 		s, err := IntraCoflow(prt, c, co)

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
+	"sync"
 	"time"
 
 	"sunflow/internal/coflow"
@@ -60,6 +62,13 @@ type Options struct {
 	// latency. Circuits are held for the rounded time, so CCT can only
 	// grow; the ablation benchmarks quantify the trade.
 	Quantum float64
+	// Reference selects the straightforward scan-based scheduler loop over
+	// the event-driven fast path. Both produce bit-identical schedules —
+	// the differential property tests enforce it — so Reference exists as
+	// the oracle for those tests and as a debugging aid, not as a
+	// semantically different mode. See DESIGN.md, "Scheduler complexity &
+	// performance".
+	Reference bool
 	// Obs optionally records planning metrics (intra passes, reservations
 	// made, reservations shortened by later commitments). Nil disables
 	// instrumentation.
@@ -114,7 +123,7 @@ type demand struct {
 	p    float64
 }
 
-// releaseHeap is a min-heap of circuit release times.
+// releaseHeap is a min-heap of circuit release times (reference path).
 type releaseHeap []float64
 
 func (h releaseHeap) Len() int            { return len(h) }
@@ -129,6 +138,21 @@ func (h *releaseHeap) Pop() interface{} {
 	return x
 }
 
+// covered reports whether the heap already holds an entry u within
+// [t-timeEps, t]. The scheduler's round at u drains every release up to
+// u+timeEps, t included, so pushing t again would be redundant. The check is
+// deliberately one-sided: a new release below an existing entry must still
+// be pushed — the round cursor advances to the minimum of an eps-cluster,
+// and dropping a smaller value would shift round times by float residue.
+func (h releaseHeap) covered(t float64) bool {
+	for _, v := range h {
+		if t-timeEps <= v && v <= t {
+			return true
+		}
+	}
+	return false
+}
+
 // IntraCoflow runs the non-preemptive intra-Coflow scheduler of Algorithm 1
 // for Coflow c over the shared Port Reservation Table prt, starting at
 // opts.Start. Reservations already in the PRT are never preempted; the
@@ -140,6 +164,12 @@ func (h *releaseHeap) Pop() interface{} {
 // of length δ+p; when a port pair has a later commitment closer than that,
 // the reservation is shortened and the remainder of the flow is reserved
 // again later — paying another δ, exactly as MakeReservation prescribes.
+//
+// Two interchangeable loop implementations exist: the event-driven fast path
+// (default) re-examines only the demands touching a freed port at each
+// release, and the scan-based reference path (Options.Reference) re-examines
+// every pending demand. They produce bit-identical schedules; the property
+// tests in differential_test.go hold them to that.
 func IntraCoflow(prt *PRT, c *coflow.Coflow, opts Options) (*Schedule, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -151,11 +181,24 @@ func IntraCoflow(prt *PRT, c *coflow.Coflow, opts Options) (*Schedule, error) {
 		passStart := time.Now()
 		defer func() {
 			o.IntraPasses.Inc()
-			o.IntraSeconds.Add(time.Since(passStart).Seconds())
+			sec := time.Since(passStart).Seconds()
+			o.IntraSeconds.Add(sec)
+			if opts.Reference {
+				o.IntraRefSeconds.Add(sec)
+			} else {
+				o.IntraFastSeconds.Add(sec)
+			}
 		}()
 	}
+	if opts.Reference {
+		return intraScan(prt, c, opts)
+	}
+	return intraFast(prt, c, opts)
+}
 
-	pending := make([]demand, 0, len(c.Flows))
+// buildPending converts the Coflow's positive-demand flows into scheduler
+// demands, appending to dst, and orders them per opts.
+func buildPending(dst []demand, c *coflow.Coflow, opts Options) []demand {
 	for _, f := range c.Flows {
 		if f.Bytes <= 0 {
 			continue
@@ -164,16 +207,28 @@ func IntraCoflow(prt *PRT, c *coflow.Coflow, opts Options) (*Schedule, error) {
 		if opts.Quantum > 0 {
 			p = math.Ceil(p/opts.Quantum) * opts.Quantum
 		}
-		pending = append(pending, demand{i: f.Src, j: f.Dst, p: p})
+		dst = append(dst, demand{i: f.Src, j: f.Dst, p: p})
 	}
-	orderDemands(pending, opts)
+	orderDemands(dst, opts)
+	return dst
+}
 
-	sched := &Schedule{
+// newSchedule allocates the Schedule shell both paths fill in.
+func newSchedule(c *coflow.Coflow, opts Options, nPending int) *Schedule {
+	return &Schedule{
 		CoflowID:   c.ID,
 		Start:      opts.Start,
 		Finish:     opts.Start,
-		FlowFinish: make(map[[2]int]float64, len(pending)),
+		FlowFinish: make(map[[2]int]float64, nPending),
 	}
+}
+
+// intraScan is the reference implementation of the Algorithm 1 loop: every
+// round re-examines all pending demands in order. O(F) per round, kept as
+// the differential-testing oracle for the event-driven path.
+func intraScan(prt *PRT, c *coflow.Coflow, opts Options) (*Schedule, error) {
+	pending := buildPending(make([]demand, 0, len(c.Flows)), c, opts)
+	sched := newSchedule(c, opts, len(pending))
 	if len(pending) == 0 {
 		return sched, nil
 	}
@@ -219,7 +274,9 @@ func IntraCoflow(prt *PRT, c *coflow.Coflow, opts Options) (*Schedule, error) {
 					o.ResShortened.Inc()
 				}
 			}
-			heap.Push(&releases, r.End)
+			if !releases.covered(r.End) {
+				heap.Push(&releases, r.End)
+			}
 			d.p -= l - opts.Delta // remaining demand: ld - l
 			if d.p <= timeEps {
 				d.p = 0
@@ -245,16 +302,15 @@ func IntraCoflow(prt *PRT, c *coflow.Coflow, opts Options) (*Schedule, error) {
 		}
 
 		// Advance to the next circuit release time (Algorithm 1, line 10);
-		// the end of a blackout window also frees ports.
+		// the end of a blackout window also frees ports. Entries at or
+		// before the cursor belong to rounds already run: drain them all in
+		// one pass, then peek the first live one.
+		for releases.Len() > 0 && releases[0] <= t+timeEps {
+			heap.Pop(&releases)
+		}
 		next := prt.nextBlackoutEnd(t)
-		for releases.Len() > 0 {
-			top := releases[0]
-			if top <= t+timeEps {
-				heap.Pop(&releases)
-				continue
-			}
-			next = math.Min(next, top)
-			break
+		if releases.Len() > 0 && releases[0] < next {
+			next = releases[0]
 		}
 		if math.IsInf(next, 1) {
 			return nil, fmt.Errorf("%w: %d flows blocked at t=%.6f for %v", ErrStalled, len(pending), t, c)
@@ -262,6 +318,263 @@ func IntraCoflow(prt *PRT, c *coflow.Coflow, opts Options) (*Schedule, error) {
 		t = next
 	}
 	return sched, nil
+}
+
+// portEvent is a circuit release instant on the fast path's event heap: at
+// time t the input port in and/or output port out become free. Negative port
+// values mean "no port on this side" (events seeded from a single timeline).
+type portEvent struct {
+	t       float64
+	in, out int32
+}
+
+// evPush adds e to the min-heap ev (ordered by t alone: all events at one
+// instant are drained together before any demand is examined, so tie order
+// is irrelevant).
+func evPush(ev *[]portEvent, e portEvent) {
+	h := append(*ev, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].t <= h[i].t {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	*ev = h
+}
+
+// evPop removes and returns the earliest event.
+func evPop(ev *[]portEvent) portEvent {
+	h := *ev
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h[l].t < h[min].t {
+			min = l
+		}
+		if r < n && h[r].t < h[min].t {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	*ev = h
+	return top
+}
+
+// intraScratch is the reusable working set of one fast-path scheduling pass.
+// Pooling it makes IntraCoflow near-zero-alloc per pass in the inter-Coflow
+// driver, which calls it once per live Coflow per replan.
+type intraScratch struct {
+	pending []demand
+	byIn    [][]int32 // pending-demand indices per input port
+	byOut   [][]int32 // pending-demand indices per output port
+	events  []portEvent
+	cand    []int32
+	woken   []bool
+	ends    []float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(intraScratch) }}
+
+// intraFast is the event-driven implementation of the Algorithm 1 loop.
+// Pending demands are indexed by input and output port; a circuit release
+// wakes only the demands touching the freed ports, and woken demands are
+// examined in the same demand order as the reference scan. A demand that was
+// unschedulable at one round — port busy, gap to the next commitment at most
+// δ, blackout — stays unschedulable until one of its ports releases or a
+// blackout window ends, so waking that (super)set reproduces the reference
+// path's reservation sequence exactly.
+func intraFast(prt *PRT, c *coflow.Coflow, opts Options) (*Schedule, error) {
+	s := scratchPool.Get().(*intraScratch)
+	defer scratchPool.Put(s)
+
+	pending := buildPending(s.pending[:0], c, opts)
+	s.pending = pending
+	sched := newSchedule(c, opts, len(pending))
+	if len(pending) == 0 {
+		return sched, nil
+	}
+	sched.Reservations = make([]Reservation, 0, len(pending))
+
+	n := prt.n
+	if cap(s.byIn) < n {
+		s.byIn = make([][]int32, n)
+		s.byOut = make([][]int32, n)
+	}
+	byIn, byOut := s.byIn[:n], s.byOut[:n]
+	for p := 0; p < n; p++ {
+		byIn[p] = byIn[p][:0]
+		byOut[p] = byOut[p][:0]
+	}
+	// Index live demands by port. A demand already at the noise floor is
+	// dropped up front — the reference scan never reserves for it and
+	// records no finish — so remaining counts exactly the schedulable work.
+	remaining := 0
+	for di := range pending {
+		if pending[di].p <= timeEps {
+			continue
+		}
+		remaining++
+		byIn[pending[di].i] = append(byIn[pending[di].i], int32(di))
+		byOut[pending[di].j] = append(byOut[pending[di].j], int32(di))
+	}
+	if remaining == 0 {
+		return sched, nil
+	}
+
+	// Seed the event heap with existing commitments on the touched ports and
+	// pre-grow their timelines for the reservations this pass will insert.
+	events := s.events[:0]
+	for p := 0; p < n; p++ {
+		if len(byIn[p]) > 0 {
+			tl := &prt.in[p]
+			tl.grow(2*len(byIn[p]) + 2)
+			s.ends = tl.endsAfter(opts.Start, s.ends[:0])
+			for _, e := range s.ends {
+				evPush(&events, portEvent{t: e, in: int32(p), out: -1})
+			}
+		}
+		if len(byOut[p]) > 0 {
+			tl := &prt.out[p]
+			tl.grow(2*len(byOut[p]) + 2)
+			s.ends = tl.endsAfter(opts.Start, s.ends[:0])
+			for _, e := range s.ends {
+				evPush(&events, portEvent{t: e, in: -1, out: int32(p)})
+			}
+		}
+	}
+
+	if cap(s.woken) < len(pending) {
+		s.woken = make([]bool, len(pending))
+	}
+	woken := s.woken[:len(pending)]
+	clear(woken)
+	cand := s.cand[:0]
+
+	t := opts.Start
+	wakeAll := true // the first round examines every demand
+	for {
+		if wakeAll {
+			for di := range pending {
+				remaining = examine(prt, c, &opts, sched, &pending[di], &events, t, remaining)
+			}
+		} else {
+			for _, di := range cand {
+				woken[di] = false
+				remaining = examine(prt, c, &opts, sched, &pending[di], &events, t, remaining)
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+
+		// Advance to the next circuit release or blackout end, as the
+		// reference does; then wake the demands that instant can unblock.
+		blk := prt.nextBlackoutEnd(t)
+		next := blk
+		if len(events) > 0 && events[0].t < next {
+			next = events[0].t
+		}
+		if math.IsInf(next, 1) {
+			return nil, fmt.Errorf("%w: %d flows blocked at t=%.6f for %v", ErrStalled, remaining, t, c)
+		}
+		t = next
+		// A blackout end frees every port at once: all demands may have
+		// become schedulable, so this round examines them all.
+		wakeAll = blk <= t+timeEps
+		cand = cand[:0]
+		for len(events) > 0 && events[0].t <= t+timeEps {
+			e := evPop(&events)
+			if wakeAll {
+				continue
+			}
+			if e.in >= 0 {
+				for _, di := range byIn[e.in] {
+					if !woken[di] && pending[di].p > timeEps {
+						woken[di] = true
+						cand = append(cand, di)
+					}
+				}
+			}
+			if e.out >= 0 {
+				for _, di := range byOut[e.out] {
+					if !woken[di] && pending[di].p > timeEps {
+						woken[di] = true
+						cand = append(cand, di)
+					}
+				}
+			}
+		}
+		if !wakeAll {
+			// The reference examines demands in slice order; restore it.
+			slices.Sort(cand)
+		}
+	}
+	s.cand, s.events = cand, events[:0]
+	return sched, nil
+}
+
+// examine is one demand visit of the Algorithm 1 loop at round instant t:
+// reserve the longest admissible slot if the ports are free, mirroring
+// intraScan's inner loop statement for statement. It returns the updated
+// count of unfinished demands.
+func examine(prt *PRT, c *coflow.Coflow, opts *Options, sched *Schedule, d *demand, events *[]portEvent, t float64, remaining int) int {
+	if d.p <= timeEps || !prt.FreeAt(d.i, d.j, t) {
+		return remaining
+	}
+	tm := prt.NextCommitment(d.i, d.j, t)
+	lm := tm - t
+	ld := opts.Delta + d.p
+	// A slot shorter than δ (or exactly δ, which would carry no data) is
+	// useless: leave the ports free for another Coflow.
+	if lm <= opts.Delta+timeEps {
+		return remaining
+	}
+	l := math.Min(lm, ld)
+	r := Reservation{
+		CoflowID: c.ID,
+		In:       d.i,
+		Out:      d.j,
+		Start:    t,
+		End:      t + l,
+		Setup:    opts.Delta,
+		Bytes:    (l - opts.Delta) * opts.LinkBps / 8,
+	}
+	prt.Reserve(r)
+	sched.Reservations = append(sched.Reservations, r)
+	if o := opts.Obs; o != nil {
+		o.Reservations.Inc()
+		if l < ld-timeEps {
+			// The slot was cut short by a later commitment: the flow's
+			// remainder will pay another δ.
+			o.ResShortened.Inc()
+		}
+	}
+	// The release frees both ports; one event wakes the demands on either
+	// side. Reservations carry data (l > δ+eps), so r.End is strictly after
+	// this round and per-port release instants never collide.
+	evPush(events, portEvent{t: r.End, in: int32(d.i), out: int32(d.j)})
+	d.p -= l - opts.Delta // remaining demand: ld - l
+	if d.p <= timeEps {
+		d.p = 0
+		sched.FlowFinish[[2]int{d.i, d.j}] = r.End
+		remaining--
+	}
+	if r.End > sched.Finish {
+		sched.Finish = r.End
+	}
+	return remaining
 }
 
 // nextBlackoutEnd returns the end of the first blackout window after t, or

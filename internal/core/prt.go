@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -22,7 +23,7 @@ const timeEps = 1e-9
 
 // Reservation is one circuit held on the port pair [In, Out] during
 // [Start, End). The first Setup seconds configure the circuit; the remainder
-// transmits at the link rate. A reservation is the unit of switching: each
+// transmits at the full link rate. A reservation is the unit of switching: each
 // reservation costs exactly one circuit establishment.
 type Reservation struct {
 	// CoflowID is the Coflow the reservation serves.
@@ -61,27 +62,62 @@ type interval struct {
 	peer       int // the port on the other side of the circuit
 }
 
-// timeline is a sorted list of non-overlapping busy intervals on one port.
+// timeline holds the sorted non-overlapping busy intervals of one port, split
+// at the compaction horizon into a small live window and a cold archive.
+//
+// Invariant: old ++ iv is the full timeline in ascending start order. Every
+// archived interval starts before every live one (an interval whose end is at
+// or below the horizon cannot start after one whose end is above it without
+// overlapping), so the hot queries — freeAt, nextStart, insert — bind against
+// the live window and consult the archive only when the query time precedes
+// the whole window. Because sorted non-overlapping intervals are also sorted
+// by end, binary search is valid on ends as well as starts in both halves.
+//
+// oldBusy summarises the archive (len(old) intervals, oldBusy busy seconds)
+// so utilization accounting over a range covering the archive is O(1); the
+// archived intervals themselves are kept so every query — a busyTime slice, a
+// fault Block straddling the horizon, a rollback remove — stays exact.
 type timeline struct {
-	iv []interval
+	iv      []interval // live window: intervals ending after the horizon
+	old     []interval // archive: retired intervals, ascending start
+	oldBusy float64    // total busy seconds archived in old
 }
 
-// searchAfter returns the index of the first interval with start > t.
+// searchAfter returns the index of the first live interval with start > t.
 func (tl *timeline) searchAfter(t float64) int {
 	return sort.Search(len(tl.iv), func(i int) bool { return tl.iv[i].start > t })
+}
+
+// searchOldAfter returns the index of the first archived interval with
+// start > t.
+func (tl *timeline) searchOldAfter(t float64) int {
+	return sort.Search(len(tl.old), func(i int) bool { return tl.old[i].start > t })
 }
 
 // freeAt reports whether the port is free at time t, i.e. no interval
 // contains t.
 func (tl *timeline) freeAt(t float64) bool {
 	i := tl.searchAfter(t)
-	// The candidate containing interval is the one before index i.
-	return i == 0 || tl.iv[i-1].end <= t+timeEps
+	if i > 0 {
+		// The candidate containing interval is the one before index i; any
+		// archived interval ends at or before this one's start.
+		return tl.iv[i-1].end <= t+timeEps
+	}
+	// t precedes the live window: the candidate is in the archive.
+	if k := tl.searchOldAfter(t); k > 0 {
+		return tl.old[k-1].end <= t+timeEps
+	}
+	return true
 }
 
 // nextStart returns the start of the earliest interval beginning after t, or
 // +Inf when the port has no later commitment.
 func (tl *timeline) nextStart(t float64) float64 {
+	// Archived intervals all start before live ones, so if any archived start
+	// lies after t it is the answer.
+	if n := len(tl.old); n > 0 && tl.old[n-1].start > t {
+		return tl.old[tl.searchOldAfter(t)].start
+	}
 	i := tl.searchAfter(t)
 	if i == len(tl.iv) {
 		return math.Inf(1)
@@ -90,10 +126,32 @@ func (tl *timeline) nextStart(t float64) float64 {
 }
 
 // insert adds the interval [start, end) and reports whether it was free of
-// overlap. Insertion keeps the timeline sorted.
+// overlap. Insertion keeps both halves sorted: an interval sorting before an
+// archived one is spliced into the archive so the old-before-live start order
+// is preserved.
 func (tl *timeline) insert(start, end float64, peer int) bool {
+	if no := len(tl.old); no > 0 && tl.old[no-1].start > start {
+		k := tl.searchOldAfter(start)
+		if k > 0 && tl.old[k-1].end > start+timeEps {
+			return false
+		}
+		// The successor old[k] exists (old[no-1].start > start) and already
+		// precedes every live interval, so clearing it clears the window too.
+		if tl.old[k].start < end-timeEps {
+			return false
+		}
+		tl.old = append(tl.old, interval{})
+		copy(tl.old[k+1:], tl.old[k:])
+		tl.old[k] = interval{start: start, end: end, peer: peer}
+		tl.oldBusy += end - start
+		return true
+	}
 	i := tl.searchAfter(start)
-	if i > 0 && tl.iv[i-1].end > start+timeEps {
+	if i > 0 {
+		if tl.iv[i-1].end > start+timeEps {
+			return false
+		}
+	} else if no := len(tl.old); no > 0 && tl.old[no-1].end > start+timeEps {
 		return false
 	}
 	if i < len(tl.iv) && tl.iv[i].start < end-timeEps {
@@ -105,30 +163,53 @@ func (tl *timeline) insert(start, end float64, peer int) bool {
 	return true
 }
 
-// remove deletes the interval starting exactly at start, if present.
+// findStart locates the interval starting within timeEps of start, by binary
+// search.
+func findStart(ivs []interval, start float64) (int, bool) {
+	i := sort.Search(len(ivs), func(k int) bool { return ivs[k].start > start+timeEps })
+	if i > 0 && math.Abs(ivs[i-1].start-start) <= timeEps {
+		return i - 1, true
+	}
+	return 0, false
+}
+
+// remove deletes the interval starting at start (within timeEps), if present.
+// The live window is tried first — rollback of a just-inserted reservation is
+// the hot case — then the archive.
 func (tl *timeline) remove(start float64) {
-	for i, iv := range tl.iv {
-		if iv.start == start {
-			tl.iv = append(tl.iv[:i], tl.iv[i+1:]...)
-			return
-		}
+	if i, ok := findStart(tl.iv, start); ok {
+		tl.iv = append(tl.iv[:i], tl.iv[i+1:]...)
+		return
+	}
+	if i, ok := findStart(tl.old, start); ok {
+		tl.oldBusy -= tl.old[i].end - tl.old[i].start
+		tl.old = append(tl.old[:i], tl.old[i+1:]...)
 	}
 }
 
 // block fills the free gaps of [start, end) with busy intervals (peer -1),
-// leaving existing intervals untouched.
+// leaving existing intervals untouched. The walk runs over the archive then
+// the live window — the merged ascending order — so windows straddling the
+// compaction horizon compose exactly as on an uncompacted timeline.
 func (tl *timeline) block(start, end float64) {
 	if end <= start {
 		return
 	}
 	cur := start
 	var gaps []interval
-	i := sort.Search(len(tl.iv), func(k int) bool { return tl.iv[k].end > start+timeEps })
-	for ; i < len(tl.iv) && tl.iv[i].start < end-timeEps; i++ {
-		if tl.iv[i].start > cur+timeEps {
-			gaps = append(gaps, interval{start: cur, end: math.Min(tl.iv[i].start, end), peer: -1})
+	k := sort.Search(len(tl.old), func(i int) bool { return tl.old[i].end > start+timeEps })
+	for ; k < len(tl.old) && tl.old[k].start < end-timeEps; k++ {
+		if tl.old[k].start > cur+timeEps {
+			gaps = append(gaps, interval{start: cur, end: math.Min(tl.old[k].start, end), peer: -1})
 		}
-		cur = math.Max(cur, tl.iv[i].end)
+		cur = math.Max(cur, tl.old[k].end)
+	}
+	k = sort.Search(len(tl.iv), func(i int) bool { return tl.iv[i].end > start+timeEps })
+	for ; k < len(tl.iv) && tl.iv[k].start < end-timeEps; k++ {
+		if tl.iv[k].start > cur+timeEps {
+			gaps = append(gaps, interval{start: cur, end: math.Min(tl.iv[k].start, end), peer: -1})
+		}
+		cur = math.Max(cur, tl.iv[k].end)
 	}
 	if cur < end-timeEps {
 		gaps = append(gaps, interval{start: cur, end: end, peer: -1})
@@ -139,13 +220,72 @@ func (tl *timeline) block(start, end float64) {
 }
 
 // endsAfter appends to dst the end times of all intervals ending after t.
+// Sorted starts plus non-overlap make ends sorted too, so the suffix of each
+// half is found by binary search.
 func (tl *timeline) endsAfter(t float64, dst []float64) []float64 {
-	for _, iv := range tl.iv {
-		if iv.end > t+timeEps {
-			dst = append(dst, iv.end)
-		}
+	k := sort.Search(len(tl.old), func(i int) bool { return tl.old[i].end > t+timeEps })
+	for _, v := range tl.old[k:] {
+		dst = append(dst, v.end)
+	}
+	k = sort.Search(len(tl.iv), func(i int) bool { return tl.iv[i].end > t+timeEps })
+	for _, v := range tl.iv[k:] {
+		dst = append(dst, v.end)
 	}
 	return dst
+}
+
+// busy sums reserved time within [from, to), using the archive summary when
+// the range covers the whole archive.
+func (tl *timeline) busy(from, to float64) float64 {
+	var sum float64
+	if n := len(tl.old); n > 0 {
+		if from <= tl.old[0].start && to >= tl.old[n-1].end {
+			sum += tl.oldBusy
+		} else {
+			k := sort.Search(n, func(i int) bool { return tl.old[i].end > from })
+			for ; k < n && tl.old[k].start < to; k++ {
+				lo, hi := math.Max(tl.old[k].start, from), math.Min(tl.old[k].end, to)
+				if hi > lo {
+					sum += hi - lo
+				}
+			}
+		}
+	}
+	k := sort.Search(len(tl.iv), func(i int) bool { return tl.iv[i].end > from })
+	for ; k < len(tl.iv) && tl.iv[k].start < to; k++ {
+		lo, hi := math.Max(tl.iv[k].start, from), math.Min(tl.iv[k].end, to)
+		if hi > lo {
+			sum += hi - lo
+		}
+	}
+	return sum
+}
+
+// compact retires the live intervals ending at or before h into the archive.
+func (tl *timeline) compact(h float64) {
+	k := sort.Search(len(tl.iv), func(i int) bool { return tl.iv[i].end > h })
+	if k == 0 {
+		return
+	}
+	for _, v := range tl.iv[:k] {
+		tl.oldBusy += v.end - v.start
+	}
+	tl.old = append(tl.old, tl.iv[:k]...)
+	n := copy(tl.iv, tl.iv[k:])
+	tl.iv = tl.iv[:n]
+}
+
+// grow reserves capacity for n more live intervals, so a scheduling pass that
+// knows its demand can avoid repeated append growth.
+func (tl *timeline) grow(n int) {
+	tl.iv = slices.Grow(tl.iv, n)
+}
+
+// reset empties the timeline, keeping capacity for reuse.
+func (tl *timeline) reset() {
+	tl.iv = tl.iv[:0]
+	tl.old = tl.old[:0]
+	tl.oldBusy = 0
 }
 
 // Blackout describes recurring periods during which ports may not accept
@@ -170,11 +310,12 @@ type PRT struct {
 	in, out  []timeline
 	blackout Blackout
 	count    int
+	horizon  float64
 }
 
 // NewPRT returns an empty PRT for an n-port switch.
 func NewPRT(n int) *PRT {
-	return &PRT{n: n, in: make([]timeline, n), out: make([]timeline, n)}
+	return &PRT{n: n, in: make([]timeline, n), out: make([]timeline, n), horizon: math.Inf(-1)}
 }
 
 // Ports returns the switch port count N.
@@ -185,6 +326,50 @@ func (p *PRT) Len() int { return p.count }
 
 // SetBlackout installs recurring no-reservation windows (nil disables).
 func (p *PRT) SetBlackout(b Blackout) { p.blackout = b }
+
+// Reset empties the table for reuse, keeping the per-port capacity already
+// grown — an online simulator replanning hundreds of times avoids
+// reallocating every timeline each pass.
+func (p *PRT) Reset() {
+	for i := range p.in {
+		p.in[i].reset()
+		p.out[i].reset()
+	}
+	p.blackout = nil
+	p.count = 0
+	p.horizon = math.Inf(-1)
+}
+
+// CompactBefore retires, on every port timeline, the intervals ending at or
+// before t into the per-port archive. The horizon only advances: calls with
+// t at or below the current horizon are no-ops. Compaction never changes any
+// query's answer — archived intervals still back freeAt, Block, busyTime and
+// remove on the cold side — it only keeps the live windows the hot queries
+// bind against small. InterCoflow drives it with the schedule cursor.
+func (p *PRT) CompactBefore(t float64) {
+	if t <= p.horizon || math.IsInf(t, 1) {
+		return
+	}
+	p.horizon = t
+	for i := range p.in {
+		p.in[i].compact(t)
+		p.out[i].compact(t)
+	}
+}
+
+// Horizon returns the current compaction horizon, -Inf before any
+// compaction.
+func (p *PRT) Horizon() float64 { return p.horizon }
+
+// Compacted reports the archive size: how many intervals have been retired
+// across all port timelines and their total busy seconds.
+func (p *PRT) Compacted() (intervals int, busySeconds float64) {
+	for i := range p.in {
+		intervals += len(p.in[i].old) + len(p.out[i].old)
+		busySeconds += p.in[i].oldBusy + p.out[i].oldBusy
+	}
+	return intervals, busySeconds
+}
 
 // FreeAt reports whether both in.i and out.j are free at time t and t is not
 // inside a blackout window.
@@ -279,12 +464,5 @@ func (p *PRT) ReleasesAfter(t float64, ins, outs []int, dst []float64) []float64
 // busyTime sums reserved time on input port i within [from, to) — used by
 // tests and utilization accounting.
 func (p *PRT) busyTime(i int, from, to float64) float64 {
-	var sum float64
-	for _, iv := range p.in[i].iv {
-		lo, hi := math.Max(iv.start, from), math.Min(iv.end, to)
-		if hi > lo {
-			sum += hi - lo
-		}
-	}
-	return sum
+	return p.in[i].busy(from, to)
 }

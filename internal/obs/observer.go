@@ -23,6 +23,8 @@ const (
 	NameSchedPassTime    = "sched.pass_seconds"
 	NameIntraPasses      = "sched.intra_passes"
 	NameIntraSeconds     = "sched.intra_seconds"
+	NameIntraFastSeconds = "sched.intra_fast_seconds"
+	NameIntraRefSeconds  = "sched.intra_ref_seconds"
 	NameReservations     = "sched.reservations"
 	NameResShortened     = "sched.reservations_shortened"
 	NameInBusySeconds    = "port.in_busy_seconds"
@@ -62,8 +64,14 @@ type Observer struct {
 	SchedPassTime *Histogram    // distribution of per-pass wall time (seconds)
 	IntraPasses   *Counter      // per-Coflow intra-scheduler invocations
 	IntraSeconds  *FloatCounter
-	Reservations  *Counter // reservations/assignments planned (incl. replanned ones)
-	ResShortened  *Counter // reservations cut short by a later commitment (extra δ paid later)
+	// IntraSeconds split by planner path: the event-driven fast path versus
+	// the scan-based reference path (core.Options.Reference). The trace
+	// stream is path-invariant by design, so this is the only record of
+	// which planner produced a run.
+	IntraFastSeconds *FloatCounter
+	IntraRefSeconds  *FloatCounter
+	Reservations     *Counter // reservations/assignments planned (incl. replanned ones)
+	ResShortened     *Counter // reservations cut short by a later commitment (extra δ paid later)
 
 	// Per-port busy time of executed circuits (input and output sides are
 	// independent on an optical switch).
@@ -117,6 +125,8 @@ func newScoped(reg *Registry, sink Sink, prefix string) *Observer {
 		SchedPassTime:    reg.Histogram(prefix + NameSchedPassTime),
 		IntraPasses:      reg.Counter(prefix + NameIntraPasses),
 		IntraSeconds:     reg.FloatCounter(prefix + NameIntraSeconds),
+		IntraFastSeconds: reg.FloatCounter(prefix + NameIntraFastSeconds),
+		IntraRefSeconds:  reg.FloatCounter(prefix + NameIntraRefSeconds),
 		Reservations:     reg.Counter(prefix + NameReservations),
 		ResShortened:     reg.Counter(prefix + NameResShortened),
 		InBusySeconds:    reg.FloatVec(prefix + NameInBusySeconds),
@@ -209,6 +219,8 @@ type Summary struct {
 	PeakQueueDepth   int64   `json:"peak_queue_depth"`
 	SchedPasses      int64   `json:"sched_passes"`
 	SchedSeconds     float64 `json:"sched_seconds"`
+	IntraFastSeconds float64 `json:"intra_fast_seconds"`
+	IntraRefSeconds  float64 `json:"intra_ref_seconds"`
 	Reservations     int64   `json:"reservations"`
 }
 
@@ -230,6 +242,8 @@ func (o *Observer) Summary() Summary {
 		PeakQueueDepth:   o.QueueDepth.High(),
 		SchedPasses:      o.SchedPasses.Load(),
 		SchedSeconds:     o.SchedSeconds.Load(),
+		IntraFastSeconds: o.IntraFastSeconds.Load(),
+		IntraRefSeconds:  o.IntraRefSeconds.Load(),
 		Reservations:     o.Reservations.Load(),
 	}
 	s.DutyCycle = dutyCycle(s.HoldSeconds, s.SetupSeconds)
@@ -251,6 +265,8 @@ func (s Summary) Sub(prev Summary) Summary {
 		PeakQueueDepth:   s.PeakQueueDepth,
 		SchedPasses:      s.SchedPasses - prev.SchedPasses,
 		SchedSeconds:     s.SchedSeconds - prev.SchedSeconds,
+		IntraFastSeconds: s.IntraFastSeconds - prev.IntraFastSeconds,
+		IntraRefSeconds:  s.IntraRefSeconds - prev.IntraRefSeconds,
 		Reservations:     s.Reservations - prev.Reservations,
 	}
 	d.DutyCycle = dutyCycle(d.HoldSeconds, d.SetupSeconds)

@@ -32,6 +32,11 @@ type CircuitOptions struct {
 	Seed int64
 	// Fair optionally enables the starvation-avoidance windows of §4.2.
 	Fair *core.FairWindows
+	// Reference plans with the scan-based reference scheduler loop instead
+	// of the event-driven fast path (see core.Options.Reference). Results
+	// and trace streams are bit-identical either way; the differential
+	// property tests exercise this switch.
+	Reference bool
 	// Obs optionally records metrics and trace events. Nil disables all
 	// instrumentation at the cost of one nil-check per site.
 	Obs *obs.Observer
@@ -84,6 +89,7 @@ func RunCircuit(coflows []*coflow.Coflow, opts CircuitOptions) (Result, error) {
 		pending:     arrivalsOrder,
 		faults:      fm,
 		faultCursor: math.Inf(-1),
+		prt:         core.NewPRT(opts.Ports),
 	}
 	if o := opts.Obs; o != nil {
 		defer func() { o.SimEvents.Add(int64(res.Events)) }()
@@ -209,6 +215,10 @@ type circuitState struct {
 	faults *fault.Model
 	// faultCursor is the last outage boundary already applied to the plan.
 	faultCursor float64
+	// prt is the reservation table rebuilt by every replan; reused across
+	// passes (Reset keeps the grown per-port capacity) so replanning is
+	// allocation-free on the timelines.
+	prt *core.PRT
 }
 
 // admit moves Coflows arriving at or before now into the live set.
@@ -439,9 +449,18 @@ func (s *circuitState) closeTrace(now float64) {
 	}
 }
 
-// retire records Coflows whose demand has fully drained.
+// retire records Coflows whose demand has fully drained. Coflows are visited
+// in id order, not map order: two Coflows finishing at the same instant must
+// emit their completion events in the same order on every run, or traces stop
+// being reproducible.
 func (s *circuitState) retire(now float64) {
-	for id, lc := range s.live {
+	ids := make([]int, 0, len(s.live))
+	for id := range s.live {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		lc := s.live[id]
 		done := true
 		for _, b := range lc.rem {
 			if b > byteEps {
@@ -522,7 +541,8 @@ func (s *circuitState) replanOnce(now float64) (int, error) {
 		}
 	}
 
-	prt := core.NewPRT(s.opts.Ports)
+	prt := s.prt
+	prt.Reset()
 	if s.opts.Fair != nil {
 		prt.SetBlackout(*s.opts.Fair)
 	}
@@ -573,12 +593,13 @@ func (s *circuitState) replanOnce(now float64) (int, error) {
 		lc := s.live[tmp.ID]
 		toSchedule := remainderCoflow(lc, lockedFuture[tmp.ID])
 		sched, err := core.IntraCoflow(prt, toSchedule, core.Options{
-			LinkBps: s.opts.LinkBps,
-			Delta:   s.opts.Delta,
-			Start:   math.Max(now, lc.c.Arrival),
-			Order:   s.opts.Order,
-			Seed:    s.opts.Seed,
-			Obs:     s.opts.Obs,
+			LinkBps:   s.opts.LinkBps,
+			Delta:     s.opts.Delta,
+			Start:     math.Max(now, lc.c.Arrival),
+			Order:     s.opts.Order,
+			Seed:      s.opts.Seed,
+			Reference: s.opts.Reference,
+			Obs:       s.opts.Obs,
 		})
 		if err != nil {
 			return tmp.ID, err
