@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench bench-ci bench-alloc bench-baseline trace-lint fault-lint fuzz clean
+.PHONY: build test race lint bench bench-ci bench-alloc bench-kernels bench-baseline trace-lint fault-lint fuzz clean
 
 build:
 	$(GO) build ./...
@@ -28,10 +28,17 @@ bench-ci:
 	$(GO) test -bench . -benchtime 1x -count 3 -benchmem -run '^$$' . | $(GO) run ./cmd/benchci -out BENCH_ci.json -baseline BENCH_baseline.json
 
 # Allocation gate over the scheduler hot-path microbenchmarks: the intra
-# planner and PRT benchmarks run with -benchmem and fail on allocs/op
-# regressions against the committed baseline, mirroring the >25% ns/op gate.
+# planner, PRT and combinatorial-kernel benchmarks run with -benchmem and
+# fail on allocs/op regressions against the committed baseline, mirroring
+# the >25% ns/op gate.
 bench-alloc:
-	$(GO) test -bench 'SunflowIntra|SunflowInter|PRT_' -benchtime 1x -count 3 -benchmem -run '^$$' . | $(GO) run ./cmd/benchci -out BENCH_alloc.json -baseline BENCH_baseline.json -gate-allocs -tolerance 10
+	$(GO) test -bench 'SunflowIntra|SunflowInter|PRT_|Solstice_|BvN_|HopcroftKarp_|MaxMinFair_' -benchtime 1x -count 3 -benchmem -run '^$$' . | $(GO) run ./cmd/benchci -out BENCH_alloc.json -baseline BENCH_baseline.json -gate-allocs -tolerance 10
+
+# The combinatorial kernels alone (matching, BvN/Sinkhorn, Solstice slicing,
+# max-min water-filling) with allocation counts — the quick loop while
+# working on DESIGN.md §8 machinery.
+bench-kernels:
+	$(GO) test -bench 'Solstice_|BvN_|HopcroftKarp_|MaxMinFair_' -benchtime 1x -count 3 -benchmem -run '^$$' .
 
 # Refresh the committed baseline after an intentional performance change.
 bench-baseline:

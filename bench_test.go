@@ -14,8 +14,10 @@ import (
 
 	"sunflow/internal/aalo"
 	"sunflow/internal/bench"
+	"sunflow/internal/bvn"
 	"sunflow/internal/core"
 	"sunflow/internal/fabric"
+	"sunflow/internal/matching"
 	"sunflow/internal/sim"
 	"sunflow/internal/solstice"
 	"sunflow/internal/varys"
@@ -115,14 +117,6 @@ func BenchmarkBaselines_TMSEdmond(b *testing.B) {
 func BenchmarkOrderingSensitivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.OrderingSensitivity(benchCfg); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkStarvationAvoidance(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if _, err := bench.Starvation(bench.Config{Seed: 1}, FairWindows{N: 4, T: 0.5, Tau: 0.05}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -348,6 +342,94 @@ func BenchmarkMaxMinFair_1kFlows(b *testing.B) {
 		availIn := make([]float64, 50)
 		availOut := make([]float64, 50)
 		for p := 0; p < 50; p++ {
+			availIn[p], availOut[p] = 1e9, 1e9
+		}
+		fabric.MaxMinFair(flows, availIn, availOut)
+	}
+}
+
+// --- 150-port kernel micro-benchmarks ---
+//
+// These pin the combinatorial kernels at the paper's full fabric scale; the
+// figure benchmarks above exercise the same code only at reduced port
+// counts, so kernel regressions hide inside their noise.
+
+// benchDemand150 is the widest Coflow of the 150-port Facebook-derived
+// workload as a processing-time matrix — the realistic sparse shape the
+// schedulers feed the stuffing and matching kernels.
+func benchDemand150() [][]float64 {
+	cs := bench.Config{Seed: 1, Ports: 150}.Workload()
+	widest := cs[0]
+	for _, c := range cs {
+		if len(c.Flows) > len(widest.Flows) {
+			widest = c
+		}
+	}
+	m := widest.DemandMatrix(150)
+	for i := range m {
+		for j := range m[i] {
+			m[i][j] = m[i][j] * 8 / 1e9
+		}
+	}
+	return m
+}
+
+func BenchmarkSolstice_Facebook150(b *testing.B) {
+	cs := bench.Config{Seed: 1, Ports: 150}.Workload()
+	widest := cs[0]
+	for _, c := range cs {
+		if len(c.Flows) > len(widest.Flows) {
+			widest = c
+		}
+	}
+	opts := solstice.Options{LinkBps: 1e9, Delta: 0.01}
+	st := solstice.NewStuffer(150)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := st.Schedule(widest, 150, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBvN_Dense150(b *testing.B) {
+	stuffed, _ := bvn.Stuff(benchDemand150())
+	dec := bvn.NewDecomposer(150)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.Decompose(stuffed); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHopcroftKarp_Bitset150(b *testing.B) {
+	m := benchDemand150()
+	s := matching.NewScratch(150)
+	var match []int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AdjacencyAbove(m, 1e-9)
+		match, _ = s.MaxMatching(match)
+	}
+	_ = match
+}
+
+func BenchmarkMaxMinFair_10kFlows(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	flows := make([]fabric.FlowKey, 10000)
+	for i := range flows {
+		flows[i] = fabric.FlowKey{Src: rng.Intn(150), Dst: rng.Intn(150)}
+	}
+	availIn := make([]float64, 150)
+	availOut := make([]float64, 150)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p := 0; p < 150; p++ {
 			availIn[p], availOut[p] = 1e9, 1e9
 		}
 		fabric.MaxMinFair(flows, availIn, availOut)

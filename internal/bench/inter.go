@@ -339,8 +339,19 @@ type StarvationResult struct {
 // Starvation demonstrates the starvation-avoidance design: an adversarial
 // high-priority Coflow monopolizes a port pair while a deprioritized Coflow
 // waits, with and without (T, τ) fair windows; then the overhead of the
-// windows on a normal workload is measured.
+// windows on a normal workload is measured. It runs at the full experiment
+// scale (a 32 s hog at 1 Gbps, a 40-Coflow overhead workload); see
+// StarvationSized for a parameterized variant.
 func Starvation(cfg Config, fair core.FairWindows) (StarvationResult, error) {
+	return StarvationSized(cfg, fair, 4e9, 40)
+}
+
+// StarvationSized is Starvation with the experiment scale exposed: hogBytes
+// sets the monopolizing Coflow's transfer (the starved Coflow's wait scales
+// with it) and overheadCoflows the size of the workload used to price the
+// fair-window guarantee. The quick benchmark configuration runs a reduced
+// scale; the slowbench build tag restores the full experiment.
+func StarvationSized(cfg Config, fair core.FairWindows, hogBytes float64, overheadCoflows int) (StarvationResult, error) {
 	cfg = cfg.WithDefaults()
 	if fair.N == 0 {
 		fair = core.FairWindows{N: 8, T: 1.0, Tau: 0.05}
@@ -348,9 +359,15 @@ func Starvation(cfg Config, fair core.FairWindows) (StarvationResult, error) {
 	if err := fair.Validate(cfg.Delta); err != nil {
 		return StarvationResult{}, err
 	}
+	if hogBytes <= 0 {
+		hogBytes = 4e9
+	}
+	if overheadCoflows <= 0 {
+		overheadCoflows = 40
+	}
 
 	// Adversarial scenario on a small fabric.
-	hog := coflow.New(1, 0, []coflow.Flow{{Src: 0, Dst: 0, Bytes: 4e9}}) // 32 s transfer
+	hog := coflow.New(1, 0, []coflow.Flow{{Src: 0, Dst: 0, Bytes: hogBytes}})
 	starved := coflow.New(2, 0, []coflow.Flow{{Src: 0, Dst: 0, Bytes: 1e6}})
 	policy := core.PriorityClasses{Class: map[int]int{1: 0, 2: 1}}
 	small := sim.CircuitOptions{Ports: fair.N, LinkBps: cfg.LinkBps, Delta: cfg.Delta, Policy: policy}
@@ -367,7 +384,7 @@ func Starvation(cfg Config, fair core.FairWindows) (StarvationResult, error) {
 	}
 
 	// Overhead on a regular workload (reduced size keeps this tractable).
-	wl := Config{Seed: cfg.Seed, Ports: fair.N, Coflows: 40, MaxWidth: 6, LinkBps: cfg.LinkBps, Delta: cfg.Delta}
+	wl := Config{Seed: cfg.Seed, Ports: fair.N, Coflows: overheadCoflows, MaxWidth: 6, LinkBps: cfg.LinkBps, Delta: cfg.Delta}
 	cs := wl.Workload()
 	normal, err := sim.RunCircuit(cs, sim.CircuitOptions{Ports: fair.N, LinkBps: cfg.LinkBps, Delta: cfg.Delta})
 	if err != nil {

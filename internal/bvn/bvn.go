@@ -8,6 +8,12 @@
 // Solstice (CoNEXT'15) stuffs the matrix and extracts permutations with a
 // threshold-halving variant of the same idea. Both are built from this
 // package plus package matching.
+//
+// The package-level functions in this file are the dense reference kernels:
+// they clone their inputs and sweep full matrices. The schedulers run on
+// Decomposer (decomposer.go), which reuses arena matrices, nonzero index
+// lists and a matching scratch across calls; the differential suite proves
+// the two bit-identical (DESIGN.md §8).
 package bvn
 
 import (

@@ -1,0 +1,389 @@
+package bvn
+
+import (
+	"fmt"
+	"math"
+
+	"sunflow/internal/matching"
+)
+
+// Decomposer is the reusable fast path of this package. It owns two arena
+// matrices, CSR-style nonzero index lists, per-row maxima and a
+// matching.Scratch, so that stuffing, Sinkhorn scaling and BvN decomposition
+// run without per-call matrix allocations and without O(N²) sweeps where the
+// nonzero structure is sparse. Every method is bit-identical to its dense
+// package-level reference (Stuff, Sinkhorn, Decompose) — the skipped entries
+// are exact zeros, which contribute nothing to IEEE sums and are unchanged
+// by scaling, and the matching extraction order is identical — which the
+// differential suite pins with seeded quick.Check runs.
+//
+// A Decomposer is not safe for concurrent use; give each goroutine its own.
+type Decomposer struct {
+	n            int
+	work1, work2 []float64
+	rows1, rows2 [][]float64
+	scratch      matching.Scratch
+	match        []int
+	rowMax       []float64
+	sumBuf       []float64 // n entries, row or column sums
+	slackR       []float64
+	slackC       []float64
+	// CSR nonzero structure: nzr holds column indices row by row with
+	// rowStart offsets; nzc holds row indices column by column.
+	nzr, nzc           []int32
+	rowStart, colStart []int32
+	colCur             []int32
+}
+
+// NewDecomposer returns a Decomposer sized for n×n matrices; it grows
+// automatically if handed larger ones.
+func NewDecomposer(n int) *Decomposer {
+	d := &Decomposer{}
+	d.resize(n)
+	return d
+}
+
+func (d *Decomposer) resize(n int) {
+	if cap(d.work1) < n*n {
+		d.work1 = make([]float64, n*n)
+		d.work2 = make([]float64, n*n)
+		d.rows1 = make([][]float64, n)
+		d.rows2 = make([][]float64, n)
+		d.rowMax = make([]float64, n)
+		d.sumBuf = make([]float64, n)
+		d.slackR = make([]float64, n)
+		d.slackC = make([]float64, n)
+		d.rowStart = make([]int32, n+1)
+		d.colStart = make([]int32, n+1)
+		d.nzr = make([]int32, 0, n*n)
+		d.nzc = make([]int32, 0, n*n)
+	}
+	if d.n != n {
+		d.rows1 = d.rows1[:n]
+		d.rows2 = d.rows2[:n]
+		for i := 0; i < n; i++ {
+			d.rows1[i] = d.work1[i*n : (i+1)*n : (i+1)*n]
+			d.rows2[i] = d.work2[i*n : (i+1)*n : (i+1)*n]
+		}
+		d.rowMax = d.rowMax[:n]
+		d.sumBuf = d.sumBuf[:n]
+		d.slackR = d.slackR[:n]
+		d.slackC = d.slackC[:n]
+		d.rowStart = d.rowStart[:n+1]
+		d.colStart = d.colStart[:n+1]
+		d.n = n
+	}
+}
+
+// copyInto copies m into the given arena rows (already sized n).
+func copyInto(dst [][]float64, m [][]float64) {
+	for i, row := range m {
+		copy(dst[i], row)
+	}
+}
+
+// maxLineSumInto is MaxLineSum with the sum buffer reused; identical
+// accumulation and comparison order.
+func (d *Decomposer) maxLineSumInto(m [][]float64) float64 {
+	n := len(m)
+	var max float64
+	for _, row := range m {
+		var s float64
+		for _, v := range row {
+			s += v
+		}
+		max = math.Max(max, s)
+	}
+	col := d.sumBuf[:n]
+	for j := range col {
+		col[j] = 0
+	}
+	for _, row := range m {
+		for j, v := range row {
+			col[j] += v
+		}
+	}
+	for _, s := range col {
+		max = math.Max(max, s)
+	}
+	return max
+}
+
+// MaxLineSum is the zero-alloc form of the package-level MaxLineSum,
+// identical accumulation and comparison order.
+func (d *Decomposer) MaxLineSum(m [][]float64) float64 {
+	if len(m) > d.n {
+		d.resize(len(m))
+	}
+	return d.maxLineSumInto(m)
+}
+
+// Stuff is the zero-alloc form of the package-level Stuff: it writes the
+// stuffed matrix into an internal arena (valid until the next Stuff or
+// Sinkhorn call on this Decomposer) and returns it with the dummy demand
+// added. Callers may mutate the returned matrix freely — Solstice's slicer
+// peels it in place.
+func (d *Decomposer) Stuff(m [][]float64) ([][]float64, float64) {
+	n := len(m)
+	d.resize(n)
+	s := d.rows1
+	copyInto(s, m)
+	target := d.maxLineSumInto(s)
+	rowSlack, colSlack := d.slackR, d.slackC
+	for i, row := range s {
+		var sum float64
+		for _, v := range row {
+			sum += v
+		}
+		rowSlack[i] = target - sum
+	}
+	col := d.sumBuf[:n]
+	for j := range col {
+		col[j] = 0
+	}
+	for _, row := range s {
+		for j, v := range row {
+			col[j] += v
+		}
+	}
+	for j, sum := range col {
+		colSlack[j] = target - sum
+	}
+	var added float64
+	i, j := 0, 0
+	for i < n && j < n {
+		if rowSlack[i] <= Eps {
+			i++
+			continue
+		}
+		if colSlack[j] <= Eps {
+			j++
+			continue
+		}
+		dd := math.Min(rowSlack[i], colSlack[j])
+		s[i][j] += dd
+		rowSlack[i] -= dd
+		colSlack[j] -= dd
+		added += dd
+	}
+	return s, added
+}
+
+// buildCSR records the nonzero structure of the arena matrix s: column
+// indices per row (ascending) and row indices per column (ascending).
+// Exact zeros are the only entries skipped, so sums over the lists equal
+// dense sums bit for bit (x + 0.0 == x for the non-negative values here).
+func (d *Decomposer) buildCSR(s [][]float64) {
+	n := len(s)
+	d.nzr = d.nzr[:0]
+	d.nzc = d.nzc[:0]
+	for i, row := range s {
+		d.rowStart[i] = int32(len(d.nzr))
+		for j, v := range row {
+			if v > 0 {
+				d.nzr = append(d.nzr, int32(j))
+			}
+		}
+	}
+	d.rowStart[n] = int32(len(d.nzr))
+	// Column lists: count then fill keeps ascending row order per column.
+	for j := 0; j <= n; j++ {
+		d.colStart[j] = 0
+	}
+	for _, row := range s {
+		for j, v := range row {
+			if v > 0 {
+				d.colStart[j+1]++
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		d.colStart[j+1] += d.colStart[j]
+	}
+	need := int(d.colStart[n])
+	if cap(d.nzc) < need {
+		d.nzc = make([]int32, need)
+	} else {
+		d.nzc = d.nzc[:need]
+	}
+	if cap(d.colCur) < n {
+		d.colCur = make([]int32, n)
+	}
+	d.colCur = d.colCur[:n]
+	copy(d.colCur, d.colStart[:n])
+	for i, row := range s {
+		for j, v := range row {
+			if v > 0 {
+				d.nzc[d.colCur[j]] = int32(i)
+				d.colCur[j]++
+			}
+		}
+	}
+}
+
+func (d *Decomposer) rowNZ(i int) []int32 { return d.nzr[d.rowStart[i]:d.rowStart[i+1]] }
+func (d *Decomposer) colNZ(j int) []int32 { return d.nzc[d.colStart[j]:d.colStart[j+1]] }
+
+// Sinkhorn is the zero-alloc, sparsity-aware form of the package-level
+// Sinkhorn. The scaled matrix lives in an internal arena valid until the
+// next Stuff or Sinkhorn call. The iteration sweeps only the nonzero
+// entries, whose pattern Sinkhorn scaling preserves, so a sparse matrix
+// costs O(nnz) per pass instead of O(N²); results are bit-identical to the
+// reference.
+func (d *Decomposer) Sinkhorn(m [][]float64, tol float64, maxIter int) ([][]float64, error) {
+	n := len(m)
+	d.resize(n)
+	s := d.rows1
+	copyInto(s, m)
+	// Empty-line handling, identical to the reference: virtual uniform
+	// entries make the scaling defined.
+	for i := 0; i < n; i++ {
+		empty := true
+		for j := 0; j < n; j++ {
+			if s[i][j] > 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			for j := 0; j < n; j++ {
+				s[i][j] = 1.0 / float64(n)
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		empty := true
+		for i := 0; i < n; i++ {
+			if s[i][j] > 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			for i := 0; i < n; i++ {
+				s[i][j] += 1.0 / float64(n)
+			}
+		}
+	}
+	d.buildCSR(s)
+	var dev float64
+	for iter := 0; iter < maxIter; iter++ {
+		for i := 0; i < n; i++ {
+			row := s[i]
+			var sum float64
+			for _, j := range d.rowNZ(i) {
+				sum += row[j]
+			}
+			if sum <= 0 {
+				continue
+			}
+			for _, j := range d.rowNZ(i) {
+				row[j] /= sum
+			}
+		}
+		for j := 0; j < n; j++ {
+			var sum float64
+			for _, i := range d.colNZ(j) {
+				sum += s[i][j]
+			}
+			if sum <= 0 {
+				continue
+			}
+			for _, i := range d.colNZ(j) {
+				s[i][j] /= sum
+			}
+		}
+		dev = 0
+		for i := 0; i < n; i++ {
+			row := s[i]
+			var sum float64
+			for _, j := range d.rowNZ(i) {
+				sum += row[j]
+			}
+			dev = math.Max(dev, math.Abs(sum-1))
+		}
+		for j := 0; j < n; j++ {
+			var sum float64
+			for _, i := range d.colNZ(j) {
+				sum += s[i][j]
+			}
+			dev = math.Max(dev, math.Abs(sum-1))
+		}
+		if dev <= tol {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("%w after %d iterations (deviation %.3g)", ErrNoConverge, maxIter, dev)
+}
+
+// Decompose is the fast Birkhoff–von Neumann decomposition: the matrix is
+// peeled in an internal arena, the positive-entry adjacency lives in the
+// scratch bitset and is updated edge by edge as entries hit zero (instead of
+// being rebuilt O(N²) per round), and per-row maxima make the termination
+// check O(N). The extracted permutations are bit-identical to the
+// package-level Decompose. m is not modified.
+func (d *Decomposer) Decompose(m [][]float64) ([]Permutation, error) {
+	n := len(m)
+	d.resize(n)
+	w := d.rows2
+	copyInto(w, m)
+	residueTol := 1e-5 * (1 + d.maxLineSumInto(m))
+	// The adjacency and the row maxima diverge below Eps: entries in
+	// (0, Eps) are never matched but still count toward maxEntry, exactly as
+	// in the reference.
+	d.scratch.AdjacencyAbove(m, Eps)
+	for i, row := range w {
+		var mx float64
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		d.rowMax[i] = mx
+	}
+	var perms []Permutation
+	for iter := 0; iter <= n*n+1; iter++ {
+		var gm float64
+		for _, v := range d.rowMax[:n] {
+			if v > gm {
+				gm = v
+			}
+		}
+		if gm <= Eps {
+			return perms, nil
+		}
+		var size int
+		d.match, size = d.scratch.MaxMatching(d.match)
+		if size < n {
+			if gm <= residueTol {
+				return perms, nil
+			}
+			return nil, ErrNotDecomposable
+		}
+		weight := math.Inf(1)
+		for i, j := range d.match {
+			if w[i][j] < weight {
+				weight = w[i][j]
+			}
+		}
+		for i, j := range d.match {
+			old := w[i][j]
+			w[i][j] -= weight
+			if w[i][j] < Eps {
+				w[i][j] = 0
+				d.scratch.ClearEdge(i, j)
+			}
+			if old == d.rowMax[i] {
+				var mx float64
+				for _, v := range w[i] {
+					if v > mx {
+						mx = v
+					}
+				}
+				d.rowMax[i] = mx
+			}
+		}
+		perms = append(perms, Permutation{Match: append([]int(nil), d.match...), Weight: weight})
+	}
+	return nil, fmt.Errorf("bvn: decomposition exceeded %d iterations", n*n+1)
+}

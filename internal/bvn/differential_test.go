@@ -1,0 +1,247 @@
+package bvn_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"sunflow/internal/bench"
+	"sunflow/internal/bvn"
+)
+
+// Differential harness for the Decomposer fast paths: stuffing, Sinkhorn
+// scaling and BvN decomposition must equal the dense package-level
+// references bit for bit — reflect.DeepEqual on whole matrices and
+// permutation sequences — over random matrices and over demand matrices
+// derived from the Facebook-trace workload generator.
+
+const quickCount = 200
+
+func randomMatrix(rng *rand.Rand, n int, density float64) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			if rng.Float64() < density {
+				m[i][j] = rng.Float64() * 10
+			}
+		}
+	}
+	return m
+}
+
+// facebookMatrices converts a slice of trace-derived Coflows into
+// processing-time demand matrices on a small fabric, the shape the
+// schedulers feed this package.
+func facebookMatrices(ports, count int) [][][]float64 {
+	cs := bench.Config{Seed: 7, Ports: ports, Coflows: count, MaxWidth: 8}.Workload()
+	out := make([][][]float64, 0, len(cs))
+	for _, c := range cs {
+		out = append(out, c.DemandMatrix(ports))
+	}
+	return out
+}
+
+// drawMatrix picks either a random matrix or a Facebook-trace demand matrix
+// for the given seed, so every property below covers both populations.
+func drawMatrix(rng *rand.Rand, pool [][][]float64) [][]float64 {
+	if rng.Intn(3) == 0 {
+		m := pool[rng.Intn(len(pool))]
+		// Scale bytes down to processing-time magnitudes as the schedulers do.
+		c := bvn.Clone(m)
+		for i := range c {
+			for j := range c[i] {
+				c[i][j] *= 8 / 1e9
+			}
+		}
+		return c
+	}
+	n := 1 + rng.Intn(12)
+	return randomMatrix(rng, n, []float64{0.15, 0.5, 0.9}[rng.Intn(3)])
+}
+
+func TestQuickDecomposerStuffBitIdentical(t *testing.T) {
+	pool := facebookMatrices(16, 40)
+	d := bvn.NewDecomposer(4)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := drawMatrix(rng, pool)
+		refS, refAdded := bvn.Stuff(m)
+		fastS, fastAdded := d.Stuff(m)
+		if fastAdded != refAdded || !reflect.DeepEqual(fastS, refS) {
+			t.Logf("seed %d: stuffed matrices diverge (added %v vs %v)", seed, fastAdded, refAdded)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: quickCount}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDecomposerSinkhornBitIdentical(t *testing.T) {
+	pool := facebookMatrices(16, 40)
+	d := bvn.NewDecomposer(4)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := drawMatrix(rng, pool)
+		maxIter := []int{1, 5, 2000}[rng.Intn(3)]
+		tol := []float64{1e-6, 1e-3}[rng.Intn(2)]
+		refS, refErr := bvn.Sinkhorn(m, tol, maxIter)
+		fastS, fastErr := d.Sinkhorn(m, tol, maxIter)
+		if (refErr == nil) != (fastErr == nil) {
+			t.Logf("seed %d: error divergence ref=%v fast=%v", seed, refErr, fastErr)
+			return false
+		}
+		if refErr != nil {
+			return refErr.Error() == fastErr.Error()
+		}
+		if !reflect.DeepEqual(fastS, refS) {
+			t.Logf("seed %d: scaled matrices diverge", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: quickCount}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDecomposerDecomposeBitIdentical(t *testing.T) {
+	pool := facebookMatrices(16, 40)
+	d := bvn.NewDecomposer(4)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := drawMatrix(rng, pool)
+		// Decompose wants equal line sums; stuff first (as every caller
+		// does), occasionally skipping it to exercise the error path.
+		if rng.Intn(8) != 0 {
+			m, _ = bvn.Stuff(m)
+		}
+		refPerms, refErr := bvn.Decompose(m)
+		fastPerms, fastErr := d.Decompose(m)
+		if (refErr == nil) != (fastErr == nil) {
+			t.Logf("seed %d: error divergence ref=%v fast=%v", seed, refErr, fastErr)
+			return false
+		}
+		if refErr != nil {
+			return refErr.Error() == fastErr.Error()
+		}
+		if !reflect.DeepEqual(fastPerms, refPerms) {
+			t.Logf("seed %d: decompositions diverge (%d vs %d perms)", seed, len(fastPerms), len(refPerms))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: quickCount}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecomposerReuseAcrossSizes: one Decomposer serving matrices of varying
+// size back to back (the TMS drain-loop pattern) stays bit-identical — the
+// arenas and index lists must not leak state between calls.
+func TestDecomposerReuseAcrossSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	d := bvn.NewDecomposer(2)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(10)
+		m := randomMatrix(rng, n, 0.6)
+		stuffedRef, addedRef := bvn.Stuff(m)
+		stuffedFast, addedFast := d.Stuff(m)
+		if addedFast != addedRef || !reflect.DeepEqual(stuffedFast, stuffedRef) {
+			t.Fatalf("trial %d: stuff diverged at n=%d", trial, n)
+		}
+		refPerms, refErr := bvn.Decompose(stuffedRef)
+		fastPerms, fastErr := d.Decompose(stuffedRef)
+		if (refErr == nil) != (fastErr == nil) || !reflect.DeepEqual(fastPerms, refPerms) {
+			t.Fatalf("trial %d: decompose diverged at n=%d", trial, n)
+		}
+	}
+}
+
+// --- Sinkhorn stuffing edge cases (satellite) ---
+
+func sinkhornLineSumsWithin(t *testing.T, s [][]float64, tol float64) {
+	t.Helper()
+	for i, sum := range bvn.RowSums(s) {
+		if sum < 1-tol || sum > 1+tol {
+			t.Errorf("row %d sums to %v", i, sum)
+		}
+	}
+	for j, sum := range bvn.ColSums(s) {
+		if sum < 1-tol || sum > 1+tol {
+			t.Errorf("col %d sums to %v", j, sum)
+		}
+	}
+}
+
+func TestDecomposerSinkhornZeroDemand(t *testing.T) {
+	d := bvn.NewDecomposer(4)
+	m := make([][]float64, 4)
+	for i := range m {
+		m[i] = make([]float64, 4)
+	}
+	s, err := d.Sinkhorn(m, 1e-9, 4)
+	if err != nil {
+		t.Fatalf("zero-demand matrix did not converge: %v", err)
+	}
+	sinkhornLineSumsWithin(t, s, 1e-9)
+	ref, refErr := bvn.Sinkhorn(m, 1e-9, 4)
+	if refErr != nil || !reflect.DeepEqual(s, ref) {
+		t.Fatal("zero-demand matrix diverges from reference")
+	}
+}
+
+func TestDecomposerSinkhornSingleEntry(t *testing.T) {
+	d := bvn.NewDecomposer(3)
+	// The empty-line fill gives this matrix a slow (sublinear) Sinkhorn
+	// rate, so the tolerance is the one TMS-scale callers would use.
+	m := [][]float64{{0, 0, 0}, {0, 5, 0}, {0, 0, 0}}
+	s, err := d.Sinkhorn(m, 1e-3, 2000)
+	if err != nil {
+		t.Fatalf("single-entry matrix did not converge: %v", err)
+	}
+	sinkhornLineSumsWithin(t, s, 1e-2)
+	ref, refErr := bvn.Sinkhorn(m, 1e-3, 2000)
+	if refErr != nil || !reflect.DeepEqual(s, ref) {
+		t.Fatal("single-entry matrix diverges from reference")
+	}
+}
+
+func TestDecomposerSinkhornDoublyStochasticOnePass(t *testing.T) {
+	d := bvn.NewDecomposer(4)
+	// Exact doubly stochastic inputs: a permutation matrix and a uniform
+	// matrix whose line sums are exactly 1.0 in binary floating point.
+	cases := [][][]float64{
+		{{0, 1, 0, 0}, {1, 0, 0, 0}, {0, 0, 0, 1}, {0, 0, 1, 0}},
+		{{0.25, 0.25, 0.25, 0.25}, {0.25, 0.25, 0.25, 0.25}, {0.25, 0.25, 0.25, 0.25}, {0.25, 0.25, 0.25, 0.25}},
+	}
+	for ci, m := range cases {
+		// maxIter=1: the input must converge within a single pass.
+		s, err := d.Sinkhorn(m, 1e-12, 1)
+		if err != nil {
+			t.Fatalf("case %d: doubly stochastic input needed more than one pass: %v", ci, err)
+		}
+		if !reflect.DeepEqual(s, m) {
+			t.Errorf("case %d: one pass over a doubly stochastic matrix changed it", ci)
+		}
+	}
+}
+
+func TestDecomposerSinkhornNoMatrixAllocs(t *testing.T) {
+	d := bvn.NewDecomposer(8)
+	rng := rand.New(rand.NewSource(5))
+	m := randomMatrix(rng, 8, 0.7)
+	if _, err := d.Sinkhorn(m, 1e-6, 5000); err != nil {
+		t.Skipf("fixture did not converge: %v", err)
+	}
+	if avg := testing.AllocsPerRun(20, func() {
+		if _, err := d.Sinkhorn(m, 1e-6, 5000); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("Decomposer.Sinkhorn allocates %.1f/op, want 0", avg)
+	}
+}

@@ -10,6 +10,7 @@ package edmond
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"sunflow/internal/coflow"
@@ -39,6 +40,8 @@ type Options struct {
 // DefaultSlot is the assignment duration used when Options.Slot is zero.
 const DefaultSlot = 0.1
 
+var scratchPool = sync.Pool{New: func() any { return new(matching.Scratch) }}
+
 // Schedule produces the assignment sequence that drains the Coflow: one
 // maximum-weight matching of the remaining demand per fixed-length slot.
 func Schedule(c *coflow.Coflow, n int, opts Options) ([]fabric.Assignment, error) {
@@ -65,13 +68,17 @@ func Schedule(c *coflow.Coflow, n int, opts Options) ([]fabric.Assignment, error
 		maxRounds = 16*len(c.Flows) + int(c.TotalBytes()*8/(opts.LinkBps*slot)) + 64
 	}
 
+	scr := scratchPool.Get().(*matching.Scratch)
+	defer scratchPool.Put(scr)
 	var schedule []fabric.Assignment
 	t := 0.0
 	for round := 0; round < maxRounds; round++ {
 		if total(rem) <= 1e-6 {
 			return schedule, nil
 		}
-		match := matching.MaxWeightMatching(rem)
+		// Each assignment retains its match slice, so only the Hungarian
+		// working buffers come from the pooled scratch.
+		match := scr.MaxWeightMatchingInto(rem, nil)
 		asg := fabric.Assignment{Match: match, Duration: slot}
 		// Advance the residual demand by simulating this slot in isolation;
 		// the final timing is established by one Execute over the whole

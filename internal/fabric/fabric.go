@@ -100,10 +100,17 @@ func ExecuteObs(rem [][]float64, schedule []Assignment, linkBps, delta, start fl
 		}
 	}
 
+	// Per-assignment working state, hoisted out of the loop: prev holds the
+	// surviving circuits, changed flags this slot's reconfigurations, seen is
+	// the matching validator's stamp slice (seen[j] == stamp marks output j
+	// used by the current assignment, so it never needs clearing).
 	prev := make([]int, n)
 	for i := range prev {
 		prev[i] = -1
 	}
+	changed := make([]bool, n)
+	seen := make([]int, n)
+	stamp := 0
 
 	t := start
 	res.Finish = start
@@ -114,12 +121,15 @@ func ExecuteObs(rem [][]float64, schedule []Assignment, linkBps, delta, start fl
 		if a.Duration < 0 {
 			return res, fmt.Errorf("fabric: negative assignment duration %v", a.Duration)
 		}
-		if err := checkMatching(a.Match); err != nil {
+		stamp++
+		if err := checkMatchingStamped(a.Match, seen, stamp); err != nil {
 			return res, err
 		}
 
 		anyChange := false
-		changed := make([]bool, n)
+		for i := range changed {
+			changed[i] = false
+		}
 		for i, j := range a.Match {
 			if j >= 0 && prev[i] != j {
 				changed[i] = true
@@ -215,7 +225,15 @@ func ExecuteObs(rem [][]float64, schedule []Assignment, linkBps, delta, start fl
 // checkMatching verifies the assignment respects the port constraint: no
 // output port appears twice.
 func checkMatching(match []int) error {
-	seen := make(map[int]bool, len(match))
+	return checkMatchingStamped(match, make([]int, len(match)), 1)
+}
+
+// checkMatchingStamped is checkMatching over a reused stamp slice: seen[j] ==
+// stamp marks output j as used by this call, so callers validating many
+// assignments (the executor) pay no per-assignment map or clearing cost —
+// they bump the stamp instead. seen must have at least len(match) entries and
+// stamp must not repeat across calls sharing a slice.
+func checkMatchingStamped(match []int, seen []int, stamp int) error {
 	for i, j := range match {
 		if j < 0 {
 			continue
@@ -223,10 +241,10 @@ func checkMatching(match []int) error {
 		if j >= len(match) {
 			return fmt.Errorf("fabric: input %d matched to out-of-range output %d", i, j)
 		}
-		if seen[j] {
+		if seen[j] == stamp {
 			return fmt.Errorf("fabric: output port %d matched twice", j)
 		}
-		seen[j] = true
+		seen[j] = stamp
 	}
 	return nil
 }

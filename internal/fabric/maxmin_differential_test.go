@@ -1,0 +1,119 @@
+package fabric
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Differential harness for the heap-based MaxMinFair: rates and the mutated
+// availability vectors must equal the deterministic dense reference bit for
+// bit over random flow populations, including heavy port collisions and
+// exact-tie share patterns.
+
+const quickCount = 200
+
+func randomFlowSet(rng *rand.Rand) ([]FlowKey, []float64, []float64) {
+	ports := 1 + rng.Intn(20)
+	nf := rng.Intn(4 * ports)
+	flows := make([]FlowKey, nf)
+	for i := range flows {
+		flows[i] = FlowKey{Src: rng.Intn(ports), Dst: rng.Intn(ports)}
+	}
+	availIn := make([]float64, ports)
+	availOut := make([]float64, ports)
+	for p := 0; p < ports; p++ {
+		// Mostly uniform capacity — the production shape, and the one that
+		// produces exact share ties — with occasional random perturbation.
+		availIn[p] = 1e9
+		availOut[p] = 1e9
+		if rng.Intn(4) == 0 {
+			availIn[p] = rng.Float64() * 2e9
+		}
+		if rng.Intn(4) == 0 {
+			availOut[p] = rng.Float64() * 2e9
+		}
+	}
+	return flows, availIn, availOut
+}
+
+func TestQuickMaxMinFairMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		flows, availIn, availOut := randomFlowSet(rng)
+		refIn := append([]float64(nil), availIn...)
+		refOut := append([]float64(nil), availOut...)
+		refRates := MaxMinFairReference(flows, refIn, refOut)
+		fastRates := MaxMinFair(flows, availIn, availOut)
+		if !reflect.DeepEqual(fastRates, refRates) {
+			t.Logf("seed %d: rates diverge\nfast %v\nref  %v", seed, fastRates, refRates)
+			return false
+		}
+		if !reflect.DeepEqual(availIn, refIn) || !reflect.DeepEqual(availOut, refOut) {
+			t.Logf("seed %d: residual availability diverges", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: quickCount}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxMinFairNoScratchAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	rng := rand.New(rand.NewSource(17))
+	flows, availIn, availOut := randomFlowSet(rng)
+	in := make([]float64, len(availIn))
+	out := make([]float64, len(availOut))
+	// Warm the pool, then only the returned rate slice may allocate.
+	copy(in, availIn)
+	copy(out, availOut)
+	MaxMinFair(flows, in, out)
+	if avg := testing.AllocsPerRun(50, func() {
+		copy(in, availIn)
+		copy(out, availOut)
+		MaxMinFair(flows, in, out)
+	}); avg > 1 {
+		t.Errorf("MaxMinFair allocates %.1f/op, want at most the rates slice", avg)
+	}
+}
+
+// TestCheckMatchingTable pins the validator on the stamp-slice rewrite.
+func TestCheckMatchingTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		match []int
+		ok    bool
+	}{
+		{"empty", nil, true},
+		{"all unmatched", []int{-1, -1, -1}, true},
+		{"identity", []int{0, 1, 2}, true},
+		{"permutation with holes", []int{2, -1, 0}, true},
+		{"duplicate output", []int{1, 1, -1}, false},
+		{"duplicate at distance", []int{2, 0, 2}, false},
+		{"out of range", []int{0, 3, 1}, false},
+		{"far out of range", []int{0, 99, 1}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := checkMatching(tc.match); (err == nil) != tc.ok {
+				t.Errorf("checkMatching(%v) = %v, want ok=%v", tc.match, err, tc.ok)
+			}
+		})
+	}
+	// The stamped form must behave identically when the slice is reused
+	// across calls without clearing.
+	seen := make([]int, 3)
+	for stamp, tc := range cases {
+		if len(tc.match) > len(seen) {
+			continue
+		}
+		if err := checkMatchingStamped(tc.match, seen, stamp+1); (err == nil) != tc.ok {
+			t.Errorf("checkMatchingStamped(%v) = %v, want ok=%v", tc.match, err, tc.ok)
+		}
+	}
+}

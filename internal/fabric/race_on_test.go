@@ -1,0 +1,5 @@
+//go:build race
+
+package fabric
+
+const raceEnabled = true

@@ -1,0 +1,221 @@
+package matching
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Differential harness for the Scratch kernels: every property drives the
+// bitset/zero-alloc fast path and the dense reference over the same inputs
+// and requires bit-identical results. The matching kernels feed the BvN
+// decomposition and the Solstice slicer, whose own differential suites
+// assume matching-level exactness, so the bar here is reflect.DeepEqual,
+// not size equality.
+
+// quickCount mirrors internal/core's differential iteration floor.
+const quickCount = 200
+
+// randomMatrix draws an n×n non-negative matrix with the given density of
+// positive entries.
+func randomMatrix(rng *rand.Rand, n int, density float64) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			if rng.Float64() < density {
+				m[i][j] = rng.Float64() * 100
+			}
+		}
+	}
+	return m
+}
+
+// adjacencyAbove builds the reference adjacency lists (ascending neighbour
+// order) for entries >= threshold, as PerfectMatchingAbove does.
+func adjacencyAbove(m [][]float64, threshold float64) [][]int {
+	n := len(m)
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if m[i][j] >= threshold && m[i][j] > 0 {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	return adj
+}
+
+// TestQuickScratchMatchesHopcroftKarp: a cold Scratch.MaxMatching over the
+// bitset adjacency equals HopcroftKarp over ascending adjacency lists, match
+// slice and size, bit for bit.
+func TestQuickScratchMatchesHopcroftKarp(t *testing.T) {
+	s := &Scratch{}
+	var dst []int
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(24)
+		m := randomMatrix(rng, n, []float64{0.05, 0.2, 0.5, 0.95}[rng.Intn(4)])
+		threshold := rng.Float64() * 50
+
+		refMatch, refSize := HopcroftKarp(n, adjacencyAbove(m, threshold))
+		s.AdjacencyAbove(m, threshold)
+		var size int
+		dst, size = s.MaxMatching(dst)
+
+		if size != refSize || !reflect.DeepEqual(dst, refMatch) {
+			t.Logf("seed %d: fast %v (%d) != ref %v (%d)", seed, dst, size, refMatch, refSize)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: quickCount}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPerfectMatchingAboveInto: the scratch form of the Solstice/BvN
+// matching primitive agrees with the dense reference, including on the
+// nil (no perfect matching) side.
+func TestQuickPerfectMatchingAboveInto(t *testing.T) {
+	s := &Scratch{}
+	var dst []int
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		m := randomMatrix(rng, n, 0.3+0.7*rng.Float64())
+		threshold := rng.Float64() * 20
+
+		ref := PerfectMatchingAbove(m, threshold)
+		got := s.PerfectMatchingAboveInto(m, threshold, dst)
+		if got != nil {
+			dst = got
+		}
+		if (ref == nil) != (got == nil) {
+			return false
+		}
+		return ref == nil || reflect.DeepEqual(got, ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: quickCount}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWarmMatchingIsMaximum: warm starts may legitimately pick a
+// different maximum matching, so the property is size equality with the cold
+// reference plus structural validity — over a peeling sequence of shrinking
+// edge sets, the regime warm starts exist for.
+func TestQuickWarmMatchingIsMaximum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(16)
+		m := randomMatrix(rng, n, 0.4+0.6*rng.Float64())
+		s := NewScratch(n)
+		s.AdjacencyAbove(m, 0)
+		var dst []int
+		dst, _ = s.MaxMatching(dst)
+		for round := 0; round < 6; round++ {
+			// Peel a few random edges, as a decomposition round would.
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				i, j := rng.Intn(n), rng.Intn(n)
+				m[i][j] = 0
+				s.ClearEdge(i, j)
+			}
+			var size int
+			dst, size = s.MaxMatchingWarm(dst)
+			_, refSize := HopcroftKarp(n, adjacencyAbove(m, 0))
+			if size != refSize {
+				t.Logf("seed %d round %d: warm size %d != cold %d", seed, round, size, refSize)
+				return false
+			}
+			if !IsMatching(dst) {
+				return false
+			}
+			matched := 0
+			for i, j := range dst {
+				if j < 0 {
+					continue
+				}
+				matched++
+				if m[i][j] <= 0 {
+					t.Logf("seed %d: warm matching uses removed edge (%d,%d)", seed, i, j)
+					return false
+				}
+			}
+			if matched != size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: quickCount}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickScratchHungarianMatchesReference: the zero-alloc Hungarian equals
+// the dense reference bit for bit — same potentials walk, same matching,
+// same zero-weight stripping.
+func TestQuickScratchHungarianMatchesReference(t *testing.T) {
+	s := &Scratch{}
+	var dst []int
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(16)
+		w := randomMatrix(rng, n, []float64{0.1, 0.5, 1.0}[rng.Intn(3)])
+
+		ref := MaxWeightMatching(w)
+		dst = s.MaxWeightMatchingInto(w, dst)
+		if !reflect.DeepEqual(dst, ref) {
+			t.Logf("seed %d: fast %v != ref %v", seed, dst, ref)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: quickCount}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScratchZeroAlloc pins the point of the Scratch: once warm, repeated
+// matchings over same-sized inputs do not allocate.
+func TestScratchZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 32
+	m := randomMatrix(rng, n, 0.4)
+	w := randomMatrix(rng, n, 0.8)
+	s := NewScratch(n)
+	dst := make([]int, n)
+	if avg := testing.AllocsPerRun(50, func() {
+		s.AdjacencyAbove(m, 0)
+		dst, _ = s.MaxMatching(dst)
+	}); avg != 0 {
+		t.Errorf("MaxMatching allocates %.1f/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		dst = s.MaxWeightMatchingInto(w, dst)
+	}); avg != 0 {
+		t.Errorf("MaxWeightMatchingInto allocates %.1f/op, want 0", avg)
+	}
+}
+
+func TestIsMatchingTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		match []int
+		want  bool
+	}{
+		{"empty", nil, true},
+		{"all unmatched", []int{-1, -1}, true},
+		{"valid perm", []int{2, 0, 1}, true},
+		{"duplicate", []int{1, 1, -1}, false},
+		{"out of range", []int{0, 3, 1}, false},
+		{"negative treated unmatched", []int{-1, 0, -1}, true},
+	}
+	for _, tc := range cases {
+		if got := IsMatching(tc.match); got != tc.want {
+			t.Errorf("%s: IsMatching(%v) = %v, want %v", tc.name, tc.match, got, tc.want)
+		}
+	}
+}

@@ -9,6 +9,13 @@
 // Graphs are bipartite with n left vertices (input ports) and n right
 // vertices (output ports); a matching is reported as a slice match of length
 // n where match[i] is the right vertex matched to left vertex i, or -1.
+//
+// The package functions in this file are the dense reference kernels: they
+// allocate their working state per call and scan the full matrix. The hot
+// paths live on Scratch (scratch.go) — bitset adjacency, reusable buffers,
+// warm-startable matchings — and are proven bit-identical to these
+// references by the seeded differential suite (differential_test.go), per
+// DESIGN.md §8.
 package matching
 
 // unmatched marks a vertex with no partner.
@@ -134,19 +141,22 @@ func hungarianMax(w [][]float64) []int {
 	const infIdx = 0
 	inf := func() float64 { return 1e300 }
 
-	// 1-based arrays per the classical formulation.
+	// 1-based arrays per the classical formulation. minv and used are reset,
+	// not reallocated, per assigned row: the augmentation loop runs n times
+	// and the old per-row allocations dominated the Hungarian's profile.
 	u := make([]float64, n+1)
 	v := make([]float64, n+1)
 	p := make([]int, n+1) // p[j]: left vertex assigned to right j (0 = none)
 	way := make([]int, n+1)
+	minv := make([]float64, n+1)
+	used := make([]bool, n+1)
 
 	for i := 1; i <= n; i++ {
 		p[0] = i
 		j0 := 0
-		minv := make([]float64, n+1)
-		used := make([]bool, n+1)
 		for j := 0; j <= n; j++ {
 			minv[j] = inf()
+			used[j] = false
 		}
 		for {
 			used[j0] = true
@@ -211,14 +221,15 @@ func MatchingWeight(w [][]float64, match []int) float64 {
 }
 
 // IsMatching reports whether match (left-to-right, -1 for unmatched) pairs
-// each right vertex at most once.
+// each right vertex at most once. Out-of-range right vertices (>= len(match))
+// also fail: on an n-port fabric there are only n output ports.
 func IsMatching(match []int) bool {
-	seen := make(map[int]bool, len(match))
+	seen := make([]bool, len(match))
 	for _, j := range match {
 		if j < 0 {
 			continue
 		}
-		if seen[j] {
+		if j >= len(match) || seen[j] {
 			return false
 		}
 		seen[j] = true

@@ -1,0 +1,471 @@
+package matching
+
+import "math/bits"
+
+// Scratch is the reusable state of the fast matching kernels. Callers
+// allocate one per scheduler (or borrow one from a pool), point it at a
+// demand matrix via the adjacency setters, and invoke the matching methods
+// repeatedly; no per-call heap allocation happens once the buffers have grown
+// to the working size. The adjacency is a bitset: row i holds one bit per
+// right vertex, so the Hopcroft–Karp frontier scans are word-parallel (a
+// 64-entry row chunk is skipped in one compare when empty) and edge updates
+// between successive matchings are O(1) — the property the Birkhoff–von
+// Neumann peeling and Solstice's threshold descent exploit, since both carve
+// near-identical residual matrices round after round.
+//
+// The zero value is ready to use; Reset sizes it.
+type Scratch struct {
+	n     int
+	words int
+	adj   []uint64 // n rows × words, bit j of row i set iff edge (i, j)
+
+	matchL, matchR []int
+	dist           []int
+	queue          []int
+	colw           []uint64 // column-coverage buffer for FullSupport
+
+	// Hungarian buffers (1-based, lazily sized to n+1).
+	hu, hv, hminv []float64
+	hp, hway      []int
+	hused         []bool
+}
+
+const hkInf = int(^uint(0) >> 1)
+
+// Reset sizes the scratch for an n×n bipartite graph and clears the
+// adjacency. Matchings carried by the scratch (for MaxMatchingWarm) are
+// preserved when n is unchanged and invalidated otherwise.
+func (s *Scratch) Reset(n int) {
+	words := (n + 63) / 64
+	if cap(s.adj) < n*words {
+		s.adj = make([]uint64, n*words)
+	}
+	s.adj = s.adj[:n*words]
+	for i := range s.adj {
+		s.adj[i] = 0
+	}
+	if cap(s.matchL) < n {
+		s.matchL = make([]int, n)
+		s.matchR = make([]int, n)
+		s.dist = make([]int, n)
+		s.queue = make([]int, 0, n)
+	}
+	if s.n != n {
+		s.matchL = s.matchL[:n]
+		s.matchR = s.matchR[:n]
+		for i := 0; i < n; i++ {
+			s.matchL[i] = unmatched
+			s.matchR[i] = unmatched
+		}
+	}
+	s.dist = s.dist[:n]
+	s.n = n
+	s.words = words
+}
+
+// NewScratch returns a Scratch sized for n ports.
+func NewScratch(n int) *Scratch {
+	s := &Scratch{}
+	s.Reset(n)
+	return s
+}
+
+// N reports the current graph size.
+func (s *Scratch) N() int { return s.n }
+
+// SetEdge adds the edge (i, j).
+func (s *Scratch) SetEdge(i, j int) { s.adj[i*s.words+j>>6] |= 1 << (uint(j) & 63) }
+
+// ClearEdge removes the edge (i, j).
+func (s *Scratch) ClearEdge(i, j int) { s.adj[i*s.words+j>>6] &^= 1 << (uint(j) & 63) }
+
+// HasEdge reports whether the edge (i, j) is present.
+func (s *Scratch) HasEdge(i, j int) bool {
+	return s.adj[i*s.words+j>>6]&(1<<(uint(j)&63)) != 0
+}
+
+// AdjacencyAbove resets the scratch to len(m) vertices and installs an edge
+// for every entry with m[i][j] >= threshold and m[i][j] > 0 — the same edge
+// set PerfectMatchingAbove builds as adjacency lists.
+func (s *Scratch) AdjacencyAbove(m [][]float64, threshold float64) {
+	s.Reset(len(m))
+	for i, row := range m {
+		base := i * s.words
+		for j, v := range row {
+			if v >= threshold && v > 0 {
+				s.adj[base+j>>6] |= 1 << (uint(j) & 63)
+			}
+		}
+	}
+}
+
+// AdjacencyGreater resets the scratch to len(m) vertices and installs an
+// edge for every entry strictly greater than tol — the edge set of
+// Solstice's residue-draining maximal matching.
+func (s *Scratch) AdjacencyGreater(m [][]float64, tol float64) {
+	s.Reset(len(m))
+	for i, row := range m {
+		base := i * s.words
+		for j, v := range row {
+			if v > tol {
+				s.adj[base+j>>6] |= 1 << (uint(j) & 63)
+			}
+		}
+	}
+}
+
+// FullSupport reports whether every left vertex has at least one edge and
+// every right vertex is covered by some edge — a necessary (not sufficient)
+// condition for a perfect matching. Callers probing a descending sequence of
+// thresholds use it to skip the Hopcroft–Karp run entirely when the
+// adjacency is visibly deficient; when it returns false, MaxMatching is
+// guaranteed to return size < n.
+func (s *Scratch) FullSupport() bool {
+	if cap(s.colw) < s.words {
+		s.colw = make([]uint64, s.words)
+	}
+	s.colw = s.colw[:s.words]
+	for w := range s.colw {
+		s.colw[w] = 0
+	}
+	for i := 0; i < s.n; i++ {
+		row := s.adj[i*s.words : (i+1)*s.words]
+		var any uint64
+		for w, word := range row {
+			any |= word
+			s.colw[w] |= word
+		}
+		if any == 0 {
+			return false
+		}
+	}
+	for j := 0; j < s.n; j += 64 {
+		want := ^uint64(0)
+		if rem := s.n - j; rem < 64 {
+			want = 1<<uint(rem) - 1
+		}
+		if s.colw[j>>6]&want != want {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxMatching computes a maximum-cardinality matching over the current
+// adjacency from a cold start. It scans left vertices and neighbours in
+// ascending order, exactly like HopcroftKarp over ascending adjacency lists,
+// so the two produce bit-identical matchings (the differential suite pins
+// this). The matching is written into dst (grown as needed) and returned
+// with its size; dst aliases scratch-internal state only until the next call.
+func (s *Scratch) MaxMatching(dst []int) ([]int, int) {
+	for i := 0; i < s.n; i++ {
+		s.matchL[i] = unmatched
+		s.matchR[i] = unmatched
+	}
+	size := s.greedySeed()
+	if size < s.n {
+		size += s.augment()
+	}
+	return s.exportMatch(dst), size
+}
+
+// greedySeed runs the first Hopcroft–Karp phase of a cold start directly:
+// with every left vertex free, the phase's shortest augmenting paths all
+// have length one, and the BFS labeling plus layered DFS reduce to matching
+// each left vertex, in ascending order, to its first still-free neighbour.
+// The resulting matching is bit-identical to running the full phase; only
+// the full-graph BFS is skipped.
+func (s *Scratch) greedySeed() int {
+	added := 0
+	if s.words == 1 {
+		// Single-word rows (n <= 64): the common fabric sizes. Dropping the
+		// word loop keeps the whole seed in registers.
+		matchL, matchR := s.matchL, s.matchR
+		for u := 0; u < s.n; u++ {
+			for word := s.adj[u]; word != 0; word &= word - 1 {
+				v := bits.TrailingZeros64(word)
+				if matchR[v] == unmatched {
+					matchL[u] = v
+					matchR[v] = u
+					added++
+					break
+				}
+			}
+		}
+		return added
+	}
+	for u := 0; u < s.n; u++ {
+		row := s.adj[u*s.words : (u+1)*s.words]
+	seek:
+		for wi, word := range row {
+			for word != 0 {
+				v := wi<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				if s.matchR[v] == unmatched {
+					s.matchL[u] = v
+					s.matchR[v] = u
+					added++
+					break seek
+				}
+			}
+		}
+	}
+	return added
+}
+
+// MaxMatchingWarm is MaxMatching warm-started from the matching left behind
+// by the previous MaxMatching/MaxMatchingWarm call on this scratch: pairs
+// whose edge is still present are kept and only the difference is augmented.
+// When successive calls see near-identical edge sets — the BvN peeling and
+// Solstice slicing regime — most pairs survive and the Hopcroft–Karp phases
+// touch only a few augmenting paths. The result is a maximum matching of the
+// same size as a cold start, but not necessarily the same pairing, so warm
+// starts are reserved for callers that accept any maximum matching.
+func (s *Scratch) MaxMatchingWarm(dst []int) ([]int, int) {
+	size := 0
+	for i := 0; i < s.n; i++ {
+		if v := s.matchL[i]; v != unmatched {
+			if s.HasEdge(i, v) && s.matchR[v] == i {
+				size++
+			} else {
+				s.matchL[i] = unmatched
+			}
+		}
+	}
+	// Sweep right-side stubs whose partner was dropped (or that point at a
+	// vertex now matched elsewhere after a size change).
+	for j := 0; j < s.n; j++ {
+		if u := s.matchR[j]; u != unmatched && s.matchL[u] != j {
+			s.matchR[j] = unmatched
+		}
+	}
+	size += s.augment()
+	return s.exportMatch(dst), size
+}
+
+// augment runs Hopcroft–Karp BFS/DFS phases until no augmenting path exists,
+// returning the number of augmentations performed.
+func (s *Scratch) augment() int {
+	added := 0
+	for s.bfs() {
+		for u := 0; u < s.n; u++ {
+			if s.matchL[u] == unmatched && s.dfs(u) {
+				added++
+			}
+		}
+	}
+	return added
+}
+
+func (s *Scratch) exportMatch(dst []int) []int {
+	if cap(dst) < s.n {
+		dst = make([]int, s.n)
+	}
+	dst = dst[:s.n]
+	copy(dst, s.matchL)
+	return dst
+}
+
+func (s *Scratch) bfs() bool {
+	q := s.queue[:0]
+	dist, matchL, matchR := s.dist, s.matchL, s.matchR
+	for u := 0; u < s.n; u++ {
+		if matchL[u] == unmatched {
+			dist[u] = 0
+			q = append(q, u)
+		} else {
+			dist[u] = hkInf
+		}
+	}
+	found := false
+	if s.words == 1 {
+		for qi := 0; qi < len(q); qi++ {
+			u := q[qi]
+			du := dist[u]
+			for word := s.adj[u]; word != 0; word &= word - 1 {
+				w := matchR[bits.TrailingZeros64(word)]
+				if w == unmatched {
+					found = true
+				} else if dist[w] == hkInf {
+					dist[w] = du + 1
+					q = append(q, w)
+				}
+			}
+		}
+		s.queue = q
+		return found
+	}
+	for qi := 0; qi < len(q); qi++ {
+		u := q[qi]
+		du := dist[u]
+		row := s.adj[u*s.words : (u+1)*s.words]
+		for wi, word := range row {
+			for word != 0 {
+				v := wi<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				w := matchR[v]
+				if w == unmatched {
+					found = true
+				} else if dist[w] == hkInf {
+					dist[w] = du + 1
+					q = append(q, w)
+				}
+			}
+		}
+	}
+	s.queue = q
+	return found
+}
+
+func (s *Scratch) dfs(u int) bool {
+	if s.words == 1 {
+		return s.dfs1(u)
+	}
+	du := s.dist[u]
+	row := s.adj[u*s.words : (u+1)*s.words]
+	for wi, word := range row {
+		for word != 0 {
+			v := wi<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			w := s.matchR[v]
+			if w == unmatched || (s.dist[w] == du+1 && s.dfs(w)) {
+				s.matchL[u] = v
+				s.matchR[v] = u
+				return true
+			}
+		}
+	}
+	s.dist[u] = hkInf
+	return false
+}
+
+// dfs1 is dfs for single-word adjacency rows, visiting the same neighbours in
+// the same ascending order.
+func (s *Scratch) dfs1(u int) bool {
+	du := s.dist[u]
+	for word := s.adj[u]; word != 0; word &= word - 1 {
+		v := bits.TrailingZeros64(word)
+		w := s.matchR[v]
+		if w == unmatched || (s.dist[w] == du+1 && s.dfs1(w)) {
+			s.matchL[u] = v
+			s.matchR[v] = u
+			return true
+		}
+	}
+	s.dist[u] = hkInf
+	return false
+}
+
+// PerfectMatchingAboveInto is the zero-alloc form of PerfectMatchingAbove:
+// it installs the thresholded adjacency and returns a perfect matching in
+// dst, or nil when none exists. The result is bit-identical to the dense
+// reference.
+func (s *Scratch) PerfectMatchingAboveInto(m [][]float64, threshold float64, dst []int) []int {
+	s.AdjacencyAbove(m, threshold)
+	dst, size := s.MaxMatching(dst)
+	if size < len(m) {
+		return nil
+	}
+	return dst
+}
+
+// MaxWeightMatchingInto is MaxWeightMatching with every working buffer drawn
+// from the scratch; only dst (grown as needed) is written. Bit-identical to
+// the reference: the shortest-augmenting-path Hungarian iteration below is
+// the same statement sequence with the allocations hoisted.
+func (s *Scratch) MaxWeightMatchingInto(w [][]float64, dst []int) []int {
+	n := len(w)
+	if cap(dst) < n {
+		dst = make([]int, n)
+	}
+	dst = dst[:n]
+	if n == 0 {
+		return dst
+	}
+	s.sizeHungarian(n)
+	u, v, minv := s.hu, s.hv, s.hminv
+	p, way, used := s.hp, s.hway, s.hused
+	for j := 0; j <= n; j++ {
+		u[j], v[j] = 0, 0
+		p[j], way[j] = 0, 0
+	}
+	const inf = 1e300
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+			used[j] = false
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			row := w[i0-1]
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := -row[j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	for i := range dst {
+		dst[i] = unmatched
+	}
+	for j := 1; j <= n; j++ {
+		if p[j] != 0 {
+			dst[p[j]-1] = j - 1
+		}
+	}
+	// Strip zero-weight pairs, as MaxWeightMatching documents.
+	for i, j := range dst {
+		if j >= 0 && w[i][j] <= 0 {
+			dst[i] = unmatched
+		}
+	}
+	return dst
+}
+
+func (s *Scratch) sizeHungarian(n int) {
+	if cap(s.hu) < n+1 {
+		s.hu = make([]float64, n+1)
+		s.hv = make([]float64, n+1)
+		s.hminv = make([]float64, n+1)
+		s.hp = make([]int, n+1)
+		s.hway = make([]int, n+1)
+		s.hused = make([]bool, n+1)
+	}
+	s.hu = s.hu[:n+1]
+	s.hv = s.hv[:n+1]
+	s.hminv = s.hminv[:n+1]
+	s.hp = s.hp[:n+1]
+	s.hway = s.hway[:n+1]
+	s.hused = s.hused[:n+1]
+}

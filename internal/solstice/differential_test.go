@@ -1,0 +1,107 @@
+package solstice_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"sunflow/internal/bench"
+	"sunflow/internal/coflow"
+	"sunflow/internal/solstice"
+)
+
+// Differential harness: the pooled fast path (Schedule on a Stuffer) must
+// reproduce ScheduleReference bit for bit — assignments, stats and errors —
+// over random Coflows and over Facebook-trace-derived workloads.
+
+const quickCount = 200
+
+func randomCoflow(rng *rand.Rand, ports int) *coflow.Coflow {
+	nf := 1 + rng.Intn(3*ports)
+	c := &coflow.Coflow{ID: 1}
+	for f := 0; f < nf; f++ {
+		c.Flows = append(c.Flows, coflow.Flow{
+			Src:   rng.Intn(ports),
+			Dst:   rng.Intn(ports),
+			Bytes: float64(1+rng.Intn(1<<20)) * 1024,
+		})
+	}
+	return c
+}
+
+func facebookCoflows(ports, count int) []*coflow.Coflow {
+	return bench.Config{Seed: 11, Ports: ports, Coflows: count, MaxWidth: 8}.Workload()
+}
+
+func TestQuickScheduleMatchesReference(t *testing.T) {
+	pool := facebookCoflows(16, 40)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ports := 2 + rng.Intn(15)
+		var c *coflow.Coflow
+		if rng.Intn(3) == 0 {
+			c = pool[rng.Intn(len(pool))]
+			ports = 16
+		} else {
+			c = randomCoflow(rng, ports)
+		}
+		opts := solstice.Options{
+			LinkBps: []float64{1e9, 1e10}[rng.Intn(2)],
+			Delta:   []float64{0.01, 0.001, 0}[rng.Intn(3)],
+		}
+		refAsg, refStats, refErr := solstice.ScheduleReference(c, ports, opts)
+		fastAsg, fastStats, fastErr := solstice.Schedule(c, ports, opts)
+		if (refErr == nil) != (fastErr == nil) {
+			t.Logf("seed %d: error divergence ref=%v fast=%v", seed, refErr, fastErr)
+			return false
+		}
+		if refErr != nil {
+			return refErr.Error() == fastErr.Error()
+		}
+		if fastStats != refStats {
+			t.Logf("seed %d: stats diverge %+v vs %+v", seed, fastStats, refStats)
+			return false
+		}
+		if !reflect.DeepEqual(fastAsg, refAsg) {
+			t.Logf("seed %d: assignments diverge (%d vs %d)", seed, len(fastAsg), len(refAsg))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: quickCount}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStufferReuse: one Stuffer scheduling many Coflows of varying port
+// counts back to back must not leak state between calls.
+func TestStufferReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	st := solstice.NewStuffer(2)
+	opts := solstice.Options{LinkBps: 1e9, Delta: 0.01}
+	for trial := 0; trial < 60; trial++ {
+		ports := 1 + rng.Intn(12)
+		c := randomCoflow(rng, ports)
+		refAsg, refStats, refErr := solstice.ScheduleReference(c, ports, opts)
+		fastAsg, fastStats, fastErr := st.Schedule(c, ports, opts)
+		if (refErr == nil) != (fastErr == nil) || fastStats != refStats || !reflect.DeepEqual(fastAsg, refAsg) {
+			t.Fatalf("trial %d (ports=%d): fast path diverged from reference", trial, ports)
+		}
+	}
+}
+
+// TestScheduleErrorPaths pins the validation errors on both implementations.
+func TestScheduleErrorPaths(t *testing.T) {
+	c := &coflow.Coflow{ID: 1, Flows: []coflow.Flow{{Src: 0, Dst: 1, Bytes: 1}}}
+	if _, _, err := solstice.Schedule(c, 0, solstice.Options{LinkBps: 1e9}); err == nil {
+		t.Error("want error for zero ports")
+	}
+	if _, _, err := solstice.Schedule(c, 4, solstice.Options{}); err == nil {
+		t.Error("want error for zero bandwidth")
+	}
+	bad := &coflow.Coflow{ID: 1, Flows: []coflow.Flow{{Src: 9, Dst: 1, Bytes: 1}}}
+	if _, _, err := solstice.Schedule(bad, 4, solstice.Options{LinkBps: 1e9}); err == nil {
+		t.Error("want error for out-of-range flow")
+	}
+}

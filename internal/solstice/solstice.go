@@ -4,12 +4,18 @@
 // line sums (QuickStuff) and then extracts perfect matchings of "long"
 // entries with a threshold-halving loop (BigSlice), producing a sequence of
 // circuit assignments whose durations shrink geometrically.
+//
+// Schedule runs on a pooled Stuffer — reusable arena matrices, bitset
+// matching scratch and incrementally maintained row maxima — and is proven
+// bit-identical to ScheduleReference, the retained dense implementation, by
+// the seeded differential suite (DESIGN.md §8).
 package solstice
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"sunflow/internal/bvn"
@@ -48,10 +54,290 @@ type Stats struct {
 // ErrTooSmall is returned for an empty port count.
 var ErrTooSmall = errors.New("solstice: need at least one port")
 
+// Stuffer holds the reusable scheduling state of one Solstice instance: the
+// processing-time matrix arena, the bvn stuffing arena, the bitset matching
+// scratch and the previous assignment (Solstice's own warm start — a
+// matching still feasible at the current threshold is extended rather than
+// recomputed). The scratch's adjacency is maintained incrementally: peeling
+// clears the edges of entries that fall below the active threshold, so a
+// full O(N²) rebuild happens only when the threshold itself changes.
+// Allocate one per scheduler goroutine and reuse it across Coflows; Schedule
+// borrows one from a package pool.
+type Stuffer struct {
+	dec     bvn.Decomposer
+	scratch matching.Scratch
+	pwork   []float64
+	p       [][]float64
+	match   []int
+	prev    []int
+	prevOK  bool
+	adjMode int8    // which edge set the scratch currently holds
+	adjR    float64 // threshold of the adjacency when adjMode == adjThreshold
+}
+
+const (
+	adjNone      int8 = iota // scratch adjacency is stale
+	adjThreshold             // edges are entries >= adjR (threshold phase)
+	adjResidue               // edges are entries > tol (residue phase)
+)
+
+// NewStuffer returns a Stuffer sized for n ports; it grows on demand.
+func NewStuffer(n int) *Stuffer {
+	st := &Stuffer{}
+	st.resize(n)
+	return st
+}
+
+func (st *Stuffer) resize(n int) {
+	if cap(st.pwork) < n*n {
+		st.pwork = make([]float64, n*n)
+		st.p = make([][]float64, n)
+		st.match = make([]int, n)
+		st.prev = make([]int, n)
+	}
+	st.p = st.p[:n]
+	for i := 0; i < n; i++ {
+		st.p[i] = st.pwork[i*n : (i+1)*n : (i+1)*n]
+	}
+	st.match = st.match[:n]
+	st.prev = st.prev[:n]
+}
+
+var stufferPool = sync.Pool{New: func() any { return new(Stuffer) }}
+
 // Schedule computes Solstice's assignment sequence for one Coflow demand on
-// an n-port switch. Durations are in seconds of transmission time; the
-// executor in package fabric adds δ per changed circuit.
+// an n-port switch using a Stuffer borrowed from a package pool. Durations
+// are in seconds of transmission time; the executor in package fabric adds δ
+// per changed circuit.
 func Schedule(c *coflow.Coflow, n int, opts Options) ([]fabric.Assignment, Stats, error) {
+	st := stufferPool.Get().(*Stuffer)
+	defer stufferPool.Put(st)
+	return st.Schedule(c, n, opts)
+}
+
+// Schedule is the fast scheduling path over this Stuffer's reusable state.
+// It is bit-identical to ScheduleReference.
+func (st *Stuffer) Schedule(c *coflow.Coflow, n int, opts Options) ([]fabric.Assignment, Stats, error) {
+	var stats Stats
+	if n <= 0 {
+		return nil, stats, ErrTooSmall
+	}
+	if opts.LinkBps <= 0 {
+		return nil, stats, fmt.Errorf("solstice: link bandwidth must be positive, got %v", opts.LinkBps)
+	}
+	if err := c.Validate(n); err != nil {
+		return nil, stats, err
+	}
+	st.resize(n)
+
+	// Accumulate demand bytes straight into the arena and scale to
+	// processing time with the reference's exact operation order
+	// (DemandMatrix accumulation, then *8 and /B per entry).
+	p := st.p
+	for i := range p {
+		row := p[i]
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	for _, f := range c.Flows {
+		p[f.Src][f.Dst] += f.Bytes
+	}
+	for i := range p {
+		for j := range p[i] {
+			p[i][j] = p[i][j] * 8 / opts.LinkBps
+		}
+	}
+
+	// Quantize demand up to slot multiples before stuffing — see
+	// ScheduleReference for the rationale.
+	minPos := math.Inf(1)
+	for i := range p {
+		for j := range p[i] {
+			if v := p[i][j]; v > 0 && v < minPos {
+				minPos = v
+			}
+		}
+	}
+	slot := math.Min(opts.Delta/10, minPos/2)
+	if slot > 0 && !math.IsInf(slot, 1) {
+		for i := range p {
+			for j := range p[i] {
+				if p[i][j] > 0 {
+					p[i][j] = math.Ceil(p[i][j]/slot) * slot
+				}
+			}
+		}
+	} else {
+		slot = 0
+	}
+
+	stuffed, added := st.dec.Stuff(p)
+	stats.StuffedBytes = added * opts.LinkBps / 8
+
+	asg, err := st.bigSlice(stuffed, slot)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Assignments = len(asg)
+	for _, a := range asg {
+		stats.TotalDuration += a.Duration
+	}
+	return asg, stats, nil
+}
+
+// bigSlice is the fast BigSlice decomposition: it peels the stuffed matrix
+// in place (the matrix is the Stuffer's own arena), replaces the reference's
+// per-round O(N²) maxEntry sweep with a count of entries above tol (the loop
+// only needs to know whether any remain — maxEntry(w) > tol ⟺ the count is
+// positive), and maintains the scratch's adjacency bitset edge by edge while
+// peeling, so the O(N²) rebuild happens only when the threshold halves. The
+// previous matching is extended whenever still feasible, exactly as in the
+// reference.
+func (st *Stuffer) bigSlice(w [][]float64, slot float64) ([]fabric.Assignment, error) {
+	n := len(w)
+	tol := 1e-11 * (1 + st.dec.MaxLineSum(w))
+	// One dense sweep: the starting threshold needs the true maximum, the
+	// loop needs the population above tol.
+	var max float64
+	pos := 0
+	for _, row := range w {
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+			if v > tol {
+				pos++
+			}
+		}
+	}
+	if max <= tol {
+		return nil, nil
+	}
+	var r float64
+	if slot > 0 {
+		r = slot * math.Pow(2, math.Ceil(math.Log2(max/slot)))
+	} else {
+		r = math.Pow(2, math.Ceil(math.Log2(max)))
+	}
+
+	var out []fabric.Assignment
+	st.prevOK = false
+	st.adjMode = adjNone
+	guard := 0
+	for pos > 0 {
+		guard++
+		if guard > 64*n*n+4096 {
+			return nil, fmt.Errorf("solstice: decomposition failed to converge (n=%d)", n)
+		}
+		if r > tol && (slot == 0 || r >= slot-tol) {
+			var match []int
+			if st.prevOK && feasibleAt(w, st.prev, r) {
+				match = st.prev
+			} else {
+				if st.adjMode != adjThreshold || st.adjR != r {
+					st.scratch.AdjacencyAbove(w, r)
+					st.adjMode, st.adjR = adjThreshold, r
+				}
+				// An empty row or uncovered column already rules out a
+				// perfect matching; skip the Hopcroft–Karp run (which would
+				// return size < n) and halve immediately.
+				if st.scratch.FullSupport() {
+					var size int
+					st.match, size = st.scratch.MaxMatching(st.match)
+					if size == n {
+						match = st.match
+					}
+				}
+			}
+			if match == nil {
+				r /= 2
+				continue
+			}
+			pos -= st.peel(w, match, r, tol)
+			out = append(out, fabric.Assignment{Match: append([]int(nil), match...), Duration: r})
+			copy(st.prev, match)
+			st.prevOK = true
+			continue
+		}
+		// Imbalanced residue: drain whatever maximal matching the positive
+		// entries admit, sized by its smallest member.
+		if st.adjMode != adjResidue {
+			st.scratch.AdjacencyGreater(w, tol)
+			st.adjMode = adjResidue
+		}
+		var size int
+		st.match, size = st.scratch.MaxMatching(st.match)
+		if size == 0 {
+			break
+		}
+		match := st.match
+		dur := math.Inf(1)
+		for i, j := range match {
+			if j >= 0 && w[i][j] > tol && w[i][j] < dur {
+				dur = w[i][j]
+			}
+		}
+		if math.IsInf(dur, 1) {
+			break
+		}
+		pos -= st.peelPartial(w, match, dur, tol)
+		out = append(out, fabric.Assignment{Match: append([]int(nil), match...), Duration: dur})
+		st.prevOK = false
+	}
+	return out, nil
+}
+
+// peel subtracts r from every matched entry, zeroes residue below tol,
+// clears the adjacency edges of entries that fell below the adjacency's
+// threshold, and returns how many entries left the above-tol population.
+// Matched entries were at least r > tol before the subtraction.
+func (st *Stuffer) peel(w [][]float64, match []int, r, tol float64) int {
+	dropped := 0
+	for i, j := range match {
+		v := w[i][j] - r
+		if v < tol {
+			v = 0
+		}
+		w[i][j] = v
+		if !(v > tol) {
+			dropped++
+		}
+		// The adjacency tracks threshold st.adjR (which can lag r when the
+		// previous matching was reused without a rebuild); values only
+		// decrease, so edges only disappear.
+		if v < st.adjR {
+			st.scratch.ClearEdge(i, j)
+		}
+	}
+	return dropped
+}
+
+// peelPartial is peel for a partial residue matching (unmatched rows
+// untouched, adjacency maintained against the strict > tol edge set).
+func (st *Stuffer) peelPartial(w [][]float64, match []int, dur, tol float64) int {
+	dropped := 0
+	for i, j := range match {
+		if j < 0 {
+			continue
+		}
+		v := w[i][j] - dur
+		if v < tol {
+			v = 0
+		}
+		w[i][j] = v
+		if !(v > tol) {
+			dropped++
+			st.scratch.ClearEdge(i, j)
+		}
+	}
+	return dropped
+}
+
+// ScheduleReference is the retained dense implementation — per-call matrix
+// clones, adjacency lists rebuilt per matching, O(N²) maxEntry sweeps. It is
+// the oracle of the differential suite and a debugging fallback.
+func ScheduleReference(c *coflow.Coflow, n int, opts Options) ([]fabric.Assignment, Stats, error) {
 	var st Stats
 	if n <= 0 {
 		return nil, st, ErrTooSmall
@@ -106,7 +392,7 @@ func Schedule(c *coflow.Coflow, n int, opts Options) ([]fabric.Assignment, Stats
 	stuffed, added := bvn.Stuff(p)
 	st.StuffedBytes = added * opts.LinkBps / 8
 
-	asg, err := bigSlice(stuffed, slot)
+	asg, err := bigSliceReference(stuffed, slot)
 	if err != nil {
 		return nil, st, err
 	}
@@ -117,14 +403,14 @@ func Schedule(c *coflow.Coflow, n int, opts Options) ([]fabric.Assignment, Stats
 	return asg, st, nil
 }
 
-// bigSlice decomposes the stuffed processing-time matrix into assignments
-// with Solstice's BigSlice strategy: the slice length r starts at the
-// smallest power of two covering the biggest entry and halves whenever no
-// perfect matching exists over entries of at least r; a found matching is
-// scheduled for exactly r seconds. Long slices therefore come first, and a
-// demand entry is generally split across several slices at different r —
-// the source of Solstice's extra circuit establishments (Figure 5 of the
-// Sunflow paper).
+// bigSliceReference decomposes the stuffed processing-time matrix into
+// assignments with Solstice's BigSlice strategy: the slice length r starts
+// at the smallest power of two covering the biggest entry and halves
+// whenever no perfect matching exists over entries of at least r; a found
+// matching is scheduled for exactly r seconds. Long slices therefore come
+// first, and a demand entry is generally split across several slices at
+// different r — the source of Solstice's extra circuit establishments
+// (Figure 5 of the Sunflow paper).
 //
 // When the previous matching is still feasible at the current threshold it
 // is reused, so consecutive identical assignments merge into one continuous
@@ -133,7 +419,7 @@ func Schedule(c *coflow.Coflow, n int, opts Options) ([]fabric.Assignment, Stats
 // assignment) without changing the dense-Coflow characteristics.
 // Floating-point residue from the stuffing is swept up by a final
 // maximal-matching phase sized by the smallest matched entry.
-func bigSlice(m [][]float64, slot float64) ([]fabric.Assignment, error) {
+func bigSliceReference(m [][]float64, slot float64) ([]fabric.Assignment, error) {
 	n := len(m)
 	w := bvn.Clone(m)
 	max := maxEntry(w)

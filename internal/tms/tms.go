@@ -17,6 +17,7 @@ package tms
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"sunflow/internal/bvn"
@@ -43,24 +44,50 @@ type Options struct {
 	Obs *obs.Observer
 }
 
+// sched is the reusable state of one TMS scheduling pass: the
+// processing-time matrix arena plus the bvn.Decomposer running the Sinkhorn
+// and BvN kernels without per-call matrix clones. Borrowed from a pool so
+// the drain loop in Run (up to 64 rounds per Coflow) reuses one.
+type sched struct {
+	dec  bvn.Decomposer
+	work []float64
+	p    [][]float64
+}
+
+func (sc *sched) resize(n int) {
+	if cap(sc.work) < n*n {
+		sc.work = make([]float64, n*n)
+		sc.p = make([][]float64, n)
+	}
+	sc.p = sc.p[:n]
+	for i := 0; i < n; i++ {
+		sc.p[i] = sc.work[i*n : (i+1)*n : (i+1)*n]
+	}
+}
+
+var schedPool = sync.Pool{New: func() any { return new(sched) }}
+
 // Schedule computes one TMS round for the demand matrix (bytes): Sinkhorn
-// scaling followed by BvN decomposition. The returned assignments together
-// span the demand's maximum line processing time; terms are emitted in
-// descending weight so the longest configurations run first, as TMS
+// scaling followed by BvN decomposition, both on pooled zero-alloc kernels
+// bit-identical to the dense bvn references. The returned assignments
+// together span the demand's maximum line processing time; terms are emitted
+// in descending weight so the longest configurations run first, as TMS
 // prescribes.
 func Schedule(demand [][]float64, opts Options) ([]fabric.Assignment, error) {
 	if opts.LinkBps <= 0 {
 		return nil, fmt.Errorf("tms: link bandwidth must be positive, got %v", opts.LinkBps)
 	}
+	sc := schedPool.Get().(*sched)
+	defer schedPool.Put(sc)
 	n := len(demand)
-	p := make([][]float64, n)
+	sc.resize(n)
+	p := sc.p
 	for i := range demand {
-		p[i] = make([]float64, n)
 		for j := range demand[i] {
 			p[i][j] = demand[i][j] * 8 / opts.LinkBps
 		}
 	}
-	totalTime := bvn.MaxLineSum(p)
+	totalTime := sc.dec.MaxLineSum(p)
 	if totalTime <= 0 {
 		return nil, nil
 	}
@@ -80,11 +107,11 @@ func Schedule(demand [][]float64, opts Options) ([]fabric.Assignment, error) {
 		}
 	}
 
-	ds, err := bvn.Sinkhorn(p, 1e-6, 10000)
+	ds, err := sc.dec.Sinkhorn(p, 1e-6, 10000)
 	if err != nil {
 		return nil, fmt.Errorf("tms: %w", err)
 	}
-	perms, err := bvn.Decompose(ds)
+	perms, err := sc.dec.Decompose(ds)
 	if err != nil {
 		return nil, fmt.Errorf("tms: %w", err)
 	}
