@@ -3,7 +3,12 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench bench-ci bench-alloc bench-kernels bench-baseline trace-lint fault-lint fuzz clean
+# Static-analysis tool versions are pinned here so `make static` runs the
+# same binaries locally and in CI; bump them deliberately, in one place.
+STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1.1
+GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.4
+
+.PHONY: build test race lint static bench bench-ci bench-alloc bench-kernels bench-baseline trace-lint fault-lint fuzz matrix matrix-smoke clean
 
 build:
 	$(GO) build ./...
@@ -18,14 +23,22 @@ lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
 
+# Deeper static analysis, same pinned tool versions as the CI static job.
+# Both tools download on first use (go run caches the builds).
+static:
+	$(GO) run $(STATICCHECK) ./...
+	$(GO) run $(GOVULNCHECK) ./...
+
 # Print the benchmark timings without gating.
 bench:
 	$(GO) test -bench . -benchtime 1x -count 3 -run '^$$' .
 
 # What CI runs: benchmark, attach deterministic obs counters, gate ns/op
-# against the committed baseline (>25% regression fails).
+# against the committed baseline (>25% regression fails). -require-all makes
+# a benchmark that exists in the baseline but vanished from the run a hard
+# failure — a silently dropped benchmark would otherwise pass the gate.
 bench-ci:
-	$(GO) test -bench . -benchtime 1x -count 3 -benchmem -run '^$$' . | $(GO) run ./cmd/benchci -out BENCH_ci.json -baseline BENCH_baseline.json
+	$(GO) test -bench . -benchtime 1x -count 3 -benchmem -run '^$$' . | $(GO) run ./cmd/benchci -out BENCH_ci.json -baseline BENCH_baseline.json -require-all
 
 # Allocation gate over the scheduler hot-path microbenchmarks: the intra
 # planner, PRT and combinatorial-kernel benchmarks run with -benchmem and
@@ -66,5 +79,21 @@ fuzz:
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzParseJobs -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/fault -run '^$$' -fuzz FuzzDecodePlan -fuzztime $(FUZZTIME)
 
+# Nightly-scale scenario matrix (docs/MATRIX.md): all five schedulers across
+# fabric sizes, delta regimes and workload shapes, five replications per
+# cell, rolled up into matrix-out/{cells.jsonl,report.html}.
+matrix:
+	$(GO) run ./cmd/repro -matrix examples/matrix/nightly.json -matrix-out matrix-out
+
+# CI-scale matrix plus the determinism gate: the smoke spec runs twice and
+# the machine-readable cell rows must be byte-identical. Same as the CI
+# matrix-smoke job; the first run's report.html is the uploaded artifact.
+matrix-smoke:
+	$(GO) run ./cmd/repro -matrix examples/matrix/smoke.json -matrix-out matrix-smoke-out
+	$(GO) run ./cmd/repro -matrix examples/matrix/smoke.json -matrix-out matrix-smoke-rerun
+	cmp matrix-smoke-out/cells.jsonl matrix-smoke-rerun/cells.jsonl
+	@echo "matrix-smoke: cells.jsonl byte-identical across two runs"
+
 clean:
 	rm -f BENCH_ci.json BENCH_alloc.json events.jsonl fault-events.jsonl report.html
+	rm -rf matrix-out matrix-smoke-out matrix-smoke-rerun

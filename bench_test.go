@@ -18,6 +18,7 @@ import (
 	"sunflow/internal/core"
 	"sunflow/internal/fabric"
 	"sunflow/internal/matching"
+	"sunflow/internal/matrix"
 	"sunflow/internal/sim"
 	"sunflow/internal/solstice"
 	"sunflow/internal/varys"
@@ -433,5 +434,23 @@ func BenchmarkMaxMinFair_10kFlows(b *testing.B) {
 			availIn[p], availOut[p] = 1e9, 1e9
 		}
 		fabric.MaxMinFair(flows, availIn, availOut)
+	}
+}
+
+// BenchmarkMatrixSmoke runs the committed CI smoke spec through the
+// experiment-matrix engine end to end (expansion, replicated simulator
+// runs, t/bootstrap aggregation, digests) — the cost CI's matrix-smoke job
+// pays twice per run, gated like every other benchmark.
+func BenchmarkMatrixSmoke(b *testing.B) {
+	spec, err := matrix.LoadSpec("examples/matrix/smoke.json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := matrix.Run(spec, matrix.Options{Workers: -1}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -17,6 +17,12 @@
 //	go test -bench . -benchtime 1x -benchmem -run '^$' . | benchci -baseline BENCH_baseline.json -gate-allocs
 //	go test -bench . -benchtime 1x -run '^$' . | benchci -list
 //
+// With -require-all, a benchmark present in the baseline but absent from
+// the run fails the gate with an explicit per-name diff — a silently
+// dropped benchmark (renamed, deleted, or filtered out by a typo'd -bench
+// pattern) would otherwise pass. Leave it off for intentionally filtered
+// runs like the allocation gate, which benchmark a subset of the baseline.
+//
 // At startup benchci prints how each raw benchmark name was normalized
 // (the -GOMAXPROCS suffix stripped) so baseline mismatches across machines
 // are diagnosable from the CI log. -list stops after that: it prints the
@@ -56,6 +62,7 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.25, "fail when ns/op exceeds baseline by more than this fraction")
 	gateAllocs := flag.Bool("gate-allocs", false, "also fail when allocs/op exceeds baseline by more than -alloc-tolerance")
 	allocTolerance := flag.Float64("alloc-tolerance", 0.10, "allocs/op regression tolerance for -gate-allocs")
+	requireAll := flag.Bool("require-all", false, "fail when a benchmark in the baseline is missing from this run")
 	list := flag.Bool("list", false, "print the parsed benchmarks and exit without writing a report or gating")
 	flag.Parse()
 
@@ -109,6 +116,7 @@ func main() {
 		fatal(err)
 	}
 	failed := gate(report, base, *tolerance)
+	failed = gateMissing(report, base, *requireAll) || failed
 	if *gateAllocs {
 		failed = gateAllocRegressions(report, base, *allocTolerance) || failed
 	}
@@ -213,6 +221,33 @@ func gate(cur, base Report, tol float64) bool {
 		fmt.Println("benchci: FAIL — benchmark regression above tolerance")
 	}
 	return failed
+}
+
+// gateMissing diffs the baseline's benchmark names against the run's and
+// prints every baseline benchmark the run no longer produced. The diff is
+// always printed; it fails the gate only under -require-all, because
+// filtered runs (bench-alloc's subset) legitimately omit baselines.
+func gateMissing(cur, base Report, requireAll bool) bool {
+	var missing []string
+	for name := range base.Benchmarks {
+		if _, ok := cur.Benchmarks[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return false
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Printf("benchci: MISSING %-40s baseline %12.0f ns/op, absent from this run\n",
+			name, base.Benchmarks[name])
+	}
+	if !requireAll {
+		fmt.Printf("benchci: note: %d baseline benchmark(s) missing from this run (pass -require-all to fail on this)\n", len(missing))
+		return false
+	}
+	fmt.Printf("benchci: FAIL — %d baseline benchmark(s) missing from this run; rename or prune them from the baseline deliberately (-write-baseline), don't drop them silently\n", len(missing))
+	return true
 }
 
 // gateAllocRegressions mirrors the ns/op gate for allocs/op: any benchmark

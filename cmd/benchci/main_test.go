@@ -49,6 +49,24 @@ func TestGateAllocRegressions(t *testing.T) {
 	}
 }
 
+func TestGateMissing(t *testing.T) {
+	base := Report{Benchmarks: map[string]float64{"BenchmarkA": 100, "BenchmarkB": 200, "BenchmarkC": 300}}
+	complete := Report{Benchmarks: map[string]float64{"BenchmarkA": 100, "BenchmarkB": 200, "BenchmarkC": 300, "BenchmarkNew": 1}}
+	if gateMissing(complete, base, true) {
+		t.Error("run covering every baseline benchmark must pass; new benchmarks are fine")
+	}
+	dropped := Report{Benchmarks: map[string]float64{"BenchmarkA": 100}}
+	if !gateMissing(dropped, base, true) {
+		t.Error("baseline benchmarks missing from the run must fail under -require-all")
+	}
+	if gateMissing(dropped, base, false) {
+		t.Error("without -require-all a filtered run must only warn")
+	}
+	if gateMissing(Report{Benchmarks: map[string]float64{}}, Report{}, true) {
+		t.Error("empty baseline has nothing to miss")
+	}
+}
+
 func TestStripProcs(t *testing.T) {
 	cases := map[string]string{
 		"BenchmarkX-16":     "BenchmarkX",

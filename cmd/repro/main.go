@@ -5,10 +5,18 @@
 //
 //	repro [-seed 1] [-coflows 526] [-ports 150] [-maxwidth 40]
 //	      [-metrics] [-trace file] [-http addr] [-pprof addr] [experiments...]
+//	repro -matrix spec.json [-matrix-out dir] [-workers n]
 //
 // With no arguments it runs everything. Experiment ids: table3, table4,
 // fig3, fig4, fig5, fig6, fig7, fig8, fig9, fig10, baselines, ordering,
 // allstop, starvation, combining, approximation, hybrid, resilience.
+//
+// -matrix switches to the experiment-matrix engine (docs/MATRIX.md): the
+// JSON scenario spec is expanded into cells, every cell runs -workers-wide
+// with replicated seeds, and the run is written to -matrix-out as
+// machine-readable cells.jsonl (deterministic, byte-identical across runs of
+// the same spec) plus a self-contained report.html with per-cell confidence
+// intervals and pairwise scheduler speedups.
 //
 // -metrics prints each experiment's per-scheduler observability summary
 // (circuit setups, δ time paid, duty cycle, scheduler-pass wall time).
@@ -26,13 +34,16 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"sunflow/internal/bench"
 	"sunflow/internal/core"
+	"sunflow/internal/matrix"
 	"sunflow/internal/obs"
 	"sunflow/internal/obs/obshttp"
+	"sunflow/internal/obs/render"
 )
 
 func main() {
@@ -44,7 +55,18 @@ func main() {
 	traceOut := flag.String("trace", "", "write the JSONL simulation event trace to this file")
 	httpAddr := flag.String("http", "", "serve live /metrics, /healthz, expvar and pprof on this address (e.g. :8080)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	matrixSpec := flag.String("matrix", "", "run the experiment-matrix spec at this path instead of the paper experiments")
+	matrixOut := flag.String("matrix-out", "matrix-out", "directory for the matrix cells.jsonl and report.html")
+	workers := flag.Int("workers", 0, "matrix run parallelism (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	if *matrixSpec != "" {
+		if err := runMatrix(*matrixSpec, *matrixOut, *workers); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -132,6 +154,58 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runMatrix executes a scenario spec and writes the JSONL and HTML reports.
+func runMatrix(specPath, outDir string, workers int) error {
+	spec, err := matrix.LoadSpec(specPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("[matrix %q: %d cells × %d replications = %d runs]\n",
+		spec.Name, len(spec.Expand()), spec.Replications, spec.Runs())
+	start := time.Now()
+	res, err := matrix.Run(spec, matrix.Options{
+		Workers: workers,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(matrix.Format(res))
+	fmt.Printf("[matrix took %s]\n", time.Since(start).Round(time.Millisecond))
+
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	jsonlPath := filepath.Join(outDir, "cells.jsonl")
+	jf, err := os.Create(jsonlPath)
+	if err != nil {
+		return err
+	}
+	if err := matrix.WriteJSONL(jf, res); err != nil {
+		jf.Close()
+		return err
+	}
+	if err := jf.Close(); err != nil {
+		return err
+	}
+	htmlPath := filepath.Join(outDir, "report.html")
+	hf, err := os.Create(htmlPath)
+	if err != nil {
+		return err
+	}
+	if err := render.MatrixReport(hf, res, ""); err != nil {
+		hf.Close()
+		return err
+	}
+	if err := hf.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("[wrote %s and %s]\n", jsonlPath, htmlPath)
+	return nil
 }
 
 func run(cfg bench.Config, id string) (string, error) {

@@ -117,6 +117,20 @@ func compact(c *coflow.Coflow) (*coflow.Coflow, int) {
 	return coflow.New(c.ID, c.Arrival, flows), n
 }
 
+// ParallelEach runs fn over [0, n) on Config.Workers goroutines. It is the
+// worker pool every sweep in this package runs on, exported so the
+// experiment-matrix engine (internal/matrix) can execute its cells on the
+// same pool.
+func (c Config) ParallelEach(n int, fn func(i int)) {
+	c.parallelEach(n, fn)
+}
+
+// Compact is the exported form of compact, for harnesses (internal/matrix)
+// that replay single Coflows through the decomposition baselines.
+func Compact(c *coflow.Coflow) (*coflow.Coflow, int) {
+	return compact(c)
+}
+
 // parallelEach runs fn over [0, n) on Config.Workers goroutines.
 func (c Config) parallelEach(n int, fn func(i int)) {
 	c = c.WithDefaults()

@@ -1,0 +1,121 @@
+package matrix
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// cellDigest fingerprints a cell's identity and raw replication rows (not
+// the derived aggregates) as hex SHA-256 over their canonical JSON. Struct
+// marshaling emits fields in declaration order and Go's float formatting is
+// deterministic, so equal runs digest equally — the byte-identity gate CI's
+// matrix-smoke job enforces.
+func cellDigest(cr CellResult) (string, error) {
+	payload := struct {
+		Cell Cell  `json:"cell"`
+		Reps []Rep `json:"reps"`
+	}{cr.Cell, cr.Reps}
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return "", fmt.Errorf("matrix: digest cell %d: %w", cr.Index, err)
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(data)), nil
+}
+
+// WriteJSONL writes the machine-readable report: one JSON object per line —
+// first a header carrying the spec, then every cell, then every speedup
+// row. Lines are self-typed via a "kind" field so downstream gates can
+// stream-filter without holding the file.
+func WriteJSONL(w io.Writer, res *Result) error {
+	enc := json.NewEncoder(w)
+	header := struct {
+		Kind string `json:"kind"`
+		Spec Spec   `json:"spec"`
+	}{"spec", res.Spec}
+	if err := enc.Encode(header); err != nil {
+		return fmt.Errorf("matrix: write jsonl: %w", err)
+	}
+	for i := range res.Cells {
+		row := struct {
+			Kind string `json:"kind"`
+			CellResult
+		}{"cell", res.Cells[i]}
+		if err := enc.Encode(row); err != nil {
+			return fmt.Errorf("matrix: write jsonl cell %d: %w", i, err)
+		}
+	}
+	for i := range res.Speedups {
+		row := struct {
+			Kind string `json:"kind"`
+			Speedup
+		}{"speedup", res.Speedups[i]}
+		if err := enc.Encode(row); err != nil {
+			return fmt.Errorf("matrix: write jsonl speedup %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Format renders the run as aligned text tables: one row per cell with the
+// headline estimates and t-intervals, then the pairwise speedups.
+func Format(res *Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Matrix %q — %d cells × %d replications (%d runs), %.0f%% CIs\n",
+		res.Spec.Name, len(res.Cells), res.Spec.Replications,
+		len(res.Cells)*res.Spec.Replications, res.Spec.Confidence*100)
+
+	widths := []int{0, 0, 0, 0, 0, 0}
+	rows := [][]string{{"scenario", "scheduler", "avg CCT (t-CI)", "p95 CCT", "duty", "switches"}}
+	for _, c := range res.Cells {
+		rows = append(rows, []string{
+			c.Key(),
+			c.Scheduler,
+			fmt.Sprintf("%.3fs [%.3f, %.3f]", c.AvgCCT.Mean, c.AvgCCT.T.Lo, c.AvgCCT.T.Hi),
+			fmt.Sprintf("%.3fs", c.P95CCT.Mean),
+			fmt.Sprintf("%.4f", c.DutyCycle.Mean),
+			fmt.Sprintf("%.0f", c.Switches.Mean),
+		})
+	}
+	writeAligned(&sb, rows, widths)
+
+	if len(res.Speedups) > 0 {
+		sb.WriteString("\nPairwise speedups (paired by seed; ratio < 1 favors the numerator)\n")
+		rows = [][]string{{"scenario", "ratio", "mean [t-CI]", "pairs"}}
+		for _, s := range res.Speedups {
+			rows = append(rows, []string{
+				s.Scenario,
+				s.Numerator + "/" + s.Denominator,
+				fmt.Sprintf("%.3f [%.3f, %.3f]", s.Ratio.Mean, s.Ratio.T.Lo, s.Ratio.T.Hi),
+				fmt.Sprintf("%d", s.Pairs),
+			})
+		}
+		writeAligned(&sb, rows, []int{0, 0, 0, 0})
+	}
+	return sb.String()
+}
+
+// writeAligned renders rows (first row is the header) with aligned columns.
+func writeAligned(sb *strings.Builder, rows [][]string, widths []int) {
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for r, row := range rows {
+		for i, cell := range row {
+			fmt.Fprintf(sb, "%-*s", widths[i]+2, cell)
+		}
+		sb.WriteString("\n")
+		if r == 0 {
+			for _, w := range widths {
+				sb.WriteString(strings.Repeat("-", w) + "  ")
+			}
+			sb.WriteString("\n")
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package matrix
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sunflow/internal/bench"
+	"sunflow/internal/edmond"
+	"sunflow/internal/fabric"
+	"sunflow/internal/fault"
+	"sunflow/internal/obs"
+	"sunflow/internal/sim"
+	"sunflow/internal/solstice"
+	"sunflow/internal/stats"
+	"sunflow/internal/tms"
+	"sunflow/internal/varys"
+)
+
+// Rep is one replication's measurements in one cell.
+type Rep struct {
+	// Seed is the workload seed this replication ran on (Spec.Seed + index).
+	Seed int64 `json:"seed"`
+	// AvgCCT and P95CCT summarize the Coflow completion times in seconds.
+	AvgCCT float64 `json:"avg_cct"`
+	P95CCT float64 `json:"p95_cct"`
+	// DutyCycle is the circuit duty cycle (0 for packet schedulers).
+	DutyCycle float64 `json:"duty_cycle"`
+	// Switches counts circuit establishments across the run.
+	Switches int64 `json:"switches"`
+	// Completed and Stranded count Coflows that finished and flows
+	// quarantined by permanent faults.
+	Completed int `json:"completed"`
+	Stranded  int `json:"stranded,omitempty"`
+}
+
+// Estimate aggregates one metric across a cell's replications.
+type Estimate struct {
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	// T is the Student-t confidence interval, Boot the percentile-bootstrap
+	// interval, both at Spec.Confidence.
+	T    stats.Interval `json:"t"`
+	Boot stats.Interval `json:"boot"`
+}
+
+// CellResult is one cell's replications and aggregates; the JSONL report
+// writes one line per CellResult.
+type CellResult struct {
+	Cell
+	Reps      []Rep    `json:"reps"`
+	AvgCCT    Estimate `json:"agg_avg_cct"`
+	P95CCT    Estimate `json:"agg_p95_cct"`
+	DutyCycle Estimate `json:"agg_duty_cycle"`
+	Switches  Estimate `json:"agg_switches"`
+	// Digest is the hex SHA-256 of the cell's axes and replication rows —
+	// the determinism fingerprint CI compares across runs.
+	Digest string `json:"digest"`
+}
+
+// Speedup is the paired CCT ratio of two schedulers on one scenario: per
+// replication r, Numerator's average CCT over Denominator's on the same
+// seed, aggregated like any cell metric. Ratio < 1 means the numerator
+// scheduler is faster.
+type Speedup struct {
+	Scenario    string   `json:"scenario"`
+	Numerator   string   `json:"numerator"`
+	Denominator string   `json:"denominator"`
+	Ratio       Estimate `json:"ratio"`
+	// Pairs is the number of replications whose denominator CCT was
+	// positive (the paired sample size behind Ratio).
+	Pairs int `json:"pairs"`
+}
+
+// Result is one full matrix run.
+type Result struct {
+	Spec     Spec         `json:"spec"`
+	Cells    []CellResult `json:"cells"`
+	Speedups []Speedup    `json:"speedups"`
+}
+
+// Options configures a Run.
+type Options struct {
+	// Workers bounds parallelism across (cell, replication) pairs; the
+	// semantics are bench.Config.Workers' (0 = GOMAXPROCS, negative =
+	// serial).
+	Workers int
+	// Logf, when set, receives one progress line per completed cell.
+	Logf func(format string, args ...any)
+}
+
+// Run expands the spec and executes it: every (cell, replication) pair is
+// one simulator run on the bench worker pool, every cell is aggregated with
+// t and bootstrap confidence intervals, and every scheduler pair sharing a
+// scenario gets a paired speedup ratio.
+func Run(spec Spec, opts Options) (*Result, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cells := spec.Expand()
+
+	type job struct{ cell, rep int }
+	jobs := make([]job, 0, len(cells)*spec.Replications)
+	for c := range cells {
+		for r := 0; r < spec.Replications; r++ {
+			jobs = append(jobs, job{cell: c, rep: r})
+		}
+	}
+
+	reps := make([][]Rep, len(cells))
+	for i := range reps {
+		reps[i] = make([]Rep, spec.Replications)
+	}
+	errs := make([]error, len(jobs))
+	var done int
+	var mu sync.Mutex
+
+	pool := bench.Config{Workers: opts.Workers}
+	pool.ParallelEach(len(jobs), func(i int) {
+		j := jobs[i]
+		cell := cells[j.cell]
+		rep, err := runOne(spec, cell, j.rep)
+		if err != nil {
+			errs[i] = fmt.Errorf("matrix: cell %d (%s, %s) rep %d: %w",
+				cell.Index, cell.Scheduler, cell.Key(), j.rep, err)
+			return
+		}
+		reps[j.cell][j.rep] = rep
+		if opts.Logf != nil {
+			mu.Lock()
+			done++
+			if done%spec.Replications == 0 {
+				opts.Logf("matrix: %d/%d runs done", done, len(jobs))
+			}
+			mu.Unlock()
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{Spec: spec, Cells: make([]CellResult, len(cells))}
+	for i, cell := range cells {
+		cr := CellResult{Cell: cell, Reps: reps[i]}
+		cr.AvgCCT = spec.estimate(metric(cr.Reps, func(r Rep) float64 { return r.AvgCCT }), cell.Index, 0)
+		cr.P95CCT = spec.estimate(metric(cr.Reps, func(r Rep) float64 { return r.P95CCT }), cell.Index, 1)
+		cr.DutyCycle = spec.estimate(metric(cr.Reps, func(r Rep) float64 { return r.DutyCycle }), cell.Index, 2)
+		cr.Switches = spec.estimate(metric(cr.Reps, func(r Rep) float64 { return float64(r.Switches) }), cell.Index, 3)
+		digest, err := cellDigest(cr)
+		if err != nil {
+			return nil, err
+		}
+		cr.Digest = digest
+		res.Cells[i] = cr
+	}
+	res.Speedups = spec.speedups(res.Cells)
+	return res, nil
+}
+
+// estimate aggregates one metric's replication samples. The bootstrap seed
+// is a pure function of the spec seed, cell index and metric ordinal, so
+// reruns reproduce the intervals bit-exactly.
+func (s Spec) estimate(xs []float64, cellIndex, metricOrdinal int) Estimate {
+	bootSeed := s.Seed + int64(cellIndex)*17 + int64(metricOrdinal)
+	return Estimate{
+		Mean:   stats.Mean(xs),
+		Stddev: stats.Stddev(xs),
+		T:      stats.TInterval(xs, s.Confidence),
+		Boot:   stats.BootstrapMeanCI(xs, s.Confidence, s.BootstrapResamples, bootSeed),
+	}
+}
+
+// speedups computes the pairwise scheduler CCT ratios within every scenario
+// group, in spec axis order.
+func (s Spec) speedups(cells []CellResult) []Speedup {
+	if len(s.Schedulers) < 2 {
+		return nil
+	}
+	byScenario := map[string]map[string][]float64{}
+	var order []string
+	for _, c := range cells {
+		key := c.Key()
+		if byScenario[key] == nil {
+			byScenario[key] = map[string][]float64{}
+			order = append(order, key)
+		}
+		byScenario[key][c.Scheduler] = metric(c.Reps, func(r Rep) float64 { return r.AvgCCT })
+	}
+	var out []Speedup
+	for si, key := range order {
+		group := byScenario[key]
+		for ai, a := range s.Schedulers {
+			for _, b := range s.Schedulers[ai+1:] {
+				ratios := stats.PairedRatios(group[a], group[b])
+				out = append(out, Speedup{
+					Scenario:    key,
+					Numerator:   a,
+					Denominator: b,
+					Ratio:       s.estimate(ratios, len(cells)+si, ai),
+					Pairs:       len(ratios),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func metric(reps []Rep, f func(Rep) float64) []float64 {
+	out := make([]float64, len(reps))
+	for i, r := range reps {
+		out[i] = f(r)
+	}
+	return out
+}
+
+// runOne executes one (cell, replication) simulator run.
+func runOne(spec Spec, cell Cell, rep int) (Rep, error) {
+	seed := spec.Seed + int64(rep)
+	cfg := bench.Config{
+		Seed:     seed,
+		Ports:    cell.Ports,
+		Coflows:  cell.Workload.Coflows,
+		MaxWidth: cell.Workload.MaxWidth,
+		LinkBps:  cell.LinkGbps * bench.Gbps,
+		Delta:    cell.DeltaMs / 1e3,
+		Workers:  -1, // the matrix pool parallelizes across runs, not inside them
+	}.WithDefaults()
+	cs := cfg.Workload()
+
+	var plan *fault.Plan
+	if cell.FaultRate > 0 {
+		// Transient outages must span the run to matter; size the horizon
+		// off the arrival span as the resilience experiment does.
+		horizon := 10.0
+		for _, c := range cs {
+			if c.Arrival+10 > horizon {
+				horizon = c.Arrival + 10
+			}
+		}
+		plan = bench.ResiliencePlan(seed, cell.FaultRate, horizon)
+	}
+
+	o := obs.New()
+	out := Rep{Seed: seed}
+	var ccts []float64
+
+	switch cell.Scheduler {
+	case "sunflow":
+		res, err := sim.RunCircuit(cs, sim.CircuitOptions{
+			Ports: cfg.Ports, LinkBps: cfg.LinkBps, Delta: cfg.Delta, Obs: o, Faults: plan,
+		})
+		if err != nil {
+			return out, err
+		}
+		ccts = cctValues(res.CCT)
+		for _, n := range res.SwitchCount {
+			out.Switches += int64(n)
+		}
+		if res.Partial != nil {
+			out.Stranded = len(res.Partial.Stranded)
+		}
+	case "varys":
+		res, err := sim.RunPacketOpts(cs, sim.PacketOptions{
+			Ports: cfg.Ports, LinkBps: cfg.LinkBps, Alloc: varys.Allocator{Obs: o}, Obs: o, Faults: plan,
+		})
+		if err != nil {
+			return out, err
+		}
+		ccts = cctValues(res.CCT)
+		if res.Partial != nil {
+			out.Stranded = len(res.Partial.Stranded)
+		}
+	case "solstice", "tms", "edmond":
+		// Serialized intra-Coflow replay (§5.1): each Coflow alone in the
+		// fabric, CCT = its finish time. The decomposition baselines have no
+		// inter-Coflow mode.
+		for _, orig := range cs {
+			c, n := bench.Compact(orig)
+			var res fabric.ExecResult
+			var err error
+			switch cell.Scheduler {
+			case "solstice":
+				res, _, err = solstice.Run(c, n, solstice.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta, Obs: o}, fabric.NotAllStop)
+			case "tms":
+				res, err = tms.Run(c, n, tms.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta, Obs: o}, fabric.AllStop)
+			case "edmond":
+				res, err = edmond.Run(c, n, edmond.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta, Slot: 0.3, Obs: o}, fabric.AllStop)
+			}
+			if err != nil {
+				return out, fmt.Errorf("coflow %d: %w", c.ID, err)
+			}
+			ccts = append(ccts, res.Finish)
+			out.Switches += int64(res.SwitchCount)
+		}
+	default:
+		return out, fmt.Errorf("unknown scheduler %q", cell.Scheduler)
+	}
+
+	out.AvgCCT = stats.Mean(ccts)
+	out.P95CCT = stats.Percentile(ccts, 95)
+	out.DutyCycle = o.Summary().DutyCycle
+	out.Completed = len(ccts)
+	return out, nil
+}
+
+// cctValues extracts CCTs in Coflow-id order. The order matters: the mean
+// is a float sum, and summing in map-iteration order would perturb the last
+// bit from run to run, breaking the byte-identical JSONL guarantee.
+func cctValues(m map[int]float64) []float64 {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]float64, len(ids))
+	for i, id := range ids {
+		out[i] = m[id]
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package matrix
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinySpec exercises every runner kind at a scale a unit test can afford.
+func tinySpec(t *testing.T) Spec {
+	t.Helper()
+	s, err := ParseSpec([]byte(`{
+	  "name": "tiny",
+	  "schedulers": ["sunflow", "varys", "solstice"],
+	  "ports": [10],
+	  "deltas_ms": [10],
+	  "workloads": [{"name": "tiny", "coflows": 6, "max_width": 3}],
+	  "replications": 3,
+	  "seed": 1,
+	  "bootstrap_resamples": 200
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRunShapeAndAggregates(t *testing.T) {
+	res, err := Run(tinySpec(t), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 3 {
+		t.Fatalf("got %d cells, want 3", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if len(c.Reps) != 3 {
+			t.Fatalf("cell %d has %d reps", c.Index, len(c.Reps))
+		}
+		for r, rep := range c.Reps {
+			if rep.Seed != int64(1+r) {
+				t.Errorf("cell %d rep %d seed = %d", c.Index, r, rep.Seed)
+			}
+			if rep.Completed != 6 {
+				t.Errorf("cell %d rep %d completed %d of 6 Coflows", c.Index, r, rep.Completed)
+			}
+			if rep.AvgCCT <= 0 || rep.P95CCT < rep.AvgCCT/10 {
+				t.Errorf("cell %d rep %d implausible CCTs: %+v", c.Index, r, rep)
+			}
+		}
+		agg := c.AvgCCT
+		if !(agg.T.Lo <= agg.Mean && agg.Mean <= agg.T.Hi) {
+			t.Errorf("cell %d: mean %v outside its own t-interval [%v, %v]", c.Index, agg.Mean, agg.T.Lo, agg.T.Hi)
+		}
+		if !(agg.Boot.Lo <= agg.Boot.Hi) {
+			t.Errorf("cell %d: inverted bootstrap interval", c.Index)
+		}
+		if len(c.Digest) != 64 {
+			t.Errorf("cell %d: digest %q is not hex sha256", c.Index, c.Digest)
+		}
+		// Circuit schedulers must report switching and duty; packet must not.
+		switch c.Scheduler {
+		case "sunflow", "solstice":
+			if c.Switches.Mean <= 0 || c.DutyCycle.Mean <= 0 {
+				t.Errorf("%s: expected circuit activity, got switches %v duty %v", c.Scheduler, c.Switches.Mean, c.DutyCycle.Mean)
+			}
+		case "varys":
+			if c.Switches.Mean != 0 {
+				t.Errorf("varys reported %v circuit switches", c.Switches.Mean)
+			}
+		}
+	}
+	// 3 schedulers on 1 scenario → 3 pairwise speedups, paired on all 3 seeds.
+	if len(res.Speedups) != 3 {
+		t.Fatalf("got %d speedups, want 3", len(res.Speedups))
+	}
+	for _, s := range res.Speedups {
+		if s.Pairs != 3 || s.Ratio.Mean <= 0 {
+			t.Errorf("speedup %s/%s: %+v", s.Numerator, s.Denominator, s)
+		}
+	}
+}
+
+// TestRunDeterministic is the unit-level version of CI's matrix-smoke gate:
+// two runs of the same spec must serialize to byte-identical JSONL,
+// regardless of worker count.
+func TestRunDeterministic(t *testing.T) {
+	spec := tinySpec(t)
+	var bufs [2]bytes.Buffer
+	for i := range bufs {
+		res, err := Run(spec, Options{Workers: 1 + i*3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteJSONL(&bufs[i], res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+		a, b := bufs[0].String(), bufs[1].String()
+		la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+		for i := range la {
+			if i >= len(lb) || la[i] != lb[i] {
+				t.Fatalf("JSONL diverges at line %d:\n  run1: %.200s\n  run2: %.200s", i+1, la[i], lb[i])
+			}
+		}
+		t.Fatal("JSONL runs differ in length")
+	}
+}
+
+func TestRunSeedChangesDigests(t *testing.T) {
+	spec := tinySpec(t)
+	a, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Seed = 99
+	b, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cells[0].Digest == b.Cells[0].Digest {
+		t.Error("different seeds must change the cell digest")
+	}
+}
+
+func TestRunRejectsInvalidSpec(t *testing.T) {
+	if _, err := Run(Spec{Schedulers: []string{"nope"}, Replications: 1}, Options{}); err == nil {
+		t.Error("invalid spec must be rejected by Run, not executed")
+	}
+}
+
+func TestFormatMentionsCellsAndSpeedups(t *testing.T) {
+	res, err := Run(tinySpec(t), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(res)
+	for _, want := range []string{"sunflow", "varys", "solstice", "Pairwise speedups", "tiny"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+}

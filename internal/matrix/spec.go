@@ -1,0 +1,307 @@
+// Package matrix is the declarative experiment-matrix engine: a scenario
+// spec (JSON, see docs/MATRIX.md and examples/matrix/) declares axes —
+// schedulers, fabric sizes, reconfiguration delays δ, link bandwidths,
+// workload shapes, fault rates — plus a replication count and base seed. The
+// engine expands the cartesian product into cells, executes every
+// (cell, replication) pair on the bench worker pool, and aggregates each
+// cell's replications with the internal/stats estimators: sample stddev,
+// Student-t and bootstrap confidence intervals, and pairwise scheduler
+// speedup ratios paired by seed.
+//
+// Everything downstream of the spec is deterministic: replication r of every
+// cell runs on seed Spec.Seed+r (so schedulers compare on identical
+// workloads), the bootstrap is seeded from the cell index, and the JSONL
+// cell rows digest identically across runs — the property CI's
+// matrix-smoke job gates on.
+package matrix
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Schedulers the engine knows how to run. "varys" is the packet-switched
+// Varys-style baseline; the rest drive the optical fabric.
+var knownSchedulers = []string{"sunflow", "solstice", "tms", "edmond", "varys"}
+
+// faultCapable marks the schedulers that run inside a fault-injecting
+// simulator; the serialized decomposition baselines (solstice, tms, edmond)
+// replay schedules through the fabric executor, which has no fault model.
+var faultCapable = map[string]bool{"sunflow": true, "varys": true}
+
+// WorkloadAxis is one point of the workload axis: a named shape of the
+// Facebook-like generated trace.
+type WorkloadAxis struct {
+	// Name labels the workload in reports; it must be unique within the
+	// spec. Empty defaults to "w<index>".
+	Name string `json:"name,omitempty"`
+	// Coflows is the trace size. Zero selects the paper's 526.
+	Coflows int `json:"coflows,omitempty"`
+	// MaxWidth caps shuffle fan-in/out. Zero selects the generator default.
+	MaxWidth int `json:"max_width,omitempty"`
+}
+
+// Spec declares one experiment matrix. Unset axes collapse to a single
+// default point, so a spec can sweep only what it cares about.
+type Spec struct {
+	// Name titles the run's report and JSONL rows.
+	Name string `json:"name"`
+	// Description is carried into the report header verbatim.
+	Description string `json:"description,omitempty"`
+
+	// Schedulers is the scheduler axis; values from
+	// {sunflow, solstice, tms, edmond, varys}. Required.
+	Schedulers []string `json:"schedulers"`
+	// Ports is the fabric-size axis. Empty selects {150}.
+	Ports []int `json:"ports,omitempty"`
+	// DeltasMs is the reconfiguration-delay axis in milliseconds. Empty
+	// selects {10}.
+	DeltasMs []float64 `json:"deltas_ms,omitempty"`
+	// LinkGbps is the link-bandwidth axis. Empty selects {1}.
+	LinkGbps []float64 `json:"link_gbps,omitempty"`
+	// Workloads is the workload axis. Empty selects one default workload.
+	Workloads []WorkloadAxis `json:"workloads,omitempty"`
+	// FaultRates is the fault-plan axis (bench.ResiliencePlan rates in
+	// [0, 1)). Empty selects {0} (fault-free). Non-zero rates require every
+	// scheduler on the axis to be fault-capable (sunflow, varys).
+	FaultRates []float64 `json:"fault_rates,omitempty"`
+
+	// Replications is the number of seeded runs per cell. Required, ≥ 1;
+	// replication r uses seed Seed+r in every cell.
+	Replications int `json:"replications"`
+	// Seed is the base workload seed. Zero is a valid (and the default)
+	// base.
+	Seed int64 `json:"seed,omitempty"`
+
+	// Confidence is the two-sided CI level for the aggregates. Zero selects
+	// 0.95.
+	Confidence float64 `json:"confidence,omitempty"`
+	// BootstrapResamples sizes the percentile bootstrap. Zero selects 1000.
+	BootstrapResamples int `json:"bootstrap_resamples,omitempty"`
+}
+
+// Cell is one point of the expanded cartesian product.
+type Cell struct {
+	Index     int          `json:"cell"`
+	Scheduler string       `json:"scheduler"`
+	Ports     int          `json:"ports"`
+	DeltaMs   float64      `json:"delta_ms"`
+	LinkGbps  float64      `json:"link_gbps"`
+	Workload  WorkloadAxis `json:"workload"`
+	FaultRate float64      `json:"fault_rate"`
+}
+
+// Key identifies the cell's scenario (everything but the scheduler): cells
+// sharing a Key are the comparison group pairwise speedups are computed
+// within.
+func (c Cell) Key() string {
+	return fmt.Sprintf("%s/ports=%d/delta=%gms/link=%gG/fail=%g",
+		c.Workload.Name, c.Ports, c.DeltaMs, c.LinkGbps, c.FaultRate)
+}
+
+// ParseSpec decodes and validates a JSON spec.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return s, fmt.Errorf("matrix: decode spec: %w", err)
+	}
+	if dec.More() {
+		return s, fmt.Errorf("matrix: trailing data after spec object")
+	}
+	s = s.withDefaults()
+	if err := s.Validate(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// ReadSpec decodes and validates a JSON spec from r.
+func ReadSpec(r io.Reader) (Spec, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return Spec{}, fmt.Errorf("matrix: read spec: %w", err)
+	}
+	return ParseSpec(data)
+}
+
+// LoadSpec decodes and validates the JSON spec file at path.
+func LoadSpec(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("matrix: %w", err)
+	}
+	return ParseSpec(data)
+}
+
+// withDefaults fills unset axes with their single default point.
+func (s Spec) withDefaults() Spec {
+	if s.Name == "" {
+		s.Name = "matrix"
+	}
+	if len(s.Ports) == 0 {
+		s.Ports = []int{150}
+	}
+	if len(s.DeltasMs) == 0 {
+		s.DeltasMs = []float64{10}
+	}
+	if len(s.LinkGbps) == 0 {
+		s.LinkGbps = []float64{1}
+	}
+	if len(s.Workloads) == 0 {
+		s.Workloads = []WorkloadAxis{{}}
+	}
+	for i := range s.Workloads {
+		if s.Workloads[i].Name == "" {
+			s.Workloads[i].Name = fmt.Sprintf("w%d", i)
+		}
+	}
+	if len(s.FaultRates) == 0 {
+		s.FaultRates = []float64{0}
+	}
+	if s.Confidence == 0 {
+		s.Confidence = 0.95
+	}
+	if s.BootstrapResamples == 0 {
+		s.BootstrapResamples = 1000
+	}
+	return s
+}
+
+// Validate checks axis names, axis values, and replication structure. It
+// rejects duplicate values on any axis: a duplicated value would expand into
+// duplicate cells whose digests collide, which is always a spec typo.
+func (s Spec) Validate() error {
+	if len(s.Schedulers) == 0 {
+		return fmt.Errorf("matrix: spec %q: schedulers axis is empty", s.Name)
+	}
+	seenSched := map[string]bool{}
+	for _, name := range s.Schedulers {
+		if !isKnownScheduler(name) {
+			return fmt.Errorf("matrix: spec %q: unknown scheduler %q (want one of %s)",
+				s.Name, name, strings.Join(knownSchedulers, ", "))
+		}
+		if seenSched[name] {
+			return fmt.Errorf("matrix: spec %q: duplicate scheduler %q would expand into duplicate cells", s.Name, name)
+		}
+		seenSched[name] = true
+	}
+	if s.Replications < 1 {
+		return fmt.Errorf("matrix: spec %q: replications must be ≥ 1, got %d", s.Name, s.Replications)
+	}
+	if s.Confidence <= 0 || s.Confidence >= 1 {
+		return fmt.Errorf("matrix: spec %q: confidence must be in (0, 1), got %g", s.Name, s.Confidence)
+	}
+	if s.BootstrapResamples < 0 {
+		return fmt.Errorf("matrix: spec %q: bootstrap_resamples must be ≥ 0, got %d", s.Name, s.BootstrapResamples)
+	}
+
+	seenPorts := map[int]bool{}
+	for _, p := range s.Ports {
+		if p <= 0 {
+			return fmt.Errorf("matrix: spec %q: ports must be positive, got %d", s.Name, p)
+		}
+		if seenPorts[p] {
+			return fmt.Errorf("matrix: spec %q: duplicate ports value %d would expand into duplicate cells", s.Name, p)
+		}
+		seenPorts[p] = true
+	}
+	seenDelta := map[float64]bool{}
+	for _, d := range s.DeltasMs {
+		if d <= 0 {
+			return fmt.Errorf("matrix: spec %q: deltas_ms must be positive, got %g", s.Name, d)
+		}
+		if seenDelta[d] {
+			return fmt.Errorf("matrix: spec %q: duplicate deltas_ms value %g would expand into duplicate cells", s.Name, d)
+		}
+		seenDelta[d] = true
+	}
+	seenLink := map[float64]bool{}
+	for _, g := range s.LinkGbps {
+		if g <= 0 {
+			return fmt.Errorf("matrix: spec %q: link_gbps must be positive, got %g", s.Name, g)
+		}
+		if seenLink[g] {
+			return fmt.Errorf("matrix: spec %q: duplicate link_gbps value %g would expand into duplicate cells", s.Name, g)
+		}
+		seenLink[g] = true
+	}
+	seenWl := map[string]bool{}
+	for _, w := range s.Workloads {
+		if w.Coflows < 0 || w.MaxWidth < 0 {
+			return fmt.Errorf("matrix: spec %q: workload %q has negative size", s.Name, w.Name)
+		}
+		if seenWl[w.Name] {
+			return fmt.Errorf("matrix: spec %q: duplicate workload name %q would expand into duplicate cells", s.Name, w.Name)
+		}
+		seenWl[w.Name] = true
+	}
+	seenFault := map[float64]bool{}
+	for _, f := range s.FaultRates {
+		if f < 0 || f >= 1 {
+			return fmt.Errorf("matrix: spec %q: fault_rates must be in [0, 1), got %g", s.Name, f)
+		}
+		if seenFault[f] {
+			return fmt.Errorf("matrix: spec %q: duplicate fault_rates value %g would expand into duplicate cells", s.Name, f)
+		}
+		seenFault[f] = true
+		if f > 0 {
+			for _, name := range s.Schedulers {
+				if !faultCapable[name] {
+					return fmt.Errorf("matrix: spec %q: fault rate %g requires fault-capable schedulers; %q replays through the fault-free fabric executor", s.Name, f, name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Expand returns the cartesian product of the spec's axes in deterministic
+// order: workload, ports, δ, bandwidth, fault rate, scheduler. The scheduler
+// axis varies fastest so one scenario's comparison group is contiguous.
+func (s Spec) Expand() []Cell {
+	var cells []Cell
+	for _, w := range s.Workloads {
+		for _, p := range s.Ports {
+			for _, d := range s.DeltasMs {
+				for _, g := range s.LinkGbps {
+					for _, f := range s.FaultRates {
+						for _, sched := range s.Schedulers {
+							cells = append(cells, Cell{
+								Index:     len(cells),
+								Scheduler: sched,
+								Ports:     p,
+								DeltaMs:   d,
+								LinkGbps:  g,
+								Workload:  w,
+								FaultRate: f,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// Runs returns the total number of simulator runs the spec expands into.
+func (s Spec) Runs() int {
+	return len(s.Expand()) * s.Replications
+}
+
+func isKnownScheduler(name string) bool {
+	i := sort.SearchStrings(sortedSchedulers, name)
+	return i < len(sortedSchedulers) && sortedSchedulers[i] == name
+}
+
+var sortedSchedulers = func() []string {
+	out := append([]string(nil), knownSchedulers...)
+	sort.Strings(out)
+	return out
+}()

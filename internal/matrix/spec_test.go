@@ -1,0 +1,155 @@
+package matrix
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodSpec = `{
+  "name": "t",
+  "schedulers": ["sunflow", "varys"],
+  "ports": [12, 24],
+  "deltas_ms": [10],
+  "workloads": [{"name": "tiny", "coflows": 8, "max_width": 4}],
+  "replications": 2,
+  "seed": 1
+}`
+
+func TestParseSpecGood(t *testing.T) {
+	s, err := ParseSpec([]byte(goodSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Confidence != 0.95 || s.BootstrapResamples != 1000 {
+		t.Errorf("defaults not applied: %+v", s)
+	}
+	if len(s.LinkGbps) != 1 || s.LinkGbps[0] != 1 {
+		t.Errorf("link axis default: %v", s.LinkGbps)
+	}
+	cells := s.Expand()
+	if len(cells) != 4 { // 2 schedulers × 2 ports
+		t.Fatalf("expanded %d cells, want 4", len(cells))
+	}
+	// Scheduler varies fastest, so a scenario's comparison group is
+	// contiguous; indexes are sequential.
+	if cells[0].Scheduler != "sunflow" || cells[1].Scheduler != "varys" || cells[0].Ports != cells[1].Ports {
+		t.Errorf("axis order: %+v", cells[:2])
+	}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Errorf("cell %d has index %d", i, c.Index)
+		}
+	}
+	if got := s.Runs(); got != 8 {
+		t.Errorf("Runs = %d, want 8", got)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := map[string]struct {
+		spec    string
+		wantErr string
+	}{
+		"unknown scheduler": {
+			`{"schedulers": ["sunflow", "sparrow"], "replications": 1}`,
+			"unknown scheduler",
+		},
+		"zero replications": {
+			`{"schedulers": ["sunflow"], "replications": 0}`,
+			"replications",
+		},
+		"negative replications": {
+			`{"schedulers": ["sunflow"], "replications": -3}`,
+			"replications",
+		},
+		"empty schedulers": {
+			`{"schedulers": [], "replications": 1}`,
+			"schedulers axis is empty",
+		},
+		"duplicate scheduler cells": {
+			`{"schedulers": ["varys", "varys"], "replications": 1}`,
+			"duplicate scheduler",
+		},
+		"duplicate ports cells": {
+			`{"schedulers": ["sunflow"], "ports": [24, 24], "replications": 1}`,
+			"duplicate ports",
+		},
+		"duplicate delta cells": {
+			`{"schedulers": ["sunflow"], "deltas_ms": [10, 10], "replications": 1}`,
+			"duplicate deltas_ms",
+		},
+		"duplicate workload cells": {
+			`{"schedulers": ["sunflow"], "workloads": [{"name": "a"}, {"name": "a", "coflows": 9}], "replications": 1}`,
+			"duplicate workload",
+		},
+		"duplicate fault cells": {
+			`{"schedulers": ["sunflow"], "fault_rates": [0.1, 0.1], "replications": 1}`,
+			"duplicate fault_rates",
+		},
+		"bad ports value": {
+			`{"schedulers": ["sunflow"], "ports": [0], "replications": 1}`,
+			"ports must be positive",
+		},
+		"bad delta value": {
+			`{"schedulers": ["sunflow"], "deltas_ms": [-1], "replications": 1}`,
+			"deltas_ms must be positive",
+		},
+		"fault rate out of range": {
+			`{"schedulers": ["sunflow"], "fault_rates": [1.5], "replications": 1}`,
+			"fault_rates must be in [0, 1)",
+		},
+		"fault axis with fault-free scheduler": {
+			`{"schedulers": ["sunflow", "tms"], "fault_rates": [0, 0.05], "replications": 1}`,
+			"fault-capable",
+		},
+		"bad confidence": {
+			`{"schedulers": ["sunflow"], "replications": 1, "confidence": 1.5}`,
+			"confidence",
+		},
+		"unknown field": {
+			`{"schedulers": ["sunflow"], "replications": 1, "portz": [8]}`,
+			"unknown field",
+		},
+		"trailing data": {
+			`{"schedulers": ["sunflow"], "replications": 1} {"again": true}`,
+			"trailing data",
+		},
+	}
+	for name, c := range cases {
+		_, err := ParseSpec([]byte(c.spec))
+		if err == nil {
+			t.Errorf("%s: expected an error", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", name, err, c.wantErr)
+		}
+	}
+}
+
+func TestLoadSpecSmokeExample(t *testing.T) {
+	s, err := LoadSpec("../../examples/matrix/smoke.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Schedulers) != 2 || s.Replications != 2 {
+		t.Errorf("smoke spec drifted from the documented 2×2×2 shape: %+v", s)
+	}
+	if got := s.Runs(); got > 16 {
+		t.Errorf("smoke spec expands to %d runs; keep it CI-sized", got)
+	}
+}
+
+func TestCellKeyGroupsScenario(t *testing.T) {
+	s, err := ParseSpec([]byte(goodSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := s.Expand()
+	if cells[0].Key() != cells[1].Key() {
+		t.Errorf("same scenario, different keys: %q vs %q", cells[0].Key(), cells[1].Key())
+	}
+	if cells[0].Key() == cells[2].Key() {
+		t.Errorf("different ports must give different keys: %q", cells[0].Key())
+	}
+}

@@ -1,0 +1,135 @@
+package render
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"strings"
+
+	"sunflow/internal/matrix"
+)
+
+// MatrixReport writes a single-file HTML roll-up of an experiment-matrix
+// run: the spec, one table per scenario with per-scheduler means and both
+// confidence intervals, an error-bar chart of average CCT per scenario, and
+// the pairwise speedup table. Like Report, everything is inlined so CI can
+// attach the file as one artifact.
+func MatrixReport(w io.Writer, res *matrix.Result, title string) error {
+	if title == "" {
+		title = fmt.Sprintf("Sunflow matrix report — %s", res.Spec.Name)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\"><title>%s</title><style>%s</style></head><body>\n",
+		html.EscapeString(title), reportCSS)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(title))
+	if res.Spec.Description != "" {
+		fmt.Fprintf(&b, "<p>%s</p>\n", html.EscapeString(res.Spec.Description))
+	}
+	fmt.Fprintf(&b, "<p class=\"small\">%d cells × %d replications = %d runs · %.0f%% confidence · base seed %d · bootstrap %d resamples</p>\n",
+		len(res.Cells), res.Spec.Replications, len(res.Cells)*res.Spec.Replications,
+		res.Spec.Confidence*100, res.Spec.Seed, res.Spec.BootstrapResamples)
+
+	for _, key := range scenarioOrder(res.Cells) {
+		group := scenarioCells(res.Cells, key)
+		fmt.Fprintf(&b, "<h2>Scenario %s</h2>\n", html.EscapeString(key))
+		b.WriteString("<table><tr><th>scheduler</th><th>avg CCT</th><th>t-CI</th><th>bootstrap CI</th><th>stddev</th><th>p95 CCT</th><th>duty cycle</th><th>switches</th><th>digest</th></tr>\n")
+		for _, c := range group {
+			fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>[%s, %s]</td><td>[%s, %s]</td><td>%s</td><td>%s</td><td>%.4f</td><td>%.0f</td><td class=\"small\">%s…</td></tr>\n",
+				html.EscapeString(c.Scheduler),
+				fmtSec(c.AvgCCT.Mean), fmtSec(c.AvgCCT.T.Lo), fmtSec(c.AvgCCT.T.Hi),
+				fmtSec(c.AvgCCT.Boot.Lo), fmtSec(c.AvgCCT.Boot.Hi),
+				fmtSec(c.AvgCCT.Stddev), fmtSec(c.P95CCT.Mean),
+				c.DutyCycle.Mean, c.Switches.Mean, html.EscapeString(c.Digest[:12]))
+		}
+		b.WriteString("</table>\n")
+		errorBarSVG(&b, group, 760)
+	}
+
+	if len(res.Speedups) > 0 {
+		b.WriteString("<h2>Pairwise speedups (paired by seed; ratio &lt; 1 favors the numerator)</h2>\n")
+		b.WriteString("<table><tr><th>scenario</th><th>ratio</th><th>mean</th><th>t-CI</th><th>bootstrap CI</th><th>pairs</th></tr>\n")
+		for _, s := range res.Speedups {
+			cls := ""
+			if s.Ratio.T.Hi < 1 {
+				cls = " class=\"ok\"" // numerator significantly faster
+			} else if s.Ratio.T.Lo > 1 {
+				cls = " class=\"bad\""
+			}
+			fmt.Fprintf(&b, "<tr%s><td>%s</td><td>%s/%s</td><td>%.3f</td><td>[%.3f, %.3f]</td><td>[%.3f, %.3f]</td><td>%d</td></tr>\n",
+				cls, html.EscapeString(s.Scenario),
+				html.EscapeString(s.Numerator), html.EscapeString(s.Denominator),
+				s.Ratio.Mean, s.Ratio.T.Lo, s.Ratio.T.Hi, s.Ratio.Boot.Lo, s.Ratio.Boot.Hi, s.Pairs)
+		}
+		b.WriteString("</table>\n")
+	}
+
+	b.WriteString("</body></html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// scenarioOrder returns each scenario key once, in first-appearance order.
+func scenarioOrder(cells []matrix.CellResult) []string {
+	var order []string
+	seen := map[string]bool{}
+	for _, c := range cells {
+		if key := c.Key(); !seen[key] {
+			seen[key] = true
+			order = append(order, key)
+		}
+	}
+	return order
+}
+
+func scenarioCells(cells []matrix.CellResult, key string) []matrix.CellResult {
+	var out []matrix.CellResult
+	for _, c := range cells {
+		if c.Key() == key {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// errorBarSVG draws one horizontal bar per scheduler: the mean average CCT
+// with t-interval whiskers, scaled to the widest upper bound in the group.
+func errorBarSVG(b *strings.Builder, group []matrix.CellResult, width int) {
+	if len(group) == 0 {
+		return
+	}
+	max := 0.0
+	for _, c := range group {
+		if c.AvgCCT.T.Hi > max {
+			max = c.AvgCCT.T.Hi
+		}
+		if c.AvgCCT.Mean > max {
+			max = c.AvgCCT.Mean
+		}
+	}
+	if max <= 0 {
+		return
+	}
+	const rowH, labelW, pad = 26, 90, 8
+	plotW := width - labelW - 70
+	height := len(group)*rowH + 2*pad
+	x := func(v float64) float64 { return float64(labelW) + v/max*float64(plotW) }
+
+	fmt.Fprintf(b, "<svg width=\"%d\" height=\"%d\" xmlns=\"http://www.w3.org/2000/svg\" font-family=\"sans-serif\" font-size=\"11\">\n", width, height)
+	fmt.Fprintf(b, "<text x=\"%d\" y=\"%d\" fill=\"#666\">avg CCT, mean with %.0f%% t-interval</text>\n",
+		labelW, pad+4, group[0].AvgCCT.T.Confidence*100)
+	for i, c := range group {
+		y := pad + 10 + i*rowH
+		cy := float64(y) + rowH/2 - 4
+		fmt.Fprintf(b, "<text x=\"%d\" y=\"%.0f\" text-anchor=\"end\">%s</text>\n", labelW-6, cy+4, html.EscapeString(c.Scheduler))
+		fmt.Fprintf(b, "<rect x=\"%d\" y=\"%.0f\" width=\"%.2f\" height=\"12\" fill=\"%s\" fill-opacity=\"0.75\"/>\n",
+			labelW, cy-6, x(c.AvgCCT.Mean)-float64(labelW), colorFor(i))
+		// Whiskers: a horizontal CI line with end caps.
+		lo, hi := x(c.AvgCCT.T.Lo), x(c.AvgCCT.T.Hi)
+		fmt.Fprintf(b, "<line x1=\"%.2f\" y1=\"%.0f\" x2=\"%.2f\" y2=\"%.0f\" stroke=\"#222\" stroke-width=\"1.5\"/>\n", lo, cy, hi, cy)
+		for _, xc := range []float64{lo, hi} {
+			fmt.Fprintf(b, "<line x1=\"%.2f\" y1=\"%.0f\" x2=\"%.2f\" y2=\"%.0f\" stroke=\"#222\" stroke-width=\"1.5\"/>\n", xc, cy-5, xc, cy+5)
+		}
+		fmt.Fprintf(b, "<text x=\"%.2f\" y=\"%.0f\">%s</text>\n", hi+6, cy+4, fmtSec(c.AvgCCT.Mean))
+	}
+	b.WriteString("</svg>\n")
+}

@@ -1,0 +1,77 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sunflow/internal/matrix"
+)
+
+func matrixResult(t *testing.T) *matrix.Result {
+	t.Helper()
+	spec, err := matrix.ParseSpec([]byte(`{
+	  "name": "render-test",
+	  "schedulers": ["sunflow", "varys"],
+	  "ports": [8],
+	  "workloads": [{"name": "tiny", "coflows": 5, "max_width": 3}],
+	  "replications": 2,
+	  "seed": 3,
+	  "bootstrap_resamples": 100
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := matrix.Run(spec, matrix.Options{Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestMatrixReport(t *testing.T) {
+	res := matrixResult(t)
+	var buf bytes.Buffer
+	if err := MatrixReport(&buf, res, ""); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	for _, want := range []string{
+		"render-test", "sunflow", "varys",
+		"t-CI", "bootstrap CI", "Pairwise speedups",
+		"<svg", "t-interval",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// The error-bar SVG must be well-formed markup like every other chart.
+	start := strings.Index(doc, "<svg")
+	end := strings.Index(doc, "</svg>")
+	if start < 0 || end < 0 {
+		t.Fatal("no SVG emitted")
+	}
+	wellFormedXML(t, doc[start:end+len("</svg>")])
+	// Every cell digest's prefix must appear, for eyeballing determinism
+	// drift between two CI artifacts.
+	for _, c := range res.Cells {
+		if !strings.Contains(doc, c.Digest[:12]) {
+			t.Errorf("report missing digest prefix for cell %d", c.Index)
+		}
+	}
+}
+
+func TestMatrixReportEmptySpeedups(t *testing.T) {
+	res := matrixResult(t)
+	res.Speedups = nil
+	var buf bytes.Buffer
+	if err := MatrixReport(&buf, res, "custom title"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "Pairwise speedups") {
+		t.Error("speedup section must be omitted when empty")
+	}
+	if !strings.Contains(buf.String(), "custom title") {
+		t.Error("custom title not used")
+	}
+}

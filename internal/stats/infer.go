@@ -1,0 +1,248 @@
+package stats
+
+// Inference machinery for replicated experiments: sample standard deviation,
+// Student-t and percentile-bootstrap confidence intervals, and speedup-ratio
+// intervals. The experiment-matrix runner (internal/matrix) aggregates every
+// cell's replications through these estimators; everything is deterministic
+// in its inputs (the bootstrap takes an explicit seed) so matrix cells digest
+// identically across runs.
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Variance returns the unbiased sample variance (n−1 denominator), or 0 for
+// fewer than two samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// Stddev returns the sample standard deviation, or 0 for fewer than two
+// samples.
+func Stddev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Interval is a two-sided confidence interval for a mean (or a mean ratio).
+type Interval struct {
+	N          int     `json:"n"`
+	Mean       float64 `json:"mean"`
+	Lo         float64 `json:"lo"`
+	Hi         float64 `json:"hi"`
+	Confidence float64 `json:"confidence"`
+}
+
+// Degenerate reports whether the interval carries no width information:
+// fewer than two samples, or a constant sample.
+func (iv Interval) Degenerate() bool {
+	return iv.N < 2 || iv.Lo == iv.Hi
+}
+
+// Contains reports whether x lies inside the interval (inclusive).
+func (iv Interval) Contains(x float64) bool {
+	return iv.Lo <= x && x <= iv.Hi
+}
+
+// TInterval returns the two-sided Student-t confidence interval for the mean
+// of xs at the given confidence level (e.g. 0.95). With fewer than two
+// samples the interval collapses to the mean; the bench harness treats that
+// as "no width information", not as certainty.
+func TInterval(xs []float64, confidence float64) Interval {
+	iv := Interval{N: len(xs), Mean: Mean(xs), Confidence: confidence}
+	iv.Lo, iv.Hi = iv.Mean, iv.Mean
+	if len(xs) < 2 || confidence <= 0 || confidence >= 1 {
+		return iv
+	}
+	se := Stddev(xs) / math.Sqrt(float64(len(xs)))
+	if se == 0 {
+		return iv
+	}
+	t := TQuantile(0.5+confidence/2, len(xs)-1)
+	iv.Lo = iv.Mean - t*se
+	iv.Hi = iv.Mean + t*se
+	return iv
+}
+
+// BootstrapMeanCI returns the percentile-bootstrap confidence interval for
+// the mean of xs: resamples draws with replacement, each of size len(xs),
+// and the (1±confidence)/2 percentiles of the resampled means. The seed
+// makes the interval a pure function of its arguments. resamples ≤ 0 selects
+// 1000.
+func BootstrapMeanCI(xs []float64, confidence float64, resamples int, seed int64) Interval {
+	iv := Interval{N: len(xs), Mean: Mean(xs), Confidence: confidence}
+	iv.Lo, iv.Hi = iv.Mean, iv.Mean
+	if len(xs) < 2 || confidence <= 0 || confidence >= 1 {
+		return iv
+	}
+	if resamples <= 0 {
+		resamples = 1000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	means := make([]float64, resamples)
+	for r := range means {
+		var sum float64
+		for i := 0; i < len(xs); i++ {
+			sum += xs[rng.Intn(len(xs))]
+		}
+		means[r] = sum / float64(len(xs))
+	}
+	sort.Float64s(means)
+	alpha := (1 - confidence) / 2
+	iv.Lo = Percentile(means, 100*alpha)
+	iv.Hi = Percentile(means, 100*(1-alpha))
+	return iv
+}
+
+// PairedRatios returns the elementwise ratios a[i]/b[i], skipping pairs
+// whose denominator is not positive. It is the paired-by-seed speedup sample
+// the matrix runner feeds back into TInterval/BootstrapMeanCI: replications
+// of two schedulers on the same seed share a workload, so the per-seed ratio
+// cancels workload noise that independent resampling would keep.
+func PairedRatios(a, b []float64) []float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		if b[i] > 0 {
+			out = append(out, a[i]/b[i])
+		}
+	}
+	return out
+}
+
+// TQuantile returns the p-quantile (inverse CDF) of Student's t distribution
+// with df degrees of freedom, by bisection on TCDF. p must be in (0, 1); df
+// must be ≥ 1. Accuracy is ~1e-10, far below what any confidence interval
+// notices.
+func TQuantile(p float64, df int) float64 {
+	if df < 1 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	switch {
+	case p <= 0:
+		return math.Inf(-1)
+	case p >= 1:
+		return math.Inf(1)
+	case p == 0.5:
+		return 0
+	case p < 0.5:
+		return -TQuantile(1-p, df)
+	}
+	// Expand the bracket until it contains the quantile, then bisect. The
+	// CDF is monotone, so this cannot miss.
+	lo, hi := 0.0, 1.0
+	for TCDF(hi, df) < p && hi < 1e18 {
+		hi *= 2
+	}
+	for i := 0; i < 200 && hi-lo > 1e-12*(1+hi); i++ {
+		mid := (lo + hi) / 2
+		if TCDF(mid, df) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// TCDF returns P(T ≤ t) for Student's t distribution with df degrees of
+// freedom, via the regularized incomplete beta function.
+func TCDF(t float64, df int) float64 {
+	if df < 1 {
+		return math.NaN()
+	}
+	if t == 0 {
+		return 0.5
+	}
+	x := float64(df) / (float64(df) + t*t)
+	p := 0.5 * regIncBeta(float64(df)/2, 0.5, x)
+	if t > 0 {
+		return 1 - p
+	}
+	return p
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// with the standard continued-fraction expansion (Lentz's method), using the
+// symmetry relation to keep the fraction in its fast-converging regime.
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	front := math.Exp(lgamma(a+b) - lgamma(a) - lgamma(b) + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+// betacf evaluates the continued fraction for the incomplete beta function.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// lgamma is math.Lgamma without the sign return (all our arguments are
+// positive).
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}

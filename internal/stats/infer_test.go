@@ -1,0 +1,235 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestTQuantileAgainstTables pins TQuantile to the classic two-sided t-table
+// values (97.5th and 95th percentiles) that every statistics text prints.
+func TestTQuantileAgainstTables(t *testing.T) {
+	cases := []struct {
+		p    float64
+		df   int
+		want float64
+	}{
+		{0.975, 1, 12.7062},
+		{0.975, 2, 4.3027},
+		{0.975, 5, 2.5706},
+		{0.975, 10, 2.2281},
+		{0.975, 30, 2.0423},
+		{0.975, 120, 1.9799},
+		{0.95, 1, 6.3138},
+		{0.95, 5, 2.0150},
+		{0.95, 10, 1.8125},
+		{0.95, 30, 1.6973},
+		{0.995, 10, 3.1693},
+		{0.90, 20, 1.3253},
+	}
+	for _, c := range cases {
+		got := TQuantile(c.p, c.df)
+		if math.Abs(got-c.want) > 5e-4 {
+			t.Errorf("TQuantile(%v, %d) = %.4f, want %.4f", c.p, c.df, got, c.want)
+		}
+		// Symmetry: the lower-tail quantile is the negation.
+		if lo := TQuantile(1-c.p, c.df); math.Abs(lo+got) > 1e-9 {
+			t.Errorf("TQuantile(%v, %d) = %.6f, want -TQuantile(%v) = %.6f", 1-c.p, c.df, lo, c.p, -got)
+		}
+	}
+}
+
+func TestTQuantileEdges(t *testing.T) {
+	if got := TQuantile(0.5, 7); got != 0 {
+		t.Errorf("median of t must be 0, got %v", got)
+	}
+	if !math.IsInf(TQuantile(1, 3), 1) || !math.IsInf(TQuantile(0, 3), -1) {
+		t.Error("p=0/1 must map to ∓Inf")
+	}
+	if !math.IsNaN(TQuantile(0.9, 0)) {
+		t.Error("df=0 must be NaN")
+	}
+	// Large df approaches the normal quantile 1.95996.
+	if got := TQuantile(0.975, 100000); math.Abs(got-1.95996) > 1e-3 {
+		t.Errorf("TQuantile(0.975, 1e5) = %v, want ≈1.95996", got)
+	}
+}
+
+func TestTCDFRoundTrip(t *testing.T) {
+	for _, df := range []int{1, 2, 5, 17, 60} {
+		for _, p := range []float64{0.01, 0.2, 0.5, 0.77, 0.975, 0.999} {
+			q := TQuantile(p, df)
+			if back := TCDF(q, df); math.Abs(back-p) > 1e-8 {
+				t.Errorf("TCDF(TQuantile(%v, %d)) = %v", p, df, back)
+			}
+		}
+	}
+}
+
+func TestTIntervalKnownSample(t *testing.T) {
+	// n=5, mean 30, stddev sqrt(250)=15.811; t(0.975, 4)=2.7764.
+	xs := []float64{10, 20, 30, 40, 50}
+	iv := TInterval(xs, 0.95)
+	half := 2.7764 * math.Sqrt(250) / math.Sqrt(5)
+	if math.Abs(iv.Mean-30) > 1e-12 {
+		t.Errorf("mean = %v", iv.Mean)
+	}
+	if math.Abs(iv.Lo-(30-half)) > 1e-3 || math.Abs(iv.Hi-(30+half)) > 1e-3 {
+		t.Errorf("interval [%v, %v], want 30 ∓ %v", iv.Lo, iv.Hi, half)
+	}
+	if iv.Degenerate() {
+		t.Error("five distinct samples must give a non-degenerate interval")
+	}
+}
+
+func TestIntervalDegenerateSamples(t *testing.T) {
+	for name, xs := range map[string][]float64{
+		"empty":    nil,
+		"single":   {3.5},
+		"constant": {2, 2, 2, 2},
+	} {
+		for _, iv := range []Interval{
+			TInterval(xs, 0.95),
+			BootstrapMeanCI(xs, 0.95, 200, 1),
+		} {
+			if iv.Lo != iv.Mean || iv.Hi != iv.Mean {
+				t.Errorf("%s: interval must collapse to the mean, got [%v, %v] around %v", name, iv.Lo, iv.Hi, iv.Mean)
+			}
+			if !iv.Degenerate() {
+				t.Errorf("%s: must report degenerate", name)
+			}
+			if iv.N != len(xs) {
+				t.Errorf("%s: N = %d", name, iv.N)
+			}
+		}
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	xs := []float64{1, 4, 2, 8, 5, 7}
+	a := BootstrapMeanCI(xs, 0.95, 500, 42)
+	b := BootstrapMeanCI(xs, 0.95, 500, 42)
+	if a != b {
+		t.Errorf("same seed must reproduce: %+v vs %+v", a, b)
+	}
+	c := BootstrapMeanCI(xs, 0.95, 500, 43)
+	if a == c {
+		t.Error("different seeds should perturb the interval")
+	}
+}
+
+// TestBootstrapCoverage checks empirical coverage on synthetic normal and
+// exponential samples: a 90% bootstrap CI should contain the true mean
+// roughly 90% of the time. Coverage is checked loosely (≥ 75%) over 200
+// fixed-seed trials — the point is catching gross construction errors
+// (swapped percentiles, off-by-one alphas), not certifying the estimator.
+func TestBootstrapCoverage(t *testing.T) {
+	const trials = 200
+	draw := map[string]func(r *rand.Rand) (float64, float64){
+		"normal":      func(r *rand.Rand) (float64, float64) { return 5 + 2*r.NormFloat64(), 5 },
+		"exponential": func(r *rand.Rand) (float64, float64) { return r.ExpFloat64() * 3, 3 },
+	}
+	for name, gen := range draw {
+		rng := rand.New(rand.NewSource(7))
+		hit := 0
+		for trial := 0; trial < trials; trial++ {
+			xs := make([]float64, 30)
+			var mean float64
+			for i := range xs {
+				xs[i], mean = gen(rng)
+			}
+			iv := BootstrapMeanCI(xs, 0.90, 400, int64(trial))
+			if iv.Contains(mean) {
+				hit++
+			}
+		}
+		if cov := float64(hit) / trials; cov < 0.75 {
+			t.Errorf("%s: 90%% bootstrap CI covered the true mean only %.0f%% of the time", name, 100*cov)
+		}
+	}
+}
+
+// TestTIntervalCoverage mirrors the bootstrap coverage check for the
+// Student-t interval, where n=10 normal samples make the t correction
+// matter.
+func TestTIntervalCoverage(t *testing.T) {
+	const trials = 300
+	rng := rand.New(rand.NewSource(11))
+	hit := 0
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 10)
+		for i := range xs {
+			xs[i] = 10 + 3*rng.NormFloat64()
+		}
+		if TInterval(xs, 0.95).Contains(10) {
+			hit++
+		}
+	}
+	if cov := float64(hit) / trials; cov < 0.88 || cov > 1 {
+		t.Errorf("95%% t-interval coverage = %.1f%%", 100*cov)
+	}
+}
+
+// TestIntervalProperties quick.Checks the structural invariants every
+// interval must satisfy on arbitrary samples.
+func TestIntervalProperties(t *testing.T) {
+	prop := func(raw []float64, seed int64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		tIv := TInterval(xs, 0.95)
+		bIv := BootstrapMeanCI(xs, 0.95, 100, seed)
+		mean := Mean(xs)
+		if !(tIv.Lo <= mean+1e-9 && mean-1e-9 <= tIv.Hi) {
+			return false
+		}
+		if !(bIv.Lo <= bIv.Hi) {
+			return false
+		}
+		// Bootstrap resamples cannot leave the sample's range.
+		if len(xs) > 0 && (bIv.Lo < Min(xs)-1e-9 || bIv.Hi > Max(xs)+1e-9) {
+			return false
+		}
+		return Stddev(xs) >= 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairedRatios(t *testing.T) {
+	got := PairedRatios([]float64{2, 9, 4, 6}, []float64{1, 3, 0, 2})
+	want := []float64{2, 3, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ratio[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if out := PairedRatios(nil, nil); len(out) != 0 {
+		t.Errorf("empty inputs must give no ratios, got %v", out)
+	}
+	// Mismatched lengths truncate to the shorter side.
+	if out := PairedRatios([]float64{4, 4, 4}, []float64{2}); len(out) != 1 || out[0] != 2 {
+		t.Errorf("truncation: got %v", out)
+	}
+}
+
+func TestVarianceStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if v := Variance(xs); math.Abs(v-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", v, 32.0/7)
+	}
+	if s := Stddev(xs); math.Abs(s-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("Stddev = %v", s)
+	}
+	if Variance([]float64{42}) != 0 || Variance(nil) != 0 {
+		t.Error("degenerate variance must be 0")
+	}
+}
