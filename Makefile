@@ -8,7 +8,7 @@ GO ?= go
 STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1.1
 GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: build test race lint static bench bench-ci bench-alloc bench-kernels bench-baseline trace-lint fault-lint fuzz matrix matrix-smoke clean
+.PHONY: build test race lint static bench bench-ci bench-alloc bench-kernels bench-baseline trace-lint fault-lint profile-smoke fuzz matrix matrix-smoke clean
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,16 @@ fault-lint:
 	$(GO) run ./cmd/repro -seed 1 -trace fault-events.jsonl resilience
 	$(GO) run ./cmd/sunflow-analyze lint fault-events.jsonl
 
+# Self-profiling pipeline (docs/OBSERVABILITY.md): a fixed-seed run with
+# spans recorded into the trace, the span lint rules (span_structure,
+# span_containment) checked alongside every other invariant, and the
+# per-phase table plus flamegraph SVG rendered. Same as the CI
+# profile-smoke job; the SVG is the uploaded artifact.
+profile-smoke:
+	$(GO) run ./cmd/repro -seed 1 -coflows 40 -ports 24 -maxwidth 8 -profile -trace profile-events.jsonl fig9
+	$(GO) run ./cmd/sunflow-analyze lint profile-events.jsonl
+	$(GO) run ./cmd/sunflow-analyze profile -o profile.svg profile-events.jsonl
+
 # Short fuzz smoke over the two untrusted-input decoders: the benchmark
 # trace parser and the JSON fault-plan decoder. Same as the CI fuzz job.
 FUZZTIME ?= 20s
@@ -96,4 +106,5 @@ matrix-smoke:
 
 clean:
 	rm -f BENCH_ci.json BENCH_alloc.json events.jsonl fault-events.jsonl report.html
+	rm -f profile-events.jsonl profile.svg
 	rm -rf matrix-out matrix-smoke-out matrix-smoke-rerun

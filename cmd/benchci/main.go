@@ -16,6 +16,11 @@
 //	go test -bench . -benchtime 1x -benchmem -run '^$' . | benchci -write-baseline BENCH_baseline.json
 //	go test -bench . -benchtime 1x -benchmem -run '^$' . | benchci -baseline BENCH_baseline.json -gate-allocs
 //	go test -bench . -benchtime 1x -run '^$' . | benchci -list
+//	go test -bench . -benchtime 1x -benchmem -run '^$' . | benchci -history BENCH_history.jsonl
+//
+// -history appends each run's parsed benchmarks as one timestamped JSONL
+// line and prints per-benchmark deltas against the previous entry, giving
+// the repo a queryable performance trail alongside the pass/fail gate.
 //
 // With -require-all, a benchmark present in the baseline but absent from
 // the run fails the gate with an explicit per-name diff — a silently
@@ -39,6 +44,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"sunflow/internal/bench"
 )
@@ -64,6 +70,7 @@ func main() {
 	allocTolerance := flag.Float64("alloc-tolerance", 0.10, "allocs/op regression tolerance for -gate-allocs")
 	requireAll := flag.Bool("require-all", false, "fail when a benchmark in the baseline is missing from this run")
 	list := flag.Bool("list", false, "print the parsed benchmarks and exit without writing a report or gating")
+	history := flag.String("history", "", "append this run's benchmarks to the given JSONL history file and print per-benchmark deltas against the previous entry")
 	flag.Parse()
 
 	benches, allocs, mapping, err := parseBench(os.Stdin)
@@ -103,6 +110,11 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("benchci: wrote %s (%d benchmarks)\n", path, len(benches))
+	if *history != "" {
+		if err := appendHistory(os.Stdout, *history, report); err != nil {
+			fatal(err)
+		}
+	}
 	if *writeBaseline != "" || *baseline == "" {
 		return
 	}
@@ -274,6 +286,95 @@ func gateAllocRegressions(cur, base Report, tol float64) bool {
 		fmt.Println("benchci: FAIL — allocation regression above tolerance")
 	}
 	return failed
+}
+
+// historyEntry is one line of the -history JSONL file: a timestamped
+// snapshot of this run's benchmark numbers. Keeping every run (instead of
+// one rolling baseline) gives the repo a queryable performance trail —
+// `jq` over the file plots any benchmark across commits.
+type historyEntry struct {
+	Time       string             `json:"time"`
+	Benchmarks map[string]float64 `json:"benchmarks"`
+	Allocs     map[string]float64 `json:"allocs,omitempty"`
+}
+
+// appendHistory prints each benchmark's delta against the file's last entry,
+// then appends the current run as a new JSONL line. Deltas are informational
+// only — the hard gate stays with -baseline.
+func appendHistory(w io.Writer, path string, r Report) error {
+	prev, n, err := lastHistoryEntry(path)
+	if err != nil {
+		return fmt.Errorf("history: %w", err)
+	}
+	if prev == nil {
+		fmt.Fprintf(w, "benchci: history: starting %s\n", path)
+	} else {
+		for _, name := range sortedKeys(r.Benchmarks) {
+			ns := r.Benchmarks[name]
+			old, ok := prev.Benchmarks[name]
+			if !ok || old <= 0 {
+				fmt.Fprintf(w, "benchci: history: %-40s %12.0f ns/op (new)\n", name, ns)
+				continue
+			}
+			fmt.Fprintf(w, "benchci: history: %-40s %12.0f ns/op  prev %12.0f  %+.1f%%\n",
+				name, ns, old, (ns/old-1)*100)
+		}
+	}
+	entry := historyEntry{
+		Time:       time.Now().UTC().Format(time.RFC3339),
+		Benchmarks: r.Benchmarks,
+		Allocs:     r.Allocs,
+	}
+	data, err := json.Marshal(entry)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "benchci: history: appended entry %d to %s\n", n+1, path)
+	return nil
+}
+
+// lastHistoryEntry returns the file's final parseable entry and the total
+// line count; a missing file is an empty history, not an error. A trailing
+// corrupt line (interrupted write) is skipped with a note rather than
+// poisoning every future run.
+func lastHistoryEntry(path string) (*historyEntry, int, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	var last *historyEntry
+	n := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		n++
+		var e historyEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			fmt.Printf("benchci: history: skipping unparseable line %d of %s: %v\n", n, path, err)
+			continue
+		}
+		last = &e
+	}
+	return last, n, sc.Err()
 }
 
 func sortedKeys(m map[string]float64) []string {

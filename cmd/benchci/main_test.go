@@ -81,3 +81,47 @@ func TestStripProcs(t *testing.T) {
 		}
 	}
 }
+
+func TestHistoryAppendAndDelta(t *testing.T) {
+	path := t.TempDir() + "/hist.jsonl"
+	r1 := Report{Benchmarks: map[string]float64{"BenchmarkA": 100, "BenchmarkB": 200}}
+
+	var out strings.Builder
+	if err := appendHistory(&out, path, r1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "starting") {
+		t.Errorf("first append should start a new history, got:\n%s", out.String())
+	}
+
+	// Second run: A doubled, B unchanged, C is new.
+	r2 := Report{Benchmarks: map[string]float64{"BenchmarkA": 200, "BenchmarkB": 200, "BenchmarkC": 50}}
+	out.Reset()
+	if err := appendHistory(&out, path, r2); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"BenchmarkA", "+100.0%", "BenchmarkB", "+0.0%", "BenchmarkC", "(new)", "entry 2"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("history output missing %q:\n%s", want, got)
+		}
+	}
+
+	last, n, err := lastHistoryEntry(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || last == nil || last.Benchmarks["BenchmarkC"] != 50 {
+		t.Fatalf("lastHistoryEntry = %+v (n=%d), want the second entry", last, n)
+	}
+	if last.Time == "" {
+		t.Errorf("history entry has no timestamp")
+	}
+}
+
+func TestHistoryMissingFileIsEmpty(t *testing.T) {
+	last, n, err := lastHistoryEntry(t.TempDir() + "/absent.jsonl")
+	if err != nil || last != nil || n != 0 {
+		t.Fatalf("missing history = (%v, %d, %v), want (nil, 0, nil)", last, n, err)
+	}
+}

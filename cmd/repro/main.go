@@ -31,6 +31,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -44,6 +45,7 @@ import (
 	"sunflow/internal/obs"
 	"sunflow/internal/obs/obshttp"
 	"sunflow/internal/obs/render"
+	"sunflow/internal/obs/span"
 )
 
 func main() {
@@ -52,6 +54,7 @@ func main() {
 	ports := flag.Int("ports", 150, "fabric port count")
 	maxWidth := flag.Int("maxwidth", 60, "max shuffle fan-in/out")
 	metrics := flag.Bool("metrics", false, "print per-scheduler observability summaries after each experiment")
+	profile := flag.Bool("profile", false, "record self-profiling spans (wall-clock phase attribution; docs/OBSERVABILITY.md) into the metrics registry and, with -trace, the event stream; analyze with sunflow-analyze profile")
 	traceOut := flag.String("trace", "", "write the JSONL simulation event trace to this file")
 	httpAddr := flag.String("http", "", "serve live /metrics, /healthz, expvar and pprof on this address (e.g. :8080)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -60,21 +63,21 @@ func main() {
 	workers := flag.Int("workers", 0, "matrix run parallelism (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	if *matrixSpec != "" {
-		if err := runMatrix(*matrixSpec, *matrixOut, *workers); err != nil {
-			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+	if *pprofAddr != "" {
+		// Bind synchronously so an unusable address fails the run up front
+		// instead of printing a "listening" banner and erroring later from a
+		// goroutine.
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: pprof: %v\n", err)
 			os.Exit(1)
 		}
-		return
-	}
-
-	if *pprofAddr != "" {
 		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			if err := http.Serve(ln, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "repro: pprof: %v\n", err)
 			}
 		}()
-		fmt.Printf("[pprof listening on %s]\n", *pprofAddr)
+		fmt.Printf("[pprof listening on %s]\n", ln.Addr())
 	}
 
 	var sink *obs.JSONLSink
@@ -103,6 +106,35 @@ func main() {
 		fmt.Printf("[metrics listening on http://%s/metrics]\n", srv.Addr())
 	}
 
+	if *matrixSpec != "" {
+		var mopts matrix.Options
+		if *metrics || sink != nil || liveReg != nil || *profile {
+			var s obs.Sink
+			if sink != nil {
+				s = sink
+			}
+			reg := liveReg
+			if reg == nil {
+				reg = obs.NewRegistry()
+			}
+			mopts.Obs = obs.NewWith(reg, s)
+			if *profile {
+				mopts.Prof = span.New(span.Options{Registry: reg, Sink: s, Runtime: &span.Sampler{}})
+			}
+		}
+		if err := runMatrix(*matrixSpec, *matrixOut, *workers, mopts); err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
+			os.Exit(1)
+		}
+		if sink != nil {
+			if err := sink.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "repro: trace: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
 	cfg := bench.Config{
 		Seed:     *seed,
 		Coflows:  *coflows,
@@ -121,7 +153,7 @@ func main() {
 	}
 
 	for _, id := range wanted {
-		if *metrics || sink != nil || liveReg != nil {
+		if *metrics || sink != nil || liveReg != nil || *profile {
 			// A fresh observer per experiment keeps the printed summaries
 			// attributable; the trace sink is shared so one file carries the
 			// whole run. The nil *JSONLSink must not be wrapped in the Sink
@@ -135,6 +167,9 @@ func main() {
 				reg = obs.NewRegistry()
 			}
 			cfg.Obs = obs.NewWith(reg, s)
+			if *profile {
+				cfg.Prof = span.New(span.Options{Registry: reg, Sink: s, Runtime: &span.Sampler{}})
+			}
 		}
 		start := time.Now()
 		out, err := run(cfg, strings.ToLower(id))
@@ -157,7 +192,7 @@ func main() {
 }
 
 // runMatrix executes a scenario spec and writes the JSONL and HTML reports.
-func runMatrix(specPath, outDir string, workers int) error {
+func runMatrix(specPath, outDir string, workers int, mopts matrix.Options) error {
 	spec, err := matrix.LoadSpec(specPath)
 	if err != nil {
 		return err
@@ -165,12 +200,11 @@ func runMatrix(specPath, outDir string, workers int) error {
 	fmt.Printf("[matrix %q: %d cells × %d replications = %d runs]\n",
 		spec.Name, len(spec.Expand()), spec.Replications, spec.Runs())
 	start := time.Now()
-	res, err := matrix.Run(spec, matrix.Options{
-		Workers: workers,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		},
-	})
+	mopts.Workers = workers
+	mopts.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	res, err := matrix.Run(spec, mopts)
 	if err != nil {
 		return err
 	}

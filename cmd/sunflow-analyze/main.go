@@ -17,6 +17,9 @@
 //	sunflow-analyze lint    [trace.jsonl]   check invariants; exit 1 on violations
 //	sunflow-analyze gantt   [trace.jsonl]   SVG circuit timeline to -o
 //	sunflow-analyze report  [trace.jsonl]   self-contained HTML report to -o
+//	sunflow-analyze profile [trace.jsonl]   per-phase span table; -o adds a
+//	                                        flamegraph-style SVG (see
+//	                                        docs/OBSERVABILITY.md)
 //
 // With no file argument (or "-") the trace is read from stdin, so the tool
 // pipes: go run ./cmd/sunflow -traceout /dev/stdout ... | sunflow-analyze lint
@@ -35,14 +38,18 @@ import (
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: sunflow-analyze <analyze|lint|gantt|report> [flags] [trace.jsonl]
+	fmt.Fprintf(os.Stderr, `usage: sunflow-analyze <analyze|lint|gantt|report|profile> [flags] [trace.jsonl]
 
 subcommands:
   analyze   print per-scheduler duty cycle, δ overhead and CCT percentiles
   lint      check trace invariants, including the fault rules retry_delta
-            and down_port_overlap; exits 1 when violations are found
+            and down_port_overlap and the span rules span_structure and
+            span_containment; exits 1 when violations are found
   gantt     write an SVG per-port circuit timeline
   report    write a self-contained HTML report
+  profile   print the per-phase span table (count/total/self/max and the
+            critical path) from a trace recorded with -profile; with -o,
+            also write a flamegraph-style SVG
 
 flags:
 `)
@@ -96,6 +103,8 @@ func main() {
 		err = writeOut(*out, func(w io.Writer) error {
 			return render.Report(w, a, *title)
 		})
+	case "profile":
+		err = runProfile(a, *scope, *out, *width, *title)
 	default:
 		usage()
 		os.Exit(2)
@@ -142,6 +151,62 @@ func writeOut(path string, fn func(io.Writer) error) error {
 		return err
 	}
 	return f.Close()
+}
+
+// runProfile prints the per-phase span tables (one per scope carrying
+// spans, or just the named scope) and, with -o, writes the first such
+// scope's flamegraph SVG.
+func runProfile(a *replay.Analysis, scope, out string, width int, title string) error {
+	var scopes []*replay.Scope
+	if scope != "" {
+		s := a.Scope(scope)
+		if s == nil || len(s.SpanRoots) == 0 {
+			return fmt.Errorf("no spans in scope %q (scopes: %v)", scope, a.ScopeNames())
+		}
+		scopes = []*replay.Scope{s}
+	} else {
+		for _, n := range a.ScopeNames() {
+			if s := a.Scopes[n]; len(s.SpanRoots) > 0 {
+				scopes = append(scopes, s)
+			}
+		}
+		if len(scopes) == 0 {
+			return fmt.Errorf("trace has no span events — record one with repro -profile (scopes: %v)", a.ScopeNames())
+		}
+	}
+	for i, s := range scopes {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := render.PhaseTable(os.Stdout, s); err != nil {
+			return err
+		}
+		if cp := longestCriticalPath(s); len(cp) > 1 {
+			fmt.Printf("  critical path:")
+			for _, n := range cp {
+				fmt.Printf("  %s(%.6fs)", n.Name, n.Dur)
+			}
+			fmt.Println()
+		}
+	}
+	if out == "" {
+		return nil
+	}
+	return writeOut(out, func(w io.Writer) error {
+		return render.FlameSVG(w, scopes[0], render.FlameOptions{Width: width, Title: title})
+	})
+}
+
+// longestCriticalPath is the heaviest-child chain of the scope's largest
+// root span.
+func longestCriticalPath(s *replay.Scope) []*replay.SpanNode {
+	var top *replay.SpanNode
+	for _, r := range s.SpanRoots {
+		if top == nil || r.Dur > top.Dur {
+			top = r
+		}
+	}
+	return replay.CriticalPath(top)
 }
 
 func printAnalysis(w io.Writer, a *replay.Analysis) {

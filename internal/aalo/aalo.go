@@ -16,6 +16,7 @@ import (
 
 	"sunflow/internal/fabric"
 	"sunflow/internal/obs"
+	"sunflow/internal/obs/span"
 )
 
 // Allocator computes Aalo D-CLAS rates; it implements fabric.RateAllocator
@@ -36,6 +37,11 @@ type Allocator struct {
 	// accounts sim-level pass counters separately, so the two never double
 	// count. Nil disables instrumentation.
 	Obs *obs.Observer
+	// Prof optionally records profiling spans ("aalo.allocate" with a
+	// "maxmin" child covering the per-Coflow fair-sharing sweep). Give it
+	// the same stack as the driving simulator so the spans nest under its
+	// "alloc" phase.
+	Prof *span.Stack
 }
 
 // defaults fills in the Aalo paper's configuration.
@@ -103,11 +109,16 @@ func (a Allocator) NextThreshold(attained float64) float64 {
 // since Aalo does not know flow sizes. Residual bandwidth cascades to lower
 // priority Coflows, keeping the allocation work-conserving.
 func (a Allocator) Allocate(remaining map[int]map[fabric.FlowKey]float64, attained map[int]float64, arrival map[int]float64, linkBps float64, ports int) map[int]map[fabric.FlowKey]float64 {
-	if o := a.Obs; o != nil {
+	if o := a.Obs; o != nil || a.Prof != nil {
 		passStart := time.Now()
+		sp := a.Prof.Start("aalo.allocate")
 		defer func() {
-			o.IntraPasses.Inc()
-			o.IntraSeconds.Add(time.Since(passStart).Seconds())
+			sec := time.Since(passStart).Seconds()
+			sp.FinishWith(sec)
+			if o != nil {
+				o.IntraPasses.Inc()
+				o.IntraSeconds.Add(sec)
+			}
 		}()
 	}
 	a = a.defaults()
@@ -134,6 +145,7 @@ func (a Allocator) Allocate(remaining map[int]map[fabric.FlowKey]float64, attain
 		availOut[i] = linkBps
 	}
 
+	msp := a.Prof.Start("maxmin")
 	out := make(map[int]map[fabric.FlowKey]float64, len(ids))
 	for _, id := range ids {
 		flows := make([]fabric.FlowKey, 0, len(remaining[id]))
@@ -155,5 +167,6 @@ func (a Allocator) Allocate(remaining map[int]map[fabric.FlowKey]float64, attain
 		}
 		out[id] = m
 	}
+	msp.Finish()
 	return out
 }

@@ -14,6 +14,7 @@ import (
 
 	"sunflow/internal/coflow"
 	"sunflow/internal/obs"
+	"sunflow/internal/obs/span"
 	"sunflow/internal/trace"
 	"sunflow/internal/workload"
 )
@@ -46,6 +47,11 @@ type Config struct {
 	// simulators so one observer separates the schedulers' counters. Nil
 	// disables instrumentation.
 	Obs *obs.Observer `json:"-"`
+	// Prof optionally records profiling spans. Runners create one span.Stack
+	// per scheduler run (stacks are single-goroutine) scoped like Obs, so
+	// span aggregates land beside the matching counters. Nil disables span
+	// recording.
+	Prof *span.Profiler `json:"-"`
 }
 
 // WithDefaults fills unset fields with the paper's settings.

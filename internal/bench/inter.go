@@ -52,6 +52,13 @@ func runInter(cfg Config, cs []*coflow.Coflow, linkBps float64) (interRun, error
 		sunObs = obs.NewWith(cfg.Obs.Registry(), obs.Tee(cfg.Obs.Sink(), cellSink)).Scoped("sunflow")
 	}
 
+	// One Stack per scheduler run: runInter runs them sequentially on this
+	// goroutine, and per-scheduler scopes keep the span aggregates beside the
+	// matching counters.
+	sunProf := cfg.Prof.NewStack("sunflow")
+	varysProf := cfg.Prof.NewStack("varys")
+	aaloProf := cfg.Prof.NewStack("aalo")
+
 	var out interRun
 	var err error
 	out.Sunflow, err = sim.RunCircuit(cs, sim.CircuitOptions{
@@ -59,6 +66,7 @@ func runInter(cfg Config, cs []*coflow.Coflow, linkBps float64) (interRun, error
 		LinkBps: linkBps,
 		Delta:   cfg.Delta,
 		Obs:     sunObs,
+		Prof:    sunProf,
 	})
 	if err != nil {
 		return out, fmt.Errorf("bench: sunflow inter: %w", err)
@@ -68,11 +76,19 @@ func runInter(cfg Config, cs []*coflow.Coflow, linkBps float64) (interRun, error
 			out.SunReplayDuty = s.DutyCycle
 		}
 	}
-	out.Varys, err = sim.RunPacketObs(cs, cfg.Ports, linkBps, varys.Allocator{Obs: varysObs}, varysObs)
+	out.Varys, err = sim.RunPacketOpts(cs, sim.PacketOptions{
+		Ports: cfg.Ports, LinkBps: linkBps,
+		Alloc: varys.Allocator{Obs: varysObs, Prof: varysProf},
+		Obs:   varysObs, Prof: varysProf,
+	})
 	if err != nil {
 		return out, fmt.Errorf("bench: varys: %w", err)
 	}
-	out.Aalo, err = sim.RunPacketObs(cs, cfg.Ports, linkBps, aalo.Allocator{Obs: aaloObs}, aaloObs)
+	out.Aalo, err = sim.RunPacketOpts(cs, sim.PacketOptions{
+		Ports: cfg.Ports, LinkBps: linkBps,
+		Alloc: aalo.Allocator{Obs: aaloObs, Prof: aaloProf},
+		Obs:   aaloObs, Prof: aaloProf,
+	})
 	if err != nil {
 		return out, fmt.Errorf("bench: aalo: %w", err)
 	}

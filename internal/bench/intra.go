@@ -45,14 +45,16 @@ func runIntra(cfg Config, cs []*coflow.Coflow, linkBps, delta float64, withSolst
 			TpL:   c.PacketLowerBound(linkBps),
 			TcL:   c.CircuitLowerBound(linkBps, delta),
 		}
-		sched, err := core.IntraCoflow(core.NewPRT(n), c, core.Options{LinkBps: linkBps, Delta: delta, Obs: sunObs})
+		// Stacks are single-goroutine, so each parallel worker iteration
+		// records through fresh ones (nil Prof makes them free no-ops).
+		sched, err := core.IntraCoflow(core.NewPRT(n), c, core.Options{LinkBps: linkBps, Delta: delta, Obs: sunObs, Prof: cfg.Prof.NewStack("sunflow")})
 		if err != nil {
 			return fmt.Errorf("bench: sunflow on coflow %d: %w", c.ID, err)
 		}
 		s.SunCCT = sched.Finish
 		s.SunSwitch = sched.SwitchingCount()
 		if withSolstice {
-			res, _, err := solstice.Run(c, n, solstice.Options{LinkBps: linkBps, Delta: delta, Obs: solObs}, fabric.NotAllStop)
+			res, _, err := solstice.Run(c, n, solstice.Options{LinkBps: linkBps, Delta: delta, Obs: solObs, Prof: cfg.Prof.NewStack("solstice")}, fabric.NotAllStop)
 			if err != nil {
 				return fmt.Errorf("bench: solstice on coflow %d: %w", c.ID, err)
 			}
@@ -512,11 +514,11 @@ func Baselines(cfg Config, maxCoflows int, maxTpL float64) (BaselinesResult, err
 	edObs := cfg.Obs.Scoped("edmond")
 	perr := cfg.parallelEachErr(len(sample), func(i int) error {
 		c, n := compact(sample[i])
-		sun, err := core.IntraCoflow(core.NewPRT(n), c, core.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta, Obs: sunObs})
+		sun, err := core.IntraCoflow(core.NewPRT(n), c, core.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta, Obs: sunObs, Prof: cfg.Prof.NewStack("sunflow")})
 		if err != nil {
 			return fmt.Errorf("bench: baselines sunflow on coflow %d: %w", c.ID, err)
 		}
-		sol, _, err := solstice.Run(c, n, solstice.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta, Obs: solObs}, fabric.NotAllStop)
+		sol, _, err := solstice.Run(c, n, solstice.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta, Obs: solObs, Prof: cfg.Prof.NewStack("solstice")}, fabric.NotAllStop)
 		if err != nil {
 			return fmt.Errorf("bench: baselines solstice on coflow %d: %w", c.ID, err)
 		}
@@ -525,11 +527,11 @@ func Baselines(cfg Config, maxCoflows int, maxTpL float64) (BaselinesResult, err
 		// they execute under the all-stop model they were designed for
 		// (§3.1.1); Edmond's externally fixed slot is "on the order of
 		// hundreds of milliseconds".
-		tm, err := tms.Run(c, n, tms.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta, Obs: tmsObs}, fabric.AllStop)
+		tm, err := tms.Run(c, n, tms.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta, Obs: tmsObs, Prof: cfg.Prof.NewStack("tms")}, fabric.AllStop)
 		if err != nil {
 			return fmt.Errorf("bench: baselines tms on coflow %d: %w", c.ID, err)
 		}
-		ed, err := edmond.Run(c, n, edmond.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta, Slot: 0.3, Obs: edObs}, fabric.AllStop)
+		ed, err := edmond.Run(c, n, edmond.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta, Slot: 0.3, Obs: edObs, Prof: cfg.Prof.NewStack("edmond")}, fabric.AllStop)
 		if err != nil {
 			return fmt.Errorf("bench: baselines edmond on coflow %d: %w", c.ID, err)
 		}

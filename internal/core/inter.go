@@ -118,6 +118,8 @@ func (PriorityClasses) Name() string { return "priority-classes" }
 // long workloads. Compaction is exact — see PRT.CompactBefore — so the
 // schedules are unchanged by it.
 func InterCoflow(prt *PRT, ordered []*coflow.Coflow, opts Options) ([]*Schedule, error) {
+	sp := opts.Prof.Start("inter")
+	defer sp.Finish()
 	// starts[k] = min over c in ordered[k:] of that Coflow's scheduling start.
 	starts := make([]float64, len(ordered)+1)
 	starts[len(ordered)] = math.Inf(1)
@@ -126,7 +128,9 @@ func InterCoflow(prt *PRT, ordered []*coflow.Coflow, opts Options) ([]*Schedule,
 	}
 	scheds := make([]*Schedule, 0, len(ordered))
 	for k, c := range ordered {
+		csp := opts.Prof.Start("prt.compact")
 		prt.CompactBefore(starts[k])
+		csp.Finish()
 		co := opts
 		co.Start = math.Max(opts.Start, c.Arrival)
 		s, err := IntraCoflow(prt, c, co)

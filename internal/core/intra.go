@@ -13,6 +13,7 @@ import (
 
 	"sunflow/internal/coflow"
 	"sunflow/internal/obs"
+	"sunflow/internal/obs/span"
 )
 
 // Order selects the order in which Algorithm 1 considers the flows of a
@@ -73,6 +74,10 @@ type Options struct {
 	// made, reservations shortened by later commitments). Nil disables
 	// instrumentation.
 	Obs *obs.Observer
+	// Prof optionally records profiling spans ("inter", "intra",
+	// "prt.compact") on the calling goroutine's span stack. Nil disables
+	// profiling at the cost of one nil-check.
+	Prof *span.Stack
 }
 
 // Validate reports an error for non-physical parameters.
@@ -177,11 +182,27 @@ func IntraCoflow(prt *PRT, c *coflow.Coflow, opts Options) (*Schedule, error) {
 	if err := c.Validate(prt.Ports()); err != nil {
 		return nil, err
 	}
-	if o := opts.Obs; o != nil {
+	if o := opts.Obs; o != nil || opts.Prof != nil {
+		// One measurement feeds both the counters and the span, so the
+		// span tree's intra totals reconcile with sched.intra_seconds
+		// exactly rather than within clock jitter.
+		// Clock before span: the span's start stamp then lands no earlier
+		// than passStart, so the recorded interval covers its children even
+		// when the goroutine is preempted between the two calls.
 		passStart := time.Now()
+		sp := opts.Prof.Start("intra")
+		if opts.Reference {
+			sp.Attr("planner", "ref")
+		} else {
+			sp.Attr("planner", "fast")
+		}
 		defer func() {
-			o.IntraPasses.Inc()
 			sec := time.Since(passStart).Seconds()
+			sp.FinishWith(sec)
+			if o == nil {
+				return
+			}
+			o.IntraPasses.Inc()
 			o.IntraSeconds.Add(sec)
 			if opts.Reference {
 				o.IntraRefSeconds.Add(sec)

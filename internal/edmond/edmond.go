@@ -17,6 +17,7 @@ import (
 	"sunflow/internal/fabric"
 	"sunflow/internal/matching"
 	"sunflow/internal/obs"
+	"sunflow/internal/obs/span"
 )
 
 // Options configures the scheduler.
@@ -35,6 +36,11 @@ type Options struct {
 	// Obs optionally records scheduling metrics and, via the executor,
 	// circuit and delivery counters. Nil disables instrumentation.
 	Obs *obs.Observer
+	// Prof optionally records profiling spans: Run wraps the schedule in
+	// "sched.pass" with one "edmond.match" child per max-weight matching
+	// round, and the execution in "fabric.execute". Nil disables span
+	// recording.
+	Prof *span.Stack
 }
 
 // DefaultSlot is the assignment duration used when Options.Slot is zero.
@@ -78,7 +84,9 @@ func Schedule(c *coflow.Coflow, n int, opts Options) ([]fabric.Assignment, error
 		}
 		// Each assignment retains its match slice, so only the Hungarian
 		// working buffers come from the pooled scratch.
+		msp := opts.Prof.Start("edmond.match")
 		match := scr.MaxWeightMatchingInto(rem, nil)
+		msp.Finish()
 		asg := fabric.Assignment{Match: match, Duration: slot}
 		// Advance the residual demand by simulating this slot in isolation;
 		// the final timing is established by one Execute over the whole
@@ -96,9 +104,11 @@ func Schedule(c *coflow.Coflow, n int, opts Options) ([]fabric.Assignment, error
 // Run schedules the Coflow and executes the sequence on the fabric.
 func Run(c *coflow.Coflow, n int, opts Options, model fabric.Model) (fabric.ExecResult, error) {
 	passStart := time.Now()
+	psp := opts.Prof.Start("sched.pass")
 	schedule, err := Schedule(c, n, opts)
+	elapsed := time.Since(passStart).Seconds()
+	psp.FinishWith(elapsed)
 	if o := opts.Obs; o != nil {
-		elapsed := time.Since(passStart).Seconds()
 		o.SchedPasses.Inc()
 		o.SchedSeconds.Add(elapsed)
 		o.SchedPassTime.Observe(elapsed)
@@ -107,7 +117,10 @@ func Run(c *coflow.Coflow, n int, opts Options, model fabric.Model) (fabric.Exec
 	if err != nil {
 		return fabric.ExecResult{}, err
 	}
-	return fabric.ExecuteObs(c.DemandMatrix(n), schedule, opts.LinkBps, opts.Delta, 0, model, opts.Obs)
+	esp := opts.Prof.Start("fabric.execute")
+	res, err := fabric.ExecuteObs(c.DemandMatrix(n), schedule, opts.LinkBps, opts.Delta, 0, model, opts.Obs)
+	esp.Finish()
+	return res, err
 }
 
 func total(rem [][]float64) float64 {

@@ -1,0 +1,144 @@
+package matrix
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"sunflow/internal/obs"
+	"sunflow/internal/obs/obshttp"
+	"sunflow/internal/obs/span"
+)
+
+// TestRunWithSpansKeepsOutputsIdentical guards the matrix determinism
+// contract under profiling: wall-clock observability (gauges, histograms,
+// span events) must never leak into the deterministic outputs, so an
+// instrumented run writes byte-identical cells.jsonl to a bare one.
+func TestRunWithSpansKeepsOutputsIdentical(t *testing.T) {
+	spec := tinySpec(t)
+	plain, err := Run(spec, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	sink := &obs.SliceSink{}
+	profiled, err := Run(spec, Options{
+		Workers: 2,
+		Obs:     obs.NewWith(reg, sink),
+		Prof:    span.New(span.Options{Registry: reg, Sink: sink, Runtime: &span.Sampler{}}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var want, got bytes.Buffer
+	if err := WriteJSONL(&want, plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&got, profiled); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatalf("cells.jsonl differs between bare and profiled runs")
+	}
+
+	// One matrix.rep span per (cell, rep), scoped "matrix", carrying the
+	// cell attributes.
+	runs := spec.Runs()
+	reps := 0
+	for _, ev := range sink.Events() {
+		if ev.Kind != obs.KindSpan || ev.Name != "matrix.rep" {
+			continue
+		}
+		reps++
+		if ev.Scope != "matrix" {
+			t.Errorf("matrix.rep span in scope %q, want matrix", ev.Scope)
+		}
+		if ev.Attrs["scheduler"] == "" || ev.Attrs["cell"] == "" || ev.Attrs["rep"] == "" {
+			t.Errorf("matrix.rep span missing attrs: %v", ev.Attrs)
+		}
+	}
+	if reps != runs {
+		t.Errorf("got %d matrix.rep spans, want %d", reps, runs)
+	}
+
+	// Engine utilization reached the registry: the busy gauge saw at least
+	// one worker, the queue drained, and every rep landed in the histogram.
+	if hi := reg.Gauge("matrix.workers_busy").High(); hi < 1 {
+		t.Errorf("matrix.workers_busy high-water = %d, want >= 1", hi)
+	}
+	if q := reg.Gauge("matrix.queue_depth").Load(); q != 0 {
+		t.Errorf("matrix.queue_depth = %d after the run, want 0", q)
+	}
+	if n := reg.Histogram("matrix.rep_seconds").Count(); n != int64(runs) {
+		t.Errorf("matrix.rep_seconds count = %d, want %d", n, runs)
+	}
+}
+
+// TestConcurrentScrapeDuringProfiledRun drives live /metrics scrapes while
+// matrix workers record spans and gauges into the same registry — the
+// contention pattern a dashboard watching a long matrix run produces. Run
+// under -race this is the data-race gate for the span/registry hot path.
+func TestConcurrentScrapeDuringProfiledRun(t *testing.T) {
+	spec := tinySpec(t)
+	reg := obs.NewRegistry()
+	srv, err := obshttp.Serve("127.0.0.1:0", reg, obshttp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+				if err != nil {
+					continue // server teardown race at test end is fine
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("scrape status %d", resp.StatusCode)
+					return
+				}
+				_ = strings.Contains(string(body), "matrix_") // exercise the payload
+			}
+		}()
+	}
+
+	_, err = Run(spec, Options{
+		Workers: 4,
+		Obs:     obs.NewWith(reg, nil),
+		Prof:    span.New(span.Options{Registry: reg, Runtime: &span.Sampler{}}),
+	})
+	close(done)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The final scrape must expose the span aggregates the run produced.
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "matrix_span_matrix_rep") &&
+		!strings.Contains(string(body), "matrix.span.matrix.rep") {
+		t.Errorf("scrape is missing the matrix.span.matrix.rep aggregate;\n%s", body)
+	}
+}

@@ -3,13 +3,17 @@ package matrix
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"sunflow/internal/bench"
 	"sunflow/internal/edmond"
 	"sunflow/internal/fabric"
 	"sunflow/internal/fault"
 	"sunflow/internal/obs"
+	"sunflow/internal/obs/span"
 	"sunflow/internal/sim"
 	"sunflow/internal/solstice"
 	"sunflow/internal/stats"
@@ -87,6 +91,17 @@ type Options struct {
 	Workers int
 	// Logf, when set, receives one progress line per completed cell.
 	Logf func(format string, args ...any)
+	// Obs, when non-nil, publishes engine utilization into its Registry:
+	// "matrix.workers_busy" and "matrix.queue_depth" gauges plus a
+	// "matrix.rep_seconds" histogram of per-replication wall times. Wall
+	// clock stays registry-only — it never enters Rep, CellResult or the
+	// JSONL report, which remain byte-deterministic across reruns.
+	Obs *obs.Observer
+	// Prof, when non-nil, records one "matrix.rep" span per (cell,
+	// replication) run, attributed with scheduler, cell key and rep index,
+	// with the replication's simulator and kernel spans nested beneath it.
+	// Each worker job records through its own span.Stack.
+	Prof *span.Profiler
 }
 
 // Run expands the spec and executes it: every (cell, replication) pair is
@@ -116,11 +131,44 @@ func Run(spec Spec, opts Options) (*Result, error) {
 	var done int
 	var mu sync.Mutex
 
+	// Engine utilization is published registry-only; per-rep wall clock never
+	// reaches the deterministic outputs.
+	var busyGauge, queueGauge *obs.Gauge
+	var repHist *obs.Histogram
+	if reg := opts.Obs.Registry(); reg != nil {
+		busyGauge = reg.Gauge("matrix.workers_busy")
+		queueGauge = reg.Gauge("matrix.queue_depth")
+		repHist = reg.Histogram("matrix.rep_seconds")
+		queueGauge.Set(int64(len(jobs)))
+	}
+	var busy, pending atomic.Int64
+	pending.Store(int64(len(jobs)))
+
 	pool := bench.Config{Workers: opts.Workers}
 	pool.ParallelEach(len(jobs), func(i int) {
 		j := jobs[i]
 		cell := cells[j.cell]
-		rep, err := runOne(spec, cell, j.rep)
+		if busyGauge != nil {
+			busyGauge.Set(busy.Add(1))
+			queueGauge.Set(pending.Add(-1))
+		}
+		// One Stack per job: ParallelEach may run jobs on any worker
+		// goroutine, and Stacks are single-goroutine.
+		st := opts.Prof.NewStack("matrix")
+		repStart := time.Now()
+		sp := st.Start("matrix.rep").
+			Attr("scheduler", cell.Scheduler).
+			Attr("cell", cell.Key()).
+			Attr("rep", strconv.Itoa(j.rep))
+		rep, err := runOne(spec, cell, j.rep, st)
+		sec := time.Since(repStart).Seconds()
+		sp.FinishWith(sec)
+		if repHist != nil {
+			repHist.Observe(sec)
+		}
+		if busyGauge != nil {
+			busyGauge.Set(busy.Add(-1))
+		}
 		if err != nil {
 			errs[i] = fmt.Errorf("matrix: cell %d (%s, %s) rep %d: %w",
 				cell.Index, cell.Scheduler, cell.Key(), j.rep, err)
@@ -216,8 +264,9 @@ func metric(reps []Rep, f func(Rep) float64) []float64 {
 	return out
 }
 
-// runOne executes one (cell, replication) simulator run.
-func runOne(spec Spec, cell Cell, rep int) (Rep, error) {
+// runOne executes one (cell, replication) simulator run, recording spans on
+// st (nil disables profiling).
+func runOne(spec Spec, cell Cell, rep int, st *span.Stack) (Rep, error) {
 	seed := spec.Seed + int64(rep)
 	cfg := bench.Config{
 		Seed:     seed,
@@ -250,7 +299,7 @@ func runOne(spec Spec, cell Cell, rep int) (Rep, error) {
 	switch cell.Scheduler {
 	case "sunflow":
 		res, err := sim.RunCircuit(cs, sim.CircuitOptions{
-			Ports: cfg.Ports, LinkBps: cfg.LinkBps, Delta: cfg.Delta, Obs: o, Faults: plan,
+			Ports: cfg.Ports, LinkBps: cfg.LinkBps, Delta: cfg.Delta, Obs: o, Faults: plan, Prof: st,
 		})
 		if err != nil {
 			return out, err
@@ -264,7 +313,7 @@ func runOne(spec Spec, cell Cell, rep int) (Rep, error) {
 		}
 	case "varys":
 		res, err := sim.RunPacketOpts(cs, sim.PacketOptions{
-			Ports: cfg.Ports, LinkBps: cfg.LinkBps, Alloc: varys.Allocator{Obs: o}, Obs: o, Faults: plan,
+			Ports: cfg.Ports, LinkBps: cfg.LinkBps, Alloc: varys.Allocator{Obs: o, Prof: st}, Obs: o, Faults: plan, Prof: st,
 		})
 		if err != nil {
 			return out, err
@@ -283,11 +332,11 @@ func runOne(spec Spec, cell Cell, rep int) (Rep, error) {
 			var err error
 			switch cell.Scheduler {
 			case "solstice":
-				res, _, err = solstice.Run(c, n, solstice.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta, Obs: o}, fabric.NotAllStop)
+				res, _, err = solstice.Run(c, n, solstice.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta, Obs: o, Prof: st}, fabric.NotAllStop)
 			case "tms":
-				res, err = tms.Run(c, n, tms.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta, Obs: o}, fabric.AllStop)
+				res, err = tms.Run(c, n, tms.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta, Obs: o, Prof: st}, fabric.AllStop)
 			case "edmond":
-				res, err = edmond.Run(c, n, edmond.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta, Slot: 0.3, Obs: o}, fabric.AllStop)
+				res, err = edmond.Run(c, n, edmond.Options{LinkBps: cfg.LinkBps, Delta: cfg.Delta, Slot: 0.3, Obs: o, Prof: st}, fabric.AllStop)
 			}
 			if err != nil {
 				return out, fmt.Errorf("coflow %d: %w", c.ID, err)

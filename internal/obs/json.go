@@ -14,19 +14,25 @@ import "encoding/json"
 // eventWire is Event's on-the-wire shape: the identity fields become
 // pointers so "absent" and "0" stay distinguishable in both directions.
 type eventWire struct {
-	T      float64 `json:"t"`
-	Kind   Kind    `json:"kind"`
-	Scope  string  `json:"scope,omitempty"`
-	Coflow *int    `json:"coflow,omitempty"`
-	Src    *int    `json:"src,omitempty"`
-	Dst    *int    `json:"dst,omitempty"`
-	Bytes  float64 `json:"bytes,omitempty"`
-	Dur    float64 `json:"dur,omitempty"`
+	T      float64           `json:"t"`
+	Kind   Kind              `json:"kind"`
+	Scope  string            `json:"scope,omitempty"`
+	Coflow *int              `json:"coflow,omitempty"`
+	Src    *int              `json:"src,omitempty"`
+	Dst    *int              `json:"dst,omitempty"`
+	Bytes  float64           `json:"bytes,omitempty"`
+	Dur    float64           `json:"dur,omitempty"`
+	Name   string            `json:"name,omitempty"`
+	Span   int64             `json:"span,omitempty"`
+	Parent int64             `json:"parent,omitempty"`
+	Wall   float64           `json:"wall,omitempty"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
 }
 
 // MarshalJSON writes the event with -1 identity sentinels omitted.
 func (e Event) MarshalJSON() ([]byte, error) {
-	w := eventWire{T: e.T, Kind: e.Kind, Scope: e.Scope, Bytes: e.Bytes, Dur: e.Dur}
+	w := eventWire{T: e.T, Kind: e.Kind, Scope: e.Scope, Bytes: e.Bytes, Dur: e.Dur,
+		Name: e.Name, Span: e.Span, Parent: e.Parent, Wall: e.Wall, Attrs: e.Attrs}
 	if e.Coflow != -1 {
 		w.Coflow = &e.Coflow
 	}
@@ -45,7 +51,8 @@ func (e *Event) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &w); err != nil {
 		return err
 	}
-	*e = Event{T: w.T, Kind: w.Kind, Scope: w.Scope, Bytes: w.Bytes, Dur: w.Dur, Coflow: -1, Src: -1, Dst: -1}
+	*e = Event{T: w.T, Kind: w.Kind, Scope: w.Scope, Bytes: w.Bytes, Dur: w.Dur, Coflow: -1, Src: -1, Dst: -1,
+		Name: w.Name, Span: w.Span, Parent: w.Parent, Wall: w.Wall, Attrs: w.Attrs}
 	if w.Coflow != nil {
 		e.Coflow = *w.Coflow
 	}

@@ -2,12 +2,14 @@ package obs
 
 import (
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
 
 // TestEventJSONRoundTrip checks encode→decode is the identity across every
-// field shape the simulators emit, including the -1 identity sentinels.
+// field shape the simulators emit, including the -1 identity sentinels and
+// the span fields.
 func TestEventJSONRoundTrip(t *testing.T) {
 	cases := []Event{
 		{T: 0, Kind: KindCoflowAdmit, Coflow: 7, Src: -1, Dst: -1, Bytes: 5e6},
@@ -15,6 +17,10 @@ func TestEventJSONRoundTrip(t *testing.T) {
 		{T: 2.25, Kind: KindCircuitDown, Coflow: 7, Src: 2, Dst: 3},
 		{T: 3, Kind: KindWindowOpen, Coflow: -1, Src: -1, Dst: -1, Dur: 0.05},
 		{T: 4, Kind: KindFlowFinish, Coflow: 0, Src: 0, Dst: 0, Bytes: 1e6},
+		{Kind: KindSpan, Scope: "sunflow", Coflow: -1, Src: -1, Dst: -1,
+			Name: "sched.pass", Span: 3, Parent: 1, Wall: 0.125, Dur: 0.002},
+		{Kind: KindSpan, Coflow: -1, Src: -1, Dst: -1, Name: "intra",
+			Span: 9, Wall: 1.5, Dur: 0.25, Attrs: map[string]string{"planner": "fast"}},
 	}
 	for _, want := range cases {
 		b, err := json.Marshal(want)
@@ -25,7 +31,7 @@ func TestEventJSONRoundTrip(t *testing.T) {
 		if err := json.Unmarshal(b, &got); err != nil {
 			t.Fatalf("unmarshal %s: %v", b, err)
 		}
-		if got != want {
+		if !reflect.DeepEqual(got, want) {
 			t.Errorf("round trip changed the event:\n  in  %+v\n  out %+v\n  via %s", want, got, b)
 		}
 	}

@@ -1,0 +1,185 @@
+package render
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"math"
+	"strings"
+
+	"sunflow/internal/obs/replay"
+)
+
+// FlameOptions tunes FlameSVG.
+type FlameOptions struct {
+	// Width is the chart width in pixels; 0 selects 1100.
+	Width int
+	// Title overrides the default chart title.
+	Title string
+	// MinFrac drops frames narrower than this fraction of the time axis
+	// (they would render below one pixel); 0 selects 2e-4.
+	MinFrac float64
+}
+
+// phaseColor colours frames deterministically by phase name, so the same
+// phase reads as the same colour across rows, runs and scopes.
+func phaseColor(name string) string {
+	var h uint32 = 2166136261
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= 16777619
+	}
+	return palette[h%uint32(len(palette))]
+}
+
+// FlameSVG renders the scope's span trees as a flamegraph-style icicle
+// chart: x is the wall-clock offset from the profiler epoch, each depth
+// level is one row growing downward, and every finished span is one frame
+// coloured by phase name with a hover title carrying its exact timing and
+// attributes. Because x is real elapsed time (not collapsed stacks), gaps
+// between frames are genuine unprofiled wall time.
+func FlameSVG(w io.Writer, s *replay.Scope, opt FlameOptions) error {
+	width := opt.Width
+	if width <= 0 {
+		width = 1100
+	}
+	minFrac := opt.MinFrac
+	if minFrac <= 0 {
+		minFrac = 2e-4
+	}
+	title := opt.Title
+	if title == "" {
+		name := s.Name
+		if name == "" {
+			name = "root"
+		}
+		title = fmt.Sprintf("%s — span profile", name)
+	}
+
+	t0, t1 := math.Inf(1), math.Inf(-1)
+	depth := 0
+	for _, r := range s.SpanRoots {
+		r.Walk(func(n *replay.SpanNode, d int) {
+			t0 = math.Min(t0, n.Wall)
+			t1 = math.Max(t1, n.End())
+			if d+1 > depth {
+				depth = d + 1
+			}
+		})
+	}
+	if len(s.SpanRoots) == 0 || t1 <= t0 {
+		t0, t1, depth = 0, 1, 1
+	}
+	span := t1 - t0
+
+	height := marginTop + depth*(rowH+rowGap) + marginBot
+	plotW := float64(width - marginL - 12)
+	x := func(t float64) float64 { return float64(marginL) + (t-t0)/span*plotW }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="100%%" height="100%%" fill="#ffffff"/>`+"\n")
+	fmt.Fprintf(&b, `<text x="%d" y="18" font-size="13" font-weight="bold">%s</text>`+"\n",
+		marginL, html.EscapeString(title))
+
+	for i := 0; i <= 6; i++ {
+		tt := t0 + span*float64(i)/6
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#e0e0e0"/>`+"\n",
+			x(tt), marginTop-6, x(tt), height-marginBot+4)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="9" fill="#666" text-anchor="middle">%s</text>`+"\n",
+			x(tt), height-marginBot+16, fmtSec(tt-t0))
+	}
+	for d := 0; d < depth; d++ {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="10" fill="#333" text-anchor="end">d%d</text>`+"\n",
+			marginL-6, marginTop+d*(rowH+rowGap)+rowH-4, d)
+	}
+
+	frames := 0
+	for _, r := range s.SpanRoots {
+		r.Walk(func(n *replay.SpanNode, d int) {
+			if n.Dur < span*minFrac {
+				return
+			}
+			frames++
+			w0, w1 := x(n.Wall), x(n.End())
+			if w1-w0 < 0.5 {
+				w1 = w0 + 0.5
+			}
+			y := marginTop + d*(rowH+rowGap)
+			tip := fmt.Sprintf("%s  %s – %s  (dur %s, self %s)",
+				n.Name, fmtSec(n.Wall-t0), fmtSec(n.End()-t0), fmtSec(n.Dur), fmtSec(n.Self()))
+			for _, kv := range sortedAttrs(n.Attrs) {
+				tip += "  " + kv
+			}
+			fmt.Fprintf(&b, `<rect x="%.2f" y="%d" width="%.2f" height="%d" fill="%s" stroke="#fff" stroke-width="0.5" rx="1"><title>%s</title></rect>`+"\n",
+				w0, y, w1-w0, rowH, phaseColor(n.Name), html.EscapeString(tip))
+			if w1-w0 > 40 {
+				label := n.Name
+				if maxChars := int((w1 - w0) / 6); len(label) > maxChars && maxChars > 1 {
+					label = label[:maxChars-1] + "…"
+				}
+				fmt.Fprintf(&b, `<text x="%.2f" y="%d" font-size="9" fill="#fff">%s</text>`+"\n",
+					w0+3, y+rowH-4, html.EscapeString(label))
+			}
+		})
+	}
+
+	fmt.Fprintf(&b, `<text x="%d" y="%d" font-size="9" fill="#666">%d spans (%d drawn), wall span %s; x = wall-clock offset, rows = span depth</text>`+"\n",
+		marginL, height-6, countSpans(s), frames, fmtSec(span))
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func countSpans(s *replay.Scope) int {
+	n := 0
+	for _, r := range s.SpanRoots {
+		r.Walk(func(*replay.SpanNode, int) { n++ })
+	}
+	return n
+}
+
+// sortedAttrs renders attrs as deterministic "k=v" strings.
+func sortedAttrs(attrs map[string]string) []string {
+	if len(attrs) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	// insertion sort: attrs are tiny
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	out := make([]string, len(keys))
+	for i, k := range keys {
+		out[i] = k + "=" + attrs[k]
+	}
+	return out
+}
+
+// PhaseTable renders a scope's per-phase span statistics as fixed-width
+// text, self-time-ordered, with the reconciliation line the profile
+// workflow checks: Σ self == Σ root durations.
+func PhaseTable(w io.Writer, s *replay.Scope) error {
+	phases := s.SpanPhases()
+	name := s.Name
+	if name == "" {
+		name = "root"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — span phases (%d spans, %.6fs profiled)\n", name, countSpans(s), s.SpanTotal())
+	fmt.Fprintf(&b, "  %-24s %8s %14s %14s %14s\n", "phase", "count", "total", "self", "max")
+	var selfSum float64
+	for _, p := range phases {
+		selfSum += p.Self
+		fmt.Fprintf(&b, "  %-24s %8d %14.6fs %14.6fs %14.6fs\n", p.Name, p.Count, p.Total, p.Self, p.Max)
+	}
+	fmt.Fprintf(&b, "  %-24s %8s %14s %14.6fs\n", "Σ self", "", "", selfSum)
+	_, err := io.WriteString(w, b.String())
+	return err
+}

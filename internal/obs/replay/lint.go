@@ -34,6 +34,13 @@ const (
 	// RuleDownPort: a circuit held its port inside a port_down/port_up
 	// outage interval.
 	RuleDownPort Rule = "down_port_overlap"
+	// RuleSpanStructure: a malformed span event — missing name or id,
+	// duplicate id, negative or non-finite duration, or a parent id that
+	// never finished (an abandoned open span).
+	RuleSpanStructure Rule = "span_structure"
+	// RuleSpanContainment: a child span's wall-clock interval escapes its
+	// parent's — impossible under stack discipline on one monotonic clock.
+	RuleSpanContainment Rule = "span_containment"
 )
 
 // Violation is one broken invariant, anchored at the event that exposed it.

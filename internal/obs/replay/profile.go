@@ -1,0 +1,210 @@
+package replay
+
+import (
+	"math"
+	"sort"
+
+	"sunflow/internal/obs"
+)
+
+// spanEps absorbs the nanosecond-scale gaps between a span's own clock
+// window and a caller-measured FinishWith duration when checking that a
+// child's wall-clock interval stays inside its parent's.
+const spanEps = 1e-6
+
+// SpanNode is one reconstructed profiling span (a KindSpan trace event; see
+// docs/TRACE.md and internal/obs/span). Wall and Dur are wall-clock seconds —
+// the profiler's domain is real time, never simulated time.
+type SpanNode struct {
+	Name     string
+	ID       int64
+	Parent   int64 // 0 for roots
+	Wall     float64
+	Dur      float64
+	Attrs    map[string]string
+	Children []*SpanNode
+}
+
+// End is the span's wall-clock finish offset.
+func (n *SpanNode) End() float64 { return n.Wall + n.Dur }
+
+// Self is the span's self time: its duration minus its children's, clamped
+// at zero. Summed over a tree, self times telescope back to the root's
+// duration, which is what makes per-phase self-time tables reconcile with
+// the sched.seconds counters exactly.
+func (n *SpanNode) Self() float64 {
+	s := n.Dur
+	for _, c := range n.Children {
+		s -= c.Dur
+	}
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// Walk visits the node and its descendants depth-first, children in
+// emission (chronological) order.
+func (n *SpanNode) Walk(fn func(*SpanNode, int)) { n.walk(fn, 0) }
+
+func (n *SpanNode) walk(fn func(*SpanNode, int), depth int) {
+	fn(n, depth)
+	for _, c := range n.Children {
+		c.walk(fn, depth+1)
+	}
+}
+
+// addSpan records one KindSpan event after structural validation. Parent
+// resolution waits for Finish: spans are emitted child-before-parent (a span
+// finishes after its children), so a child's parent id is legitimately
+// unseen at this point.
+func (b *Builder) addSpan(s *Scope, ev obs.Event) {
+	switch {
+	case ev.Name == "":
+		b.violate(RuleSpanStructure, ev.Scope, ev.T, "span event without a name")
+		return
+	case ev.Span == 0:
+		b.violate(RuleSpanStructure, ev.Scope, ev.T, "span %q without an id", ev.Name)
+		return
+	case math.IsNaN(ev.Dur) || math.IsInf(ev.Dur, 0) || ev.Dur < 0:
+		b.violate(RuleSpanStructure, ev.Scope, ev.T, "span %q (id %d) has invalid duration %v", ev.Name, ev.Span, ev.Dur)
+		return
+	case math.IsNaN(ev.Wall) || math.IsInf(ev.Wall, 0) || ev.Wall < 0:
+		b.violate(RuleSpanStructure, ev.Scope, ev.T, "span %q (id %d) has invalid wall offset %v", ev.Name, ev.Span, ev.Wall)
+		return
+	case ev.Parent == ev.Span:
+		b.violate(RuleSpanStructure, ev.Scope, ev.T, "span %q (id %d) is its own parent", ev.Name, ev.Span)
+		return
+	}
+	if _, dup := s.spans[ev.Span]; dup {
+		b.violate(RuleSpanStructure, ev.Scope, ev.T, "duplicate span id %d (%q)", ev.Span, ev.Name)
+		return
+	}
+	s.spans[ev.Span] = &SpanNode{
+		Name: ev.Name, ID: ev.Span, Parent: ev.Parent,
+		Wall: ev.Wall, Dur: ev.Dur, Attrs: ev.Attrs,
+	}
+	s.spanOrder = append(s.spanOrder, ev.Span)
+}
+
+// finishSpans resolves parent links, checks containment and collects the
+// roots in emission order.
+func (b *Builder) finishSpans(s *Scope) {
+	for _, id := range s.spanOrder {
+		n := s.spans[id]
+		if n.Parent == 0 {
+			s.SpanRoots = append(s.SpanRoots, n)
+			continue
+		}
+		p, ok := s.spans[n.Parent]
+		if !ok {
+			// The parent was never emitted: it was still open at end of
+			// trace (a forgotten Finish) or lost. Keep the orphan as a root
+			// so its time still shows up in profiles.
+			b.violate(RuleSpanStructure, s.Name, n.Wall,
+				"span %q (id %d) references parent %d which never finished", n.Name, n.ID, n.Parent)
+			s.SpanRoots = append(s.SpanRoots, n)
+			continue
+		}
+		if n.Wall < p.Wall-spanEps || n.End() > p.End()+spanEps {
+			b.violate(RuleSpanContainment, s.Name, n.Wall,
+				"span %q (id %d) [%.9g,%.9g) escapes parent %q (id %d) [%.9g,%.9g)",
+				n.Name, n.ID, n.Wall, n.End(), p.Name, p.ID, p.Wall, p.End())
+		}
+		p.Children = append(p.Children, n)
+	}
+}
+
+// PhaseStat aggregates every span sharing one name within a scope.
+type PhaseStat struct {
+	Name  string
+	Count int
+	// Total is Σ duration and Self Σ self time, both in wall-clock seconds.
+	// Across a scope's full phase table the Self column sums to SpanTotal.
+	Total float64
+	Self  float64
+	Max   float64
+}
+
+// SpanPhases aggregates the scope's span trees per phase name, ordered by
+// descending self time (ties by name).
+func (s *Scope) SpanPhases() []PhaseStat {
+	byName := map[string]*PhaseStat{}
+	var order []string
+	for _, r := range s.SpanRoots {
+		r.Walk(func(n *SpanNode, _ int) {
+			st, ok := byName[n.Name]
+			if !ok {
+				st = &PhaseStat{Name: n.Name}
+				byName[n.Name] = st
+				order = append(order, n.Name)
+			}
+			st.Count++
+			st.Total += n.Dur
+			st.Self += n.Self()
+			if n.Dur > st.Max {
+				st.Max = n.Dur
+			}
+		})
+	}
+	out := make([]PhaseStat, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byName[name])
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Self != out[j].Self {
+			return out[i].Self > out[j].Self
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// SpanTotal is the summed duration of the scope's root spans — the
+// wall-clock time the profiled code accounted for.
+func (s *Scope) SpanTotal() float64 {
+	var t float64
+	for _, r := range s.SpanRoots {
+		t += r.Dur
+	}
+	return t
+}
+
+// PhaseTotal sums the durations of every span named name in the scope.
+// PhaseTotal("sched.pass") reconciles exactly with the scope's
+// sched.seconds counter: the instrumentation feeds both from one
+// measurement.
+func (s *Scope) PhaseTotal(name string) float64 {
+	var t float64
+	for _, r := range s.SpanRoots {
+		r.Walk(func(n *SpanNode, _ int) {
+			if n.Name == name {
+				t += n.Dur
+			}
+		})
+	}
+	return t
+}
+
+// CriticalPath returns the heaviest-child chain from root to leaf: at each
+// level it descends into the child with the largest duration. Under stack
+// discipline children run sequentially, so this is the chain of phases that
+// dominated the root's wall time.
+func CriticalPath(root *SpanNode) []*SpanNode {
+	if root == nil {
+		return nil
+	}
+	path := []*SpanNode{root}
+	n := root
+	for len(n.Children) > 0 {
+		heaviest := n.Children[0]
+		for _, c := range n.Children[1:] {
+			if c.Dur > heaviest.Dur {
+				heaviest = c
+			}
+		}
+		path = append(path, heaviest)
+		n = heaviest
+	}
+	return path
+}

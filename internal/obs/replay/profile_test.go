@@ -1,0 +1,174 @@
+package replay
+
+import (
+	"math"
+	"testing"
+
+	"sunflow/internal/obs"
+)
+
+// sev builds one KindSpan trace event the way internal/obs/span emits them:
+// T=0, ids nonzero, parent 0 for roots, children emitted before parents.
+func sev(scope, name string, id, parent int64, wall, dur float64) obs.Event {
+	return obs.Event{
+		Kind: obs.KindSpan, Scope: scope, Coflow: -1, Src: -1, Dst: -1,
+		Name: name, Span: id, Parent: parent, Wall: wall, Dur: dur,
+	}
+}
+
+func TestSpanTreeReconstruction(t *testing.T) {
+	// root [0, 1.0) with children b [0.1, 0.4) and c [0.5, 0.9);
+	// b has grandchild g [0.2, 0.3). Emission is finish order.
+	evs := []obs.Event{
+		sev("sunflow", "g", 4, 2, 0.2, 0.1),
+		sev("sunflow", "b", 2, 1, 0.1, 0.3),
+		sev("sunflow", "c", 3, 1, 0.5, 0.4),
+		sev("sunflow", "root", 1, 0, 0.0, 1.0),
+	}
+	a := Analyze(evs)
+	if len(a.Violations) != 0 {
+		t.Fatalf("unexpected violations: %v", a.Violations)
+	}
+	s := a.Scope("sunflow")
+	if s == nil || len(s.SpanRoots) != 1 {
+		t.Fatalf("want 1 root span, got %+v", s)
+	}
+	root := s.SpanRoots[0]
+	if root.Name != "root" || len(root.Children) != 2 {
+		t.Fatalf("root = %q with %d children, want root with 2", root.Name, len(root.Children))
+	}
+	if root.Children[0].Name != "b" || root.Children[1].Name != "c" {
+		t.Fatalf("children = %q, %q; want b, c", root.Children[0].Name, root.Children[1].Name)
+	}
+	if g := root.Children[0].Children; len(g) != 1 || g[0].Name != "g" {
+		t.Fatalf("grandchildren = %+v, want [g]", g)
+	}
+
+	if got := s.SpanTotal(); got != 1.0 {
+		t.Fatalf("SpanTotal = %v, want 1.0", got)
+	}
+	if got := s.PhaseTotal("b"); got != 0.3 {
+		t.Fatalf("PhaseTotal(b) = %v, want 0.3", got)
+	}
+
+	// Self times telescope: Σ self over the tree equals the root duration.
+	var selfSum float64
+	for _, p := range s.SpanPhases() {
+		selfSum += p.Self
+	}
+	if math.Abs(selfSum-1.0) > 1e-12 {
+		t.Fatalf("Σ self = %v, want 1.0", selfSum)
+	}
+
+	// SpanPhases orders by descending self: c (0.4) > root (0.3) > b (0.2) > g (0.1).
+	phases := s.SpanPhases()
+	want := []string{"c", "root", "b", "g"}
+	for i, p := range phases {
+		if p.Name != want[i] {
+			t.Fatalf("phase order = %v..., want %v", p.Name, want)
+		}
+	}
+
+	// Critical path descends through the heaviest child at each level.
+	cp := CriticalPath(root)
+	if len(cp) != 2 || cp[0].Name != "root" || cp[1].Name != "c" {
+		names := make([]string, len(cp))
+		for i, n := range cp {
+			names[i] = n.Name
+		}
+		t.Fatalf("critical path = %v, want [root c]", names)
+	}
+	if CriticalPath(nil) != nil {
+		t.Fatalf("CriticalPath(nil) should be nil")
+	}
+}
+
+func TestSpanLintViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		evs  []obs.Event
+		want Rule
+	}{
+		{"missing name", []obs.Event{sev("", "", 1, 0, 0, 1)}, RuleSpanStructure},
+		{"zero id", []obs.Event{sev("", "x", 0, 0, 0, 1)}, RuleSpanStructure},
+		{"negative duration", []obs.Event{sev("", "x", 1, 0, 0, -1)}, RuleSpanStructure},
+		{"NaN duration", []obs.Event{sev("", "x", 1, 0, 0, math.NaN())}, RuleSpanStructure},
+		{"negative wall", []obs.Event{sev("", "x", 1, 0, -0.5, 1)}, RuleSpanStructure},
+		{"self parent", []obs.Event{sev("", "x", 1, 1, 0, 1)}, RuleSpanStructure},
+		{"duplicate id", []obs.Event{
+			sev("", "x", 1, 0, 0, 1),
+			sev("", "y", 1, 0, 2, 1),
+		}, RuleSpanStructure},
+		{"unfinished parent", []obs.Event{
+			sev("", "child", 2, 1, 0.1, 0.2),
+		}, RuleSpanStructure},
+		{"child escapes parent end", []obs.Event{
+			sev("", "child", 2, 1, 0.5, 1.0), // ends at 1.5
+			sev("", "parent", 1, 0, 0.0, 1.0),
+		}, RuleSpanContainment},
+		{"child starts before parent", []obs.Event{
+			sev("", "child", 2, 1, 0.0, 0.1),
+			sev("", "parent", 1, 0, 0.5, 1.0),
+		}, RuleSpanContainment},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := Analyze(tc.evs)
+			if kinds(a.Violations)[tc.want] == 0 {
+				t.Errorf("want a %s violation, got %v", tc.want, a.Violations)
+			}
+		})
+	}
+}
+
+func TestSpanLintAcceptsLegalShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		evs  []obs.Event
+	}{
+		{"nested tree", []obs.Event{
+			sev("s", "child", 2, 1, 0.1, 0.2),
+			sev("s", "root", 1, 0, 0.0, 1.0),
+		}},
+		{"zero-duration span", []obs.Event{
+			sev("s", "instant", 1, 0, 0.5, 0),
+		}},
+		{"sub-eps overhang", []obs.Event{
+			// FinishWith durations are caller-measured; nanosecond-scale
+			// disagreement with the parent's own clock window is legal.
+			sev("s", "child", 2, 1, 0.1, 0.9000000005),
+			sev("s", "root", 1, 0, 0.1, 0.9),
+		}},
+		{"parallel scopes share ids only per scope", []obs.Event{
+			sev("a", "x", 1, 0, 0, 1),
+			sev("b", "x", 1, 0, 0, 1),
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := Analyze(tc.evs)
+			if len(a.Violations) != 0 {
+				t.Errorf("want clean lint, got %v", a.Violations)
+			}
+		})
+	}
+}
+
+// An orphan span (its parent never finished) is kept as a root so its time
+// still shows up in profiles, alongside the structure violation.
+func TestOrphanSpanKeptAsRoot(t *testing.T) {
+	a := Analyze([]obs.Event{
+		sev("s", "orphan", 2, 99, 0.1, 0.2),
+		sev("s", "root", 1, 0, 0.0, 1.0),
+	})
+	if kinds(a.Violations)[RuleSpanStructure] == 0 {
+		t.Fatalf("want a span_structure violation for the orphan, got %v", a.Violations)
+	}
+	s := a.Scope("s")
+	if len(s.SpanRoots) != 2 {
+		t.Fatalf("got %d roots, want 2 (orphan promoted)", len(s.SpanRoots))
+	}
+	if got := s.SpanTotal(); math.Abs(got-1.2) > 1e-12 {
+		t.Fatalf("SpanTotal = %v, want 1.2 (orphan time retained)", got)
+	}
+}

@@ -210,11 +210,18 @@ type Scope struct {
 	PlannedBytes  float64
 	DutyCycle     float64
 
+	// SpanRoots are the reconstructed profiling span trees (KindSpan
+	// events), roots in emission order with children re-attached under
+	// their parents; see profile.go. Filled by Finish.
+	SpanRoots []*SpanNode
+
 	open       map[flowKey]int // circuit index currently holding (src, dst)
 	openCoflow map[int]*CoflowStat
 	portDown   map[int]int // open outage index per port
 	windowOpen bool
 	windowT    float64
+	spans      map[int64]*SpanNode
+	spanOrder  []int64
 }
 
 // DeltaOverhead is the fraction of port-holding time spent reconfiguring:
@@ -309,6 +316,7 @@ func (b *Builder) scope(name string) *Scope {
 			open:       make(map[flowKey]int),
 			openCoflow: make(map[int]*CoflowStat),
 			portDown:   make(map[int]int),
+			spans:      make(map[int64]*SpanNode),
 		}
 		b.a.Scopes[name] = s
 	}
@@ -507,6 +515,9 @@ func (b *Builder) Add(ev obs.Event) {
 		}
 		s.Retries++
 
+	case obs.KindSpan:
+		b.addSpan(s, ev)
+
 	case obs.KindFlowStranded:
 		st, ok := s.openCoflow[ev.Coflow]
 		if !ok {
@@ -587,6 +598,7 @@ func (b *Builder) finishScope(s *Scope) {
 	b.checkOverlap(s, false)
 	b.checkRetries(s)
 	b.checkDownPorts(s)
+	b.finishSpans(s)
 
 	// Counter-equivalent accounting, in circuit_up emission order. The live
 	// counters accrue setups / setup seconds / planned bytes at circuit_up

@@ -1,0 +1,133 @@
+package span
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sunflow/internal/obs"
+)
+
+// Runtime metric names exported into the Registry by Sampler.Sample.
+const (
+	NameHeapBytes      = "runtime.heap_bytes"       // live heap object bytes (gauge)
+	NameGoroutines     = "runtime.goroutines"       // goroutine count (gauge)
+	NameGCCycles       = "runtime.gc_cycles"        // completed GC cycles (gauge)
+	NameGCPauseSeconds = "runtime.gc_pause_seconds" // cumulative GC stop-the-world pause (float counter)
+)
+
+// Sampler snapshots Go runtime health metrics — heap in use, goroutine
+// count, GC cycles and cumulative GC pause — into an obs.Registry. The
+// Profiler triggers it at root-span boundaries so long runs (nightly
+// matrices, a future daemon) get a health trail without a separate
+// collection loop; MinInterval throttles the actual runtime/metrics reads.
+// Safe for concurrent use.
+type Sampler struct {
+	// MinInterval is the minimum wall time between two actual reads;
+	// Sample calls inside the window return immediately. Zero selects
+	// 100 ms.
+	MinInterval time.Duration
+
+	last atomic.Int64 // unix nanos of the last completed read
+
+	mu        sync.Mutex
+	samples   []metrics.Sample
+	prevPause float64
+}
+
+// runtimeSampleNames are the runtime/metrics series the sampler reads.
+// Unsupported names (older or newer toolchains) read as KindBad and are
+// skipped, so the sampler degrades rather than breaks across Go versions.
+var runtimeSampleNames = []string{
+	"/memory/classes/heap/objects:bytes",
+	"/sched/goroutines:goroutines",
+	"/gc/cycles/total:gc-cycles",
+	"/sched/pauses/total/gc:seconds",
+}
+
+// Sample reads the runtime metrics into reg, rate-limited by MinInterval.
+// Safe on a nil Sampler or nil registry (no-op).
+func (s *Sampler) Sample(reg *obs.Registry) {
+	if s == nil || reg == nil {
+		return
+	}
+	min := s.MinInterval
+	if min <= 0 {
+		min = 100 * time.Millisecond
+	}
+	now := time.Now().UnixNano()
+	last := s.last.Load()
+	if now-last < int64(min) || !s.last.CompareAndSwap(last, now) {
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.samples == nil {
+		s.samples = make([]metrics.Sample, len(runtimeSampleNames))
+		for i, n := range runtimeSampleNames {
+			s.samples[i].Name = n
+		}
+	}
+	metrics.Read(s.samples)
+	for _, sm := range s.samples {
+		switch sm.Name {
+		case "/memory/classes/heap/objects:bytes":
+			if sm.Value.Kind() == metrics.KindUint64 {
+				reg.Gauge(NameHeapBytes).Set(int64(sm.Value.Uint64()))
+			}
+		case "/sched/goroutines:goroutines":
+			if sm.Value.Kind() == metrics.KindUint64 {
+				reg.Gauge(NameGoroutines).Set(int64(sm.Value.Uint64()))
+			}
+		case "/gc/cycles/total:gc-cycles":
+			if sm.Value.Kind() == metrics.KindUint64 {
+				reg.Gauge(NameGCCycles).Set(int64(sm.Value.Uint64()))
+			}
+		case "/sched/pauses/total/gc:seconds":
+			if sm.Value.Kind() == metrics.KindFloat64Histogram {
+				total := histogramTotal(sm.Value.Float64Histogram())
+				if d := total - s.prevPause; d > 0 {
+					reg.FloatCounter(NameGCPauseSeconds).Add(d)
+					s.prevPause = total
+				}
+			}
+		}
+	}
+}
+
+// histogramTotal estimates the cumulative seconds represented by a
+// runtime/metrics duration histogram: each bucket contributes its count
+// times the bucket midpoint (runtime pause histograms expose counts, not a
+// sum, so the total is exact only to bucket resolution — plenty for a
+// health trail).
+func histogramTotal(h *metrics.Float64Histogram) float64 {
+	if h == nil {
+		return 0
+	}
+	var total float64
+	for i, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
+		total += float64(n) * bucketMid(h.Buckets[i], h.Buckets[i+1])
+	}
+	return total
+}
+
+// bucketMid picks a representative value for a histogram bucket, handling
+// the ±Inf boundary buckets.
+func bucketMid(lo, hi float64) float64 {
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+		return 0
+	case math.IsInf(lo, -1):
+		return hi
+	case math.IsInf(hi, 1):
+		return lo
+	default:
+		return (lo + hi) / 2
+	}
+}

@@ -1,0 +1,265 @@
+// Package span provides lightweight hierarchical self-profiling for the
+// schedulers, simulators and the matrix engine: wall-clock timed spans with
+// parent links and per-span attributes, recorded through per-goroutine span
+// stacks so the hot path takes no locks.
+//
+// A finished span fans out to up to three sinks, all optional:
+//
+//   - aggregation into an obs.Registry — every phase gets a Histogram named
+//     "span.<name>" (scope-prefixed for scoped stacks), so per-phase count,
+//     total and max export through /metrics and Snapshot for free;
+//   - a KindSpan event in the obs trace stream (docs/TRACE.md), which the
+//     replay linter checks and `sunflow-analyze profile` turns into a
+//     flamegraph and per-phase table;
+//   - an in-memory span tree retained on the Profiler for programmatic
+//     analysis.
+//
+// Spans measure wall-clock time only; they never touch simulated time, and
+// a nil *Profiler, *Stack or *Span is a no-op everywhere, so disabled
+// profiling costs callers exactly one nil-check and zero allocations —
+// the same contract as a nil *obs.Observer.
+package span
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sunflow/internal/obs"
+)
+
+// Options configures a Profiler. All fields are optional; a zero Options
+// still yields a working Profiler whose spans go nowhere (useful only for
+// the in-memory tree once Tree is set).
+type Options struct {
+	// Registry receives per-phase aggregation: a Histogram per span name
+	// under "span.<name>" (or "<scope>.span.<name>" for scoped stacks).
+	Registry *obs.Registry
+	// Sink receives one obs.KindSpan event per finished span. Children are
+	// emitted before their parents (a span finishes after its children).
+	Sink obs.Sink
+	// Tree retains finished root spans on the Profiler for Roots().
+	Tree bool
+	// Runtime, when non-nil, samples Go runtime health metrics (heap bytes,
+	// goroutines, GC pauses) into Registry at root-span boundaries.
+	Runtime *Sampler
+}
+
+// Profiler is the shared recording backend behind any number of Stacks.
+// All methods are safe for concurrent use and safe on a nil receiver.
+type Profiler struct {
+	reg     *obs.Registry
+	sink    obs.Sink
+	tree    bool
+	sampler *Sampler
+	epoch   time.Time
+	ids     atomic.Int64
+
+	mu    sync.Mutex
+	roots []*Span
+}
+
+// New returns a Profiler recording through the given sinks. The wall-clock
+// epoch — the zero point of every span's Wall offset — is the moment of
+// this call.
+func New(opt Options) *Profiler {
+	return &Profiler{
+		reg:     opt.Registry,
+		sink:    opt.Sink,
+		tree:    opt.Tree,
+		sampler: opt.Runtime,
+		epoch:   time.Now(),
+	}
+}
+
+// NewStack returns a span stack for one goroutine. A Stack is not safe for
+// concurrent use — each worker goroutine must create its own — but any
+// number of Stacks may record into the same Profiler concurrently. The
+// scope, when non-empty, prefixes aggregate metric names and stamps the
+// Scope field of emitted trace events, mirroring obs.Observer.Scoped.
+// Safe on a nil Profiler (returns a nil Stack, which no-ops).
+func (p *Profiler) NewStack(scope string) *Stack {
+	if p == nil {
+		return nil
+	}
+	return &Stack{p: p, scope: scope, hists: map[string]*obs.Histogram{}}
+}
+
+// Roots returns the finished root spans retained so far (Options.Tree).
+// The slice is a snapshot; the spans themselves are no longer mutated once
+// finished.
+func (p *Profiler) Roots() []*Span {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*Span(nil), p.roots...)
+}
+
+// Epoch returns the profiler's wall-clock zero point.
+func (p *Profiler) Epoch() time.Time {
+	if p == nil {
+		return time.Time{}
+	}
+	return p.epoch
+}
+
+// Stack is a per-goroutine stack of open spans. The current open span is
+// the parent of the next Start, which is what builds the hierarchy without
+// callers threading parent handles around.
+type Stack struct {
+	p     *Profiler
+	scope string
+	cur   *Span
+	// hists caches the per-name aggregate histograms so repeated phases
+	// skip the registry's mutex on the hot path.
+	hists map[string]*obs.Histogram
+}
+
+// Span is one timed phase. The exported fields are final once the span is
+// finished; Children is populated only when the Profiler retains trees.
+type Span struct {
+	// Name is the phase name ("sched.pass", "tms.sinkhorn", ...).
+	Name string
+	// ID is unique within the Profiler, never 0. ParentID is 0 for roots.
+	ID, ParentID int64
+	// Wall is the wall-clock start offset in seconds from the Profiler's
+	// epoch; Dur is the wall-clock duration in seconds.
+	Wall, Dur float64
+	// Attrs carries optional annotations set with Attr.
+	Attrs map[string]string
+	// Children are the finished child spans, in finish order (which, under
+	// stack discipline, is also chronological start order).
+	Children []*Span
+
+	st     *Stack
+	parent *Span
+	start  time.Time
+}
+
+// Start opens a span named name as a child of the stack's current open
+// span (or as a root). Safe on a nil Stack (returns a nil Span).
+func (st *Stack) Start(name string) *Span {
+	if st == nil {
+		return nil
+	}
+	now := time.Now()
+	sp := &Span{
+		Name:   name,
+		ID:     st.p.ids.Add(1),
+		Wall:   now.Sub(st.p.epoch).Seconds(),
+		st:     st,
+		parent: st.cur,
+		start:  now,
+	}
+	if sp.parent != nil {
+		sp.ParentID = sp.parent.ID
+	}
+	st.cur = sp
+	return sp
+}
+
+// Attr annotates the span and returns it for chaining. Safe on a nil Span.
+func (sp *Span) Attr(key, value string) *Span {
+	if sp == nil {
+		return nil
+	}
+	if sp.Attrs == nil {
+		sp.Attrs = map[string]string{}
+	}
+	sp.Attrs[key] = value
+	return sp
+}
+
+// Finish closes the span, measuring its duration from Start, and returns
+// the duration in seconds. Safe on a nil or already-finished Span (no-op).
+func (sp *Span) Finish() float64 {
+	if sp == nil || sp.st == nil {
+		return 0
+	}
+	return sp.finish(time.Since(sp.start).Seconds())
+}
+
+// FinishWith closes the span with a caller-measured duration. Call sites
+// that already time a phase for an obs counter (sched.seconds and friends)
+// pass the same measurement here, so aggregate span totals reconcile with
+// the counters exactly rather than within clock jitter.
+func (sp *Span) FinishWith(sec float64) float64 {
+	if sp == nil || sp.st == nil {
+		return 0
+	}
+	return sp.finish(sec)
+}
+
+func (sp *Span) finish(sec float64) float64 {
+	if sec < 0 {
+		sec = 0
+	}
+	sp.Dur = sec
+	st := sp.st
+	sp.st = nil // a second Finish is a no-op
+	// Pop to the parent even if children were left open (forgotten Finish):
+	// the stack recovers instead of corrupting later parentage.
+	st.cur = sp.parent
+	p := st.p
+	if h := st.hist(sp.Name); h != nil {
+		h.Observe(sec)
+	}
+	if p.sink != nil {
+		p.sink.Emit(obs.Event{
+			Kind: obs.KindSpan, Scope: st.scope, Coflow: -1, Src: -1, Dst: -1,
+			Name: sp.Name, Span: sp.ID, Parent: sp.ParentID, Wall: sp.Wall,
+			Dur: sec, Attrs: sp.Attrs,
+		})
+	}
+	if sp.parent != nil {
+		if p.tree {
+			sp.parent.Children = append(sp.parent.Children, sp)
+		}
+	} else {
+		if p.tree {
+			p.mu.Lock()
+			p.roots = append(p.roots, sp)
+			p.mu.Unlock()
+		}
+		if p.sampler != nil {
+			p.sampler.Sample(p.reg)
+		}
+	}
+	return sec
+}
+
+// Self returns the span's self time: its duration minus its children's,
+// clamped at zero. Meaningful only on tree-retained spans.
+func (sp *Span) Self() float64 {
+	if sp == nil {
+		return 0
+	}
+	s := sp.Dur
+	for _, c := range sp.Children {
+		s -= c.Dur
+	}
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// hist returns the aggregate histogram for a phase name, nil when the
+// profiler has no registry.
+func (st *Stack) hist(name string) *obs.Histogram {
+	if st.p.reg == nil {
+		return nil
+	}
+	h, ok := st.hists[name]
+	if !ok {
+		full := "span." + name
+		if st.scope != "" {
+			full = st.scope + ".span." + name
+		}
+		h = st.p.reg.Histogram(full)
+		st.hists[name] = h
+	}
+	return h
+}

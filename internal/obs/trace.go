@@ -44,6 +44,12 @@ const (
 	// failure left it unroutable; Bytes is the demand still unserved. A
 	// Coflow with a stranded flow never emits coflow_complete.
 	KindFlowStranded Kind = "flow_stranded"
+	// KindSpan records one finished profiling span (internal/obs/span):
+	// Name is the phase, Span/Parent link the tree, Wall is the wall-clock
+	// start offset from the profiler's epoch and Dur the wall-clock
+	// duration. Span events live in the wall-clock domain: T is always 0
+	// and they carry no simulated-time meaning.
+	KindSpan Kind = "span"
 )
 
 // Event is one structured trace record. Fields that do not apply to a kind
@@ -58,6 +64,17 @@ type Event struct {
 	Dst    int     `json:"dst"`
 	Bytes  float64 `json:"bytes,omitempty"`
 	Dur    float64 `json:"dur,omitempty"`
+
+	// Span fields, set only on KindSpan events. Name is the phase name;
+	// Span is the span's id (ids are unique within a trace, never 0);
+	// Parent is the enclosing span's id, 0 for a root; Wall is the span's
+	// wall-clock start as a seconds offset from the profiler's epoch; Attrs
+	// carries optional key/value annotations (planner=fast, scheduler=tms).
+	Name   string            `json:"name,omitempty"`
+	Span   int64             `json:"span,omitempty"`
+	Parent int64             `json:"parent,omitempty"`
+	Wall   float64           `json:"wall,omitempty"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
 }
 
 // Sink receives trace events. Implementations must be safe for concurrent

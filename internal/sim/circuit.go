@@ -12,6 +12,7 @@ import (
 	"sunflow/internal/fabric"
 	"sunflow/internal/fault"
 	"sunflow/internal/obs"
+	"sunflow/internal/obs/span"
 )
 
 // CircuitOptions configures the online circuit-switched simulation.
@@ -40,6 +41,11 @@ type CircuitOptions struct {
 	// Obs optionally records metrics and trace events. Nil disables all
 	// instrumentation at the cost of one nil-check per site.
 	Obs *obs.Observer
+	// Prof optionally records wall-clock profiling spans ("sim.run",
+	// "sim.credit", "sched.pass", "fault.repair" and the nested scheduler
+	// phases) on the calling goroutine's span stack. Spans never touch
+	// simulated time; nil disables profiling.
+	Prof *span.Stack
 	// Faults optionally injects port outages, circuit-setup failures and
 	// degraded link rates. Nil — or a plan whose IsZero reports true — leaves
 	// the simulation bit-identical to the fault-free baseline.
@@ -59,6 +65,8 @@ var ErrReplan = errors.New("sim: replan failed")
 // begun are discarded and replanned against the remaining demand of all
 // live Coflows in priority order.
 func RunCircuit(coflows []*coflow.Coflow, opts CircuitOptions) (Result, error) {
+	sp := opts.Prof.Start("sim.run").Attr("sim", "circuit")
+	defer sp.Finish()
 	res := Result{CCT: map[int]float64{}, Finish: map[int]float64{}, SwitchCount: map[int]int{}}
 	if opts.LinkBps <= 0 {
 		return res, fmt.Errorf("sim: link bandwidth must be positive, got %v", opts.LinkBps)
@@ -265,6 +273,8 @@ func (s *circuitState) credit(from, to float64) {
 	if to <= from {
 		return
 	}
+	csp := s.opts.Prof.Start("sim.credit")
+	defer csp.Finish()
 	// Reservations in start order so sequential reservations of one flow
 	// are credited in the order they deliver.
 	sort.Slice(s.plan, func(a, b int) bool { return s.plan[a].Start < s.plan[b].Start })
@@ -527,11 +537,33 @@ func (s *circuitState) replan(now float64) error {
 // (non-preemption), everything else is rescheduled with IntraCoflow in policy
 // order against the remaining demand. It returns the Coflow that could not be
 // placed alongside the error.
-func (s *circuitState) replanOnce(now float64) (int, error) {
+func (s *circuitState) replanOnce(now float64) (id int, err error) {
 	o := s.opts.Obs
-	var passStart time.Time
-	if o != nil {
-		passStart = time.Now()
+	if o != nil || s.opts.Prof != nil {
+		// One measurement feeds the counters and the span: the span tree's
+		// sched.pass totals sum to sched.seconds exactly. A failed pass
+		// (stall under faults) closes its span but, as before, leaves the
+		// pass counters untouched — the retry after quarantine counts.
+		// Clock before span: the span's start stamp then lands no earlier
+		// than passStart, so the recorded interval covers its children even
+		// when the goroutine is preempted between the two calls.
+		passStart := time.Now()
+		psp := s.opts.Prof.Start("sched.pass")
+		defer func() {
+			if err != nil {
+				psp.Attr("outcome", "stalled").Finish()
+				return
+			}
+			d := time.Since(passStart).Seconds()
+			psp.FinishWith(d)
+			if o == nil {
+				return
+			}
+			o.SchedPasses.Inc()
+			o.SchedSeconds.Add(d)
+			o.SchedPassTime.Observe(d)
+			o.QueueDepth.Set(int64(len(s.plan)))
+		}()
 	}
 	// Keep only circuits already established and still holding their ports.
 	locked := make([]core.Reservation, 0, len(s.plan))
@@ -552,6 +584,7 @@ func (s *circuitState) replanOnce(now float64) (int, error) {
 		// Repair path: re-seed the degraded table defensively — a locked
 		// circuit that no longer fits is invalidated rather than crashing the
 		// run — then block every port interval a fault keeps down.
+		fsp := s.opts.Prof.Start("fault.repair")
 		kept := locked[:0]
 		for _, r := range locked {
 			if prt.TryReserve(r) == nil {
@@ -566,6 +599,7 @@ func (s *circuitState) replanOnce(now float64) (int, error) {
 				}
 			}
 		}
+		fsp.Finish()
 	}
 
 	lockedFuture := map[int]map[fabric.FlowKey]float64{}
@@ -600,6 +634,7 @@ func (s *circuitState) replanOnce(now float64) (int, error) {
 			Seed:      s.opts.Seed,
 			Reference: s.opts.Reference,
 			Obs:       s.opts.Obs,
+			Prof:      s.opts.Prof,
 		})
 		if err != nil {
 			return tmp.ID, err
@@ -612,13 +647,6 @@ func (s *circuitState) replanOnce(now float64) (int, error) {
 		}
 		lc.finish = finish
 		s.plan = append(s.plan, sched.Reservations...)
-	}
-	if o != nil {
-		d := time.Since(passStart).Seconds()
-		o.SchedPasses.Inc()
-		o.SchedSeconds.Add(d)
-		o.SchedPassTime.Observe(d)
-		o.QueueDepth.Set(int64(len(s.plan)))
 	}
 	return 0, nil
 }

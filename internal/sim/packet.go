@@ -18,6 +18,7 @@ import (
 	"sunflow/internal/fabric"
 	"sunflow/internal/fault"
 	"sunflow/internal/obs"
+	"sunflow/internal/obs/span"
 )
 
 // byteEps is the residual demand below which a flow counts as finished. One
@@ -143,6 +144,10 @@ type PacketOptions struct {
 	Alloc fabric.RateAllocator
 	// Obs optionally records metrics and trace events.
 	Obs *obs.Observer
+	// Prof optionally records wall-clock profiling spans ("sim.run",
+	// "sched.pass", "alloc") on the calling goroutine's span stack. Give
+	// the allocator the same stack so its kernel spans nest under "alloc".
+	Prof *span.Stack
 	// Faults optionally injects port outages, degraded link rates and
 	// straggler flows. Nil — or a plan whose IsZero reports true — leaves the
 	// simulation bit-identical to the fault-free baseline. Circuit-setup
@@ -169,6 +174,8 @@ func RunPacketObs(coflows []*coflow.Coflow, ports int, linkBps float64, alloc fa
 
 // RunPacketOpts is the fully-optioned packet simulation entry point.
 func RunPacketOpts(coflows []*coflow.Coflow, opts PacketOptions) (Result, error) {
+	rsp := opts.Prof.Start("sim.run").Attr("sim", "packet")
+	defer rsp.Finish()
 	ports, linkBps, alloc, o := opts.Ports, opts.LinkBps, opts.Alloc, opts.Obs
 	res := Result{CCT: map[int]float64{}, Finish: map[int]float64{}, SwitchCount: map[int]int{}}
 	if linkBps <= 0 {
@@ -355,9 +362,16 @@ func RunPacketOpts(coflows []*coflow.Coflow, opts PacketOptions) (Result, error)
 
 	// recompute reallocates rates at time now and rebuilds the event heap.
 	recompute := func(now float64) {
+		// One measurement feeds the counters and the span, so sched.pass
+		// span totals reconcile with sched.seconds exactly.
+		var psp *span.Span
 		var passStart time.Time
-		if o != nil {
+		if o != nil || opts.Prof != nil {
+			// Clock first, span second: the span stamps its start no earlier
+			// than passStart, so its recorded interval covers its children
+			// even when the goroutine is preempted between the two calls.
 			passStart = time.Now()
+			psp = opts.Prof.Start("sched.pass")
 		}
 		// Reap flows that a sync drove to completion exactly at an event
 		// boundary (their own completion event was invalidated by the
@@ -408,7 +422,9 @@ func RunPacketOpts(coflows []*coflow.Coflow, opts PacketOptions) (Result, error)
 			attained[id] = cs.attained
 			arrival[id] = cs.arrival
 		}
+		asp := opts.Prof.Start("alloc")
 		rates := alloc.Allocate(remaining, attained, arrival, linkBps, ports)
+		asp.Finish()
 
 		gen++
 		events = events[:0]
@@ -449,12 +465,15 @@ func RunPacketOpts(coflows []*coflow.Coflow, opts PacketOptions) (Result, error)
 			}
 		}
 		heap.Init(&events)
-		if o != nil {
+		if o != nil || psp != nil {
 			d := time.Since(passStart).Seconds()
-			o.SchedPasses.Inc()
-			o.SchedSeconds.Add(d)
-			o.SchedPassTime.Observe(d)
-			o.QueueDepth.Set(int64(events.Len()))
+			psp.FinishWith(d)
+			if o != nil {
+				o.SchedPasses.Inc()
+				o.SchedSeconds.Add(d)
+				o.SchedPassTime.Observe(d)
+				o.QueueDepth.Set(int64(events.Len()))
+			}
 		}
 	}
 

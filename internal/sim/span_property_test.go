@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"sunflow/internal/obs"
+	"sunflow/internal/obs/span"
+	"sunflow/internal/trace"
+	"sunflow/internal/varys"
+)
+
+// nonSpan strips KindSpan events, leaving the deterministic simulated-time
+// stream the digests cover.
+func nonSpan(evs []obs.Event) []obs.Event {
+	out := make([]obs.Event, 0, len(evs))
+	for _, ev := range evs {
+		if ev.Kind != obs.KindSpan {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// TestQuickSpansDontPerturbCircuit guards the profiler's correctness half of
+// the zero-overhead contract, seed by seed: enabling spans must change
+// neither the simulation result nor the simulated-time event stream — only
+// append wall-clock span events to it.
+func TestQuickSpansDontPerturbCircuit(t *testing.T) {
+	f := func(seed uint8) bool {
+		cs := trace.Generator{Ports: 10, Coflows: 8, MaxWidth: 4, Seed: int64(seed) + 1}.Trace().Coflows
+		plainSink := &obs.SliceSink{}
+		plain, err := RunCircuit(cs, CircuitOptions{
+			Ports: 10, LinkBps: gbps, Delta: 0.01,
+			Obs: obs.NewWith(obs.NewRegistry(), plainSink),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		profSink := &obs.SliceSink{}
+		p := span.New(span.Options{Registry: obs.NewRegistry(), Sink: profSink, Tree: true})
+		profiled, err := RunCircuit(cs, CircuitOptions{
+			Ports: 10, LinkBps: gbps, Delta: 0.01,
+			Obs:  obs.NewWith(obs.NewRegistry(), profSink),
+			Prof: p.NewStack(""),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain, profiled) {
+			t.Errorf("seed %d: results differ with spans enabled", seed)
+			return false
+		}
+		if !reflect.DeepEqual(plainSink.Events(), nonSpan(profSink.Events())) {
+			t.Errorf("seed %d: non-span event streams differ", seed)
+			return false
+		}
+		if profSink.Count(obs.KindSpan) == 0 {
+			t.Errorf("seed %d: no span events recorded", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSpansDontPerturbPacket is the packet-fabric side of the same
+// contract, with the allocator's kernel spans nested under the simulator's.
+func TestQuickSpansDontPerturbPacket(t *testing.T) {
+	f := func(seed uint8) bool {
+		cs := trace.Generator{Ports: 10, Coflows: 8, MaxWidth: 4, Seed: int64(seed) + 1}.Trace().Coflows
+		plainSink := &obs.SliceSink{}
+		plainObs := obs.NewWith(obs.NewRegistry(), plainSink)
+		plain, err := RunPacketOpts(cs, PacketOptions{
+			Ports: 10, LinkBps: gbps,
+			Alloc: varys.Allocator{Obs: plainObs},
+			Obs:   plainObs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		profSink := &obs.SliceSink{}
+		profObs := obs.NewWith(obs.NewRegistry(), profSink)
+		p := span.New(span.Options{Registry: obs.NewRegistry(), Sink: profSink})
+		st := p.NewStack("")
+		profiled, err := RunPacketOpts(cs, PacketOptions{
+			Ports: 10, LinkBps: gbps,
+			Alloc: varys.Allocator{Obs: profObs, Prof: st},
+			Obs:   profObs, Prof: st,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain, profiled) {
+			t.Errorf("seed %d: results differ with spans enabled", seed)
+			return false
+		}
+		if !reflect.DeepEqual(plainSink.Events(), nonSpan(profSink.Events())) {
+			t.Errorf("seed %d: non-span event streams differ", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpanTotalsReconcileWithCounters pins the FinishWith contract: one
+// measurement feeds both the sched.seconds counter and the sched.pass spans,
+// so the aggregate span histogram agrees with the counter bit for bit, not
+// within clock jitter.
+func TestSpanTotalsReconcileWithCounters(t *testing.T) {
+	cs := obsWorkload()
+	reg := obs.NewRegistry()
+	o := obs.NewWith(reg, nil)
+	p := span.New(span.Options{Registry: reg})
+	if _, err := RunCircuit(cs, CircuitOptions{
+		Ports: 12, LinkBps: gbps, Delta: 0.01, Obs: o, Prof: p.NewStack(""),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h := reg.Histogram("span.sched.pass")
+	if h.Count() != o.SchedPasses.Load() {
+		t.Errorf("span.sched.pass count = %d, sched.passes = %d", h.Count(), o.SchedPasses.Load())
+	}
+	if h.Sum() != o.SchedSeconds.Load() {
+		t.Errorf("span.sched.pass sum = %v, sched.seconds = %v (must be exactly equal)",
+			h.Sum(), o.SchedSeconds.Load())
+	}
+	if h.Count() == 0 {
+		t.Fatalf("no sched.pass spans recorded")
+	}
+}
+
+// TestSpanTreeCoversSimRun checks the recorded hierarchy end to end on a
+// real run: one sim.run root whose descendants include every sched.pass, and
+// whose per-phase self times telescope back to the root's duration.
+func TestSpanTreeCoversSimRun(t *testing.T) {
+	cs := obsWorkload()
+	p := span.New(span.Options{Tree: true})
+	if _, err := RunCircuit(cs, CircuitOptions{
+		Ports: 12, LinkBps: gbps, Delta: 0.01, Prof: p.NewStack(""),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	roots := p.Roots()
+	if len(roots) != 1 || roots[0].Name != "sim.run" {
+		t.Fatalf("roots = %+v, want one sim.run", roots)
+	}
+	root := roots[0]
+	passes, selfSum := 0, 0.0
+	var walk func(*span.Span)
+	walk = func(sp *span.Span) {
+		selfSum += sp.Self()
+		if sp.Name == "sched.pass" {
+			passes++
+		}
+		for _, c := range sp.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	if passes == 0 {
+		t.Fatalf("no sched.pass spans under sim.run")
+	}
+	// Self() clamps at zero, so the telescoped sum can only meet or exceed
+	// the root duration; the slack is clock jitter, not unaccounted time.
+	if selfSum < root.Dur-1e-9 {
+		t.Errorf("Σ self = %v under root duration %v", selfSum, root.Dur)
+	}
+}

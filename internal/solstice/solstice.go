@@ -23,6 +23,7 @@ import (
 	"sunflow/internal/fabric"
 	"sunflow/internal/matching"
 	"sunflow/internal/obs"
+	"sunflow/internal/obs/span"
 )
 
 // Options configures the scheduler.
@@ -38,6 +39,11 @@ type Options struct {
 	// assignments produced) and, via the executor, circuit and delivery
 	// counters. Nil disables instrumentation.
 	Obs *obs.Observer
+	// Prof optionally records profiling spans: Run wraps the schedule in
+	// "sched.pass" and the fabric execution in "fabric.execute"; Schedule
+	// records "solstice.stuff" (QuickStuff) and "solstice.slice" (BigSlice)
+	// children. Nil disables span recording.
+	Prof *span.Stack
 }
 
 // Stats reports details of one scheduling run.
@@ -172,10 +178,14 @@ func (st *Stuffer) Schedule(c *coflow.Coflow, n int, opts Options) ([]fabric.Ass
 		slot = 0
 	}
 
+	ssp := opts.Prof.Start("solstice.stuff")
 	stuffed, added := st.dec.Stuff(p)
+	ssp.Finish()
 	stats.StuffedBytes = added * opts.LinkBps / 8
 
+	bsp := opts.Prof.Start("solstice.slice")
 	asg, err := st.bigSlice(stuffed, slot)
+	bsp.Finish()
 	if err != nil {
 		return nil, stats, err
 	}
@@ -553,9 +563,11 @@ func maxEntry(m [][]float64) float64 {
 // intra-Coflow experiments.
 func Run(c *coflow.Coflow, n int, opts Options, model fabric.Model) (fabric.ExecResult, Stats, error) {
 	passStart := time.Now()
+	psp := opts.Prof.Start("sched.pass")
 	asg, st, err := Schedule(c, n, opts)
+	elapsed := time.Since(passStart).Seconds()
+	psp.FinishWith(elapsed)
 	if o := opts.Obs; o != nil {
-		elapsed := time.Since(passStart).Seconds()
 		o.SchedPasses.Inc()
 		o.SchedSeconds.Add(elapsed)
 		o.SchedPassTime.Observe(elapsed)
@@ -564,6 +576,8 @@ func Run(c *coflow.Coflow, n int, opts Options, model fabric.Model) (fabric.Exec
 	if err != nil {
 		return fabric.ExecResult{}, st, err
 	}
+	esp := opts.Prof.Start("fabric.execute")
 	res, err := fabric.ExecuteObs(c.DemandMatrix(n), asg, opts.LinkBps, opts.Delta, 0, model, opts.Obs)
+	esp.Finish()
 	return res, st, err
 }

@@ -24,6 +24,7 @@ import (
 	"sunflow/internal/coflow"
 	"sunflow/internal/fabric"
 	"sunflow/internal/obs"
+	"sunflow/internal/obs/span"
 )
 
 // Options configures the scheduler.
@@ -42,6 +43,10 @@ type Options struct {
 	// and, via the executor, circuit and delivery counters. Nil disables
 	// instrumentation.
 	Obs *obs.Observer
+	// Prof optionally records profiling spans: each drain round becomes a
+	// "sched.pass" span with "tms.sinkhorn" and "tms.bvn" children, and the
+	// execution a "fabric.execute" span. Nil disables span recording.
+	Prof *span.Stack
 }
 
 // sched is the reusable state of one TMS scheduling pass: the
@@ -107,11 +112,15 @@ func Schedule(demand [][]float64, opts Options) ([]fabric.Assignment, error) {
 		}
 	}
 
+	ssp := opts.Prof.Start("tms.sinkhorn")
 	ds, err := sc.dec.Sinkhorn(p, 1e-6, 10000)
+	ssp.Finish()
 	if err != nil {
 		return nil, fmt.Errorf("tms: %w", err)
 	}
+	bsp := opts.Prof.Start("tms.bvn")
 	perms, err := sc.dec.Decompose(ds)
+	bsp.Finish()
 	if err != nil {
 		return nil, fmt.Errorf("tms: %w", err)
 	}
@@ -149,9 +158,11 @@ func Run(c *coflow.Coflow, n int, opts Options, model fabric.Model) (fabric.Exec
 			return combined, nil
 		}
 		passStart := time.Now()
+		psp := opts.Prof.Start("sched.pass")
 		asg, err := Schedule(rem, opts)
+		elapsed := time.Since(passStart).Seconds()
+		psp.FinishWith(elapsed)
 		if o := opts.Obs; o != nil {
-			elapsed := time.Since(passStart).Seconds()
 			o.SchedPasses.Inc()
 			o.SchedSeconds.Add(elapsed)
 			o.SchedPassTime.Observe(elapsed)
@@ -163,7 +174,9 @@ func Run(c *coflow.Coflow, n int, opts Options, model fabric.Model) (fabric.Exec
 		if len(asg) == 0 {
 			break
 		}
+		esp := opts.Prof.Start("fabric.execute")
 		res, err := fabric.ExecuteObs(rem, asg, opts.LinkBps, opts.Delta, t, model, opts.Obs)
+		esp.Finish()
 		if err != nil {
 			return combined, err
 		}

@@ -13,6 +13,7 @@ import (
 
 	"sunflow/internal/fabric"
 	"sunflow/internal/obs"
+	"sunflow/internal/obs/span"
 )
 
 // Allocator computes Varys rates; it implements fabric.RateAllocator. The
@@ -23,6 +24,10 @@ type Allocator struct {
 	// accounts sim-level pass counters separately, so the two never double
 	// count. Nil disables instrumentation.
 	Obs *obs.Observer
+	// Prof optionally records profiling spans ("varys.allocate" with
+	// "varys.sebf" and "varys.madd" children). Give it the same stack as
+	// the driving simulator so the spans nest under its "alloc" phase.
+	Prof *span.Stack
 }
 
 // Name implements fabric.RateAllocator.
@@ -44,20 +49,27 @@ func (Allocator) PacedByCoflowEvents() bool { return true }
 // is why subflows of one Coflow may finish at different times — the
 // inefficiency §5.4 observes for large Coflows.
 func (a Allocator) Allocate(remaining map[int]map[fabric.FlowKey]float64, attained map[int]float64, arrival map[int]float64, linkBps float64, ports int) map[int]map[fabric.FlowKey]float64 {
-	if o := a.Obs; o != nil {
+	if o := a.Obs; o != nil || a.Prof != nil {
 		passStart := time.Now()
+		sp := a.Prof.Start("varys.allocate")
 		defer func() {
-			o.IntraPasses.Inc()
-			o.IntraSeconds.Add(time.Since(passStart).Seconds())
+			sec := time.Since(passStart).Seconds()
+			sp.FinishWith(sec)
+			if o != nil {
+				o.IntraPasses.Inc()
+				o.IntraSeconds.Add(sec)
+			}
 		}()
 	}
 	// One sort per Coflow per pass; sortSEBF, madd and the work-conservation
 	// sweep all walk the same slice.
+	ssp := a.Prof.Start("varys.sebf")
 	keys := make(map[int][]fabric.FlowKey, len(remaining))
 	for id, flows := range remaining {
 		keys[id] = fabric.SortedKeys(flows)
 	}
 	ids := sortSEBF(remaining, keys, arrival, linkBps, ports)
+	ssp.Finish()
 
 	availIn := make([]float64, ports)
 	availOut := make([]float64, ports)
@@ -66,10 +78,12 @@ func (a Allocator) Allocate(remaining map[int]map[fabric.FlowKey]float64, attain
 		availOut[i] = linkBps
 	}
 
+	msp := a.Prof.Start("varys.madd")
 	out := make(map[int]map[fabric.FlowKey]float64, len(ids))
 	for _, id := range ids {
 		out[id] = madd(remaining[id], keys[id], availIn, availOut)
 	}
+	msp.Finish()
 
 	// Work conservation: hand leftover bandwidth to flows in priority order.
 	for _, id := range ids {
