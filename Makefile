@@ -8,7 +8,7 @@ GO ?= go
 STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1.1
 GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: build test race lint static bench bench-ci bench-alloc bench-kernels bench-baseline trace-lint fault-lint profile-smoke fuzz matrix matrix-smoke clean
+.PHONY: build test race lint static bench bench-ci bench-alloc bench-kernels bench-baseline trace-lint fault-lint profile-smoke fuzz matrix matrix-smoke daemon-smoke clean
 
 build:
 	$(GO) build ./...
@@ -104,7 +104,17 @@ matrix-smoke:
 	cmp matrix-smoke-out/cells.jsonl matrix-smoke-rerun/cells.jsonl
 	@echo "matrix-smoke: cells.jsonl byte-identical across two runs"
 
+# End-to-end crash-recovery smoke for the online daemon (docs/DAEMON.md):
+# build sunflowd, stream a fixed-seed workload over the /v1 API, kill -9 the
+# process mid-run, restart it on the same data directory, and require the
+# recovered state digest and every Coflow CCT to be bit-identical to an
+# uninterrupted in-process reference; then SIGTERM and require a clean drain
+# that checkpoints everything. Same as the CI daemon-smoke job.
+daemon-smoke:
+	$(GO) build -o bin/sunflowd ./cmd/sunflowd
+	$(GO) run ./cmd/sunflowd-smoke -bin bin/sunflowd
+
 clean:
 	rm -f BENCH_ci.json BENCH_alloc.json events.jsonl fault-events.jsonl report.html
 	rm -f profile-events.jsonl profile.svg
-	rm -rf matrix-out matrix-smoke-out matrix-smoke-rerun
+	rm -rf matrix-out matrix-smoke-out matrix-smoke-rerun bin

@@ -35,8 +35,10 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"sunflow/internal/bench"
@@ -108,6 +110,20 @@ func main() {
 
 	if *matrixSpec != "" {
 		var mopts matrix.Options
+		// SIGINT/SIGTERM cancel the run instead of killing it: in-flight
+		// replications finish, complete cells are aggregated, and the partial
+		// cells.jsonl (with a truncation marker) and report.html still flush.
+		// A second signal falls back to the default disposition and kills.
+		cancelCh := make(chan struct{})
+		sigCh := make(chan os.Signal, 1)
+		signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			sig := <-sigCh
+			fmt.Fprintf(os.Stderr, "repro: %v — cancelling matrix run, flushing partial results\n", sig)
+			close(cancelCh)
+			signal.Stop(sigCh)
+		}()
+		mopts.Cancel = cancelCh
 		if *metrics || sink != nil || liveReg != nil || *profile {
 			var s obs.Sink
 			if sink != nil {
@@ -122,7 +138,8 @@ func main() {
 				mopts.Prof = span.New(span.Options{Registry: reg, Sink: s, Runtime: &span.Sampler{}})
 			}
 		}
-		if err := runMatrix(*matrixSpec, *matrixOut, *workers, mopts); err != nil {
+		truncated, err := runMatrix(*matrixSpec, *matrixOut, *workers, mopts)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "repro: %v\n", err)
 			os.Exit(1)
 		}
@@ -131,6 +148,12 @@ func main() {
 				fmt.Fprintf(os.Stderr, "repro: trace: %v\n", err)
 				os.Exit(1)
 			}
+		}
+		if truncated {
+			// Partial results were flushed, but the run did not complete;
+			// exit with the conventional SIGINT status so CI treats it as
+			// interrupted rather than successful.
+			os.Exit(130)
 		}
 		return
 	}
@@ -192,10 +215,11 @@ func main() {
 }
 
 // runMatrix executes a scenario spec and writes the JSONL and HTML reports.
-func runMatrix(specPath, outDir string, workers int, mopts matrix.Options) error {
+// It reports whether the run was truncated by a cancellation signal.
+func runMatrix(specPath, outDir string, workers int, mopts matrix.Options) (bool, error) {
 	spec, err := matrix.LoadSpec(specPath)
 	if err != nil {
-		return err
+		return false, err
 	}
 	fmt.Printf("[matrix %q: %d cells × %d replications = %d runs]\n",
 		spec.Name, len(spec.Expand()), spec.Replications, spec.Runs())
@@ -206,40 +230,40 @@ func runMatrix(specPath, outDir string, workers int, mopts matrix.Options) error
 	}
 	res, err := matrix.Run(spec, mopts)
 	if err != nil {
-		return err
+		return false, err
 	}
 	fmt.Print(matrix.Format(res))
 	fmt.Printf("[matrix took %s]\n", time.Since(start).Round(time.Millisecond))
 
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
-		return err
+		return res.Truncated, err
 	}
 	jsonlPath := filepath.Join(outDir, "cells.jsonl")
 	jf, err := os.Create(jsonlPath)
 	if err != nil {
-		return err
+		return res.Truncated, err
 	}
 	if err := matrix.WriteJSONL(jf, res); err != nil {
 		jf.Close()
-		return err
+		return res.Truncated, err
 	}
 	if err := jf.Close(); err != nil {
-		return err
+		return res.Truncated, err
 	}
 	htmlPath := filepath.Join(outDir, "report.html")
 	hf, err := os.Create(htmlPath)
 	if err != nil {
-		return err
+		return res.Truncated, err
 	}
 	if err := render.MatrixReport(hf, res, ""); err != nil {
 		hf.Close()
-		return err
+		return res.Truncated, err
 	}
 	if err := hf.Close(); err != nil {
-		return err
+		return res.Truncated, err
 	}
 	fmt.Printf("[wrote %s and %s]\n", jsonlPath, htmlPath)
-	return nil
+	return res.Truncated, nil
 }
 
 func run(cfg bench.Config, id string) (string, error) {

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -53,8 +54,14 @@ func main() {
 	flag.Parse()
 
 	if *pprofAddr != "" {
+		// Bind synchronously so an unusable address fails the run up front
+		// instead of erroring later from a goroutine (matching cmd/repro).
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fatal(fmt.Errorf("pprof: %w", err))
+		}
 		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			if err := http.Serve(ln, nil); err != nil {
 				fmt.Fprintf(os.Stderr, "sunflow: pprof: %v\n", err)
 			}
 		}()

@@ -1,0 +1,351 @@
+// Command sunflowd-smoke is the end-to-end crash-recovery smoke test for
+// sunflowd (run via `make daemon-smoke`). It computes a reference schedule
+// in-process, then drives a real sunflowd process through the same workload
+// with a kill -9 in the middle:
+//
+//  1. stream the first half of a fixed-seed workload over the /v1 API,
+//     waiting for each durable Ack;
+//  2. SIGKILL the process (no drain, no final checkpoint);
+//  3. restart it on the same data directory and assert the recovered state
+//     digest is bit-identical to an in-process engine fed the same prefix;
+//  4. stream the remaining events and assert the final digest and every
+//     per-Coflow CCT match the uninterrupted reference exactly;
+//  5. SIGTERM the process and assert it drains and exits 0, then restart
+//     once more and assert recovery replays zero WAL events (the drain
+//     checkpointed everything).
+//
+// Exit status 0 means every assertion held.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"sunflow/internal/bench"
+	"sunflow/internal/daemon"
+	"sunflow/internal/trace"
+)
+
+// fabric parameters shared by the reference engine and the daemon flags.
+const (
+	smokePorts   = 16
+	smokeGbps    = 100.0
+	smokeDeltaMs = 10.0
+)
+
+func main() {
+	bin := flag.String("bin", "bin/sunflowd", "path to the sunflowd binary under test")
+	seed := flag.Int64("seed", 42, "workload seed")
+	coflows := flag.Int("coflows", 24, "number of Coflows in the workload")
+	flag.Parse()
+
+	if err := run(*bin, *seed, *coflows); err != nil {
+		fmt.Fprintf(os.Stderr, "sunflowd-smoke: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("sunflowd-smoke: PASS")
+}
+
+func run(bin string, seed int64, coflows int) error {
+	events := workload(seed, coflows)
+	mid := len(events) / 2
+
+	// Uninterrupted reference: the same events through an in-process engine.
+	refFull, err := reference(events)
+	if err != nil {
+		return fmt.Errorf("reference: %w", err)
+	}
+	refPrefix, err := reference(events[:mid])
+	if err != nil {
+		return fmt.Errorf("reference prefix: %w", err)
+	}
+
+	dataDir, err := os.MkdirTemp("", "sunflowd-smoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dataDir)
+
+	// Phase 1: stream the first half, then kill -9.
+	proc, err := startDaemon(bin, dataDir)
+	if err != nil {
+		return err
+	}
+	defer proc.kill()
+	for i, ev := range events[:mid] {
+		if _, err := proc.post(ev); err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	fmt.Printf("[streamed %d/%d events; kill -9]\n", mid, len(events))
+	if err := proc.cmd.Process.Kill(); err != nil {
+		return fmt.Errorf("kill: %w", err)
+	}
+	proc.cmd.Wait()
+
+	// Phase 2: restart, verify recovery, stream the rest.
+	proc, err = startDaemon(bin, dataDir)
+	if err != nil {
+		return fmt.Errorf("restart: %w", err)
+	}
+	defer proc.kill()
+	st, err := proc.status()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("[recovered %d WAL events; digest %s]\n", st.Recovered, st.Digest)
+	if st.Digest != refPrefix.Engine.Digest() {
+		return fmt.Errorf("post-crash digest %s != reference prefix %s", st.Digest, refPrefix.Engine.Digest())
+	}
+	for i, ev := range events[mid:] {
+		if _, err := proc.post(ev); err != nil {
+			return fmt.Errorf("event %d: %w", mid+i, err)
+		}
+	}
+
+	// Final state must match the uninterrupted reference bit-exactly.
+	st, err = proc.status()
+	if err != nil {
+		return err
+	}
+	if st.Digest != refFull.Engine.Digest() {
+		return fmt.Errorf("final digest %s != reference %s", st.Digest, refFull.Engine.Digest())
+	}
+	want := refFull.Engine.Completions()
+	if st.Done != len(want) {
+		return fmt.Errorf("done count %d != reference %d", st.Done, len(want))
+	}
+	for id, ref := range want {
+		got, err := proc.completion(id)
+		if err != nil {
+			return fmt.Errorf("coflow %d: %w", id, err)
+		}
+		if got.CCT != ref.CCT || got.Finish != ref.Finish {
+			return fmt.Errorf("coflow %d: CCT %v finish %v != reference CCT %v finish %v",
+				id, got.CCT, got.Finish, ref.CCT, ref.Finish)
+		}
+	}
+	fmt.Printf("[%d recovered CCTs match the uninterrupted reference]\n", len(want))
+
+	// Phase 3: graceful drain, then prove the drain checkpointed everything.
+	if err := proc.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("sigterm: %w", err)
+	}
+	if err := waitExit(proc.cmd, 30*time.Second); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	proc, err = startDaemon(bin, dataDir)
+	if err != nil {
+		return fmt.Errorf("post-drain restart: %w", err)
+	}
+	defer proc.kill()
+	st, err = proc.status()
+	if err != nil {
+		return err
+	}
+	if st.Recovered != 0 {
+		return fmt.Errorf("post-drain restart replayed %d WAL events, want 0 (drain must checkpoint)", st.Recovered)
+	}
+	if st.Digest != refFull.Engine.Digest() {
+		return fmt.Errorf("post-drain digest %s != reference %s", st.Digest, refFull.Engine.Digest())
+	}
+	if err := proc.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("sigterm: %w", err)
+	}
+	return waitExit(proc.cmd, 30*time.Second)
+}
+
+// workload derives the fixed-seed event stream: registrations in arrival
+// order plus a closing advance that drains every Coflow.
+func workload(seed int64, coflows int) []daemon.Event {
+	tr := trace.Generator{Ports: smokePorts, Coflows: coflows, HorizonSec: 20, MaxWidth: 6, Seed: seed}.Trace()
+	var evs []daemon.Event
+	for _, c := range tr.Coflows {
+		flows := make([]daemon.FlowSpec, 0, len(c.Flows))
+		for _, f := range c.Flows {
+			flows = append(flows, daemon.FlowSpec{Src: f.Src, Dst: f.Dst, Bytes: f.Bytes})
+		}
+		evs = append(evs, daemon.Event{Kind: daemon.KindRegister, At: c.Arrival, Coflow: c.ID, Flows: flows})
+	}
+	evs = append(evs, daemon.Event{Kind: daemon.KindAdvance, At: 1e4})
+	return evs
+}
+
+// refEngine wraps the in-process reference.
+type refEngine struct{ Engine *daemon.Engine }
+
+func reference(events []daemon.Event) (refEngine, error) {
+	eng, err := daemon.NewEngine(engineConfig(), nil)
+	if err != nil {
+		return refEngine{}, err
+	}
+	for i, ev := range events {
+		ev.Seq = uint64(i + 1)
+		if _, err := eng.Apply(ev); err != nil {
+			return refEngine{}, fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	return refEngine{Engine: eng}, nil
+}
+
+func engineConfig() daemon.EngineConfig {
+	return daemon.EngineConfig{
+		Ports:   smokePorts,
+		LinkBps: smokeGbps * bench.Gbps,
+		Delta:   smokeDeltaMs / 1e3,
+	}
+}
+
+// proc is one running sunflowd process plus its parsed listen address.
+type proc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// startDaemon launches sunflowd on an ephemeral port, parses the listening
+// banner for the bound address, and waits for readiness.
+func startDaemon(bin, dataDir string) (*proc, error) {
+	cmd := exec.Command(bin,
+		"-data", dataDir,
+		"-http", "127.0.0.1:0",
+		"-ports", strconv.Itoa(smokePorts),
+		"-gbps", fmt.Sprint(smokeGbps),
+		"-delta-ms", fmt.Sprint(smokeDeltaMs),
+		"-checkpoint-every", "7", // small so kill -9 lands between checkpoints
+	)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start %s: %w", bin, err)
+	}
+	sc := bufio.NewScanner(stdout)
+	var addr string
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if rest, ok := strings.CutPrefix(line, "[sunflowd listening on "); ok {
+			addr = strings.TrimSuffix(rest, "]")
+			break
+		}
+	}
+	if addr == "" {
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("%s exited before printing its listen address", bin)
+	}
+	// Keep draining stdout so the child never blocks on a full pipe.
+	go func() {
+		io.Copy(io.Discard, stdout)
+	}()
+	p := &proc{cmd: cmd, addr: addr}
+	if err := p.waitReady(10 * time.Second); err != nil {
+		p.kill()
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *proc) kill() {
+	if p.cmd.ProcessState == nil {
+		p.cmd.Process.Kill()
+		p.cmd.Wait()
+	}
+}
+
+func (p *proc) waitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + p.addr + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("daemon at %s not ready after %s", p.addr, timeout)
+}
+
+func (p *proc) post(ev daemon.Event) (daemon.Ack, error) {
+	body, err := json.Marshal(ev)
+	if err != nil {
+		return daemon.Ack{}, err
+	}
+	resp, err := http.Post("http://"+p.addr+"/v1/events", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return daemon.Ack{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return daemon.Ack{}, fmt.Errorf("POST /v1/events: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var ack daemon.Ack
+	return ack, json.NewDecoder(resp.Body).Decode(&ack)
+}
+
+func (p *proc) status() (daemon.Status, error) {
+	resp, err := http.Get("http://" + p.addr + "/v1/status")
+	if err != nil {
+		return daemon.Status{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return daemon.Status{}, fmt.Errorf("GET /v1/status: %s", resp.Status)
+	}
+	var st daemon.Status
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+func (p *proc) completion(id int) (daemon.Completion, error) {
+	resp, err := http.Get(fmt.Sprintf("http://%s/v1/coflows/%d", p.addr, id))
+	if err != nil {
+		return daemon.Completion{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return daemon.Completion{}, fmt.Errorf("GET /v1/coflows/%d: %s", id, resp.Status)
+	}
+	var view struct {
+		State      string             `json:"state"`
+		Completion *daemon.Completion `json:"completion"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return daemon.Completion{}, err
+	}
+	if view.State != "done" || view.Completion == nil {
+		return daemon.Completion{}, fmt.Errorf("coflow %d not done (state %q)", id, view.State)
+	}
+	return *view.Completion, nil
+}
+
+// waitExit waits for the process to exit cleanly within the timeout.
+func waitExit(cmd *exec.Cmd, timeout time.Duration) error {
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("exited with %w, want 0", err)
+		}
+		return nil
+	case <-time.After(timeout):
+		cmd.Process.Kill()
+		return fmt.Errorf("did not exit within %s", timeout)
+	}
+}

@@ -1,0 +1,468 @@
+package daemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sunflow/internal/fault"
+	"sunflow/internal/obs"
+)
+
+// Config tunes the Daemon's service behavior. Engine and DataDir are the only
+// required fields; everything else has a production default.
+type Config struct {
+	// Engine fixes the fabric and scheduling parameters. It must match the
+	// data directory's history (Store enforces this).
+	Engine EngineConfig
+	// DataDir holds the WAL and snapshots.
+	DataDir string
+
+	// QueueSize bounds the intake queue between the HTTP handlers and the
+	// apply loop; a full queue exerts backpressure until the request deadline
+	// fires. Zero selects 256.
+	QueueSize int
+	// MaxInflight is the load-shedding threshold: requests arriving while
+	// this many are already queued or being applied are rejected immediately
+	// with ErrOverloaded (HTTP 429). Zero selects 2×QueueSize.
+	MaxInflight int
+	// RequestTimeout bounds how long a request may wait in the intake queue
+	// before it is shed. Zero selects 5s; it composes with (never extends)
+	// the client's own context deadline.
+	RequestTimeout time.Duration
+
+	// CheckpointEvery snapshots state and rotates the WAL after this many
+	// accepted events. Zero selects 1024; negative disables count-based
+	// checkpoints.
+	CheckpointEvery int
+	// CheckpointInterval snapshots on a wall-clock period regardless of
+	// traffic. Zero selects 30s; negative disables the timer.
+	CheckpointInterval time.Duration
+
+	// WatchdogTimeout is how long one event may stay in apply before the
+	// daemon declares its replan loop wedged and fails readiness. Zero
+	// selects 30s; negative disables the watchdog.
+	WatchdogTimeout time.Duration
+
+	// Retry schedules re-attempts after transient accept failures (WAL I/O
+	// errors); deterministic rejections are never retried. A zero value
+	// selects {Base: 10ms, Factor: 2, Cap: 1s} in seconds.
+	Retry fault.Backoff
+	// MaxRetries bounds those re-attempts. Zero selects 5; negative disables
+	// retries.
+	MaxRetries int
+
+	// Obs optionally instruments the Engine's scheduler internals.
+	Obs *obs.Observer
+	// Metrics optionally records the daemon's own counters.
+	Metrics *obs.DaemonMetrics
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.QueueSize == 0 {
+		c.QueueSize = 256
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 2 * c.QueueSize
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 1024
+	}
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = 30 * time.Second
+	}
+	if c.WatchdogTimeout == 0 {
+		c.WatchdogTimeout = 30 * time.Second
+	}
+	if c.Retry == (fault.Backoff{}) {
+		c.Retry = fault.Backoff{Base: 0.010, Factor: 2, Cap: 1}
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 5
+	}
+	return c
+}
+
+// Service-level rejections, distinct from the Engine's deterministic event
+// rejections.
+var (
+	// ErrOverloaded sheds a request: the in-flight limit is reached or the
+	// intake queue stayed full past the request deadline. HTTP 429.
+	ErrOverloaded = errors.New("daemon: overloaded, retry later")
+	// ErrDraining rejects new work during graceful shutdown. HTTP 503.
+	ErrDraining = errors.New("daemon: draining")
+	// ErrStopped rejects work after shutdown completed.
+	ErrStopped = errors.New("daemon: stopped")
+	// ErrWedged is what Ready reports while the watchdog considers the apply
+	// loop stuck.
+	ErrWedged = errors.New("daemon: replan loop wedged")
+)
+
+// Ack acknowledges one accepted event: by the time the client sees it, the
+// event is fsynced in the WAL and applied to the live schedule.
+type Ack struct {
+	// Seq is the WAL sequence number assigned to the event.
+	Seq uint64 `json:"seq"`
+	// Applied is false for idempotent duplicates.
+	Applied bool `json:"applied"`
+	// Now is the Engine's logical clock after the event.
+	Now float64 `json:"now"`
+	// Digest fingerprints the schedule state after the event.
+	Digest string `json:"digest"`
+}
+
+// request is one queued Submit.
+type request struct {
+	ev    Event
+	ctx   context.Context
+	reply chan result
+}
+
+type result struct {
+	ack Ack
+	err error
+}
+
+// Daemon is the online scheduler service: a single apply loop serializing
+// Store.Accept over a bounded intake queue, with admission control in front,
+// a watchdog beside it, and checkpointing behind it. HTTP handlers (Routes)
+// and probes (Ready) are mounted on an obshttp server by the caller.
+type Daemon struct {
+	cfg   Config
+	store *Store
+	m     *obs.DaemonMetrics
+
+	intake chan request
+	// inflight counts requests admitted but not yet answered.
+	inflight atomic.Int64
+	// draining flips once, at Shutdown.
+	draining atomic.Bool
+	// stopped flips when the apply loop has exited.
+	stopped atomic.Bool
+	// busySince is the wall nanotime the loop started the current apply, 0
+	// while idle — the watchdog's only view into the loop.
+	busySince atomic.Int64
+	// wedged is the watchdog's verdict.
+	wedged atomic.Bool
+
+	// acceptFault, when set, is consulted before every Store.Accept and its
+	// error treated as a transient accept failure. It exists for tests to
+	// exercise the retry path; production never stores into it.
+	acceptFault atomic.Pointer[func() error]
+
+	// lastDone tracks the engine's completion count between applies so the
+	// CoflowsDone counter advances by exactly the new completions. Only the
+	// apply loop touches it.
+	lastDone int
+
+	drainCh chan struct{} // closed by Shutdown to start the drain
+	doneCh  chan struct{} // closed when the apply loop exits
+	wg      sync.WaitGroup
+
+	// mu serializes Shutdown.
+	mu sync.Mutex
+}
+
+// Start opens (or recovers) the data directory and starts the apply loop and
+// watchdog. The returned Daemon is ready to accept events; mount Routes and
+// Ready on an obshttp server to serve them.
+func Start(cfg Config) (*Daemon, error) {
+	cfg = cfg.withDefaults()
+	store, err := Open(cfg.DataDir, cfg.Engine, cfg.Obs, cfg.Metrics)
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		cfg:     cfg,
+		store:   store,
+		m:       cfg.Metrics,
+		intake:  make(chan request, cfg.QueueSize),
+		drainCh: make(chan struct{}),
+		doneCh:  make(chan struct{}),
+		// Completions restored from disk predate this process; the counter
+		// advances only for Coflows that finish from here on.
+		lastDone: store.Engine().DoneCount(),
+	}
+	d.wg.Add(1)
+	go d.loop()
+	if cfg.WatchdogTimeout > 0 {
+		d.wg.Add(1)
+		go d.watchdog()
+	}
+	return d, nil
+}
+
+// Engine returns the live engine. It is only safe to read from outside the
+// apply loop while the loop is idle; handlers use Status instead.
+func (d *Daemon) Engine() *Engine { return d.store.Engine() }
+
+// Recovered returns how many WAL records startup replayed.
+func (d *Daemon) Recovered() int { return d.store.Recovered() }
+
+// Ready implements the /readyz probe: nil while the daemon accepts work.
+func (d *Daemon) Ready() error {
+	switch {
+	case d.stopped.Load():
+		return ErrStopped
+	case d.draining.Load():
+		return ErrDraining
+	case d.wedged.Load():
+		return ErrWedged
+	}
+	return nil
+}
+
+// Submit runs one event through admission control and the apply loop,
+// blocking until the event is durable and applied (or rejected). The three
+// service errors — ErrOverloaded, ErrDraining, context deadline — leave no
+// trace in the WAL; everything past them is acknowledged exactly once.
+func (d *Daemon) Submit(ctx context.Context, ev Event) (Ack, error) {
+	if d.stopped.Load() {
+		return Ack{}, ErrStopped
+	}
+	if d.draining.Load() {
+		return Ack{}, ErrDraining
+	}
+	if n := d.inflight.Add(1); n > int64(d.cfg.MaxInflight) {
+		d.inflight.Add(-1)
+		if m := d.m; m != nil {
+			m.EventsShed.Inc()
+		}
+		return Ack{}, ErrOverloaded
+	}
+	defer d.inflight.Add(-1)
+	if m := d.m; m != nil {
+		m.Inflight.Set(d.inflight.Load())
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, d.cfg.RequestTimeout)
+	defer cancel()
+	req := request{ev: ev, ctx: ctx, reply: make(chan result, 1)}
+	select {
+	case d.intake <- req:
+	case <-ctx.Done():
+		// Backpressure turned into load shedding: the queue stayed full for
+		// the whole request deadline.
+		if m := d.m; m != nil {
+			m.EventsShed.Inc()
+		}
+		return Ack{}, fmt.Errorf("%w: intake queue full", ErrOverloaded)
+	case <-d.doneCh:
+		return Ack{}, ErrStopped
+	}
+	select {
+	case r := <-req.reply:
+		return r.ack, r.err
+	case <-ctx.Done():
+		// The loop will still apply the event (it may already be in the WAL);
+		// only the acknowledgment is abandoned.
+		return Ack{}, ctx.Err()
+	}
+}
+
+// loop is the single apply goroutine: every Engine mutation happens here.
+func (d *Daemon) loop() {
+	defer d.wg.Done()
+	defer close(d.doneCh)
+	sinceCheckpoint := 0
+	var tick <-chan time.Time
+	if d.cfg.CheckpointInterval > 0 {
+		t := time.NewTicker(d.cfg.CheckpointInterval)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		if m := d.m; m != nil {
+			m.QueueDepth.Set(int64(len(d.intake)))
+		}
+		select {
+		case req := <-d.intake:
+			if d.serve(req) {
+				sinceCheckpoint++
+			}
+			if d.cfg.CheckpointEvery > 0 && sinceCheckpoint >= d.cfg.CheckpointEvery {
+				d.checkpoint()
+				sinceCheckpoint = 0
+			}
+		case <-tick:
+			if sinceCheckpoint > 0 {
+				d.checkpoint()
+				sinceCheckpoint = 0
+			}
+		case <-d.drainCh:
+			// Graceful drain: new Submits are already rejected; finish what
+			// was admitted, checkpoint, close.
+			for {
+				select {
+				case req := <-d.intake:
+					d.serve(req)
+				default:
+					d.checkpoint()
+					d.store.Close()
+					d.stopped.Store(true)
+					return
+				}
+			}
+		}
+	}
+}
+
+// serve applies one queued request, reporting whether an event was accepted
+// into the WAL.
+func (d *Daemon) serve(req request) bool {
+	if req.ev.Kind == kindStatus {
+		// Internal status read: serialized with applies but never touches the
+		// WAL or the Engine.
+		req.reply <- result{}
+		return false
+	}
+	if err := req.ctx.Err(); err != nil {
+		// The deadline fired while the request was queued: the event never
+		// reached the WAL, so dropping it is safe and the client saw ctx.Err.
+		if m := d.m; m != nil {
+			m.EventsExpired.Inc()
+		}
+		req.reply <- result{err: err}
+		return false
+	}
+	d.busySince.Store(time.Now().UnixNano())
+	start := time.Now()
+	ev, applied, err := d.acceptWithRetry(req.ev)
+	d.observeApply(time.Since(start), err)
+	d.busySince.Store(0)
+	d.wedged.Store(false)
+	if err != nil {
+		req.reply <- result{err: err}
+		// A deterministic rejection still consumed a WAL record; transient
+		// accept failure did not.
+		return errors.Is(err, ErrBadEvent) || errors.Is(err, ErrDuplicateCoflow) || errors.Is(err, ErrUnknownCoflow)
+	}
+	req.reply <- result{ack: Ack{
+		Seq:     ev.Seq,
+		Applied: applied,
+		Now:     d.store.Engine().Now(),
+		Digest:  d.store.Engine().Digest(),
+	}}
+	return true
+}
+
+// acceptWithRetry retries transient Store.Accept failures (WAL I/O) on the
+// configured fault.Backoff schedule. Engine rejections are deterministic and
+// returned immediately.
+func (d *Daemon) acceptWithRetry(ev Event) (Event, bool, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		lastErr = nil
+		if f := d.acceptFault.Load(); f != nil {
+			lastErr = (*f)()
+		}
+		if lastErr == nil {
+			acked, applied, err := d.store.Accept(ev)
+			if err == nil || errors.Is(err, ErrBadEvent) || errors.Is(err, ErrDuplicateCoflow) || errors.Is(err, ErrUnknownCoflow) {
+				return acked, applied, err
+			}
+			lastErr = err
+		}
+		if attempt >= d.cfg.MaxRetries {
+			return ev, false, fmt.Errorf("daemon: accept failed after %d attempts: %w", attempt+1, lastErr)
+		}
+		if m := d.m; m != nil {
+			m.ReplanRetries.Inc()
+		}
+		time.Sleep(time.Duration(d.cfg.Retry.Delay(attempt) * float64(time.Second)))
+	}
+}
+
+// observeApply updates the per-apply metrics.
+func (d *Daemon) observeApply(dur time.Duration, err error) {
+	m := d.m
+	if m == nil {
+		return
+	}
+	m.ReplanSeconds.Observe(dur.Seconds())
+	if err == nil {
+		m.EventsAccepted.Inc()
+		m.Replans.Inc()
+	} else {
+		m.EventsRejected.Inc()
+	}
+	eng := d.store.Engine()
+	m.CoflowsLive.Set(int64(eng.LiveCount()))
+	if done := eng.DoneCount(); done > d.lastDone {
+		m.CoflowsDone.Add(int64(done - d.lastDone))
+		d.lastDone = done
+	}
+}
+
+// checkpoint snapshots state and rotates the WAL; failures are non-fatal (the
+// WAL alone is sufficient for recovery, just slower).
+func (d *Daemon) checkpoint() {
+	_ = d.store.Checkpoint()
+}
+
+// watchdog fails readiness when one apply has been running longer than
+// WatchdogTimeout — the signature of a wedged replan loop. Readiness returns
+// once the loop moves again (serve clears the flag after every apply).
+func (d *Daemon) watchdog() {
+	defer d.wg.Done()
+	period := d.cfg.WatchdogTimeout / 4
+	if period <= 0 {
+		period = time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			since := d.busySince.Load()
+			if since == 0 {
+				continue
+			}
+			if time.Since(time.Unix(0, since)) > d.cfg.WatchdogTimeout {
+				if !d.wedged.Swap(true) {
+					if m := d.m; m != nil {
+						m.WatchdogStalls.Inc()
+					}
+				}
+			}
+		case <-d.doneCh:
+			return
+		}
+	}
+}
+
+// Shutdown drains gracefully: readiness fails and new Submits are rejected
+// immediately, everything already admitted is applied and acknowledged, a
+// final checkpoint is written, and the store closes. Accepted Coflows are
+// never lost — they are in the WAL before any acknowledgment. Shutdown is
+// idempotent; ctx bounds the wait.
+func (d *Daemon) Shutdown(ctx context.Context) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.draining.Swap(true) {
+		// Second call: just wait for the first drain to finish.
+	} else {
+		if m := d.m; m != nil {
+			m.Drains.Inc()
+		}
+		close(d.drainCh)
+	}
+	done := make(chan struct{})
+	go func() {
+		d.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("daemon: drain interrupted: %w", ctx.Err())
+	}
+}

@@ -1,0 +1,447 @@
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"sunflow/internal/fault"
+	"sunflow/internal/obs"
+	"sunflow/internal/obs/obshttp"
+)
+
+func testConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		Engine:  EngineConfig{Ports: 8, LinkBps: 1e9, Delta: 0.01},
+		DataDir: t.TempDir(),
+		Retry:   fault.Backoff{Base: 1e-4, Factor: 2, Cap: 1e-3},
+	}
+}
+
+func mustStart(t *testing.T, cfg Config) *Daemon {
+	t.Helper()
+	d, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = d.Shutdown(ctx)
+	})
+	return d
+}
+
+func register(id int, at float64) Event {
+	return Event{Kind: KindRegister, At: at, Coflow: id, Flows: []FlowSpec{{Src: 0, Dst: 1, Bytes: 1e6}}}
+}
+
+// TestDaemonSubmitLifecycle: events stream in, acks carry monotone sequence
+// numbers and the digest evolves; a duplicate register acks without applying.
+func TestDaemonSubmitLifecycle(t *testing.T) {
+	d := mustStart(t, testConfig(t))
+	ctx := context.Background()
+
+	a1, err := d.Submit(ctx, register(1, 0))
+	if err != nil || !a1.Applied || a1.Seq != 1 {
+		t.Fatalf("register: ack=%+v err=%v", a1, err)
+	}
+	a2, err := d.Submit(ctx, register(1, 0))
+	if err != nil || a2.Applied {
+		t.Fatalf("duplicate register: ack=%+v err=%v (want un-applied ack)", a2, err)
+	}
+	if a2.Seq != 2 {
+		t.Fatalf("duplicate consumed seq %d, want 2 (still WAL-logged)", a2.Seq)
+	}
+	if _, err := d.Submit(ctx, Event{Kind: KindComplete, At: 1, Coflow: 99}); !errors.Is(err, ErrUnknownCoflow) {
+		t.Fatalf("complete unknown: err=%v, want ErrUnknownCoflow", err)
+	}
+	a3, err := d.Submit(ctx, Event{Kind: KindAdvance, At: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3.Now != 100 {
+		t.Fatalf("advance: now=%v, want 100", a3.Now)
+	}
+	st, err := d.status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Live != 0 || st.Done != 1 || st.Seq != 4 {
+		t.Fatalf("status = %+v, want live=0 done=1 seq=4", st)
+	}
+}
+
+// TestDaemonOverloadShedsButStaysObservable is the acceptance criterion for
+// admission control: with the apply loop wedged and the intake saturated, new
+// submissions shed with ErrOverloaded (HTTP 429) immediately, while /metrics
+// and /healthz on the same process keep answering.
+func TestDaemonOverloadShedsButStaysObservable(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := testConfig(t)
+	cfg.QueueSize = 1
+	cfg.MaxInflight = 2
+	cfg.RequestTimeout = 50 * time.Millisecond
+	cfg.WatchdogTimeout = -1
+	cfg.Metrics = obs.NewDaemonMetrics(reg)
+	d := mustStart(t, cfg)
+
+	block := make(chan struct{})
+	blockFn := func() error { <-block; return nil }
+	d.acceptFault.Store(&blockFn)
+	defer func() {
+		select {
+		case <-block: // already closed
+		default:
+			close(block)
+		}
+	}()
+
+	srv, err := obshttp.Serve("localhost:0", reg, obshttp.Options{Ready: d.Ready})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// First submit occupies the loop; second fills the queue.
+	results := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		go func() {
+			_, err := d.Submit(context.Background(), register(10+i, 0))
+			results <- err
+		}()
+	}
+	waitFor(t, func() bool { return d.inflight.Load() == 2 })
+
+	// Third request exceeds MaxInflight: shed immediately, not after a wait.
+	start := time.Now()
+	if _, err := d.Submit(context.Background(), register(99, 0)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overload submit: err=%v, want ErrOverloaded", err)
+	}
+	if waited := time.Since(start); waited > 40*time.Millisecond {
+		t.Errorf("shedding blocked %v; must be immediate", waited)
+	}
+
+	// The observability plane must stay responsive while overloaded.
+	for _, path := range []string{"/healthz", "/metrics", "/metrics.json"} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s during overload: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s during overload: status %d", path, resp.StatusCode)
+		}
+	}
+	if got := cfg.Metrics.EventsShed.Load(); got < 1 {
+		t.Errorf("events_shed = %d, want >= 1", got)
+	}
+
+	// Unblock: the two admitted submissions must complete normally.
+	close(block)
+	d.acceptFault.Store(nil)
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Errorf("admitted submit %d failed: %v", i, err)
+		}
+	}
+}
+
+// TestDaemonQueueBackpressureSheds: when the queue stays full for the whole
+// request deadline, the submission sheds as overload rather than hanging.
+func TestDaemonQueueBackpressureSheds(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.QueueSize = 1
+	cfg.MaxInflight = 100
+	cfg.RequestTimeout = 30 * time.Millisecond
+	cfg.WatchdogTimeout = -1
+	d := mustStart(t, cfg)
+	block := make(chan struct{})
+	blockFn := func() error { <-block; return nil }
+	d.acceptFault.Store(&blockFn)
+	done := make(chan struct{})
+	go func() { // occupies the loop
+		d.Submit(context.Background(), register(1, 0))
+		close(done)
+	}()
+	waitFor(t, func() bool { return d.busySince.Load() != 0 })
+	go d.Submit(context.Background(), register(2, 0)) // fills the queue
+	waitFor(t, func() bool { return len(d.intake) == 1 })
+	if _, err := d.Submit(context.Background(), register(3, 0)); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("backpressure submit: err=%v, want ErrOverloaded", err)
+	}
+	close(block)
+	d.acceptFault.Store(nil)
+	<-done
+}
+
+// TestDaemonDrainKeepsAcceptedCoflows is the SIGTERM acceptance criterion:
+// Shutdown answers everything admitted, then a fresh process over the same
+// data directory sees every accepted Coflow — nothing acknowledged is lost.
+func TestDaemonDrainKeepsAcceptedCoflows(t *testing.T) {
+	cfg := testConfig(t)
+	d, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 1; i <= 5; i++ {
+		if _, err := d.Submit(ctx, register(i, float64(i))); err != nil {
+			t.Fatalf("register %d: %v", i, err)
+		}
+	}
+	wantDigest := d.Engine().Digest()
+	if err := d.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Ready(); err == nil {
+		t.Fatal("Ready() nil after shutdown")
+	}
+	if _, err := d.Submit(ctx, register(6, 6)); err == nil {
+		t.Fatal("submit after shutdown accepted")
+	}
+
+	// Restart over the same directory: the final checkpoint makes recovery a
+	// pure snapshot load.
+	d2, err := Start(cfg)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer d2.Shutdown(ctx)
+	if d2.Recovered() != 0 {
+		t.Errorf("recovered %d WAL records after graceful drain, want 0 (checkpointed)", d2.Recovered())
+	}
+	if got := d2.Engine().Digest(); got != wantDigest {
+		t.Errorf("digest after restart %s, want %s", got, wantDigest)
+	}
+	// Earlier registrations complete as the clock advances with each arrival;
+	// every accepted Coflow must be accounted for, live or done.
+	if live, done := d2.Engine().LiveCount(), d2.Engine().DoneCount(); live+done != 5 {
+		t.Errorf("coflows after restart: live=%d done=%d, want 5 total", live, done)
+	}
+}
+
+// TestDaemonWatchdogFailsReadiness: a wedged apply flips /readyz while
+// liveness stays green, and readiness recovers when the loop moves again.
+func TestDaemonWatchdogFailsReadiness(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := testConfig(t)
+	cfg.WatchdogTimeout = 30 * time.Millisecond
+	cfg.Metrics = obs.NewDaemonMetrics(reg)
+	d := mustStart(t, cfg)
+	block := make(chan struct{})
+	blockFn := func() error { <-block; return nil }
+	d.acceptFault.Store(&blockFn)
+	done := make(chan struct{})
+	go func() {
+		d.Submit(context.Background(), register(1, 0))
+		close(done)
+	}()
+	waitFor(t, func() bool { return errors.Is(d.Ready(), ErrWedged) })
+	if got := cfg.Metrics.WatchdogStalls.Load(); got != 1 {
+		t.Errorf("watchdog_stalls = %d, want 1", got)
+	}
+	close(block)
+	d.acceptFault.Store(nil)
+	<-done
+	waitFor(t, func() bool { return d.Ready() == nil })
+}
+
+// TestDaemonRetriesTransientAcceptFailures: transient WAL-layer failures are
+// retried on the fault.Backoff schedule and the submission still succeeds;
+// the retries are counted.
+func TestDaemonRetriesTransientAcceptFailures(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := testConfig(t)
+	cfg.Metrics = obs.NewDaemonMetrics(reg)
+	d := mustStart(t, cfg)
+	fails := 2
+	flaky := func() error {
+		if fails > 0 {
+			fails--
+			return errors.New("transient disk error")
+		}
+		return nil
+	}
+	d.acceptFault.Store(&flaky)
+	ack, err := d.Submit(context.Background(), register(1, 0))
+	if err != nil || !ack.Applied {
+		t.Fatalf("submit through transient failures: ack=%+v err=%v", ack, err)
+	}
+	if got := cfg.Metrics.ReplanRetries.Load(); got != 2 {
+		t.Errorf("replan_retries = %d, want 2", got)
+	}
+
+	// Exhausted retries surface the transient error.
+	dead := func() error { return errors.New("disk gone") }
+	d.acceptFault.Store(&dead)
+	if _, err := d.Submit(context.Background(), register(2, 0)); err == nil {
+		t.Fatal("submit with permanent accept failure succeeded")
+	}
+	d.acceptFault.Store(nil)
+}
+
+// TestDaemonHTTPAPI drives the full /v1 surface through a real obshttp
+// server: register, advance, inspect, status, error mapping, readiness
+// through drain.
+func TestDaemonHTTPAPI(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := testConfig(t)
+	cfg.Metrics = obs.NewDaemonMetrics(reg)
+	d := mustStart(t, cfg)
+	srv, err := obshttp.Serve("localhost:0", reg, obshttp.Options{
+		Ready:  d.Ready,
+		Routes: d.Routes(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	post := func(path string, body any) (*http.Response, []byte) {
+		t.Helper()
+		raw, _ := json.Marshal(body)
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, out
+	}
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		out, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, out
+	}
+
+	resp, body := post("/v1/coflows", registerRequest{Coflow: 1, At: 0, Flows: []FlowSpec{{Src: 0, Dst: 1, Bytes: 1e6}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: %d %s", resp.StatusCode, body)
+	}
+	var ack Ack
+	if err := json.Unmarshal(body, &ack); err != nil || ack.Seq != 1 || !ack.Applied {
+		t.Fatalf("register ack %s (err=%v)", body, err)
+	}
+
+	// Duplicate with different content → 409.
+	resp, _ = post("/v1/coflows", registerRequest{Coflow: 1, At: 0, Flows: []FlowSpec{{Src: 0, Dst: 1, Bytes: 9e6}}})
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("conflicting register: status %d, want 409", resp.StatusCode)
+	}
+	// Malformed event → 400.
+	resp, _ = post("/v1/events", map[string]any{"kind": "bogus", "at": 0})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus event: status %d, want 400", resp.StatusCode)
+	}
+	// Advance and read back.
+	resp, _ = post("/v1/events", Event{Kind: KindAdvance, At: 50})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("advance: status %d", resp.StatusCode)
+	}
+	resp, body = get("/v1/coflows/1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get coflow: %d %s", resp.StatusCode, body)
+	}
+	var view coflowView
+	if err := json.Unmarshal(body, &view); err != nil || view.State != "done" || view.Completion == nil {
+		t.Fatalf("coflow view %s (err=%v)", body, err)
+	}
+	resp, _ = get("/v1/coflows/777")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown coflow: status %d, want 404", resp.StatusCode)
+	}
+	resp, body = get("/v1/status")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status: %d %s", resp.StatusCode, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil || st.Done != 1 || st.Now != 50 {
+		t.Fatalf("status %s (err=%v)", body, err)
+	}
+	resp, _ = get("/readyz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz while serving: status %d", resp.StatusCode)
+	}
+
+	// Drain: readiness fails, API rejects with 503, liveness stays green.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := d.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = get("/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz after drain: status %d, want 503", resp.StatusCode)
+	}
+	resp, _ = post("/v1/events", Event{Kind: KindAdvance, At: 60})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit after drain: status %d, want 503", resp.StatusCode)
+	}
+	resp, _ = get("/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz after drain: status %d, want 200 (still alive)", resp.StatusCode)
+	}
+}
+
+// waitFor polls cond for up to two seconds.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within 2s")
+}
+
+// TestDaemonCheckpointEvery: count-triggered checkpoints rotate the WAL so a
+// restart replays only the post-checkpoint suffix.
+func TestDaemonCheckpointEvery(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.CheckpointEvery = 3
+	cfg.CheckpointInterval = -1
+	d, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 1; i <= 4; i++ {
+		if _, err := d.Submit(ctx, register(i, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := d.Engine().Digest()
+	// kill -9: drop the daemon without draining (the store handle leaks until
+	// process exit, which is exactly what a crash does).
+	_ = fmt.Sprintf("%p", d) // keep d alive to here
+
+	d2, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Shutdown(ctx)
+	if d2.Recovered() != 1 {
+		t.Errorf("recovered %d records, want 1 (3 checkpointed + 1 in WAL)", d2.Recovered())
+	}
+	if got := d2.Engine().Digest(); got != want {
+		t.Errorf("digest after crash restart %s, want %s", got, want)
+	}
+}

@@ -1,0 +1,231 @@
+package daemon
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// The /v1 API, mounted on the obshttp exposition server via Routes:
+//
+//	POST /v1/events          submit any Event (register/advance/complete/fault)
+//	POST /v1/coflows         sugar for a register event
+//	GET  /v1/coflows/{id}    one Coflow's live status or completion record
+//	GET  /v1/status          engine status: clock, counts, digest, sequence
+//
+// Every POST blocks until the event is WAL-durable and applied, then returns
+// the Ack. Admission control maps to status codes: 429 when shed, 503 while
+// draining, 504 when the request deadline fired in the queue, 400/409 for the
+// Engine's deterministic rejections.
+
+// Status is the GET /v1/status body.
+type Status struct {
+	Now       float64 `json:"now"`
+	Live      int     `json:"live"`
+	Done      int     `json:"done"`
+	Seq       uint64  `json:"seq"`
+	Digest    string  `json:"digest"`
+	Replans   uint64  `json:"replans"`
+	Recovered int     `json:"recovered"`
+	Draining  bool    `json:"draining,omitempty"`
+}
+
+// statusEvent asks the apply loop for a consistent engine snapshot: reads
+// must serialize with applies, and the loop is the serialization point.
+// Status piggybacks on Submit with a zero-advance, which is cheap (advance to
+// the current clock credits nothing) and keeps the read path identical to the
+// write path under load — if applies are wedged, status reads fail readiness
+// rather than returning stale state. To stay deterministic it must not
+// perturb the WAL, so it bypasses Submit's queue only for the snapshot
+// fields, not for the engine itself.
+func (d *Daemon) status(ctx context.Context) (Status, error) {
+	req := request{ctx: ctx, reply: make(chan result, 1), ev: Event{Kind: kindStatus}}
+	select {
+	case d.intake <- req:
+	case <-ctx.Done():
+		return Status{}, ctx.Err()
+	case <-d.doneCh:
+		return d.statusLocked(), nil
+	}
+	select {
+	case r := <-req.reply:
+		if r.err != nil {
+			return Status{}, r.err
+		}
+		st := d.statusLocked()
+		return st, nil
+	case <-ctx.Done():
+		return Status{}, ctx.Err()
+	}
+}
+
+// kindStatus is an internal request kind that makes the apply loop answer
+// without touching the WAL or the Engine. It is never valid in the WAL.
+const kindStatus EventKind = "_status"
+
+// statusLocked reads the status fields; only call from the apply loop's
+// serialization (status) or after the loop has exited.
+func (d *Daemon) statusLocked() Status {
+	eng := d.store.Engine()
+	return Status{
+		Now:       eng.Now(),
+		Live:      eng.LiveCount(),
+		Done:      eng.DoneCount(),
+		Seq:       d.store.LastSeq(),
+		Digest:    eng.Digest(),
+		Replans:   eng.Replans(),
+		Recovered: d.store.Recovered(),
+		Draining:  d.draining.Load(),
+	}
+}
+
+// Routes returns the /v1 handlers for obshttp.Options.Routes.
+func (d *Daemon) Routes() map[string]http.Handler {
+	return map[string]http.Handler{
+		"/v1/events":   http.HandlerFunc(d.handleEvents),
+		"/v1/coflows":  http.HandlerFunc(d.handleCoflows),
+		"/v1/coflows/": http.HandlerFunc(d.handleCoflow),
+		"/v1/status":   http.HandlerFunc(d.handleStatus),
+	}
+}
+
+// submitHTTP runs one event and writes the Ack or the mapped error.
+func (d *Daemon) submitHTTP(w http.ResponseWriter, r *http.Request, ev Event) {
+	ack, err := d.Submit(r.Context(), ev)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ack)
+}
+
+// handleEvents is POST /v1/events: a raw Event body.
+func (d *Daemon) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var ev Event
+	if err := decodeBody(r, &ev); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ev.Seq = 0 // sequence numbers are assigned at acceptance, never by clients
+	d.submitHTTP(w, r, ev)
+}
+
+// registerRequest is the POST /v1/coflows body.
+type registerRequest struct {
+	Coflow   int        `json:"coflow"`
+	At       float64    `json:"at"`
+	Priority int        `json:"priority,omitempty"`
+	Flows    []FlowSpec `json:"flows"`
+}
+
+// handleCoflows is POST /v1/coflows: register sugar.
+func (d *Daemon) handleCoflows(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var reg registerRequest
+	if err := decodeBody(r, &reg); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	d.submitHTTP(w, r, Event{
+		Kind:     KindRegister,
+		At:       reg.At,
+		Coflow:   reg.Coflow,
+		Priority: reg.Priority,
+		Flows:    reg.Flows,
+	})
+}
+
+// coflowView is the GET /v1/coflows/{id} body.
+type coflowView struct {
+	Coflow     int         `json:"coflow"`
+	State      string      `json:"state"` // "live" or "done"
+	Live       *LiveStatus `json:"live,omitempty"`
+	Completion *Completion `json:"completion,omitempty"`
+}
+
+// handleCoflow is GET /v1/coflows/{id}.
+func (d *Daemon) handleCoflow(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	idStr := strings.TrimPrefix(r.URL.Path, "/v1/coflows/")
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		http.Error(w, "coflow id must be an integer", http.StatusBadRequest)
+		return
+	}
+	// Serialize the read through the apply loop like status does.
+	if _, err := d.status(r.Context()); err != nil {
+		writeError(w, err)
+		return
+	}
+	eng := d.store.Engine()
+	if c, ok := eng.Completion(id); ok {
+		writeJSON(w, http.StatusOK, coflowView{Coflow: id, State: "done", Completion: &c})
+		return
+	}
+	for _, ls := range eng.Live() {
+		if ls.Coflow == id {
+			writeJSON(w, http.StatusOK, coflowView{Coflow: id, State: "live", Live: &ls})
+			return
+		}
+	}
+	http.Error(w, "unknown coflow", http.StatusNotFound)
+}
+
+// handleStatus is GET /v1/status.
+func (d *Daemon) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	st, err := d.status(r.Context())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// decodeBody parses a JSON request body strictly.
+func decodeBody(r *http.Request, into any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	return dec.Decode(into)
+}
+
+// writeError maps service and engine errors to HTTP status codes.
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrStopped):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		code = http.StatusGatewayTimeout
+	case errors.Is(err, ErrBadEvent):
+		code = http.StatusBadRequest
+	case errors.Is(err, ErrDuplicateCoflow), errors.Is(err, ErrUnknownCoflow):
+		code = http.StatusConflict
+	}
+	http.Error(w, err.Error(), code)
+}
+
+// writeJSON writes one JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,332 @@
+package daemon
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"sunflow/internal/trace"
+)
+
+// buildWorkload derives a deterministic event sequence from a seed: trace
+// registrations in arrival order with advances, transient faults and forced
+// completions interleaved.
+func buildWorkload(seed int64) []Event {
+	tr := trace.Generator{Ports: 8, Coflows: 10, HorizonSec: 8, MaxWidth: 4, Seed: seed}.Trace()
+	rng := rand.New(rand.NewSource(seed * 7919))
+	var evs []Event
+	for i, c := range tr.Coflows {
+		flows := make([]FlowSpec, 0, len(c.Flows))
+		for _, f := range c.Flows {
+			flows = append(flows, FlowSpec{Src: f.Src, Dst: f.Dst, Bytes: f.Bytes})
+		}
+		evs = append(evs, Event{Kind: KindRegister, At: c.Arrival, Coflow: c.ID, Priority: rng.Intn(3), Flows: flows})
+		switch rng.Intn(5) {
+		case 0:
+			evs = append(evs, Event{Kind: KindAdvance, At: c.Arrival + rng.Float64()})
+		case 1:
+			evs = append(evs, Event{Kind: KindFault, At: c.Arrival + 0.1, Port: rng.Intn(tr.Ports), Duration: 0.5 + rng.Float64()})
+		case 2:
+			if i > 0 {
+				evs = append(evs, Event{Kind: KindComplete, At: c.Arrival + 0.05, Coflow: tr.Coflows[rng.Intn(i)].ID})
+			}
+		}
+	}
+	evs = append(evs, Event{Kind: KindAdvance, At: 1e4})
+	return evs
+}
+
+// fingerprint captures everything the recovery property compares.
+type fingerprint struct {
+	digest string
+	seq    uint64
+	done   map[int]Completion
+	now    float64
+}
+
+func fp(s *Store) fingerprint {
+	return fingerprint{
+		digest: s.Engine().Digest(),
+		seq:    s.LastSeq(),
+		done:   s.Engine().Completions(),
+		now:    s.Engine().Now(),
+	}
+}
+
+// acceptAll feeds events through the store, checkpointing after event number
+// checkpointAt (0 disables). Apply rejections are tolerated — workloads can
+// legitimately force-complete an already-done Coflow — as long as both the
+// reference and recovered runs see the same ones.
+func acceptAll(t *testing.T, s *Store, evs []Event, checkpointAt int) {
+	t.Helper()
+	for i, ev := range evs {
+		if _, _, err := s.Accept(ev); err != nil && !errors.Is(err, ErrUnknownCoflow) {
+			t.Fatalf("accept event %d (%+v): %v", i, ev, err)
+		}
+		if checkpointAt > 0 && i+1 == checkpointAt {
+			if err := s.Checkpoint(); err != nil {
+				t.Fatalf("checkpoint after event %d: %v", i, err)
+			}
+		}
+	}
+}
+
+// TestRecoveryBitIdentical is the headline crash-safety property, run over 50
+// seeded workloads: killing the daemon after any prefix of accepted events —
+// optionally with a checkpoint somewhere in the prefix and a torn partial
+// record at the WAL tail — then restarting and streaming the rest produces an
+// Engine bit-identical (schedule digest, completions, sequence, clock) to one
+// that never crashed.
+func TestRecoveryBitIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			evs := buildWorkload(seed)
+			cfg := EngineConfig{Ports: 8, LinkBps: 1e9, Delta: 0.01}
+			rng := rand.New(rand.NewSource(seed))
+			kill := 1 + rng.Intn(len(evs)-1)
+			checkpointAt := 0
+			if rng.Intn(2) == 0 {
+				checkpointAt = 1 + rng.Intn(kill)
+			}
+
+			ref, err := Open(t.TempDir(), cfg, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ref.Close()
+			acceptAll(t, ref, evs, 0)
+
+			dir := t.TempDir()
+			crash, err := Open(dir, cfg, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			acceptAll(t, crash, evs[:kill], checkpointAt)
+			// kill -9: no checkpoint, no graceful close. Appends are fsynced,
+			// so dropping the handle loses nothing acknowledged.
+			crash.Close()
+			if rng.Intn(2) == 0 {
+				// Torn tail: the crash interrupted an append mid-record.
+				f, err := os.OpenFile(filepath.Join(dir, walName), os.O_APPEND|os.O_WRONLY, 0o644)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := f.Write([]byte("deadbeef {\"kind\":\"regi")); err != nil {
+					t.Fatal(err)
+				}
+				f.Close()
+			}
+
+			rec, err := Open(dir, cfg, nil, nil)
+			if err != nil {
+				t.Fatalf("recovery open: %v", err)
+			}
+			defer rec.Close()
+			if want := kill - int(boolToInt(checkpointAt > 0))*checkpointAt; rec.Recovered() != want {
+				t.Fatalf("recovered %d events, want %d (kill=%d checkpoint=%d)", rec.Recovered(), want, kill, checkpointAt)
+			}
+			acceptAll(t, rec, evs[kill:], 0)
+
+			got, want := fp(rec), fp(ref)
+			if got.digest != want.digest {
+				t.Errorf("digest diverged after recovery: %s vs %s", got.digest, want.digest)
+			}
+			if got.seq != want.seq {
+				t.Errorf("sequence diverged: %d vs %d", got.seq, want.seq)
+			}
+			if got.now != want.now {
+				t.Errorf("clock diverged: %v vs %v", got.now, want.now)
+			}
+			if !reflect.DeepEqual(got.done, want.done) {
+				t.Errorf("completions diverged:\n got %+v\nwant %+v", got.done, want.done)
+			}
+		})
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TestSnapshotRoundTrip: State → restore → State is byte-stable mid-run,
+// while live Coflows, a plan, outages and completions all exist.
+func TestSnapshotRoundTrip(t *testing.T) {
+	evs := buildWorkload(3)
+	cfg := EngineConfig{Ports: 8, LinkBps: 1e9, Delta: 0.01}
+	e, err := NewEngine(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evs[:len(evs)/2] {
+		_, _ = e.Apply(ev)
+	}
+	if e.LiveCount() == 0 {
+		t.Fatal("workload half-point has no live coflows; test is vacuous")
+	}
+	st := e.State()
+	clone, err := NewEngine(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clone.restoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(clone.State(), st) {
+		t.Fatal("State → restoreState → State is not a fixed point")
+	}
+	// The clone must continue exactly like the original.
+	for _, ev := range evs[len(evs)/2:] {
+		_, _ = e.Apply(ev)
+		_, _ = clone.Apply(ev)
+	}
+	if e.Digest() != clone.Digest() {
+		t.Fatalf("restored engine diverged: %s vs %s", e.Digest(), clone.Digest())
+	}
+}
+
+// TestStoreSkipsPreCheckpointRecords covers the crash window between snapshot
+// rename and WAL rotation: records the snapshot already includes must not be
+// re-applied.
+func TestStoreSkipsPreCheckpointRecords(t *testing.T) {
+	cfg := EngineConfig{Ports: 4, LinkBps: 1e9, Delta: 0.01}
+	dir := t.TempDir()
+	s, err := Open(dir, cfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := Event{Kind: KindRegister, At: 0, Coflow: 1, Flows: []FlowSpec{{Src: 0, Dst: 1, Bytes: 1e6}}}
+	acked, _, err := s.Accept(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	want := s.Engine().Digest()
+	s.Close()
+
+	// Simulate the un-rotated WAL: re-append the already-checkpointed record.
+	f, err := os.OpenFile(filepath.Join(dir, walName), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := appendWALRecord(f, acked); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	rec, err := Open(dir, cfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rec.Recovered() != 0 {
+		t.Fatalf("replayed %d pre-checkpoint records, want 0", rec.Recovered())
+	}
+	if rec.Engine().Digest() != want {
+		t.Fatal("pre-checkpoint record perturbed recovered state")
+	}
+}
+
+// TestStoreRejectsConfigMismatch: a data directory snapshotted under one
+// EngineConfig must refuse to open under another.
+func TestStoreRejectsConfigMismatch(t *testing.T) {
+	dir := t.TempDir()
+	cfg := EngineConfig{Ports: 4, LinkBps: 1e9, Delta: 0.01}
+	s, err := Open(dir, cfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Accept(Event{Kind: KindRegister, At: 0, Coflow: 1, Flows: []FlowSpec{{Src: 0, Dst: 1, Bytes: 1e6}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	other := cfg
+	other.Delta = 0.02
+	if _, err := Open(dir, other, nil, nil); !errors.Is(err, ErrConfigMismatch) {
+		t.Fatalf("open with changed config: err=%v, want ErrConfigMismatch", err)
+	}
+}
+
+// TestWALTornTailTruncated: recovery drops a damaged tail and subsequent
+// appends land on a clean record boundary.
+func TestWALTornTailTruncated(t *testing.T) {
+	cfg := EngineConfig{Ports: 4, LinkBps: 1e9, Delta: 0.01}
+	dir := t.TempDir()
+	s, err := Open(dir, cfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Accept(Event{Kind: KindRegister, At: 0, Coflow: 1, Flows: []FlowSpec{{Src: 0, Dst: 1, Bytes: 1e6}}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	walPath := filepath.Join(dir, walName)
+	intact, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tail := range []string{
+		"garbage",                     // no frame at all
+		"00000000 {\"kind\":\"regist", // unterminated record
+		"ffffffff {\"kind\":\"advance\",\"at\":1}\n", // bad checksum
+	} {
+		if err := os.WriteFile(walPath, append(append([]byte{}, intact...), tail...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := Open(dir, cfg, nil, nil)
+		if err != nil {
+			t.Fatalf("tail %q: %v", tail, err)
+		}
+		if rec.Recovered() != 1 {
+			t.Fatalf("tail %q: recovered %d records, want 1", tail, rec.Recovered())
+		}
+		// The tail must be gone and the log appendable.
+		if _, _, err := rec.Accept(Event{Kind: KindAdvance, At: 5}); err != nil {
+			t.Fatalf("tail %q: append after truncation: %v", tail, err)
+		}
+		rec.Close()
+		again, err := Open(dir, cfg, nil, nil)
+		if err != nil {
+			t.Fatalf("tail %q: reopen: %v", tail, err)
+		}
+		if again.Recovered() != 2 {
+			t.Fatalf("tail %q: reopen recovered %d records, want 2", tail, again.Recovered())
+		}
+		again.Close()
+		// Reset for the next tail variant.
+		if err := os.WriteFile(walPath, intact, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		os.Remove(filepath.Join(dir, snapshotName))
+	}
+}
+
+// TestInfFloatRoundTrip pins the snapshot encoding of the two infinities.
+func TestInfFloatRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1.5, -2.25, math.Inf(1), math.Inf(-1), 1e308} {
+		raw, err := infFloat(v).MarshalJSON()
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var back infFloat
+		if err := back.UnmarshalJSON(raw); err != nil {
+			t.Fatalf("unmarshal %s: %v", raw, err)
+		}
+		if float64(back) != v {
+			t.Fatalf("round trip %v → %s → %v", v, raw, float64(back))
+		}
+	}
+}

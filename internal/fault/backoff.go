@@ -1,0 +1,92 @@
+package fault
+
+// domBackoff keeps Backoff jitter draws independent of the other fault
+// hash domains.
+const domBackoff uint64 = 0x6261_636b // "back"
+
+// Backoff is a deterministic exponential retry-delay schedule, exported so
+// long-running consumers (the sunflowd daemon's replan retry loop) share the
+// exact machinery the fault model uses for circuit-setup retries.
+//
+// Delay i is Base·Factor^i, clamped to Cap, then deterministically jittered
+// downward by up to Jitter of its value using the same counter-based hashing
+// as the rest of the package: the schedule is a pure function of the struct's
+// fields, so two processes configured identically retry on identical
+// schedules — the property the daemon's crash-recovery test relies on.
+//
+// The zero value yields all-zero delays (retry immediately); Model.Setup uses
+// {Base: δ, Factor: 2} and is bit-identical to the historical inline δ, 2δ,
+// 4δ, … doubling because powers of two are exact in floating point.
+type Backoff struct {
+	// Base is the delay before the first retry, in the caller's time unit
+	// (seconds of simulated time for Model.Setup, wall-clock seconds for the
+	// daemon). Zero, negative or NaN bases all collapse to zero delays.
+	Base float64
+	// Factor is the per-attempt growth multiplier. Anything below 1
+	// (including the zero value, NaN and negatives) selects the default 2, so
+	// a schedule can never shrink between attempts.
+	Factor float64
+	// Cap bounds every delay when positive; the schedule saturates at Cap
+	// instead of growing without bound (or overflowing to +Inf). Zero or
+	// negative disables the bound.
+	Cap float64
+	// Jitter in [0, 1) shaves a deterministic pseudo-random fraction of up to
+	// Jitter off each delay, de-synchronizing retry herds without giving up
+	// reproducibility. Zero (and any out-of-range value) disables jitter.
+	Jitter float64
+	// Seed drives the jitter hashing; schedules differing only in Seed jitter
+	// independently.
+	Seed int64
+}
+
+// Delay returns the pause before retry attempt (0-based). It is a pure
+// function of the receiver and attempt: repeated calls, and calls from
+// different Backoff values with equal fields, return bit-identical results.
+func (b Backoff) Delay(attempt int) float64 {
+	if !(b.Base > 0) { // catches zero, negative and NaN in one comparison
+		return 0
+	}
+	factor := b.Factor
+	if !(factor >= 1) {
+		factor = 2
+	}
+	d := b.Base
+	for i := 0; i < attempt; i++ {
+		d *= factor
+		if b.Cap > 0 && d >= b.Cap {
+			break
+		}
+	}
+	if b.Cap > 0 && d > b.Cap {
+		d = b.Cap
+	}
+	if j := b.Jitter; j > 0 && j < 1 {
+		h := splitmix64(splitmix64(uint64(b.Seed)^domBackoff) ^ uint64(attempt))
+		u := float64(h>>11) / (1 << 53)
+		d *= 1 - j*u
+	}
+	return d
+}
+
+// Schedule returns the first n retry delays, Delay(0) through Delay(n-1).
+func (b Backoff) Schedule(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = b.Delay(i)
+	}
+	return out
+}
+
+// Total returns the sum of the first n retry delays — how long a caller
+// retrying n times spends waiting in total (math.Inf(1) if the uncapped
+// schedule overflows).
+func (b Backoff) Total(n int) float64 {
+	t := 0.0
+	for i := 0; i < n; i++ {
+		t += b.Delay(i)
+	}
+	return t
+}

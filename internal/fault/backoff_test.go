@@ -1,0 +1,155 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBackoffDefaultsDoubling pins the default schedule to the exact δ·2^i
+// doubling Model.Setup historically inlined: powers of two are exact in
+// floating point, so equality here is bit-for-bit.
+func TestBackoffDefaultsDoubling(t *testing.T) {
+	b := Backoff{Base: 0.01}
+	for i := 0; i < 20; i++ {
+		want := math.Ldexp(0.01, i)
+		if got := b.Delay(i); got != want {
+			t.Fatalf("Delay(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestBackoffDegenerateBase: zero, negative and NaN bases all collapse to
+// zero delays rather than producing negative or NaN waits.
+func TestBackoffDegenerateBase(t *testing.T) {
+	for _, base := range []float64{0, -1, -1e-9, math.NaN(), math.Inf(-1)} {
+		b := Backoff{Base: base, Factor: 2, Cap: 10, Jitter: 0.5, Seed: 7}
+		for i := 0; i < 5; i++ {
+			if got := b.Delay(i); got != 0 {
+				t.Fatalf("base %v: Delay(%d) = %v, want 0", base, i, got)
+			}
+		}
+		if got := b.Total(8); got != 0 {
+			t.Fatalf("base %v: Total = %v, want 0", base, got)
+		}
+	}
+}
+
+// TestBackoffDegenerateFactor: factors below 1 (including zero and NaN)
+// select the default 2 so the schedule never shrinks.
+func TestBackoffDegenerateFactor(t *testing.T) {
+	for _, f := range []float64{0, 0.5, -3, math.NaN()} {
+		b := Backoff{Base: 1, Factor: f}
+		if got := b.Delay(3); got != 8 {
+			t.Fatalf("factor %v: Delay(3) = %v, want 8", f, got)
+		}
+	}
+}
+
+// TestBackoffCapSaturation: with a cap the schedule clamps and stays clamped,
+// and even absurd attempt counts terminate without overflowing to +Inf.
+func TestBackoffCapSaturation(t *testing.T) {
+	b := Backoff{Base: 1, Factor: 2, Cap: 10}
+	want := []float64{1, 2, 4, 8, 10, 10, 10}
+	for i, w := range want {
+		if got := b.Delay(i); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+	if got := b.Delay(1 << 20); got != 10 {
+		t.Fatalf("huge attempt: Delay = %v, want cap 10", got)
+	}
+	// Uncapped schedules can overflow; the cap is the documented guard.
+	unb := Backoff{Base: 1}
+	if got := unb.Delay(2000); !math.IsInf(got, 1) {
+		t.Fatalf("uncapped Delay(2000) = %v, want +Inf (documents the cap's purpose)", got)
+	}
+	if got := b.Delay(2000); got != 10 {
+		t.Fatalf("capped Delay(2000) = %v, want 10", got)
+	}
+}
+
+// TestBackoffJitterDeterminism: the jittered schedule is a pure function of
+// the struct fields — identical across calls and across equal values — while
+// distinct seeds diverge and every delay stays inside [d·(1-j), d].
+func TestBackoffJitterDeterminism(t *testing.T) {
+	a := Backoff{Base: 0.5, Factor: 2, Cap: 64, Jitter: 0.3, Seed: 42}
+	b := Backoff{Base: 0.5, Factor: 2, Cap: 64, Jitter: 0.3, Seed: 42}
+	c := Backoff{Base: 0.5, Factor: 2, Cap: 64, Jitter: 0.3, Seed: 43}
+	plain := Backoff{Base: 0.5, Factor: 2, Cap: 64}
+	diverged := false
+	for i := 0; i < 32; i++ {
+		d1, d2 := a.Delay(i), b.Delay(i)
+		if d1 != d2 {
+			t.Fatalf("equal Backoffs disagree at attempt %d: %v vs %v", i, d1, d2)
+		}
+		if again := a.Delay(i); again != d1 {
+			t.Fatalf("Delay(%d) not stable across calls: %v vs %v", i, d1, again)
+		}
+		base := plain.Delay(i)
+		if d1 > base || d1 < base*(1-0.3) {
+			t.Fatalf("jittered Delay(%d) = %v outside [%v, %v]", i, d1, base*0.7, base)
+		}
+		if c.Delay(i) != d1 {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("distinct seeds produced identical jittered schedules")
+	}
+}
+
+// TestBackoffScheduleMatchesDelay: Schedule is just the Delay prefix, and
+// out-of-range jitter values disable jitter instead of corrupting delays.
+func TestBackoffScheduleMatchesDelay(t *testing.T) {
+	b := Backoff{Base: 2, Factor: 3, Cap: 100, Jitter: 1.5, Seed: 9}
+	sched := b.Schedule(6)
+	if len(sched) != 6 {
+		t.Fatalf("Schedule(6) returned %d delays", len(sched))
+	}
+	for i, d := range sched {
+		if d != b.Delay(i) {
+			t.Fatalf("Schedule[%d] = %v, Delay = %v", i, d, b.Delay(i))
+		}
+	}
+	// Jitter 1.5 is out of range and must act like no jitter.
+	want := []float64{2, 6, 18, 54, 100, 100}
+	for i, w := range want {
+		if sched[i] != w {
+			t.Fatalf("Schedule[%d] = %v, want %v (out-of-range jitter must be inert)", i, sched[i], w)
+		}
+	}
+	if got := b.Schedule(0); got != nil {
+		t.Fatalf("Schedule(0) = %v, want nil", got)
+	}
+	if got := b.Total(3); got != 26 {
+		t.Fatalf("Total(3) = %v, want 26", got)
+	}
+}
+
+// TestSetupUsesBackoffSchedule pins Model.Setup's retry spacing to the
+// exported Backoff: with FailFirstSetups forcing failures, the gap between
+// consecutive retry offsets must be δ (the re-paid setup) plus Delay(i).
+func TestSetupUsesBackoffSchedule(t *testing.T) {
+	p := &Plan{FailFirstSetups: 3, MaxRetries: 5}
+	m, err := p.Compile(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const delta = 0.01
+	out := m.Setup(1, 0, 1, 1000, delta)
+	if !out.Established || len(out.Retries) != 3 {
+		t.Fatalf("unexpected outcome: %+v", out)
+	}
+	bo := Backoff{Base: delta, Factor: 2}
+	off := 0.0
+	for i, r := range out.Retries {
+		off += delta
+		if r != off {
+			t.Fatalf("retry %d finished at %v, want %v", i, r, off)
+		}
+		off += bo.Delay(i)
+	}
+	if want := off + delta; out.Setup != want {
+		t.Fatalf("effective setup %v, want %v", out.Setup, want)
+	}
+}

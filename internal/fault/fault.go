@@ -437,7 +437,10 @@ func (m *Model) Setup(coflowID, src, dst int, slot, delta float64) SetupOutcome 
 		return SetupOutcome{Established: true, Setup: delta}
 	}
 	off := 0.0
-	backoff := delta
+	// Backoff{Base: δ, Factor: 2} reproduces the historical inline doubling
+	// (δ, 2δ, 4δ, …) bit-for-bit; the shared type exists so the daemon's
+	// replan retries run on the same machinery.
+	bo := Backoff{Base: delta, Factor: 2}
 	var retries []float64
 	for attempt := 0; ; attempt++ {
 		if off+delta > slot+timeEps {
@@ -453,8 +456,7 @@ func (m *Model) Setup(coflowID, src, dst int, slot, delta float64) SetupOutcome 
 		if attempt >= m.maxRetries {
 			return SetupOutcome{Setup: slot, Retries: retries}
 		}
-		off += backoff
-		backoff *= 2
+		off += bo.Delay(attempt)
 	}
 }
 

@@ -56,6 +56,19 @@ func WriteJSONL(w io.Writer, res *Result) error {
 			return fmt.Errorf("matrix: write jsonl speedup %d: %w", i, err)
 		}
 	}
+	if res.Truncated {
+		// Trailer marking an interrupted run: the cells above are complete
+		// and byte-identical to an uninterrupted run's, but the file is not
+		// the whole spec. Determinism gates must not compare truncated files.
+		marker := struct {
+			Kind         string `json:"kind"`
+			SkippedRuns  int    `json:"skipped_runs"`
+			DroppedCells int    `json:"dropped_cells"`
+		}{"truncated", res.SkippedRuns, res.DroppedCells}
+		if err := enc.Encode(marker); err != nil {
+			return fmt.Errorf("matrix: write jsonl truncation marker: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -66,6 +79,10 @@ func Format(res *Result) string {
 	fmt.Fprintf(&sb, "Matrix %q — %d cells × %d replications (%d runs), %.0f%% CIs\n",
 		res.Spec.Name, len(res.Cells), res.Spec.Replications,
 		len(res.Cells)*res.Spec.Replications, res.Spec.Confidence*100)
+	if res.Truncated {
+		fmt.Fprintf(&sb, "TRUNCATED: interrupted mid-run — %d runs skipped, %d partial cells dropped\n",
+			res.SkippedRuns, res.DroppedCells)
+	}
 
 	widths := []int{0, 0, 0, 0, 0, 0}
 	rows := [][]string{{"scenario", "scheduler", "avg CCT (t-CI)", "p95 CCT", "duty", "switches"}}

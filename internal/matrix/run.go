@@ -81,6 +81,14 @@ type Result struct {
 	Spec     Spec         `json:"spec"`
 	Cells    []CellResult `json:"cells"`
 	Speedups []Speedup    `json:"speedups"`
+	// Truncated reports that Options.Cancel fired mid-run: Cells holds only
+	// the cells whose every replication finished (those are byte-identical to
+	// an uninterrupted run's), SkippedRuns counts the (cell, replication)
+	// pairs never executed, and DroppedCells the partially-replicated cells
+	// excluded from Cells.
+	Truncated    bool `json:"truncated,omitempty"`
+	SkippedRuns  int  `json:"skipped_runs,omitempty"`
+	DroppedCells int  `json:"dropped_cells,omitempty"`
 }
 
 // Options configures a Run.
@@ -102,6 +110,21 @@ type Options struct {
 	// with the replication's simulator and kernel spans nested beneath it.
 	// Each worker job records through its own span.Stack.
 	Prof *span.Profiler
+	// Cancel, when non-nil and closed, stops launching new replications.
+	// Runs already in flight finish; Run then aggregates every fully
+	// replicated cell and returns a Result marked Truncated instead of an
+	// error, so a partial run still yields a flushable report.
+	Cancel <-chan struct{}
+}
+
+// cancelled reports whether Cancel has fired.
+func (o Options) cancelled() bool {
+	select {
+	case <-o.Cancel:
+		return true
+	default:
+		return false
+	}
 }
 
 // Run expands the spec and executes it: every (cell, replication) pair is
@@ -124,10 +147,13 @@ func Run(spec Spec, opts Options) (*Result, error) {
 	}
 
 	reps := make([][]Rep, len(cells))
+	ran := make([][]bool, len(cells))
 	for i := range reps {
 		reps[i] = make([]Rep, spec.Replications)
+		ran[i] = make([]bool, spec.Replications)
 	}
 	errs := make([]error, len(jobs))
+	var skipped atomic.Int64
 	var done int
 	var mu sync.Mutex
 
@@ -148,6 +174,10 @@ func Run(spec Spec, opts Options) (*Result, error) {
 	pool.ParallelEach(len(jobs), func(i int) {
 		j := jobs[i]
 		cell := cells[j.cell]
+		if opts.cancelled() {
+			skipped.Add(1)
+			return
+		}
 		if busyGauge != nil {
 			busyGauge.Set(busy.Add(1))
 			queueGauge.Set(pending.Add(-1))
@@ -175,6 +205,7 @@ func Run(spec Spec, opts Options) (*Result, error) {
 			return
 		}
 		reps[j.cell][j.rep] = rep
+		ran[j.cell][j.rep] = true
 		if opts.Logf != nil {
 			mu.Lock()
 			done++
@@ -190,8 +221,23 @@ func Run(spec Spec, opts Options) (*Result, error) {
 		}
 	}
 
-	res := &Result{Spec: spec, Cells: make([]CellResult, len(cells))}
+	res := &Result{Spec: spec, Cells: make([]CellResult, 0, len(cells))}
+	if n := skipped.Load(); n > 0 {
+		res.Truncated = true
+		res.SkippedRuns = int(n)
+	}
 	for i, cell := range cells {
+		complete := true
+		for _, ok := range ran[i] {
+			complete = complete && ok
+		}
+		if !complete {
+			// A partially replicated cell would aggregate over zero-valued
+			// rows; drop it so everything reported is byte-identical to an
+			// uninterrupted run.
+			res.DroppedCells++
+			continue
+		}
 		cr := CellResult{Cell: cell, Reps: reps[i]}
 		cr.AvgCCT = spec.estimate(metric(cr.Reps, func(r Rep) float64 { return r.AvgCCT }), cell.Index, 0)
 		cr.P95CCT = spec.estimate(metric(cr.Reps, func(r Rep) float64 { return r.P95CCT }), cell.Index, 1)
@@ -202,7 +248,7 @@ func Run(spec Spec, opts Options) (*Result, error) {
 			return nil, err
 		}
 		cr.Digest = digest
-		res.Cells[i] = cr
+		res.Cells = append(res.Cells, cr)
 	}
 	res.Speedups = spec.speedups(res.Cells)
 	return res, nil
@@ -242,6 +288,11 @@ func (s Spec) speedups(cells []CellResult) []Speedup {
 		group := byScenario[key]
 		for ai, a := range s.Schedulers {
 			for _, b := range s.Schedulers[ai+1:] {
+				if len(group[a]) == 0 || len(group[b]) == 0 {
+					// One side's cell was dropped by a truncated run; a
+					// zero-pair speedup row would read as "ratio 0".
+					continue
+				}
 				ratios := stats.PairedRatios(group[a], group[b])
 				out = append(out, Speedup{
 					Scenario:    key,

@@ -142,3 +142,79 @@ func TestFormatMentionsCellsAndSpeedups(t *testing.T) {
 		}
 	}
 }
+
+// TestRunCancelBeforeStart is the degenerate truncation case: a Cancel that
+// fired before the first replication skips everything and still returns a
+// well-formed (empty) truncated Result instead of an error.
+func TestRunCancelBeforeStart(t *testing.T) {
+	spec := tinySpec(t)
+	cancel := make(chan struct{})
+	close(cancel)
+	res, err := Run(spec, Options{Cancel: cancel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated {
+		t.Fatal("pre-closed Cancel must mark the result truncated")
+	}
+	if len(res.Cells) != 0 || res.DroppedCells != 3 {
+		t.Errorf("got %d cells, %d dropped; want 0 and 3", len(res.Cells), res.DroppedCells)
+	}
+	if want := 3 * spec.Replications; res.SkippedRuns != want {
+		t.Errorf("skipped %d runs, want %d", res.SkippedRuns, want)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"kind":"truncated"`) {
+		t.Error("truncated JSONL must end with a truncation marker line")
+	}
+	if !strings.Contains(Format(res), "TRUNCATED") {
+		t.Error("Format must flag a truncated run")
+	}
+}
+
+// TestRunCancelMidRunKeepsCompleteCells cancels after the first cell's
+// replications finish (serial workers make the cut deterministic): the
+// complete cell must survive with aggregates and a digest identical to an
+// uninterrupted run's, and the partial remainder must be dropped, not
+// aggregated over zero rows.
+func TestRunCancelMidRunKeepsCompleteCells(t *testing.T) {
+	spec := tinySpec(t)
+	full, err := Run(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel := make(chan struct{})
+	res, err := Run(spec, Options{
+		Workers: -1, // serial: jobs run in (cell, rep) order
+		Logf: func(string, ...any) {
+			// Logf fires once per completed cell worth of replications; the
+			// first firing means cell 0 is fully replicated.
+			select {
+			case <-cancel:
+			default:
+				close(cancel)
+			}
+		},
+		Cancel: cancel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || res.SkippedRuns == 0 {
+		t.Fatalf("expected a truncated run with skipped jobs, got %+v", res)
+	}
+	if len(res.Cells) == 0 {
+		t.Fatal("the fully replicated cell must survive truncation")
+	}
+	for i, c := range res.Cells {
+		if c.Digest != full.Cells[i].Digest {
+			t.Errorf("cell %d: truncated-run digest %s != uninterrupted %s — surviving cells must be byte-identical", i, c.Digest, full.Cells[i].Digest)
+		}
+	}
+	if len(res.Cells)+res.DroppedCells != len(full.Cells) {
+		t.Errorf("cells %d + dropped %d != total %d", len(res.Cells), res.DroppedCells, len(full.Cells))
+	}
+}

@@ -1,0 +1,74 @@
+package obs
+
+// Metric names of the sunflowd online scheduler daemon (internal/daemon).
+// They live here with the simulator names so exposition, replay and the
+// Prometheus mapping treat daemon counters like every other metric set.
+const (
+	NameDaemonEventsAccepted  = "daemon.events_accepted"  // events admitted, WAL-appended and applied
+	NameDaemonEventsRejected  = "daemon.events_rejected"  // deterministic apply rejections (duplicate id, unknown coflow, ...)
+	NameDaemonEventsShed      = "daemon.events_shed"      // 429s: in-flight limit or intake-queue backpressure
+	NameDaemonEventsExpired   = "daemon.events_expired"   // request deadlines that fired while queued
+	NameDaemonQueueDepth      = "daemon.queue_depth"      // intake queue occupancy, with high-water mark
+	NameDaemonInflight        = "daemon.inflight"         // requests inside admission, with high-water mark
+	NameDaemonReplans         = "daemon.replans"          // incremental replans triggered by applied events
+	NameDaemonReplanRetries   = "daemon.replan_retries"   // transient replan failures retried with backoff
+	NameDaemonReplanSeconds   = "daemon.replan_seconds"   // wall-clock distribution of one apply+replan
+	NameDaemonWALAppends      = "daemon.wal_appends"      // records fsynced to the write-ahead log
+	NameDaemonWALBytes        = "daemon.wal_bytes"        // bytes appended to the WAL
+	NameDaemonSnapshots       = "daemon.snapshots"        // checkpoints written (WAL rotations)
+	NameDaemonRecoveredEvents = "daemon.recovered_events" // WAL records replayed at startup
+	NameDaemonCoflowsLive     = "daemon.coflows_live"     // registered, unfinished Coflows
+	NameDaemonCoflowsDone     = "daemon.coflows_done"     // Coflows completed since process start
+	NameDaemonWatchdogStalls  = "daemon.watchdog_stalls"  // wedged-loop detections that failed readiness
+	NameDaemonDrains          = "daemon.drains"           // graceful drains begun (SIGTERM)
+)
+
+// DaemonMetrics bundles the daemon's instrumentation handles, pre-resolved
+// from one Registry the way Observer pre-resolves the simulator set. A nil
+// *DaemonMetrics disables everything at the cost of one nil-check per site.
+type DaemonMetrics struct {
+	EventsAccepted  *Counter
+	EventsRejected  *Counter
+	EventsShed      *Counter
+	EventsExpired   *Counter
+	QueueDepth      *Gauge
+	Inflight        *Gauge
+	Replans         *Counter
+	ReplanRetries   *Counter
+	ReplanSeconds   *Histogram
+	WALAppends      *Counter
+	WALBytes        *Counter
+	Snapshots       *Counter
+	RecoveredEvents *Counter
+	CoflowsLive     *Gauge
+	CoflowsDone     *Counter
+	WatchdogStalls  *Counter
+	Drains          *Counter
+}
+
+// NewDaemonMetrics resolves the daemon metric set in reg. A nil registry
+// returns nil, so callers can thread an optional registry straight through.
+func NewDaemonMetrics(reg *Registry) *DaemonMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &DaemonMetrics{
+		EventsAccepted:  reg.Counter(NameDaemonEventsAccepted),
+		EventsRejected:  reg.Counter(NameDaemonEventsRejected),
+		EventsShed:      reg.Counter(NameDaemonEventsShed),
+		EventsExpired:   reg.Counter(NameDaemonEventsExpired),
+		QueueDepth:      reg.Gauge(NameDaemonQueueDepth),
+		Inflight:        reg.Gauge(NameDaemonInflight),
+		Replans:         reg.Counter(NameDaemonReplans),
+		ReplanRetries:   reg.Counter(NameDaemonReplanRetries),
+		ReplanSeconds:   reg.Histogram(NameDaemonReplanSeconds),
+		WALAppends:      reg.Counter(NameDaemonWALAppends),
+		WALBytes:        reg.Counter(NameDaemonWALBytes),
+		Snapshots:       reg.Counter(NameDaemonSnapshots),
+		RecoveredEvents: reg.Counter(NameDaemonRecoveredEvents),
+		CoflowsLive:     reg.Gauge(NameDaemonCoflowsLive),
+		CoflowsDone:     reg.Counter(NameDaemonCoflowsDone),
+		WatchdogStalls:  reg.Counter(NameDaemonWatchdogStalls),
+		Drains:          reg.Counter(NameDaemonDrains),
+	}
+}

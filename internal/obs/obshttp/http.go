@@ -10,6 +10,7 @@
 package obshttp
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
@@ -49,18 +50,59 @@ func publishSnapshot(s obs.Snapshot) {
 	})
 }
 
+// Default http.Server timeouts. A long-running daemon must bound every
+// client interaction or a single slow-loris connection holds a goroutine
+// (and eventually a file descriptor table) forever; these defaults are
+// generous enough for /debug/pprof/profile?seconds=30 yet finite.
+const (
+	DefaultReadHeaderTimeout = 10 * time.Second
+	DefaultReadTimeout       = 30 * time.Second
+	DefaultWriteTimeout      = 90 * time.Second
+	DefaultIdleTimeout       = 2 * time.Minute
+)
+
 // Options tunes Serve.
 type Options struct {
 	// PublishInterval is the period of the Registry→expvar publisher; zero
 	// selects DefaultPublishInterval, negative disables the publisher (the
 	// /metrics endpoints still read the live Registry on every request).
 	PublishInterval time.Duration
+
+	// ReadHeaderTimeout, ReadTimeout, WriteTimeout and IdleTimeout bound the
+	// served connections; zero selects the package defaults above, negative
+	// disables that bound (http.Server treats 0 as unbounded, so "unbounded"
+	// must be asked for explicitly here).
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	WriteTimeout      time.Duration
+	IdleTimeout       time.Duration
+
+	// Ready, when non-nil, adds a /readyz probe: 200 "ok" while Ready returns
+	// nil, 503 with the error text otherwise. Liveness (/healthz) stays
+	// unconditional — a draining or recovering process is alive but not ready.
+	Ready func() error
+
+	// Routes mounts extra handlers onto the exposition mux, keyed by pattern
+	// ("/v1/" etc.). Patterns registered here must not collide with the
+	// built-in endpoints.
+	Routes map[string]http.Handler
+}
+
+// timeout resolves one configured bound against its default.
+func timeout(configured, def time.Duration) time.Duration {
+	if configured == 0 {
+		return def
+	}
+	if configured < 0 {
+		return 0
+	}
+	return configured
 }
 
 // Handler returns the exposition mux for the Registry: /metrics (Prometheus
 // text), /metrics.json (Snapshot JSON), /healthz, /debug/vars (expvar) and
-// /debug/pprof/*.
-func Handler(reg *obs.Registry) http.Handler {
+// /debug/pprof/*, plus /readyz and the extra routes configured in opts.
+func Handler(reg *obs.Registry, opts Options) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -84,6 +126,19 @@ func Handler(reg *obs.Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if ready := opts.Ready; ready != nil {
+		mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if err := ready(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			fmt.Fprintln(w, "ok")
+		})
+	}
+	for pattern, h := range opts.Routes {
+		mux.Handle(pattern, h)
+	}
 	return mux
 }
 
@@ -95,17 +150,28 @@ type Server struct {
 	wg   sync.WaitGroup
 }
 
-// Serve binds addr (e.g. ":8080", "localhost:0") and serves Handler(reg) in
-// the background, refreshing the expvar snapshot on opts.PublishInterval
-// until Close. The returned Server reports the bound address via Addr.
+// Serve binds addr (e.g. ":8080", "localhost:0") and serves Handler(reg,
+// opts) in the background, refreshing the expvar snapshot on
+// opts.PublishInterval until Close. The bind error is returned synchronously
+// — a daemon with an unusable address must fail its startup, not log from a
+// goroutine after reporting success. The returned Server reports the bound
+// address via Addr. Connections are bounded by the Options timeouts
+// (package defaults when zero), so a stalled client cannot pin a handler
+// goroutine for the life of the process.
 func Serve(addr string, reg *obs.Registry, opts Options) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obshttp: listen %s: %w", addr, err)
 	}
 	s := &Server{
-		ln:   ln,
-		srv:  &http.Server{Handler: Handler(reg)},
+		ln: ln,
+		srv: &http.Server{
+			Handler:           Handler(reg, opts),
+			ReadHeaderTimeout: timeout(opts.ReadHeaderTimeout, DefaultReadHeaderTimeout),
+			ReadTimeout:       timeout(opts.ReadTimeout, DefaultReadTimeout),
+			WriteTimeout:      timeout(opts.WriteTimeout, DefaultWriteTimeout),
+			IdleTimeout:       timeout(opts.IdleTimeout, DefaultIdleTimeout),
+		},
 		stop: make(chan struct{}),
 	}
 	s.wg.Add(1)
@@ -152,13 +218,27 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the publisher and the HTTP server. Safe on nil.
+// Close stops the publisher and the HTTP server, dropping in-flight
+// requests. Safe on nil.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
 	close(s.stop)
 	err := s.srv.Close()
+	s.wg.Wait()
+	return err
+}
+
+// Shutdown drains the server gracefully: the listener closes immediately,
+// in-flight requests run to completion (bounded by ctx), and the expvar
+// publisher takes its final snapshot. Safe on nil.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	close(s.stop)
+	err := s.srv.Shutdown(ctx)
 	s.wg.Wait()
 	return err
 }

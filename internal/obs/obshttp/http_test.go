@@ -1,11 +1,15 @@
 package obshttp
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -144,5 +148,142 @@ func TestServeNilPublisher(t *testing.T) {
 	defer srv.Close()
 	if code, _ := get(t, "http://"+srv.Addr()+"/metrics"); code != http.StatusOK {
 		t.Errorf("/metrics status %d", code)
+	}
+}
+
+// TestServeTimeoutsConfigured pins the slowloris hardening: the server the
+// listener hands connections to carries finite timeouts by default, honors
+// overrides, and treats negative values as an explicit "unbounded".
+func TestServeTimeoutsConfigured(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", obs.NewRegistry(), Options{PublishInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if got := srv.srv.ReadHeaderTimeout; got != DefaultReadHeaderTimeout {
+		t.Errorf("ReadHeaderTimeout = %v, want %v", got, DefaultReadHeaderTimeout)
+	}
+	if got := srv.srv.ReadTimeout; got != DefaultReadTimeout {
+		t.Errorf("ReadTimeout = %v, want %v", got, DefaultReadTimeout)
+	}
+	if got := srv.srv.WriteTimeout; got != DefaultWriteTimeout {
+		t.Errorf("WriteTimeout = %v, want %v", got, DefaultWriteTimeout)
+	}
+	if got := srv.srv.IdleTimeout; got != DefaultIdleTimeout {
+		t.Errorf("IdleTimeout = %v, want %v", got, DefaultIdleTimeout)
+	}
+
+	over, err := Serve("127.0.0.1:0", obs.NewRegistry(), Options{
+		PublishInterval:   -1,
+		ReadHeaderTimeout: time.Second,
+		ReadTimeout:       -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer over.Close()
+	if got := over.srv.ReadHeaderTimeout; got != time.Second {
+		t.Errorf("override ReadHeaderTimeout = %v, want 1s", got)
+	}
+	if got := over.srv.ReadTimeout; got != 0 {
+		t.Errorf("negative ReadTimeout should disable the bound, got %v", got)
+	}
+}
+
+// TestReadyzAndRoutes: /readyz flips with the Ready callback and extra
+// Routes are served from the same mux.
+func TestReadyzAndRoutes(t *testing.T) {
+	var unready atomic.Bool
+	srv, err := Serve("127.0.0.1:0", obs.NewRegistry(), Options{
+		PublishInterval: -1,
+		Ready: func() error {
+			if unready.Load() {
+				return errors.New("draining")
+			}
+			return nil
+		},
+		Routes: map[string]http.Handler{
+			"/v1/hello": http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				fmt.Fprint(w, "hi")
+			}),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	if code, body := get(t, base+"/readyz"); code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/readyz = %d %q, want 200 ok", code, body)
+	}
+	unready.Store(true)
+	if code, body := get(t, base+"/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("/readyz = %d %q, want 503 draining", code, body)
+	}
+	// Liveness stays unconditional while readiness fails.
+	if code, _ := get(t, base+"/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz must stay 200 while unready, got %d", code)
+	}
+	if code, body := get(t, base+"/v1/hello"); code != http.StatusOK || body != "hi" {
+		t.Fatalf("/v1/hello = %d %q", code, body)
+	}
+}
+
+// TestShutdownDrains: Shutdown lets an in-flight request finish while new
+// connections are refused, and reclaims the goroutines.
+func TestShutdownDrains(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	srv, err := Serve("127.0.0.1:0", obs.NewRegistry(), Options{
+		PublishInterval: -1,
+		Routes: map[string]http.Handler{
+			"/slow": http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				close(entered)
+				<-release
+				fmt.Fprint(w, "done")
+			}),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + addr + "/slow")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		got <- result{body: string(b), err: err}
+	}()
+	<-entered
+
+	shut := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shut <- srv.Shutdown(ctx)
+	}()
+	// Give Shutdown a moment to close the listener, then release the handler.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	if err := <-shut; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	r := <-got
+	if r.err != nil || r.body != "done" {
+		t.Fatalf("in-flight request = %q, %v; want done, nil", r.body, r.err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("server still accepting connections after Shutdown")
 	}
 }
