@@ -118,16 +118,23 @@ type Ack struct {
 	Digest string `json:"digest"`
 }
 
-// request is one queued Submit.
+// request is one queued Submit or internal read.
 type request struct {
 	ev    Event
 	ctx   context.Context
 	reply chan result
+	// coflow, on a kindStatus read, additionally requests that Coflow's view.
+	coflow *int
 }
 
+// result is the apply loop's reply. For kindStatus reads the loop builds the
+// status (and optional Coflow view) itself, so handlers never touch the
+// Engine while the loop may be mutating it.
 type result struct {
-	ack Ack
-	err error
+	ack    Ack
+	err    error
+	status Status
+	view   *coflowView
 }
 
 // Daemon is the online scheduler service: a single apply loop serializing
@@ -153,7 +160,7 @@ type Daemon struct {
 	wedged atomic.Bool
 
 	// acceptFault, when set, is consulted before every Store.Accept and its
-	// error treated as a transient accept failure. It exists for tests to
+	// error treated as a transient WAL append failure. It exists for tests to
 	// exercise the retry path; production never stores into it.
 	acceptFault atomic.Pointer[func() error]
 
@@ -318,9 +325,10 @@ func (d *Daemon) loop() {
 // into the WAL.
 func (d *Daemon) serve(req request) bool {
 	if req.ev.Kind == kindStatus {
-		// Internal status read: serialized with applies but never touches the
-		// WAL or the Engine.
-		req.reply <- result{}
+		// Internal read: serialized with applies and never touches the WAL.
+		// The snapshot is built here, inside the loop, so it cannot race the
+		// next apply.
+		req.reply <- d.snapshot(req.coflow)
 		return false
 	}
 	if err := req.ctx.Err(); err != nil {
@@ -340,9 +348,10 @@ func (d *Daemon) serve(req request) bool {
 	d.wedged.Store(false)
 	if err != nil {
 		req.reply <- result{err: err}
-		// A deterministic rejection still consumed a WAL record; transient
-		// accept failure did not.
-		return errors.Is(err, ErrBadEvent) || errors.Is(err, ErrDuplicateCoflow) || errors.Is(err, ErrUnknownCoflow)
+		// Anything past a durable append — deterministic rejections, apply
+		// errors — consumed a WAL record; a failed append (retries exhausted)
+		// did not.
+		return !isWALError(err)
 	}
 	req.reply <- result{ack: Ack{
 		Seq:     ev.Seq,
@@ -353,19 +362,24 @@ func (d *Daemon) serve(req request) bool {
 	return true
 }
 
-// acceptWithRetry retries transient Store.Accept failures (WAL I/O) on the
-// configured fault.Backoff schedule. Engine rejections are deterministic and
-// returned immediately.
+// acceptWithRetry retries WAL append failures on the configured fault.Backoff
+// schedule — the only transient class: nothing was persisted or applied, so
+// re-submitting the same event is safe. Everything else — deterministic
+// Engine rejections and apply errors after a durable append (advance step
+// budget, replan failures) — returns immediately: the WAL record is consumed,
+// and a retry would append another record and mutate the Engine again.
 func (d *Daemon) acceptWithRetry(ev Event) (Event, bool, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		lastErr = nil
 		if f := d.acceptFault.Load(); f != nil {
-			lastErr = (*f)()
+			if ferr := (*f)(); ferr != nil {
+				lastErr = &walError{ferr}
+			}
 		}
 		if lastErr == nil {
 			acked, applied, err := d.store.Accept(ev)
-			if err == nil || errors.Is(err, ErrBadEvent) || errors.Is(err, ErrDuplicateCoflow) || errors.Is(err, ErrUnknownCoflow) {
+			if err == nil || !isWALError(err) {
 				return acked, applied, err
 			}
 			lastErr = err

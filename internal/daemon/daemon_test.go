@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"testing"
 	"time"
 
@@ -288,6 +289,58 @@ func TestDaemonRetriesTransientAcceptFailures(t *testing.T) {
 		t.Fatal("submit with permanent accept failure succeeded")
 	}
 	d.acceptFault.Store(nil)
+}
+
+// TestDaemonReadsDoNotRaceApplies hammers status and per-Coflow reads while
+// submissions mutate the Engine. The apply loop builds every read reply
+// itself, so under -race this pins that handler goroutines never touch Engine
+// maps mid-apply (which previously could panic the daemon on concurrent map
+// iteration and write, or return torn digests).
+func TestDaemonReadsDoNotRaceApplies(t *testing.T) {
+	d := mustStart(t, testConfig(t))
+	ctx := context.Background()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := d.Submit(ctx, register(i, float64(i)*0.01)); err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 1; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := d.status(ctx); err != nil {
+					t.Errorf("status: %v", err)
+					return
+				}
+				// Mix of ids that are live, done, and unknown.
+				if _, err := d.read(ctx, &i); err != nil {
+					t.Errorf("coflow read: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
 }
 
 // TestDaemonHTTPAPI drives the full /v1 surface through a real obshttp

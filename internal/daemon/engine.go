@@ -158,6 +158,10 @@ type Completion struct {
 	Bytes    float64 `json:"stranded_bytes,omitempty"`
 	// Forced marks an external KindComplete rather than a planned drain.
 	Forced bool `json:"forced,omitempty"`
+	// SpecHash fingerprints the registration (priority and flows) so a
+	// re-registration of a finished id is accepted as idempotent only when it
+	// matches what was actually registered, not on arrival time alone.
+	SpecHash string `json:"spec_hash,omitempty"`
 }
 
 // liveEntry tracks one registered, unfinished Coflow.
@@ -166,8 +170,10 @@ type liveEntry struct {
 	arrival  float64
 	priority int
 	// spec keeps the registered flows so duplicate registrations can be
-	// recognized as idempotent.
-	spec []FlowSpec
+	// recognized as idempotent; specHash is its fingerprint, carried into the
+	// Completion for the same check after the Coflow finishes.
+	spec     []FlowSpec
+	specHash string
 	// rem is the unserved demand per flow in bytes, including demand that
 	// in-flight reservations will deliver.
 	rem map[fabric.FlowKey]float64
@@ -359,6 +365,7 @@ func (e *Engine) Apply(ev Event) (applied bool, err error) {
 }
 
 func (e *Engine) applyRegister(ev Event) (bool, error) {
+	hash := hashSpec(ev.Priority, ev.Flows)
 	if lc, ok := e.live[ev.Coflow]; ok {
 		if sameSpec(lc.spec, ev.Flows) && lc.arrival == ev.At && lc.priority == ev.Priority {
 			return false, nil // client retry of an acked registration
@@ -366,8 +373,8 @@ func (e *Engine) applyRegister(ev Event) (bool, error) {
 		return false, fmt.Errorf("%w: id %d", ErrDuplicateCoflow, ev.Coflow)
 	}
 	if done, ok := e.done[ev.Coflow]; ok {
-		if done.Arrival == ev.At {
-			return false, nil
+		if done.Arrival == ev.At && done.SpecHash == hash {
+			return false, nil // client retry of a registration that already finished
 		}
 		return false, fmt.Errorf("%w: id %d already completed", ErrDuplicateCoflow, ev.Coflow)
 	}
@@ -382,7 +389,7 @@ func (e *Engine) applyRegister(ev Event) (bool, error) {
 	}
 	if len(rem) == 0 {
 		// Zero-demand Coflows complete instantly, like the simulator.
-		e.done[ev.Coflow] = Completion{Arrival: ev.At, Finish: ev.At, CCT: 0}
+		e.done[ev.Coflow] = Completion{Arrival: ev.At, Finish: ev.At, CCT: 0, SpecHash: hash}
 		return true, nil
 	}
 	e.live[ev.Coflow] = &liveEntry{
@@ -390,6 +397,7 @@ func (e *Engine) applyRegister(ev Event) (bool, error) {
 		arrival:    ev.At,
 		priority:   ev.Priority,
 		spec:       append([]FlowSpec(nil), ev.Flows...),
+		specHash:   hash,
 		rem:        rem,
 		flowFinish: make(map[fabric.FlowKey]float64, len(rem)),
 		finish:     math.Inf(1),
@@ -425,6 +433,7 @@ func (e *Engine) applyComplete(ev Event) (bool, error) {
 		Stranded: lc.stranded,
 		Bytes:    lc.strandedBytes,
 		Forced:   true,
+		SpecHash: lc.specHash,
 	}
 	delete(e.live, ev.Coflow)
 	if o := e.obs; o != nil {
@@ -573,6 +582,7 @@ func (e *Engine) retire(now float64) {
 			Switches: lc.switches,
 			Stranded: lc.stranded,
 			Bytes:    lc.strandedBytes,
+			SpecHash: lc.specHash,
 		}
 		delete(e.live, id)
 		if o := e.obs; o != nil {
@@ -884,6 +894,25 @@ func (e *Engine) foldDigest(ev Event, applied bool) {
 	}
 	sum := h.Sum(nil)
 	copy(e.digest[:], sum)
+}
+
+// hashSpec fingerprints a registration's priority and flows, in registration
+// order. Snapshots do not carry it for live Coflows — restoreState recomputes
+// it from the preserved spec — and completions round-trip it as JSON.
+func hashSpec(priority int, flows []FlowSpec) string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(int64(priority)))
+	for _, f := range flows {
+		put(uint64(int64(f.Src)))
+		put(uint64(int64(f.Dst)))
+		put(math.Float64bits(f.Bytes))
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // sameSpec reports whether two registrations carry identical flows.

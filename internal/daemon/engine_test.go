@@ -173,6 +173,39 @@ func TestEngineRegisterIdempotent(t *testing.T) {
 	}
 }
 
+// TestEngineCompletedRegisterIdempotencyChecksSpec: re-registering a finished
+// id is idempotent only for a byte-identical registration; different flows or
+// priority at the same arrival time must reject, exactly like the live-set
+// path, instead of being silently acked as a duplicate.
+func TestEngineCompletedRegisterIdempotencyChecksSpec(t *testing.T) {
+	cfg := EngineConfig{Ports: 4, LinkBps: 1e9, Delta: 0.01}
+	e, err := NewEngine(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Event{Kind: KindRegister, At: 0, Coflow: 1, Flows: []FlowSpec{{Src: 0, Dst: 1, Bytes: 1e6}}}
+	if _, err := e.Apply(ev); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, e)
+	if _, ok := e.Completion(1); !ok {
+		t.Fatal("coflow 1 did not complete")
+	}
+	if applied, err := e.Apply(ev); err != nil || applied {
+		t.Fatalf("identical re-register after completion: applied=%v err=%v (want no-op)", applied, err)
+	}
+	diffFlows := ev
+	diffFlows.Flows = []FlowSpec{{Src: 0, Dst: 1, Bytes: 7e6}}
+	if _, err := e.Apply(diffFlows); !errors.Is(err, ErrDuplicateCoflow) {
+		t.Fatalf("re-register with different flows: err=%v, want ErrDuplicateCoflow", err)
+	}
+	diffPrio := ev
+	diffPrio.Priority = 5
+	if _, err := e.Apply(diffPrio); !errors.Is(err, ErrDuplicateCoflow) {
+		t.Fatalf("re-register with different priority: err=%v, want ErrDuplicateCoflow", err)
+	}
+}
+
 // TestEngineRejectsBadEvents: validation failures reject deterministically
 // and leave the live set untouched.
 func TestEngineRejectsBadEvents(t *testing.T) {

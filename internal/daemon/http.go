@@ -33,44 +33,47 @@ type Status struct {
 	Draining  bool    `json:"draining,omitempty"`
 }
 
-// statusEvent asks the apply loop for a consistent engine snapshot: reads
-// must serialize with applies, and the loop is the serialization point.
-// Status piggybacks on Submit with a zero-advance, which is cheap (advance to
-// the current clock credits nothing) and keeps the read path identical to the
-// write path under load — if applies are wedged, status reads fail readiness
-// rather than returning stale state. To stay deterministic it must not
-// perturb the WAL, so it bypasses Submit's queue only for the snapshot
-// fields, not for the engine itself.
-func (d *Daemon) status(ctx context.Context) (Status, error) {
-	req := request{ctx: ctx, reply: make(chan result, 1), ev: Event{Kind: kindStatus}}
+// read asks the apply loop for a consistent engine snapshot: reads must
+// serialize with applies, and the loop is the serialization point, so the
+// loop itself builds the reply — handlers never touch the Engine, whose maps
+// the loop may be mutating concurrently. Reads ride the intake queue, which
+// keeps the read path identical to the write path under load: if applies are
+// wedged, reads block and fail their deadline rather than returning torn
+// state. To stay deterministic a read never touches the WAL. A non-nil
+// coflow additionally requests that Coflow's view in the reply.
+func (d *Daemon) read(ctx context.Context, coflow *int) (result, error) {
+	req := request{ctx: ctx, reply: make(chan result, 1), ev: Event{Kind: kindStatus}, coflow: coflow}
 	select {
 	case d.intake <- req:
 	case <-ctx.Done():
-		return Status{}, ctx.Err()
+		return result{}, ctx.Err()
 	case <-d.doneCh:
-		return d.statusLocked(), nil
+		// The loop has exited; nothing mutates the Engine anymore.
+		return d.snapshot(coflow), nil
 	}
 	select {
 	case r := <-req.reply:
-		if r.err != nil {
-			return Status{}, r.err
-		}
-		st := d.statusLocked()
-		return st, nil
+		return r, r.err
 	case <-ctx.Done():
-		return Status{}, ctx.Err()
+		return result{}, ctx.Err()
 	}
 }
 
+// status is the GET /v1/status read.
+func (d *Daemon) status(ctx context.Context) (Status, error) {
+	r, err := d.read(ctx, nil)
+	return r.status, err
+}
+
 // kindStatus is an internal request kind that makes the apply loop answer
-// without touching the WAL or the Engine. It is never valid in the WAL.
+// without touching the WAL. It is never valid in the WAL.
 const kindStatus EventKind = "_status"
 
-// statusLocked reads the status fields; only call from the apply loop's
-// serialization (status) or after the loop has exited.
-func (d *Daemon) statusLocked() Status {
+// snapshot builds the read reply. Only the apply loop's goroutine may call
+// it — or anyone, once the loop has exited.
+func (d *Daemon) snapshot(coflow *int) result {
 	eng := d.store.Engine()
-	return Status{
+	res := result{status: Status{
 		Now:       eng.Now(),
 		Live:      eng.LiveCount(),
 		Done:      eng.DoneCount(),
@@ -79,7 +82,27 @@ func (d *Daemon) statusLocked() Status {
 		Replans:   eng.Replans(),
 		Recovered: d.store.Recovered(),
 		Draining:  d.draining.Load(),
+	}}
+	if coflow != nil {
+		res.view = d.coflowSnapshot(*coflow)
 	}
+	return res
+}
+
+// coflowSnapshot builds one Coflow's view, nil when the id is unknown. Same
+// calling rules as snapshot.
+func (d *Daemon) coflowSnapshot(id int) *coflowView {
+	eng := d.store.Engine()
+	if c, ok := eng.Completion(id); ok {
+		return &coflowView{Coflow: id, State: "done", Completion: &c}
+	}
+	for _, ls := range eng.Live() {
+		if ls.Coflow == id {
+			ls := ls
+			return &coflowView{Coflow: id, State: "live", Live: &ls}
+		}
+	}
+	return nil
 }
 
 // Routes returns the /v1 handlers for obshttp.Options.Routes.
@@ -165,23 +188,17 @@ func (d *Daemon) handleCoflow(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "coflow id must be an integer", http.StatusBadRequest)
 		return
 	}
-	// Serialize the read through the apply loop like status does.
-	if _, err := d.status(r.Context()); err != nil {
+	// The apply loop builds the view so the read cannot race an apply.
+	res, err := d.read(r.Context(), &id)
+	if err != nil {
 		writeError(w, err)
 		return
 	}
-	eng := d.store.Engine()
-	if c, ok := eng.Completion(id); ok {
-		writeJSON(w, http.StatusOK, coflowView{Coflow: id, State: "done", Completion: &c})
+	if res.view == nil {
+		http.Error(w, "unknown coflow", http.StatusNotFound)
 		return
 	}
-	for _, ls := range eng.Live() {
-		if ls.Coflow == id {
-			writeJSON(w, http.StatusOK, coflowView{Coflow: id, State: "live", Live: &ls})
-			return
-		}
-	}
-	http.Error(w, "unknown coflow", http.StatusNotFound)
+	writeJSON(w, http.StatusOK, res.view)
 }
 
 // handleStatus is GET /v1/status.

@@ -1,7 +1,9 @@
 package daemon
 
 import (
+	"bytes"
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
 	"os"
@@ -312,6 +314,121 @@ func TestWALTornTailTruncated(t *testing.T) {
 		}
 		os.Remove(filepath.Join(dir, snapshotName))
 	}
+}
+
+// TestStoreRewindsPartialAppend: a failed append that leaves partial garbage
+// at the WAL tail must not poison the record a retry appends after it — the
+// store rewinds to the last good offset first. Without the rewind, recovery
+// would truncate at the garbage and discard the retried record even though it
+// was fsynced and acknowledged.
+func TestStoreRewindsPartialAppend(t *testing.T) {
+	cfg := EngineConfig{Ports: 4, LinkBps: 1e9, Delta: 0.01}
+	dir := t.TempDir()
+	s, err := Open(dir, cfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Accept(Event{Kind: KindRegister, At: 0, Coflow: 1, Flows: []FlowSpec{{Src: 0, Dst: 1, Bytes: 1e6}}}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn append: partial bytes past the last good record, as a
+	// failed appendWALRecord would leave them, with the failure flagged.
+	if _, err := s.wal.Write([]byte("00000000 {\"kind\":\"regi")); err != nil {
+		t.Fatal(err)
+	}
+	s.dirty = true
+	// The retry must rewind before appending, not land after the garbage.
+	if _, _, err := s.Accept(Event{Kind: KindAdvance, At: 5}); err != nil {
+		t.Fatalf("accept after failed append: %v", err)
+	}
+	want := s.Engine().Digest()
+	s.Close()
+
+	rec, err := Open(dir, cfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rec.Recovered() != 2 {
+		t.Fatalf("recovered %d records, want 2 — the retried append was lost", rec.Recovered())
+	}
+	if got := rec.Engine().Digest(); got != want {
+		t.Fatalf("digest after recovery %s, want %s", got, want)
+	}
+}
+
+// TestStoreAcceptClassifiesWALFailures: append failures are walErrors
+// (nothing persisted or applied — safe to retry), while Engine rejections
+// after a durable append are not; retrying those would consume another WAL
+// record and mutate the Engine again.
+func TestStoreAcceptClassifiesWALFailures(t *testing.T) {
+	cfg := EngineConfig{Ports: 4, LinkBps: 1e9, Delta: 0.01}
+	s, err := Open(t.TempDir(), cfg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// A deterministic rejection past a durable append is not a WAL failure.
+	if _, _, err := s.Accept(Event{Kind: KindComplete, At: 0, Coflow: 9}); !errors.Is(err, ErrUnknownCoflow) || isWALError(err) {
+		t.Fatalf("rejection err=%v, want ErrUnknownCoflow and not a walError", err)
+	}
+	seq := s.LastSeq()
+	if seq != 1 {
+		t.Fatalf("rejection consumed seq %d, want 1 (still WAL-logged)", seq)
+	}
+	// Break the WAL handle: appends now fail, and must classify as walError
+	// without consuming a sequence number.
+	s.wal.Close()
+	_, _, err = s.Accept(Event{Kind: KindAdvance, At: 1})
+	if !isWALError(err) {
+		t.Fatalf("append failure err=%v, want a walError", err)
+	}
+	if s.LastSeq() != seq {
+		t.Fatalf("failed append consumed seq %d", s.LastSeq())
+	}
+	// The wrap survives fmt.Errorf chains like acceptWithRetry's give-up.
+	if !isWALError(fmt.Errorf("after retries: %w", err)) {
+		t.Fatal("walError lost through error wrapping")
+	}
+	s.wal = nil // already closed
+}
+
+// TestReadWALBoundedStopsAtOversizedRegion: a corrupt region exceeding the
+// record limit — with or without a newline — ends the scan at the last good
+// record instead of buffering the whole region.
+func TestReadWALBoundedStopsAtOversizedRegion(t *testing.T) {
+	dir := t.TempDir()
+	f, err := os.Create(filepath.Join(dir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n, err := appendWALRecord(f, Event{Seq: 1, Kind: KindAdvance, At: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbage := bytes.Repeat([]byte{'x'}, 1<<20) // newline-free
+	if _, err := f.Write(garbage); err != nil {
+		t.Fatal(err)
+	}
+	check := func(label string) {
+		t.Helper()
+		if _, err := f.Seek(0, 0); err != nil {
+			t.Fatal(err)
+		}
+		events, good, err := readWALBounded(f, 4096)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if len(events) != 1 || good != int64(n) {
+			t.Fatalf("%s: %d events, good=%d, want 1 event ending at %d", label, len(events), good, n)
+		}
+	}
+	check("newline-free garbage")
+	if _, err := f.Write([]byte{'\n'}); err != nil {
+		t.Fatal(err)
+	}
+	check("newline-terminated oversized line")
 }
 
 // TestInfFloatRoundTrip pins the snapshot encoding of the two infinities.

@@ -185,6 +185,7 @@ func (e *Engine) restoreState(st engineState) error {
 			arrival:       ls.Arrival,
 			priority:      ls.Priority,
 			spec:          append([]FlowSpec(nil), ls.Spec...),
+			specHash:      hashSpec(ls.Priority, ls.Spec),
 			rem:           make(map[fabric.FlowKey]float64, len(ls.Rem)),
 			flowFinish:    make(map[fabric.FlowKey]float64, len(ls.FlowFinish)),
 			finish:        float64(ls.Finish),

@@ -33,6 +33,16 @@ type Store struct {
 	wal *os.File
 	// seq is the last sequence number assigned.
 	seq uint64
+	// good is the WAL offset after the last fully appended record. A failed
+	// append rewinds the file here before any retry, so a retried record can
+	// never land after partial garbage from the failed attempt — recovery
+	// would truncate at the garbage and discard the retried record even
+	// though it was fsynced and acknowledged.
+	good int64
+	// dirty is set when a failed append may have left bytes past good and
+	// the rewind itself failed; Accept re-attempts the rewind before the next
+	// append.
+	dirty bool
 	// recovered counts WAL records replayed by Open.
 	recovered int
 
@@ -136,6 +146,7 @@ func Open(dir string, cfg EngineConfig, o *obs.Observer, m *obs.DaemonMetrics) (
 		return nil, fmt.Errorf("daemon: seek wal: %w", err)
 	}
 	s.wal = wal
+	s.good = goodBytes
 	if m != nil {
 		m.RecoveredEvents.Add(int64(s.recovered))
 	}
@@ -156,15 +167,27 @@ func (s *Store) Recovered() int { return s.recovered }
 // sequence number, append and fsync the record, then apply it to the Engine.
 // The returned event carries its assigned Seq. Apply rejections are returned
 // to the caller but the record stays in the WAL — rejection is deterministic,
-// so replay reproduces it.
+// so replay reproduces it. Append failures come back as a walError (nothing
+// persisted or applied, safe to retry); apply errors do not.
 func (s *Store) Accept(ev Event) (Event, bool, error) {
+	if s.dirty {
+		if err := s.rewind(); err != nil {
+			return ev, false, &walError{fmt.Errorf("daemon: rewind wal after failed append: %w", err)}
+		}
+	}
 	ev.Seq = s.seq + 1
 	n, err := appendWALRecord(s.wal, ev)
 	if err != nil {
-		// The append did not happen (or is not durable): do not apply. The
-		// sequence number is not consumed.
-		return ev, false, err
+		// The append did not happen (or is not durable): do not apply, and do
+		// not consume the sequence number. Rewind past any partially written
+		// bytes so a retry starts on a record boundary.
+		s.dirty = true
+		if rerr := s.rewind(); rerr != nil {
+			err = fmt.Errorf("%w (rewind also failed: %v)", err, rerr)
+		}
+		return ev, false, &walError{err}
 	}
+	s.good += int64(n)
 	s.seq = ev.Seq
 	if m := s.m; m != nil {
 		m.WALAppends.Inc()
@@ -172,6 +195,20 @@ func (s *Store) Accept(ev Event) (Event, bool, error) {
 	}
 	applied, err := s.eng.Apply(ev)
 	return ev, applied, err
+}
+
+// rewind truncates the WAL back to the last known-good record boundary and
+// restores the write offset there, discarding partial bytes a failed append
+// may have left.
+func (s *Store) rewind() error {
+	if err := s.wal.Truncate(s.good); err != nil {
+		return err
+	}
+	if _, err := s.wal.Seek(s.good, 0); err != nil {
+		return err
+	}
+	s.dirty = false
+	return nil
 }
 
 // Checkpoint writes an atomic snapshot of the Engine and rotates the WAL.
@@ -213,9 +250,13 @@ func (s *Store) Checkpoint() error {
 	if err := s.wal.Truncate(0); err != nil {
 		return fmt.Errorf("daemon: rotate wal: %w", err)
 	}
+	s.good = 0
 	if _, err := s.wal.Seek(0, 0); err != nil {
+		// Offset unknown; force a rewind before the next append.
+		s.dirty = true
 		return fmt.Errorf("daemon: rotate wal: %w", err)
 	}
+	s.dirty = false
 	if err := s.wal.Sync(); err != nil {
 		return fmt.Errorf("daemon: fsync rotated wal: %w", err)
 	}

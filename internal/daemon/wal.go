@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -28,9 +29,24 @@ import (
 // and arm64.
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
-// walRecordLimit bounds one record line (64 MiB) so a corrupt length cannot
-// make recovery buffer unbounded garbage.
+// walRecordLimit bounds one record line (64 MiB) so a corrupt newline-free
+// region cannot make recovery buffer unbounded garbage.
 const walRecordLimit = 64 << 20
+
+// walError marks a failed WAL append: the event is neither durable nor
+// applied, so re-submitting the same event is safe. Errors from Engine.Apply
+// after a durable append are never wrapped — the record is consumed, and a
+// retry would append and apply the event a second time.
+type walError struct{ err error }
+
+func (e *walError) Error() string { return e.err.Error() }
+func (e *walError) Unwrap() error { return e.err }
+
+// isWALError reports whether a WAL append failure is anywhere in err's chain.
+func isWALError(err error) bool {
+	var we *walError
+	return errors.As(err, &we)
+}
 
 // appendWALRecord frames, writes and fsyncs one event.
 func appendWALRecord(f *os.File, ev Event) (n int, err error) {
@@ -57,17 +73,37 @@ func appendWALRecord(f *os.File, ev Event) (n int, err error) {
 // sequential and fsynced, anything after the first bad byte was never
 // acknowledged.
 func readWAL(r io.Reader) (events []Event, goodBytes int64, err error) {
+	return readWALBounded(r, walRecordLimit)
+}
+
+// readWALBounded is readWAL with an explicit record-size bound. Lines are
+// accumulated in buffer-sized chunks and the scan aborts as soon as one
+// exceeds the limit, so a corrupt newline-free region buffers at most
+// limit + one buffer of garbage instead of the whole region.
+func readWALBounded(r io.Reader, limit int) (events []Event, goodBytes int64, err error) {
 	br := bufio.NewReaderSize(r, 1<<16)
+	var line []byte
 	for {
-		line, rerr := br.ReadBytes('\n')
-		if rerr == io.EOF {
-			// A bare tail without its newline is a torn final append.
-			return events, goodBytes, nil
+		line = line[:0]
+		for {
+			chunk, rerr := br.ReadSlice('\n')
+			line = append(line, chunk...)
+			if rerr == nil {
+				break
+			}
+			if rerr == io.EOF {
+				// A bare tail without its newline is a torn final append.
+				return events, goodBytes, nil
+			}
+			if rerr != bufio.ErrBufferFull {
+				return events, goodBytes, fmt.Errorf("daemon: read wal: %w", rerr)
+			}
+			if len(line) > limit {
+				// Oversized before any newline: damage, not a record.
+				return events, goodBytes, nil
+			}
 		}
-		if rerr != nil {
-			return events, goodBytes, fmt.Errorf("daemon: read wal: %w", rerr)
-		}
-		if len(line) > walRecordLimit {
+		if len(line) > limit {
 			return events, goodBytes, nil
 		}
 		ev, ok := parseWALLine(line[:len(line)-1])
