@@ -8,7 +8,7 @@ GO ?= go
 STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1.1
 GOVULNCHECK := golang.org/x/vuln/cmd/govulncheck@v1.1.4
 
-.PHONY: build test race lint static bench bench-ci bench-alloc bench-kernels bench-baseline trace-lint fault-lint profile-smoke fuzz matrix matrix-smoke daemon-smoke clean
+.PHONY: build test race lint static bench bench-ci bench-alloc bench-kernels bench-baseline scale-smoke scale-baseline trace-lint fault-lint profile-smoke fuzz matrix matrix-smoke daemon-smoke clean
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,31 @@ bench-kernels:
 # Refresh the committed baseline after an intentional performance change.
 bench-baseline:
 	$(GO) test -bench . -benchtime 1x -count 3 -benchmem -run '^$$' . | $(GO) run ./cmd/benchci -write-baseline BENCH_baseline.json
+
+# Million-Coflow scale gate (docs/SCALE.md): stream a 100k-Coflow trace to
+# disk with tracegen (constant resident memory), run it twice end-to-end
+# through the bounded-memory archive path under a peak-RSS budget, and
+# require the two order-independent archive digests to be byte-identical.
+# Then the SUNFLOW_SCALE benchmark runs once and benchci gates wall time,
+# allocs/op and peak RSS against the committed scale baseline. Each 100k
+# run takes ~5 minutes; override SCALE_COFLOWS for a quicker local loop
+# (the benchmark stays at 100k regardless). Same as the CI scale job.
+SCALE_COFLOWS ?= 100000
+SCALE_RSS_MB ?= 256
+scale-smoke:
+	$(GO) build -o bin/tracegen ./cmd/tracegen
+	$(GO) build -o bin/sunflow-scale ./cmd/sunflow-scale
+	bin/tracegen -ports 150 -coflows $(SCALE_COFLOWS) -horizon 684410.65 -seed 1 -o scale-trace.txt
+	bin/sunflow-scale -in scale-trace.txt -max-rss-mb $(SCALE_RSS_MB) -digest-out scale-digest-1.txt
+	bin/sunflow-scale -in scale-trace.txt -max-rss-mb $(SCALE_RSS_MB) -digest-out scale-digest-2.txt
+	cmp scale-digest-1.txt scale-digest-2.txt
+	@echo "scale-smoke: archive digest byte-identical across two runs"
+	SUNFLOW_SCALE=1 $(GO) test -bench SunflowInter_100k -benchtime 1x -benchmem -run '^$$' . | $(GO) run ./cmd/benchci -out BENCH_scale.json -baseline BENCH_scale_baseline.json -gate-rss -require-all
+
+# Refresh the committed scale baseline after an intentional change to the
+# streaming path's speed, allocations or memory footprint.
+scale-baseline:
+	SUNFLOW_SCALE=1 $(GO) test -bench SunflowInter_100k -benchtime 1x -benchmem -run '^$$' . | $(GO) run ./cmd/benchci -write-baseline BENCH_scale_baseline.json
 
 # Trace a fixed-seed run, check the docs/TRACE.md invariants, render the
 # HTML report. Same pipeline as the CI trace job.
@@ -117,4 +142,5 @@ daemon-smoke:
 clean:
 	rm -f BENCH_ci.json BENCH_alloc.json events.jsonl fault-events.jsonl report.html
 	rm -f profile-events.jsonl profile.svg
+	rm -f BENCH_scale.json scale-trace.txt scale-digest-1.txt scale-digest-2.txt
 	rm -rf matrix-out matrix-smoke-out matrix-smoke-rerun bin

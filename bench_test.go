@@ -10,6 +10,7 @@ package sunflow
 
 import (
 	"math/rand"
+	"os"
 	"testing"
 
 	"sunflow/internal/aalo"
@@ -19,8 +20,10 @@ import (
 	"sunflow/internal/fabric"
 	"sunflow/internal/matching"
 	"sunflow/internal/matrix"
+	"sunflow/internal/procstat"
 	"sunflow/internal/sim"
 	"sunflow/internal/solstice"
+	"sunflow/internal/trace"
 	"sunflow/internal/varys"
 )
 
@@ -218,6 +221,46 @@ func BenchmarkSunflowInter_Facebook150_Reference(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSunflowInter_100k is the scale gate: a 100k-Coflow workload at
+// the Facebook trace's arrival density, streamed straight from the generator
+// through the bounded-memory archive-mode simulator — no job slice, no
+// retained Result maps. Resident memory tracks peak concurrent Coflows, not
+// the trace length; the reported MB-rss and coflows/s feed the benchci
+// -gate-rss and throughput columns (run it alone for a meaningful RSS, as
+// make scale-smoke does). One iteration simulates for minutes, so the
+// benchmark only runs when SUNFLOW_SCALE=1 — the scale-bench CI job sets it;
+// the ordinary bench runs skip it.
+func BenchmarkSunflowInter_100k(b *testing.B) {
+	if os.Getenv("SUNFLOW_SCALE") == "" {
+		b.Skip("set SUNFLOW_SCALE=1 to run the multi-minute 100k-Coflow scale benchmark")
+	}
+	const n = 100_000
+	// Keep the paper trace's arrival density: the concurrency level — and
+	// with it the live set the memory bound tracks — stays at Facebook-trace
+	// scale while the total Coflow count grows 190×.
+	horizon := float64(n) / 526 * 3600
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := trace.Generator{Seed: 1, Coflows: n, HorizonSec: horizon}
+		var dig sim.ArchiveDigest
+		res, err := sim.RunCircuitSource(g.Stream().Coflows(), sim.CircuitOptions{
+			Ports:     150,
+			LinkBps:   1e9,
+			Delta:     0.01,
+			OnArchive: dig.Add,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if dig.Count() != n || res.Partial.Degraded() {
+			b.Fatalf("archived %d of %d coflows (degraded=%v)", dig.Count(), n, res.Partial.Degraded())
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "coflows/s")
+	b.ReportMetric(procstat.PeakRSSMB(), "MB-rss")
 }
 
 // benchPRTLoad describes a 1k-reservation table: sequential back-to-back

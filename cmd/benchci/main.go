@@ -8,7 +8,10 @@
 // any benchmark regressed by more than the tolerance. With -gate-allocs,
 // allocs/op (from b.ReportAllocs or -benchmem) is gated the same way against
 // its own tolerance — the zero-allocation scheduler hot path is a measured
-// property, so CI pins it.
+// property, so CI pins it. With -gate-rss, benchmarks reporting the MB-rss
+// scale metric (BenchmarkSunflowInter_100k) gate peak resident memory
+// against the baseline the same way, and their coflows/s throughput is
+// printed as an informational column.
 //
 // Usage:
 //
@@ -57,6 +60,13 @@ type Report struct {
 	// Allocs maps benchmark name to allocs/op, for benchmarks that report
 	// allocations (b.ReportAllocs or -benchmem).
 	Allocs map[string]float64 `json:"allocs,omitempty"`
+	// RSS maps benchmark name to peak resident memory in MB, for benchmarks
+	// that report the MB-rss scale metric. Gated by -gate-rss.
+	RSS map[string]float64 `json:"rss_mb,omitempty"`
+	// Throughput maps benchmark name to coflows/s, for benchmarks that
+	// report the scale throughput metric. Informational: the hard time gate
+	// stays with ns/op.
+	Throughput map[string]float64 `json:"coflows_per_sec,omitempty"`
 	// Metrics carries the per-scheduler counters of the CI configuration.
 	Metrics bench.CIMetrics `json:"metrics"`
 }
@@ -68,30 +78,32 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.25, "fail when ns/op exceeds baseline by more than this fraction")
 	gateAllocs := flag.Bool("gate-allocs", false, "also fail when allocs/op exceeds baseline by more than -alloc-tolerance")
 	allocTolerance := flag.Float64("alloc-tolerance", 0.10, "allocs/op regression tolerance for -gate-allocs")
+	gateRSS := flag.Bool("gate-rss", false, "also fail when a benchmark's MB-rss exceeds baseline by more than -rss-tolerance")
+	rssTolerance := flag.Float64("rss-tolerance", 0.25, "MB-rss regression tolerance for -gate-rss")
 	requireAll := flag.Bool("require-all", false, "fail when a benchmark in the baseline is missing from this run")
 	list := flag.Bool("list", false, "print the parsed benchmarks and exit without writing a report or gating")
 	history := flag.String("history", "", "append this run's benchmarks to the given JSONL history file and print per-benchmark deltas against the previous entry")
 	flag.Parse()
 
-	benches, allocs, mapping, err := parseBench(os.Stdin)
+	p, err := parseBench(os.Stdin)
 	if err != nil {
 		fatal(err)
 	}
-	if len(benches) == 0 {
+	if len(p.benches) == 0 {
 		fatal(fmt.Errorf("no benchmark lines on stdin (pipe `go test -bench . -benchtime 1x -run '^$'` into benchci)"))
 	}
 	// Name normalization is the part of the pipeline that silently breaks
 	// when machines disagree, so say what happened up front, once.
-	for _, raw := range sortedKeysOf(mapping) {
-		if norm := mapping[raw]; norm != raw {
+	for _, raw := range sortedKeysOf(p.mapping) {
+		if norm := p.mapping[raw]; norm != raw {
 			fmt.Printf("benchci: name %s -> %s\n", raw, norm)
 		} else {
 			fmt.Printf("benchci: name %s (unchanged)\n", raw)
 		}
 	}
 	if *list {
-		for _, name := range sortedKeys(benches) {
-			fmt.Printf("benchci: %-40s %12.0f ns/op\n", name, benches[name])
+		for _, name := range sortedKeys(p.benches) {
+			fmt.Printf("benchci: %-40s %12.0f ns/op\n", name, p.benches[name])
 		}
 		return
 	}
@@ -100,7 +112,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	report := Report{Benchmarks: benches, Allocs: allocs, Metrics: metrics}
+	report := Report{
+		Benchmarks: p.benches,
+		Allocs:     p.allocs,
+		RSS:        p.rss,
+		Throughput: p.throughput,
+		Metrics:    metrics,
+	}
 
 	path := *out
 	if *writeBaseline != "" {
@@ -109,7 +127,7 @@ func main() {
 	if err := writeReport(path, report); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("benchci: wrote %s (%d benchmarks)\n", path, len(benches))
+	fmt.Printf("benchci: wrote %s (%d benchmarks)\n", path, len(p.benches))
 	if *history != "" {
 		if err := appendHistory(os.Stdout, *history, report); err != nil {
 			fatal(err)
@@ -132,22 +150,40 @@ func main() {
 	if *gateAllocs {
 		failed = gateAllocRegressions(report, base, *allocTolerance) || failed
 	}
+	printThroughput(report, base)
+	if *gateRSS {
+		failed = gateRSSRegressions(report, base, *rssTolerance) || failed
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// parsed carries everything parseBench extracts from the benchmark stream.
+type parsed struct {
+	benches    map[string]float64
+	allocs     map[string]float64
+	rss        map[string]float64
+	throughput map[string]float64
+	mapping    map[string]string
 }
 
 // parseBench extracts "BenchmarkName-N  iters  12345 ns/op [... allocs/op]"
 // lines. A benchmark appearing several times (go test -count N) keeps its
 // fastest run: the minimum is the least noisy estimate of true cost, which is
 // what both the baseline and the gated measurement should record. Minimum is
-// right for allocs/op too — allocations are deterministic up to pool warmup,
-// and warm is the steady state worth gating. The third return value maps each
-// raw name to its normalized form.
-func parseBench(r io.Reader) (map[string]float64, map[string]float64, map[string]string, error) {
-	out := map[string]float64{}
-	allocs := map[string]float64{}
-	mapping := map[string]string{}
+// right for allocs/op and MB-rss too — allocations are deterministic up to
+// pool warmup, and the smallest high-water mark is the least noisy memory
+// estimate. Throughput (coflows/s) keeps the maximum, its least noisy side.
+// The mapping records how each raw name was normalized.
+func parseBench(r io.Reader) (parsed, error) {
+	p := parsed{
+		benches:    map[string]float64{},
+		allocs:     map[string]float64{},
+		rss:        map[string]float64{},
+		throughput: map[string]float64{},
+		mapping:    map[string]string{},
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -160,17 +196,27 @@ func parseBench(r io.Reader) (map[string]float64, map[string]float64, map[string
 			continue
 		}
 		name := stripProcs(f[0])
-		mapping[f[0]] = name
-		if prev, seen := out[name]; !seen || ns < prev {
-			out[name] = ns
+		p.mapping[f[0]] = name
+		if prev, seen := p.benches[name]; !seen || ns < prev {
+			p.benches[name] = ns
 		}
 		if ac, ok := unitValue(f, "allocs/op"); ok {
-			if prev, seen := allocs[name]; !seen || ac < prev {
-				allocs[name] = ac
+			if prev, seen := p.allocs[name]; !seen || ac < prev {
+				p.allocs[name] = ac
+			}
+		}
+		if mb, ok := unitValue(f, "MB-rss"); ok {
+			if prev, seen := p.rss[name]; !seen || mb < prev {
+				p.rss[name] = mb
+			}
+		}
+		if cps, ok := unitValue(f, "coflows/s"); ok {
+			if prev, seen := p.throughput[name]; !seen || cps > prev {
+				p.throughput[name] = cps
 			}
 		}
 	}
-	return out, allocs, mapping, sc.Err()
+	return p, sc.Err()
 }
 
 // unitValue returns the number preceding the given unit token in a benchmark
@@ -288,6 +334,53 @@ func gateAllocRegressions(cur, base Report, tol float64) bool {
 	return failed
 }
 
+// gateRSSRegressions mirrors the ns/op gate for peak resident memory: any
+// benchmark whose MB-rss grew beyond tol over the baseline fails the build —
+// the scale path's memory bound is a measured property, so CI pins it.
+// Benchmarks without RSS data on either side are skipped; a zero reading
+// (no procfs) is skipped with a note rather than gated against.
+func gateRSSRegressions(cur, base Report, tol float64) bool {
+	failed := false
+	for _, name := range sortedKeys(cur.RSS) {
+		mb := cur.RSS[name]
+		if mb == 0 {
+			fmt.Printf("benchci: %-40s MB-rss unavailable (no procfs); skipping the RSS gate\n", name)
+			continue
+		}
+		old, ok := base.RSS[name]
+		if !ok || old <= 0 {
+			fmt.Printf("benchci: %-40s %12.1f MB-rss (no baseline)\n", name, mb)
+			continue
+		}
+		ratio := mb / old
+		status := "ok"
+		if ratio > 1+tol {
+			status = fmt.Sprintf("RSS REGRESSION (>%.0f%%)", tol*100)
+			failed = true
+		}
+		fmt.Printf("benchci: %-40s %12.1f MB-rss    baseline %12.1f  ratio %.2f  %s\n", name, mb, old, ratio, status)
+	}
+	if failed {
+		fmt.Println("benchci: FAIL — peak-RSS regression above tolerance")
+	}
+	return failed
+}
+
+// printThroughput prints the coflows/s column against the baseline.
+// Informational only: wall time is already gated via ns/op, and throughput
+// is its reciprocal at fixed workload size.
+func printThroughput(cur, base Report) {
+	for _, name := range sortedKeys(cur.Throughput) {
+		cps := cur.Throughput[name]
+		if old, ok := base.Throughput[name]; ok && old > 0 {
+			fmt.Printf("benchci: %-40s %12.0f coflows/s  baseline %12.0f  %+.1f%%\n",
+				name, cps, old, (cps/old-1)*100)
+		} else {
+			fmt.Printf("benchci: %-40s %12.0f coflows/s (no baseline)\n", name, cps)
+		}
+	}
+}
+
 // historyEntry is one line of the -history JSONL file: a timestamped
 // snapshot of this run's benchmark numbers. Keeping every run (instead of
 // one rolling baseline) gives the repo a queryable performance trail —
@@ -296,6 +389,8 @@ type historyEntry struct {
 	Time       string             `json:"time"`
 	Benchmarks map[string]float64 `json:"benchmarks"`
 	Allocs     map[string]float64 `json:"allocs,omitempty"`
+	RSS        map[string]float64 `json:"rss_mb,omitempty"`
+	Throughput map[string]float64 `json:"coflows_per_sec,omitempty"`
 }
 
 // appendHistory prints each benchmark's delta against the file's last entry,
@@ -324,6 +419,8 @@ func appendHistory(w io.Writer, path string, r Report) error {
 		Time:       time.Now().UTC().Format(time.RFC3339),
 		Benchmarks: r.Benchmarks,
 		Allocs:     r.Allocs,
+		RSS:        r.RSS,
+		Throughput: r.Throughput,
 	}
 	data, err := json.Marshal(entry)
 	if err != nil {

@@ -13,10 +13,11 @@ BenchmarkIntraSchedule/n=4    	    5000	      2500 ns/op	 320 B/op	      12 allo
 BenchmarkIntraSchedule/n=4    	    5000	      2600 ns/op	 320 B/op	       9 allocs/op
 PASS
 `
-	benches, allocs, mapping, err := parseBench(strings.NewReader(in))
+	p, err := parseBench(strings.NewReader(in))
 	if err != nil {
 		t.Fatal(err)
 	}
+	benches, allocs, mapping := p.benches, p.allocs, p.mapping
 	if got := benches["BenchmarkFig8_InterAvgCCT"]; got != 100000000 {
 		t.Errorf("fastest run not kept: %v", got)
 	}
@@ -34,6 +35,40 @@ PASS
 	}
 	if mapping["BenchmarkIntraSchedule/n=4"] != "BenchmarkIntraSchedule/n=4" {
 		t.Errorf("suffix-free name must map to itself: %v", mapping)
+	}
+}
+
+func TestParseBenchScaleMetrics(t *testing.T) {
+	in := `goos: linux
+BenchmarkSunflowInter_100k-8   	       1	 274385888130 ns/op	        21.90 MB-rss	       364.5 coflows/s	56696035552 B/op	13354968 allocs/op
+BenchmarkSunflowInter_100k-8   	       1	 280000000000 ns/op	        25.00 MB-rss	       350.0 coflows/s	56696035552 B/op	13354968 allocs/op
+PASS
+`
+	p, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.rss["BenchmarkSunflowInter_100k"]; got != 21.90 {
+		t.Errorf("minimum MB-rss not kept: %v", got)
+	}
+	if got := p.throughput["BenchmarkSunflowInter_100k"]; got != 364.5 {
+		t.Errorf("maximum coflows/s not kept: %v", got)
+	}
+}
+
+func TestGateRSSRegressions(t *testing.T) {
+	base := Report{RSS: map[string]float64{"BenchmarkScale": 20}}
+	ok := Report{RSS: map[string]float64{"BenchmarkScale": 24, "BenchmarkNew": 50}}
+	if gateRSSRegressions(ok, base, 0.25) {
+		t.Error("within-tolerance growth and baseline-free benchmarks must pass")
+	}
+	bad := Report{RSS: map[string]float64{"BenchmarkScale": 30}}
+	if !gateRSSRegressions(bad, base, 0.25) {
+		t.Error("50% RSS growth must fail the 25% gate")
+	}
+	noProc := Report{RSS: map[string]float64{"BenchmarkScale": 0}}
+	if gateRSSRegressions(noProc, base, 0.25) {
+		t.Error("a zero reading (no procfs) must skip the gate, not fail it")
 	}
 }
 

@@ -1,10 +1,13 @@
 // Command tracegen emits a synthetic Coflow workload in the
 // coflow-benchmark text format, calibrated to the statistics of the
-// Facebook trace the Sunflow paper evaluates on.
+// Facebook trace the Sunflow paper evaluates on, or to the alternative
+// google/incast profiles. Jobs are generated and written one record at a
+// time, so emitting a million-Coflow trace needs constant resident memory.
 //
 // Usage:
 //
-//	tracegen [-ports 150] [-coflows 526] [-horizon 3600] [-maxwidth 40] [-seed 1] [-o trace.txt]
+//	tracegen [-ports 150] [-coflows 526] [-horizon 3600] [-maxwidth 40]
+//	         [-dist facebook|google|incast] [-seed 1] [-o trace.txt]
 package main
 
 import (
@@ -12,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"sunflow/internal/trace"
 )
@@ -21,18 +25,23 @@ func main() {
 	coflows := flag.Int("coflows", 526, "number of Coflows")
 	horizon := flag.Float64("horizon", 3600, "arrival span in seconds")
 	maxWidth := flag.Int("maxwidth", 60, "max shuffle fan-in/out")
+	dist := flag.String("dist", trace.DistFacebook,
+		"workload distribution: "+strings.Join(trace.KnownDists, ", "))
 	seed := flag.Int64("seed", 1, "generator seed")
 	out := flag.String("o", "-", "output file (- for stdout)")
 	flag.Parse()
 
+	if !trace.ValidDist(*dist) {
+		fatal(fmt.Errorf("unknown distribution %q (want one of %s)", *dist, strings.Join(trace.KnownDists, ", ")))
+	}
 	g := trace.Generator{
 		Ports:      *ports,
 		Coflows:    *coflows,
 		HorizonSec: *horizon,
 		MaxWidth:   *maxWidth,
 		Seed:       *seed,
+		Dist:       *dist,
 	}
-	nPorts, jobs := g.Jobs()
 
 	var w io.Writer = os.Stdout
 	if *out != "-" {
@@ -43,7 +52,21 @@ func main() {
 		defer f.Close()
 		w = f
 	}
-	if err := trace.WriteJobs(w, nPorts, jobs); err != nil {
+	st := g.Stream()
+	jw, err := trace.NewJobWriter(w, st.Ports(), st.Len())
+	if err != nil {
+		fatal(err)
+	}
+	for {
+		j, ok := st.Next()
+		if !ok {
+			break
+		}
+		if err := jw.Write(j); err != nil {
+			fatal(err)
+		}
+	}
+	if err := jw.Flush(); err != nil {
 		fatal(err)
 	}
 }

@@ -33,6 +33,10 @@ type Config struct {
 	// MaxWidth caps shuffle fan-in/out in the generated trace. Zero selects
 	// the generator default.
 	MaxWidth int
+	// Dist selects the workload distribution (trace.DistFacebook,
+	// trace.DistGoogle, trace.DistIncast). Empty selects the Facebook
+	// profile.
+	Dist string
 	// LinkBps is the default link bandwidth. Zero selects 1 Gbps (the
 	// trace's original setting).
 	LinkBps float64
@@ -86,6 +90,7 @@ func (c Config) Workload() []*coflow.Coflow {
 		Coflows:  c.Coflows,
 		MaxWidth: c.MaxWidth,
 		Seed:     c.Seed,
+		Dist:     c.Dist,
 	}.Trace()
 	return workload.Perturb(tr.Coflows, 0.05, workload.DefaultFloorBytes, c.Seed+1)
 }

@@ -407,6 +407,44 @@ func (m *Model) BoundariesAt(t float64) (down, up []Outage) {
 	return down, up
 }
 
+// RestrictPorts drops every outage on ports for which keep reports false and
+// rebuilds the boundary index, leaving per-port draws on the kept ports
+// untouched (outages, setup failures, degraded links and stragglers are all
+// counter-hashed per port or per pair, never globally). The sharded simulator
+// uses this to scope one compiled Model to a port-disjoint component: the
+// component then sees exactly the outage boundaries of its own ports, so
+// port_down events and counters are emitted once across the fleet instead of
+// once per component. Safe on nil (no-op).
+func (m *Model) RestrictPorts(keep func(port int) bool) {
+	if m == nil {
+		return
+	}
+	m.anyPerm = false
+	m.boundaries = m.boundaries[:0]
+	seen := map[float64]bool{}
+	for port := range m.outages {
+		if !keep(port) {
+			m.outages[port] = nil
+			m.permFrom[port] = math.Inf(1)
+			continue
+		}
+		for _, o := range m.outages[port] {
+			if o.Permanent() {
+				m.anyPerm = true
+			}
+			if !seen[o.Start] {
+				seen[o.Start] = true
+				m.boundaries = append(m.boundaries, o.Start)
+			}
+			if !o.Permanent() && !seen[o.End] {
+				seen[o.End] = true
+				m.boundaries = append(m.boundaries, o.End)
+			}
+		}
+	}
+	sort.Float64s(m.boundaries)
+}
+
 // RateFactor returns the rate multiplier for a flow of the Coflow on the
 // (src, dst) pair: the product of the link's degradation factor and the
 // flow's straggler factor, 1 when neither applies. The factor is constant

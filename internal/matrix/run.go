@@ -324,6 +324,7 @@ func runOne(spec Spec, cell Cell, rep int, st *span.Stack) (Rep, error) {
 		Ports:    cell.Ports,
 		Coflows:  cell.Workload.Coflows,
 		MaxWidth: cell.Workload.MaxWidth,
+		Dist:     cell.Workload.Dist,
 		LinkBps:  cell.LinkGbps * bench.Gbps,
 		Delta:    cell.DeltaMs / 1e3,
 		Workers:  -1, // the matrix pool parallelizes across runs, not inside them

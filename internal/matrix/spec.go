@@ -22,6 +22,8 @@ import (
 	"os"
 	"sort"
 	"strings"
+
+	"sunflow/internal/trace"
 )
 
 // Schedulers the engine knows how to run. "varys" is the packet-switched
@@ -43,6 +45,9 @@ type WorkloadAxis struct {
 	Coflows int `json:"coflows,omitempty"`
 	// MaxWidth caps shuffle fan-in/out. Zero selects the generator default.
 	MaxWidth int `json:"max_width,omitempty"`
+	// Dist selects the workload distribution: "facebook" (the default),
+	// "google", or "incast" (see trace.KnownDists).
+	Dist string `json:"dist,omitempty"`
 }
 
 // Spec declares one experiment matrix. Unset axes collapse to a single
@@ -235,6 +240,10 @@ func (s Spec) Validate() error {
 	for _, w := range s.Workloads {
 		if w.Coflows < 0 || w.MaxWidth < 0 {
 			return fmt.Errorf("matrix: spec %q: workload %q has negative size", s.Name, w.Name)
+		}
+		if !trace.ValidDist(w.Dist) {
+			return fmt.Errorf("matrix: spec %q: workload %q has unknown distribution %q (want one of %s)",
+				s.Name, w.Name, w.Dist, strings.Join(trace.KnownDists, ", "))
 		}
 		if seenWl[w.Name] {
 			return fmt.Errorf("matrix: spec %q: duplicate workload name %q would expand into duplicate cells", s.Name, w.Name)

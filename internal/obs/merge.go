@@ -1,0 +1,86 @@
+package obs
+
+import "math"
+
+// merge folds another histogram's observations into h: counts, sums and
+// buckets add, the max raises. Used by Registry.Merge.
+func (h *Histogram) merge(from *Histogram) {
+	if h == nil || from == nil {
+		return
+	}
+	h.count.Add(from.count.Load())
+	h.sum.Add(from.sum.Load())
+	for i := range h.buckets {
+		if n := from.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	m := from.Max()
+	for {
+		old := h.maxBits.Load()
+		if m <= math.Float64frombits(old) || h.maxBits.CompareAndSwap(old, math.Float64bits(m)) {
+			return
+		}
+	}
+}
+
+// Merge folds every metric registered in from into the same-named metric of
+// r, creating metrics r has not seen yet. Counters and float counters add,
+// histograms merge bucket-by-bucket, per-port vectors add index-by-index, and
+// gauges adopt from's last value while raising the high-water mark to cover
+// from's peak. Metrics are folded in from's registration order, so merging
+// the same registries in the same order always produces the same result —
+// the property the sharded simulator relies on to keep metric snapshots
+// deterministic across worker counts.
+func (r *Registry) Merge(from *Registry) {
+	if r == nil || from == nil {
+		return
+	}
+	from.mu.Lock()
+	names := append([]string(nil), from.names...)
+	metrics := make(map[string]any, len(names))
+	for _, n := range names {
+		metrics[n] = from.metrics[n]
+	}
+	from.mu.Unlock()
+
+	for _, name := range names {
+		switch m := metrics[name].(type) {
+		case *Counter:
+			r.Counter(name).Add(m.Load())
+		case *FloatCounter:
+			r.FloatCounter(name).Add(m.Load())
+		case *Gauge:
+			dst := r.Gauge(name)
+			dst.Set(m.High())
+			dst.Set(m.Load())
+		case *Histogram:
+			r.Histogram(name).merge(m)
+		case *FloatVec:
+			dst := r.FloatVec(name)
+			for i := 0; i < m.Len(); i++ {
+				dst.Add(i, m.At(i))
+			}
+		}
+	}
+}
+
+// Detached returns an Observer carrying the same scope prefix as o over a
+// fresh private Registry. When o records trace events, the detached observer
+// records them into the returned SliceSink (nil otherwise). A concurrent
+// subproblem — e.g. one port-disjoint shard of a simulation — runs against
+// the detached observer, and the caller folds the instrumentation back
+// afterwards in a deterministic order: Registry().Merge for the metrics, a
+// replay of the SliceSink's events into o.Sink() for the trace.
+func (o *Observer) Detached() (*Observer, *SliceSink) {
+	if o == nil {
+		return nil, nil
+	}
+	var buf *SliceSink
+	var sink Sink
+	if o.sink != nil {
+		buf = &SliceSink{}
+		sink = buf
+	}
+	return newScoped(NewRegistry(), sink, o.prefix), buf
+}

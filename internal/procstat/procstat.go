@@ -1,0 +1,33 @@
+// Package procstat reads process self-statistics used by the scale gates.
+package procstat
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+// PeakRSSMB returns the process's high-water resident set size in megabytes,
+// read from /proc/self/status (VmHWM). On platforms without procfs it
+// returns 0, and callers should skip RSS budgeting.
+func PeakRSSMB() float64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseFloat(f[1], 64)
+		if err != nil {
+			return 0
+		}
+		return kb / 1024
+	}
+	return 0
+}

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+)
+
+// Archived is the compact record a retired Coflow leaves behind when the
+// simulator runs in archive mode (CircuitOptions.OnArchive). It carries
+// exactly what the Result maps would have recorded — completion time, CCT
+// and circuit establishments — plus the demand the Coflow delivered, in a
+// fixed-size struct so a 10⁶-coflow run can stream records to disk (or fold
+// them into a digest) instead of holding three growing maps. Stranded
+// Coflows never archive: they retire into Result.Partial as always.
+type Archived struct {
+	// ID is the Coflow id.
+	ID int
+	// Arrival is the Coflow's arrival time in seconds.
+	Arrival float64
+	// Finish is the absolute completion time (Result.Finish).
+	Finish float64
+	// CCT is Finish − Arrival (Result.CCT).
+	CCT float64
+	// Bytes is the total demand the Coflow carried.
+	Bytes float64
+	// Switches is the number of circuit establishments made on the Coflow's
+	// behalf (Result.SwitchCount).
+	Switches int
+}
+
+// ArchiveDigest folds Archived records into an order-independent fingerprint:
+// each record hashes to SHA-256 of its canonical binary encoding and the
+// digest XORs the per-record hashes together. Two runs archived the same
+// Coflows with bit-identical results if and only if their digests and counts
+// match, regardless of retirement order — which is what lets the sharded
+// runner and the scale smoke test compare runs without retaining records.
+//
+// The zero value is ready to use. Not safe for concurrent use.
+type ArchiveDigest struct {
+	acc [sha256.Size]byte
+	n   int
+}
+
+// Add folds one record into the digest.
+func (d *ArchiveDigest) Add(a Archived) {
+	var buf [48]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(int64(a.ID)))
+	binary.LittleEndian.PutUint64(buf[8:], math.Float64bits(a.Arrival))
+	binary.LittleEndian.PutUint64(buf[16:], math.Float64bits(a.Finish))
+	binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(a.CCT))
+	binary.LittleEndian.PutUint64(buf[32:], math.Float64bits(a.Bytes))
+	binary.LittleEndian.PutUint64(buf[40:], uint64(int64(a.Switches)))
+	h := sha256.Sum256(buf[:])
+	for i := range d.acc {
+		d.acc[i] ^= h[i]
+	}
+	d.n++
+}
+
+// Count returns the number of records folded in.
+func (d *ArchiveDigest) Count() int { return d.n }
+
+// Sum returns the digest as "<count>:<hex>". Two digests compare equal
+// exactly when the same multiset of records was folded into each (up to
+// SHA-256 collisions and XOR-cancelling duplicates, neither of which occurs
+// for the unique-id record streams the simulator produces).
+func (d *ArchiveDigest) Sum() string {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(int64(d.n)))
+	return hex.EncodeToString(n[:]) + ":" + hex.EncodeToString(d.acc[:])
+}

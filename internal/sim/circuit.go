@@ -50,6 +50,22 @@ type CircuitOptions struct {
 	// degraded link rates. Nil — or a plan whose IsZero reports true — leaves
 	// the simulation bit-identical to the fault-free baseline.
 	Faults *fault.Plan
+	// OnArchive, when non-nil, switches the simulator into bounded-memory
+	// archive mode: each Coflow that completes is handed to the callback as a
+	// compact Archived record and the Result maps (CCT, Finish, SwitchCount)
+	// stay empty, so resident memory tracks the peak number of concurrent
+	// Coflows instead of the trace length. Records arrive in retirement
+	// order (finish instant, ties by id). Stranded Coflows still retire into
+	// Result.Partial, never through the callback. The callback runs on the
+	// simulation goroutine and must not retain the record's address.
+	OnArchive func(Archived)
+
+	// faultModel, when set, overrides the Faults plan with a pre-compiled —
+	// and possibly port-restricted — model. Only the sharded runner sets it,
+	// to give each port-disjoint component a private Model scoped to its own
+	// ports (the Model's setup-attempt counters are mutable, so it can never
+	// be shared across concurrently running components).
+	faultModel *fault.Model
 }
 
 // ErrReplan wraps a scheduler failure during an online reschedule. It used to
@@ -65,28 +81,54 @@ var ErrReplan = errors.New("sim: replan failed")
 // begun are discarded and replanned against the remaining demand of all
 // live Coflows in priority order.
 func RunCircuit(coflows []*coflow.Coflow, opts CircuitOptions) (Result, error) {
-	sp := opts.Prof.Start("sim.run").Attr("sim", "circuit")
-	defer sp.Finish()
-	res := Result{CCT: map[int]float64{}, Finish: map[int]float64{}, SwitchCount: map[int]int{}}
+	if err := checkCircuitOptions(opts); err != nil {
+		return newResult(), err
+	}
+	arrivalsOrder, _, err := prepare(coflows, opts.Ports)
+	if err != nil {
+		return newResult(), err
+	}
+	return runCircuit(&sliceSource{cs: arrivalsOrder}, opts, false)
+}
+
+// checkCircuitOptions rejects unusable options before any simulation state is
+// built, preserving the historical error precedence of RunCircuit (a bad link
+// rate reports before a bad workload).
+func checkCircuitOptions(opts CircuitOptions) error {
 	if opts.LinkBps <= 0 {
-		return res, fmt.Errorf("sim: link bandwidth must be positive, got %v", opts.LinkBps)
+		return fmt.Errorf("sim: link bandwidth must be positive, got %v", opts.LinkBps)
 	}
 	if opts.Fair != nil {
-		if err := opts.Fair.Validate(opts.Delta); err != nil {
-			return res, err
-		}
+		return opts.Fair.Validate(opts.Delta)
+	}
+	return nil
+}
+
+func newResult() Result {
+	return Result{CCT: map[int]float64{}, Finish: map[int]float64{}, SwitchCount: map[int]int{}}
+}
+
+// runCircuit is the shared event loop behind RunCircuit (pre-validated slice,
+// checkDups false) and RunCircuitSource (lazy validation, checkDups true).
+// The loop holds at most one unadmitted Coflow from src at a time.
+func runCircuit(src Source, opts CircuitOptions, checkDups bool) (Result, error) {
+	sp := opts.Prof.Start("sim.run").Attr("sim", "circuit")
+	defer sp.Finish()
+	res := newResult()
+	if err := checkCircuitOptions(opts); err != nil {
+		return res, err
 	}
 	policy := opts.Policy
 	if policy == nil {
 		policy = core.ShortestFirst{LinkBps: opts.LinkBps}
 	}
-	arrivalsOrder, _, err := prepare(coflows, opts.Ports)
-	if err != nil {
-		return res, err
-	}
-	fm, err := opts.Faults.Compile(opts.Ports)
-	if err != nil {
-		return res, fmt.Errorf("sim: %w", err)
+	fm := opts.faultModel
+	if fm == nil {
+		var err error
+		fm, err = opts.Faults.Compile(opts.Ports)
+		if err != nil {
+			return res, fmt.Errorf("sim: %w", err)
+		}
 	}
 
 	s := &circuitState{
@@ -94,7 +136,8 @@ func RunCircuit(coflows []*coflow.Coflow, opts CircuitOptions) (Result, error) {
 		policy:      policy,
 		res:         &res,
 		live:        map[int]*liveCoflow{},
-		pending:     arrivalsOrder,
+		src:         src,
+		checkDups:   checkDups,
 		faults:      fm,
 		faultCursor: math.Inf(-1),
 		prt:         core.NewPRT(opts.Ports),
@@ -104,8 +147,12 @@ func RunCircuit(coflows []*coflow.Coflow, opts CircuitOptions) (Result, error) {
 	}
 
 	t := 0.0
-	if len(arrivalsOrder) > 0 {
-		t = arrivalsOrder[0].Arrival
+	c0, err := s.peek()
+	if err != nil {
+		return res, err
+	}
+	if c0 != nil {
+		t = c0.Arrival
 	}
 	if fm != nil {
 		if o := opts.Obs; o.TraceEnabled() {
@@ -113,7 +160,9 @@ func RunCircuit(coflows []*coflow.Coflow, opts CircuitOptions) (Result, error) {
 		}
 		s.syncFaults(t)
 	}
-	s.admit(t)
+	if err := s.admit(t); err != nil {
+		return res, err
+	}
 	if fm != nil {
 		s.quarantine(t)
 		s.retire(t)
@@ -130,15 +179,21 @@ func RunCircuit(coflows []*coflow.Coflow, opts CircuitOptions) (Result, error) {
 		res.Events = ev
 
 		if len(s.live) == 0 {
-			if len(s.pending) == 0 {
+			nxt, err := s.peek()
+			if err != nil {
+				return res, err
+			}
+			if nxt == nil {
 				s.closeTrace(tPrev)
 				return res, nil
 			}
-			tPrev = s.pending[0].Arrival
+			tPrev = nxt.Arrival
 			if fm != nil {
 				s.syncFaults(tPrev)
 			}
-			s.admit(tPrev)
+			if err := s.admit(tPrev); err != nil {
+				return res, err
+			}
 			if fm != nil {
 				s.quarantine(tPrev)
 				s.retire(tPrev)
@@ -153,8 +208,12 @@ func RunCircuit(coflows []*coflow.Coflow, opts CircuitOptions) (Result, error) {
 		// boundary (fair service is not part of the plan, so demand must be
 		// re-credited and the plan refreshed there), or a port-outage edge.
 		te := math.Inf(1)
-		if len(s.pending) > 0 {
-			te = s.pending[0].Arrival
+		nxt, err := s.peek()
+		if err != nil {
+			return res, err
+		}
+		if nxt != nil {
+			te = nxt.Arrival
 		}
 		for _, lc := range s.live {
 			te = math.Min(te, lc.finish)
@@ -176,7 +235,9 @@ func RunCircuit(coflows []*coflow.Coflow, opts CircuitOptions) (Result, error) {
 			s.quarantine(te)
 		}
 		s.retire(te)
-		s.admit(te)
+		if err := s.admit(te); err != nil {
+			return res, err
+		}
 		if fm != nil {
 			s.quarantine(te)
 			s.retire(te)
@@ -206,15 +267,31 @@ type liveCoflow struct {
 	// stranded marks a Coflow that lost at least one flow to a permanent
 	// port failure: it retires into the PartialResult, never into CCT.
 	stranded bool
+	// bytes is the Coflow's total positive demand at admission, reported in
+	// the archive record when OnArchive mode is on.
+	bytes float64
+	// switches counts circuit establishments made on this Coflow's behalf —
+	// the per-Coflow view of Result.SwitchCount, kept live so archive mode
+	// can retire it without the map.
+	switches int
 }
 
 // circuitState is the mutable simulation state.
 type circuitState struct {
-	opts    CircuitOptions
-	policy  core.Policy
-	res     *Result
-	live    map[int]*liveCoflow
-	pending []*coflow.Coflow
+	opts   CircuitOptions
+	policy core.Policy
+	res    *Result
+	live   map[int]*liveCoflow
+	// src streams the not-yet-admitted workload in (Arrival, ID) order; next
+	// is the single-Coflow lookahead and srcDone marks exhaustion. Holding
+	// one record instead of the whole pending slice is what bounds resident
+	// memory on streamed runs.
+	src     Source
+	next    *coflow.Coflow
+	srcDone bool
+	// checkDups enables admission-time duplicate-id detection on the
+	// streamed path (the slice path already rejected duplicates in prepare).
+	checkDups bool
 	// plan holds all reservations not yet fully credited: circuits in
 	// flight plus the planned future.
 	plan []core.Reservation
@@ -229,20 +306,63 @@ type circuitState struct {
 	prt *core.PRT
 }
 
+// peek returns the next unadmitted Coflow without consuming it, pulling at
+// most one record from the source. Source errors (read failures, invalid or
+// out-of-order Coflows on the streamed path) surface here, at the simulated
+// instant the record is first needed.
+func (s *circuitState) peek() (*coflow.Coflow, error) {
+	if s.next == nil && !s.srcDone {
+		c, err := s.src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if c == nil {
+			s.srcDone = true
+		} else {
+			s.next = c
+		}
+	}
+	return s.next, nil
+}
+
 // admit moves Coflows arriving at or before now into the live set.
-func (s *circuitState) admit(now float64) {
-	for len(s.pending) > 0 && s.pending[0].Arrival <= now+timeEps {
-		c := s.pending[0]
-		s.pending = s.pending[1:]
+func (s *circuitState) admit(now float64) error {
+	for {
+		c, err := s.peek()
+		if err != nil {
+			return err
+		}
+		if c == nil || c.Arrival > now+timeEps {
+			return nil
+		}
+		s.next = nil
+		if s.checkDups {
+			// The ordered-source contract catches equal-arrival duplicates;
+			// this catches a duplicate arriving while its twin is live or
+			// already retained in the Result maps. In OnArchive mode a
+			// duplicate arriving after its twin retired is the caller's
+			// contract to prevent (nothing is retained to detect it against).
+			_, inFinish := s.res.Finish[c.ID]
+			_, inCCT := s.res.CCT[c.ID]
+			if s.live[c.ID] != nil || inFinish || inCCT {
+				return fmt.Errorf("sim: duplicate coflow id %d", c.ID)
+			}
+		}
 		rem := make(map[fabric.FlowKey]float64, len(c.Flows))
+		total := 0.0
 		for _, f := range c.Flows {
 			if f.Bytes > 0 {
 				rem[fabric.FlowKey{Src: f.Src, Dst: f.Dst}] += f.Bytes
+				total += f.Bytes
 			}
 		}
 		if len(rem) == 0 {
-			s.res.CCT[c.ID] = 0
-			s.res.Finish[c.ID] = c.Arrival
+			if cb := s.opts.OnArchive; cb != nil {
+				cb(Archived{ID: c.ID, Arrival: c.Arrival, Finish: c.Arrival})
+			} else {
+				s.res.CCT[c.ID] = 0
+				s.res.Finish[c.ID] = c.Arrival
+			}
 			continue
 		}
 		lc := &liveCoflow{
@@ -250,6 +370,7 @@ func (s *circuitState) admit(now float64) {
 			rem:        rem,
 			finish:     math.Inf(1),
 			flowFinish: make(map[fabric.FlowKey]float64, len(rem)),
+			bytes:      total,
 		}
 		if o := s.opts.Obs; o != nil {
 			o.CoflowsAdmitted.Inc()
@@ -281,8 +402,14 @@ func (s *circuitState) credit(from, to float64) {
 	o := s.opts.Obs
 	for idx := range s.plan {
 		r := &s.plan[idx]
+		lc := s.live[r.CoflowID]
 		if r.Start >= from-timeEps && r.Start < to-timeEps {
-			s.res.SwitchCount[r.CoflowID]++
+			if s.opts.OnArchive == nil {
+				s.res.SwitchCount[r.CoflowID]++
+			}
+			if lc != nil {
+				lc.switches++
+			}
 			var retries []float64
 			delta := r.Setup
 			if s.faults != nil {
@@ -308,7 +435,6 @@ func (s *circuitState) credit(from, to float64) {
 		if o.TraceEnabled() && r.End > from+timeEps && r.End <= to+timeEps {
 			o.Emit(obs.Event{T: r.End, Kind: obs.KindCircuitDown, Coflow: r.CoflowID, Src: r.In, Dst: r.Out})
 		}
-		lc := s.live[r.CoflowID]
 		if lc == nil {
 			continue
 		}
@@ -498,8 +624,19 @@ func (s *circuitState) retire(now float64) {
 			delete(s.live, id)
 			continue
 		}
-		s.res.Finish[id] = finish
-		s.res.CCT[id] = finish - lc.c.Arrival
+		if cb := s.opts.OnArchive; cb != nil {
+			cb(Archived{
+				ID:       id,
+				Arrival:  lc.c.Arrival,
+				Finish:   finish,
+				CCT:      finish - lc.c.Arrival,
+				Bytes:    lc.bytes,
+				Switches: lc.switches,
+			})
+		} else {
+			s.res.Finish[id] = finish
+			s.res.CCT[id] = finish - lc.c.Arrival
+		}
 		delete(s.live, id)
 		if o := s.opts.Obs; o != nil {
 			o.CoflowsCompleted.Inc()

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sunflow/internal/coflow"
+)
+
+// Source streams Coflows into the circuit simulator in nondecreasing
+// (Arrival, ID) order — the order prepare establishes for the in-memory
+// path. Next returns the next Coflow, or (nil, nil) at end of stream. A
+// Source is pulled lazily: the simulator holds at most one unadmitted
+// Coflow, so a streaming Source keeps resident memory proportional to the
+// number of concurrently live Coflows rather than the trace length.
+type Source interface {
+	Next() (*coflow.Coflow, error)
+}
+
+// sliceSource yields an already-validated, already-sorted slice — the
+// adapter RunCircuit wraps around prepare's output. It performs no checks of
+// its own, keeping the slice path bit-identical to the historical one.
+type sliceSource struct {
+	cs []*coflow.Coflow
+	i  int
+}
+
+func (s *sliceSource) Next() (*coflow.Coflow, error) {
+	if s.i >= len(s.cs) {
+		return nil, nil
+	}
+	c := s.cs[s.i]
+	s.i++
+	return c, nil
+}
+
+// SliceSource returns a Source over an in-memory workload, copying and
+// stable-sorting it by (Arrival, ID) so any slice can feed
+// RunCircuitSource. Validation happens lazily inside the simulator, exactly
+// as for any other Source.
+func SliceSource(coflows []*coflow.Coflow) Source {
+	order := append([]*coflow.Coflow(nil), coflows...)
+	sort.SliceStable(order, func(a, b int) bool {
+		if order[a].Arrival != order[b].Arrival {
+			return order[a].Arrival < order[b].Arrival
+		}
+		return order[a].ID < order[b].ID
+	})
+	return &sliceSource{cs: order}
+}
+
+// RunCircuitSource simulates a streamed workload on the Sunflow-scheduled
+// optical circuit switch. It is the bounded-memory counterpart of
+// RunCircuit: Coflows are pulled from src one at a time as simulated time
+// reaches them, validated on admission, and — when Opts.OnArchive is set —
+// retired into compact archive records instead of the Result maps, so
+// resident state tracks the peak number of concurrent Coflows, not the
+// trace length.
+//
+// src must yield Coflows in nondecreasing (Arrival, ID) order; out-of-order
+// delivery and invalid Coflows surface as errors when simulated time reaches
+// them, not upfront. Duplicate ids are detected while the first copy is
+// still live or retained in the Result maps; in OnArchive mode a duplicate
+// arriving after its twin retired is the caller's contract to prevent.
+func RunCircuitSource(src Source, opts CircuitOptions) (Result, error) {
+	return runCircuit(&checkedSource{src: src, ports: opts.Ports}, opts, true)
+}
+
+// checkedSource wraps an untrusted Source with the validation prepare does
+// upfront on the slice path: per-Coflow Validate plus the (Arrival, ID)
+// ordering contract. Equal-arrival duplicates violate the strict ID order
+// and are caught here; other duplicates are caught at admission against the
+// live set and retained results.
+type checkedSource struct {
+	src     Source
+	ports   int
+	started bool
+	lastArr float64
+	lastID  int
+}
+
+func (s *checkedSource) Next() (*coflow.Coflow, error) {
+	c, err := s.src.Next()
+	if err != nil || c == nil {
+		return nil, err
+	}
+	if err := c.Validate(s.ports); err != nil {
+		return nil, err
+	}
+	if math.IsNaN(c.Arrival) {
+		return nil, fmt.Errorf("sim: coflow %d has NaN arrival", c.ID)
+	}
+	if s.started {
+		if c.Arrival < s.lastArr || (c.Arrival == s.lastArr && c.ID <= s.lastID) {
+			return nil, fmt.Errorf("sim: source out of order: coflow %d (arrival %v) after coflow %d (arrival %v)",
+				c.ID, c.Arrival, s.lastID, s.lastArr)
+		}
+	}
+	s.started = true
+	s.lastArr, s.lastID = c.Arrival, c.ID
+	return c, nil
+}

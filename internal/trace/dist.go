@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Workload distributions the Generator can synthesize. The Facebook profile
+// is the paper's evaluation workload; the other two add the scenario
+// diversity ROADMAP item 4 asks for at 10⁵–10⁶-Coflow scale.
+const (
+	// DistFacebook is the default: the Facebook Hive/MapReduce trace
+	// statistics of §5.1 and Table 4.
+	DistFacebook = "facebook"
+	// DistGoogle is a Google-cluster-derived mixture: the coflow literature
+	// characterizes Google RPC/analytics traffic as dominated by small
+	// latency-bound transfers with log-normal shuffle widths and a thin
+	// population of very wide batch jobs carrying most bytes.
+	DistGoogle = "google"
+	// DistIncast is an incast/all-to-all-heavy profile: aggregation fan-ins
+	// (many mappers into one reducer) and square all-to-all exchanges, the
+	// two structures that stress a circuit fabric's ports hardest per byte.
+	DistIncast = "incast"
+)
+
+// KnownDists lists the accepted Generator.Dist values.
+var KnownDists = []string{DistFacebook, DistGoogle, DistIncast}
+
+// ValidDist reports whether name is a distribution the Generator knows;
+// the empty string selects the default (Facebook) profile.
+func ValidDist(name string) bool {
+	if name == "" {
+		return true
+	}
+	for _, d := range KnownDists {
+		if name == d {
+			return true
+		}
+	}
+	return false
+}
+
+// genGoogleJob draws one job from the Google-style mixture: 55% small RPC
+// transfers, 30% log-normal-width shuffles, 15% wide batch jobs with a
+// Pareto byte tail.
+func (g Generator) genGoogleJob(rng *rand.Rand, id int, arrivalMillis int64) Job {
+	j := Job{ID: id, ArrivalMillis: arrivalMillis}
+	u := rng.Float64()
+	switch {
+	case u < 0.55: // RPC-like: one flow, a few MB
+		j.Mappers = g.pickPorts(rng, 1)
+		j.Reducers = g.pickPorts(rng, 1)
+		j.ReducerMB = []float64{math.Max(1, math.Round(math.Exp(rng.NormFloat64()*0.8)))}
+	case u < 0.85: // shuffle: log-normal fan on both sides
+		nm := logNormalWidth(rng, 1.1, 0.9, g.MaxWidth)
+		nr := logNormalWidth(rng, 1.1, 0.9, g.MaxWidth)
+		j.Mappers = g.pickPorts(rng, nm)
+		j.Reducers = g.pickPorts(rng, nr)
+		nm = len(j.Mappers)
+		j.ReducerMB = make([]float64, len(j.Reducers))
+		for k := range j.ReducerMB {
+			mb := math.Exp(rng.NormFloat64()*1.2 + 2.5)
+			j.ReducerMB[k] = math.Max(float64(nm), math.Round(mb))
+		}
+	default: // batch: wide, heavy Pareto tail carries most bytes
+		nm := logNormalWidth(rng, 2.3, 0.6, g.MaxWidth)
+		nr := logNormalWidth(rng, 2.3, 0.6, g.MaxWidth)
+		j.Mappers = g.pickPorts(rng, nm)
+		j.Reducers = g.pickPorts(rng, nr)
+		nm, nr = len(j.Mappers), len(j.Reducers)
+		totalMB := math.Min(pareto(rng, 1.2, 1000), 1e6)
+		base := totalMB / float64(nr)
+		j.ReducerMB = make([]float64, nr)
+		for k := range j.ReducerMB {
+			skew := math.Exp(rng.NormFloat64() * 0.5)
+			j.ReducerMB[k] = math.Max(math.Round(base*skew), float64(nm))
+		}
+	}
+	return j
+}
+
+// genIncastJob draws one job from the incast/all-to-all-heavy profile: 50%
+// aggregation fan-ins, 30% square all-to-all exchanges, 20% small
+// point-to-point control flows.
+func (g Generator) genIncastJob(rng *rand.Rand, id int, arrivalMillis int64) Job {
+	j := Job{ID: id, ArrivalMillis: arrivalMillis}
+	u := rng.Float64()
+	switch {
+	case u < 0.5: // incast: many senders converge on one receiver
+		nm := clampWidth(4+rng.Intn(g.MaxWidth), g.MaxWidth)
+		j.Mappers = g.pickPorts(rng, nm)
+		j.Reducers = g.pickPorts(rng, 1)
+		nm = len(j.Mappers)
+		// Per-sender contribution is modest; the receiver port is the
+		// bottleneck by construction.
+		per := math.Max(1, math.Round(math.Min(pareto(rng, 1.5, 2), 500)))
+		j.ReducerMB = []float64{per * float64(nm)}
+	case u < 0.8: // all-to-all: k×k full mesh, near-uniform sizes
+		k := clampWidth(2+rng.Intn(max(1, g.MaxWidth-1)), g.MaxWidth)
+		j.Mappers = g.pickPorts(rng, k)
+		j.Reducers = g.pickPorts(rng, k)
+		k = len(j.Mappers)
+		j.ReducerMB = make([]float64, len(j.Reducers))
+		per := math.Max(1, math.Round(math.Min(pareto(rng, 1.4, 4), 1000)))
+		for i := range j.ReducerMB {
+			j.ReducerMB[i] = per * float64(k)
+		}
+	default: // control: single small flow
+		j.Mappers = g.pickPorts(rng, 1)
+		j.Reducers = g.pickPorts(rng, 1)
+		j.ReducerMB = []float64{smallMB(rng)}
+	}
+	return j
+}
+
+// logNormalWidth draws ⌈exp(N(mu, sigma))⌉ clamped to [1, maxWidth].
+func logNormalWidth(rng *rand.Rand, mu, sigma float64, maxWidth int) int {
+	w := int(math.Ceil(math.Exp(rng.NormFloat64()*sigma + mu)))
+	if w > maxWidth {
+		w = maxWidth
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// mustDist panics on a distribution name the generator does not know;
+// front ends validate with ValidDist before constructing a Generator.
+func mustDist(name string) {
+	if !ValidDist(name) {
+		panic(fmt.Sprintf("trace: unknown workload distribution %q (want one of %v)", name, KnownDists))
+	}
+}

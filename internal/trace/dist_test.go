@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDistProfilesProduceValidWorkloads drains every distribution through
+// the format round trip and checks structural invariants.
+func TestDistProfilesProduceValidWorkloads(t *testing.T) {
+	for _, dist := range KnownDists {
+		t.Run(dist, func(t *testing.T) {
+			g := Generator{Seed: 11, Coflows: 300, Ports: 40, MaxWidth: 12, Dist: dist}
+			ports, jobs := g.Jobs()
+			if len(jobs) != 300 {
+				t.Fatalf("generated %d jobs", len(jobs))
+			}
+			for _, j := range jobs {
+				if len(j.Mappers) == 0 || len(j.Reducers) == 0 || len(j.ReducerMB) != len(j.Reducers) {
+					t.Fatalf("job %d malformed: %+v", j.ID, j)
+				}
+				for _, p := range append(append([]int(nil), j.Mappers...), j.Reducers...) {
+					if p < 0 || p >= ports {
+						t.Fatalf("job %d references port %d outside [0,%d)", j.ID, p, ports)
+					}
+				}
+				for _, mb := range j.ReducerMB {
+					if mb < 1 {
+						t.Fatalf("job %d has reducer size %v below the 1 MB floor", j.ID, mb)
+					}
+				}
+			}
+			// Deterministic in the seed.
+			_, again := g.Jobs()
+			if !reflect.DeepEqual(jobs, again) {
+				t.Fatal("generation not deterministic")
+			}
+			// Streaming is bit-identical for every distribution.
+			st := g.Stream()
+			for i := range jobs {
+				j, ok := st.Next()
+				if !ok || !reflect.DeepEqual(j, jobs[i]) {
+					t.Fatalf("stream diverged at job %d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestDistProfilesDiffer guards against the dispatch silently collapsing to
+// one profile: identical seeds must yield different workloads per
+// distribution.
+func TestDistProfilesDiffer(t *testing.T) {
+	base := Generator{Seed: 3, Coflows: 50, Ports: 30}
+	_, fb := base.Jobs()
+	for _, dist := range []string{DistGoogle, DistIncast} {
+		g := base
+		g.Dist = dist
+		_, jobs := g.Jobs()
+		if reflect.DeepEqual(fb, jobs) {
+			t.Fatalf("%s workload identical to facebook", dist)
+		}
+	}
+}
+
+// TestIncastShapes checks the incast profile actually produces fan-ins and
+// square meshes.
+func TestIncastShapes(t *testing.T) {
+	g := Generator{Seed: 7, Coflows: 400, Ports: 64, MaxWidth: 16, Dist: DistIncast}
+	_, jobs := g.Jobs()
+	var incast, allToAll int
+	for _, j := range jobs {
+		if len(j.Mappers) >= 4 && len(j.Reducers) == 1 {
+			incast++
+		}
+		if len(j.Mappers) == len(j.Reducers) && len(j.Mappers) >= 2 {
+			allToAll++
+		}
+	}
+	if incast < 100 {
+		t.Errorf("only %d/400 incast jobs", incast)
+	}
+	if allToAll < 50 {
+		t.Errorf("only %d/400 all-to-all jobs", allToAll)
+	}
+}
+
+func TestValidDist(t *testing.T) {
+	for _, name := range append([]string{""}, KnownDists...) {
+		if !ValidDist(name) {
+			t.Errorf("ValidDist(%q) = false", name)
+		}
+	}
+	if ValidDist("uniform") {
+		t.Error("ValidDist accepted an unknown name")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown Dist did not panic")
+		}
+	}()
+	Generator{Dist: "uniform"}.Jobs()
+}

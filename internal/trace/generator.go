@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"sunflow/internal/coflow"
 )
 
 // Generator synthesizes a Facebook-like Coflow workload matching the
@@ -25,6 +27,10 @@ type Generator struct {
 	// MaxWidth caps the mapper and reducer counts of many-to-many shuffles.
 	// Zero selects 40.
 	MaxWidth int
+	// Dist selects the workload distribution: DistFacebook (the default),
+	// DistGoogle, or DistIncast. Jobs and Stream panic on any other value;
+	// front ends should validate with ValidDist first.
+	Dist string
 }
 
 // withDefaults fills unset fields with the paper's workload parameters.
@@ -41,6 +47,10 @@ func (g Generator) withDefaults() Generator {
 	if g.MaxWidth == 0 {
 		g.MaxWidth = 60
 	}
+	if g.Dist == "" {
+		g.Dist = DistFacebook
+	}
+	mustDist(g.Dist)
 	return g
 }
 
@@ -76,80 +86,173 @@ func (g Generator) Jobs() (int, []Job) {
 
 	jobs := make([]Job, 0, g.Coflows)
 	for i := 0; i < g.Coflows; i++ {
-		class := pickClass(rng)
-		j := Job{ID: i, ArrivalMillis: int64(arrivals[i] * 1000)}
-		switch class {
-		case "O2O":
-			j.Mappers = g.pickPorts(rng, 1)
-			j.Reducers = g.pickPorts(rng, 1)
-			j.ReducerMB = []float64{smallMB(rng)}
-		case "O2M":
-			j.Mappers = g.pickPorts(rng, 1)
-			nr := 2 + rng.Intn(9)
-			j.Reducers = g.pickPorts(rng, nr)
-			j.ReducerMB = repeatMB(rng, nr)
-		case "M2O":
-			nm := 2 + rng.Intn(9)
-			j.Mappers = g.pickPorts(rng, nm)
-			j.Reducers = g.pickPorts(rng, 1)
-			// Each mapper contributes ≥1 MB, so the reducer total scales
-			// with the fan-in.
-			j.ReducerMB = []float64{math.Max(float64(nm), smallMB(rng)*float64(nm))}
-		case "M2M":
-			// Two-mode volume mixture: most shuffles are modest, a heavy
-			// tail of giants carries nearly all bytes (as in the trace,
-			// where M2M byte share is 99.94% but most M2M Coflows are
-			// small). Fan-in/out grows with volume — big jobs run many
-			// tasks — which keeps individual subflows modest: the real
-			// trace's multi-hundred-second port loads come from many flows
-			// per port, not monster flows.
-			var totalMB float64
-			if rng.Float64() < 0.7 {
-				totalMB = math.Min(pareto(rng, 1.3, 10), 2000)
-			} else {
-				totalMB = math.Min(pareto(rng, 1.05, 20000), 2e6)
-			}
-			width := int(math.Round(math.Sqrt(totalMB/50) * (0.7 + 0.7*rng.Float64())))
-			nm := clampWidth(width, g.MaxWidth)
-			nr := clampWidth(int(float64(width)*(0.7+0.7*rng.Float64())), g.MaxWidth)
-			j.Mappers = g.pickPorts(rng, nm)
-			j.Reducers = g.pickPorts(rng, nr)
-			nm, nr = len(j.Mappers), len(j.Reducers)
-			j.ReducerMB = make([]float64, nr)
-			base := totalMB / float64(nr)
-			for k := range j.ReducerMB {
-				// Log-normal partition skew: real shuffles are far from
-				// uniform across reducers, which is what fragments the
-				// decomposition-based schedulers.
-				skew := math.Exp(rng.NormFloat64() * 0.8)
-				if skew < 0.15 {
-					skew = 0.15
-				}
-				if skew > 6 {
-					skew = 6
-				}
-				mb := base * skew
-				// Round to MB with a floor of one MB per mapper so every
-				// subflow is ≥ 1 MB after the even split.
-				mb = math.Max(math.Round(mb), float64(nm))
-				j.ReducerMB[k] = mb
-			}
-		}
-		// Round small-category sizes to whole MB as the trace does.
-		if class != "M2M" {
-			for k := range j.ReducerMB {
-				j.ReducerMB[k] = math.Max(1, math.Round(j.ReducerMB[k]))
-			}
-		}
-		jobs = append(jobs, j)
+		jobs = append(jobs, g.genJob(rng, i, int64(arrivals[i]*1000)))
 	}
 	return g.Ports, jobs
+}
+
+// genJob draws one job's category and shape from the configured
+// distribution. Jobs and Stream both call it with their rng positioned
+// identically, which is what keeps the streamed workload bit-identical to the
+// materialized one regardless of distribution.
+func (g Generator) genJob(rng *rand.Rand, id int, arrivalMillis int64) Job {
+	switch g.Dist {
+	case DistGoogle:
+		return g.genGoogleJob(rng, id, arrivalMillis)
+	case DistIncast:
+		return g.genIncastJob(rng, id, arrivalMillis)
+	}
+	return g.genFacebookJob(rng, id, arrivalMillis)
+}
+
+// genFacebookJob draws one job from the paper's Table 4 category mix.
+func (g Generator) genFacebookJob(rng *rand.Rand, id int, arrivalMillis int64) Job {
+	class := pickClass(rng)
+	j := Job{ID: id, ArrivalMillis: arrivalMillis}
+	switch class {
+	case "O2O":
+		j.Mappers = g.pickPorts(rng, 1)
+		j.Reducers = g.pickPorts(rng, 1)
+		j.ReducerMB = []float64{smallMB(rng)}
+	case "O2M":
+		j.Mappers = g.pickPorts(rng, 1)
+		nr := 2 + rng.Intn(9)
+		j.Reducers = g.pickPorts(rng, nr)
+		j.ReducerMB = repeatMB(rng, nr)
+	case "M2O":
+		nm := 2 + rng.Intn(9)
+		j.Mappers = g.pickPorts(rng, nm)
+		j.Reducers = g.pickPorts(rng, 1)
+		// Each mapper contributes ≥1 MB, so the reducer total scales
+		// with the fan-in.
+		j.ReducerMB = []float64{math.Max(float64(nm), smallMB(rng)*float64(nm))}
+	case "M2M":
+		// Two-mode volume mixture: most shuffles are modest, a heavy
+		// tail of giants carries nearly all bytes (as in the trace,
+		// where M2M byte share is 99.94% but most M2M Coflows are
+		// small). Fan-in/out grows with volume — big jobs run many
+		// tasks — which keeps individual subflows modest: the real
+		// trace's multi-hundred-second port loads come from many flows
+		// per port, not monster flows.
+		var totalMB float64
+		if rng.Float64() < 0.7 {
+			totalMB = math.Min(pareto(rng, 1.3, 10), 2000)
+		} else {
+			totalMB = math.Min(pareto(rng, 1.05, 20000), 2e6)
+		}
+		width := int(math.Round(math.Sqrt(totalMB/50) * (0.7 + 0.7*rng.Float64())))
+		nm := clampWidth(width, g.MaxWidth)
+		nr := clampWidth(int(float64(width)*(0.7+0.7*rng.Float64())), g.MaxWidth)
+		j.Mappers = g.pickPorts(rng, nm)
+		j.Reducers = g.pickPorts(rng, nr)
+		nm, nr = len(j.Mappers), len(j.Reducers)
+		j.ReducerMB = make([]float64, nr)
+		base := totalMB / float64(nr)
+		for k := range j.ReducerMB {
+			// Log-normal partition skew: real shuffles are far from
+			// uniform across reducers, which is what fragments the
+			// decomposition-based schedulers.
+			skew := math.Exp(rng.NormFloat64() * 0.8)
+			if skew < 0.15 {
+				skew = 0.15
+			}
+			if skew > 6 {
+				skew = 6
+			}
+			mb := base * skew
+			// Round to MB with a floor of one MB per mapper so every
+			// subflow is ≥ 1 MB after the even split.
+			mb = math.Max(math.Round(mb), float64(nm))
+			j.ReducerMB[k] = mb
+		}
+	}
+	// Round small-category sizes to whole MB as the trace does.
+	if class != "M2M" {
+		for k := range j.ReducerMB {
+			j.ReducerMB[k] = math.Max(1, math.Round(j.ReducerMB[k]))
+		}
+	}
+	return j
 }
 
 // Trace generates the workload as Coflows.
 func (g Generator) Trace() *Trace {
 	ports, jobs := g.Jobs()
 	return JobsToTrace(ports, jobs)
+}
+
+// JobStream yields the generator's workload one Job at a time, bit-identical
+// to Jobs but with O(1) resident memory. Jobs must normalize arrivals by the
+// full span before emitting the first job, so the stream burns one rng through
+// every inter-arrival draw up front to learn the scale — that same rng, now
+// positioned exactly where Jobs' rng sits after the arrival loop, then serves
+// the per-job shape draws, while a second identically seeded rng replays the
+// arrival draws lazily.
+type JobStream struct {
+	g      Generator
+	arrRng *rand.Rand
+	jobRng *rand.Rand
+	scale  float64
+	mean   float64
+	t      float64
+	i      int
+}
+
+// Stream returns a streaming view of the same workload Jobs materializes.
+func (g Generator) Stream() *JobStream {
+	g = g.withDefaults()
+	jobRng := rand.New(rand.NewSource(g.Seed))
+	mean := g.HorizonSec / float64(g.Coflows)
+	t := 0.0
+	for i := 0; i < g.Coflows; i++ {
+		t += jobRng.ExpFloat64() * mean
+	}
+	scale := g.HorizonSec / (t + mean)
+	return &JobStream{
+		g:      g,
+		arrRng: rand.New(rand.NewSource(g.Seed)),
+		jobRng: jobRng,
+		scale:  scale,
+		mean:   mean,
+	}
+}
+
+// Ports returns the fabric size.
+func (s *JobStream) Ports() int { return s.g.Ports }
+
+// Len returns the total number of jobs the stream yields.
+func (s *JobStream) Len() int { return s.g.Coflows }
+
+// Next yields the next job, false once the workload is exhausted.
+func (s *JobStream) Next() (Job, bool) {
+	if s.i >= s.g.Coflows {
+		return Job{}, false
+	}
+	s.t += s.arrRng.ExpFloat64() * s.mean
+	// (t*scale)*1000, in this association order, matches Jobs' arithmetic
+	// bit for bit.
+	j := s.g.genJob(s.jobRng, s.i, int64(s.t*s.scale*1000))
+	s.i++
+	return j, true
+}
+
+// Coflows adapts the stream into a sim.Source-compatible Coflow source.
+// Generated arrivals are nondecreasing and ids ascend, so the stream already
+// satisfies the simulator's ordering requirement.
+func (s *JobStream) Coflows() *GenSource { return &GenSource{s: s} }
+
+// GenSource yields the stream's jobs as Coflows, (nil, nil) at the end.
+type GenSource struct {
+	s *JobStream
+}
+
+// Next yields the next generated Coflow, (nil, nil) once exhausted.
+func (g *GenSource) Next() (*coflow.Coflow, error) {
+	j, ok := g.s.Next()
+	if !ok {
+		return nil, nil
+	}
+	return j.Coflow(), nil
 }
 
 // pickClass draws a category per the Table 4 mix.

@@ -69,23 +69,10 @@ type Trace struct {
 // either 0-based or 1-based; a 1-based file (one that mentions port
 // numPorts) is shifted down.
 func ParseJobs(r io.Reader) (ports int, jobs []Job, err error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
-
-	if !sc.Scan() {
-		return 0, nil, fmt.Errorf("trace: empty input")
-	}
-	header := strings.Fields(sc.Text())
-	if len(header) != 2 {
-		return 0, nil, fmt.Errorf("trace: header must be \"<ports> <jobs>\", got %q", sc.Text())
-	}
-	ports, err = strconv.Atoi(header[0])
-	if err != nil || ports <= 0 {
-		return 0, nil, fmt.Errorf("trace: bad port count %q", header[0])
-	}
-	numJobs, err := strconv.Atoi(header[1])
-	if err != nil || numJobs < 0 {
-		return 0, nil, fmt.Errorf("trace: bad job count %q", header[1])
+	sc := newLineScanner(r)
+	ports, numJobs, err := readHeader(sc)
+	if err != nil {
+		return 0, nil, err
 	}
 
 	oneBased := false
@@ -252,25 +239,63 @@ func parseJobLine(text string, ports int) (Job, int, error) {
 
 // WriteJobs renders jobs in benchmark format.
 func WriteJobs(w io.Writer, ports int, jobs []Job) error {
-	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "%d %d\n", ports, len(jobs)); err != nil {
+	jw, err := NewJobWriter(w, ports, len(jobs))
+	if err != nil {
 		return err
 	}
 	for _, j := range jobs {
-		var sb strings.Builder
-		fmt.Fprintf(&sb, "%d %d %d", j.ID, j.ArrivalMillis, len(j.Mappers))
-		for _, m := range j.Mappers {
-			fmt.Fprintf(&sb, " %d", m)
-		}
-		fmt.Fprintf(&sb, " %d", len(j.Reducers))
-		for k, r := range j.Reducers {
-			fmt.Fprintf(&sb, " %d:%s", r, strconv.FormatFloat(j.ReducerMB[k], 'f', -1, 64))
-		}
-		if _, err := fmt.Fprintln(bw, sb.String()); err != nil {
+		if err := jw.Write(j); err != nil {
 			return err
 		}
 	}
-	return bw.Flush()
+	return jw.Flush()
+}
+
+// JobWriter streams jobs to a benchmark-format file one record at a time, so
+// writing a million-Coflow trace needs no job slice: pair it with
+// Generator.Stream and resident memory stays constant in the trace length.
+// The output is byte-identical to WriteJobs on the same records.
+type JobWriter struct {
+	bw       *bufio.Writer
+	promised int
+	written  int
+}
+
+// NewJobWriter writes the header and returns a writer for exactly numJobs
+// records.
+func NewJobWriter(w io.Writer, ports, numJobs int) (*JobWriter, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", ports, numJobs); err != nil {
+		return nil, err
+	}
+	return &JobWriter{bw: bw, promised: numJobs}, nil
+}
+
+// Write appends one job record.
+func (jw *JobWriter) Write(j Job) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d %d %d", j.ID, j.ArrivalMillis, len(j.Mappers))
+	for _, m := range j.Mappers {
+		fmt.Fprintf(&sb, " %d", m)
+	}
+	fmt.Fprintf(&sb, " %d", len(j.Reducers))
+	for k, r := range j.Reducers {
+		fmt.Fprintf(&sb, " %d:%s", r, strconv.FormatFloat(j.ReducerMB[k], 'f', -1, 64))
+	}
+	if _, err := fmt.Fprintln(jw.bw, sb.String()); err != nil {
+		return err
+	}
+	jw.written++
+	return nil
+}
+
+// Flush completes the file, failing if the record count does not match the
+// header (the resulting file would be rejected by ParseJobs).
+func (jw *JobWriter) Flush() error {
+	if jw.written != jw.promised {
+		return fmt.Errorf("trace: header promised %d jobs, wrote %d", jw.promised, jw.written)
+	}
+	return jw.bw.Flush()
 }
 
 // Parse reads a benchmark file into a Trace.

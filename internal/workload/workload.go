@@ -58,21 +58,12 @@ func ScaleBytes(coflows []*coflow.Coflow, factor float64) []*coflow.Coflow {
 	return out
 }
 
-// Idleness computes the network idleness metric of §5.4: a Coflow is active
-// from its arrival until arrival + TpL at bandwidth linkBps, and idleness is
-// the fraction of the span from the first arrival to the last activity end
-// during which no Coflow is active. The metric is independent of any
-// scheduling policy.
-func Idleness(coflows []*coflow.Coflow, linkBps float64) float64 {
-	type span struct{ lo, hi float64 }
-	spans := make([]span, 0, len(coflows))
-	for _, c := range coflows {
-		tpl := c.PacketLowerBound(linkBps)
-		if tpl <= 0 {
-			continue
-		}
-		spans = append(spans, span{lo: c.Arrival, hi: c.Arrival + tpl})
-	}
+// span is one Coflow's activity interval [lo, hi].
+type span struct{ lo, hi float64 }
+
+// idlenessOf merges activity spans and returns the idle fraction of the
+// overall horizon.
+func idlenessOf(spans []span) float64 {
 	if len(spans) == 0 {
 		return 1
 	}
@@ -103,25 +94,110 @@ func Idleness(coflows []*coflow.Coflow, linkBps float64) float64 {
 	return 1 - busy/total
 }
 
+// Idleness computes the network idleness metric of §5.4: a Coflow is active
+// from its arrival until arrival + TpL at bandwidth linkBps, and idleness is
+// the fraction of the span from the first arrival to the last activity end
+// during which no Coflow is active. The metric is independent of any
+// scheduling policy.
+func Idleness(coflows []*coflow.Coflow, linkBps float64) float64 {
+	spans := make([]span, 0, len(coflows))
+	for _, c := range coflows {
+		tpl := c.PacketLowerBound(linkBps)
+		if tpl <= 0 {
+			continue
+		}
+		spans = append(spans, span{lo: c.Arrival, hi: c.Arrival + tpl})
+	}
+	return idlenessOf(spans)
+}
+
+// idlenessEval evaluates Idleness(ScaleBytes(coflows, factor), linkBps) for
+// many factors without cloning the workload: per Coflow it keeps each port
+// side's flow bytes in flow order, so the scaled per-port sums — and through
+// them TpL, the spans, and the idleness — come out bit-identical to the
+// materializing path. One evaluation is O(total flows) with no Coflow
+// allocation, which is what lets ScaleToIdleness bisect an 18-decade range on
+// a million-Coflow workload without 80 full-trace clones.
+type idlenessEval struct {
+	coflows []coflowSpans
+	linkBps float64
+}
+
+type coflowSpans struct {
+	arrival float64
+	// ports holds one byte sequence per (side, port) that any flow touches,
+	// in flow order — exactly the additions PortSums would make.
+	ports [][]float64
+}
+
+func newIdlenessEval(coflows []*coflow.Coflow, linkBps float64) *idlenessEval {
+	ev := &idlenessEval{coflows: make([]coflowSpans, 0, len(coflows)), linkBps: linkBps}
+	for _, c := range coflows {
+		cs := coflowSpans{arrival: c.Arrival}
+		idx := make(map[[2]int]int)
+		for _, f := range c.Flows {
+			for _, key := range [2][2]int{{0, f.Src}, {1, f.Dst}} {
+				i, ok := idx[key]
+				if !ok {
+					i = len(cs.ports)
+					idx[key] = i
+					cs.ports = append(cs.ports, nil)
+				}
+				cs.ports[i] = append(cs.ports[i], f.Bytes)
+			}
+		}
+		ev.coflows = append(ev.coflows, cs)
+	}
+	return ev
+}
+
+// at computes the idleness the workload would have with every flow size
+// multiplied by factor (> 0). The positive-bytes filter is applied to the
+// scaled value, as PortSums applies it after ScaleBytes.
+func (e *idlenessEval) at(factor float64) float64 {
+	spans := make([]span, 0, len(e.coflows))
+	for _, cs := range e.coflows {
+		var maxBytes float64
+		for _, list := range cs.ports {
+			sum := 0.0
+			for _, b := range list {
+				if s := b * factor; s > 0 {
+					sum += s
+				}
+			}
+			maxBytes = math.Max(maxBytes, sum)
+		}
+		tpl := maxBytes * 8 / e.linkBps
+		if tpl <= 0 {
+			continue
+		}
+		spans = append(spans, span{lo: cs.arrival, hi: cs.arrival + tpl})
+	}
+	return idlenessOf(spans)
+}
+
 // ScaleToIdleness finds (by bisection) the byte-scaling factor that brings
 // the workload's idleness to target, and returns the factor together with
 // the scaled Coflows. This is how §5.4 derives the 20% and 40% idleness
-// settings while "preserving Coflows' structural characteristics".
+// settings while "preserving Coflows' structural characteristics". The
+// bisection runs on a precomputed span evaluator, so only the final result is
+// materialized: the search itself allocates no Coflows.
 func ScaleToIdleness(coflows []*coflow.Coflow, linkBps, target float64) (float64, []*coflow.Coflow, error) {
 	if target <= 0 || target >= 1 {
 		return 0, nil, fmt.Errorf("workload: idleness target must be in (0,1), got %v", target)
 	}
+	ev := newIdlenessEval(coflows, linkBps)
 	// Idleness decreases monotonically as bytes grow.
 	lo, hi := 1e-9, 1e9
-	if Idleness(ScaleBytes(coflows, lo), linkBps) < target {
+	if ev.at(lo) < target {
 		return 0, nil, fmt.Errorf("workload: cannot reach idleness %.2f (even factor %g is too busy)", target, lo)
 	}
-	if Idleness(ScaleBytes(coflows, hi), linkBps) > target {
+	if ev.at(hi) > target {
 		return 0, nil, fmt.Errorf("workload: cannot reach idleness %.2f (even factor %g is too idle)", target, hi)
 	}
 	for i := 0; i < 80; i++ {
 		mid := math.Sqrt(lo * hi) // geometric bisection over 18 decades
-		if Idleness(ScaleBytes(coflows, mid), linkBps) > target {
+		if ev.at(mid) > target {
 			lo = mid
 		} else {
 			hi = mid
