@@ -37,15 +37,18 @@ bench:
 # against the committed baseline (>25% regression fails). -require-all makes
 # a benchmark that exists in the baseline but vanished from the run a hard
 # failure — a silently dropped benchmark would otherwise pass the gate.
+# -history appends the run to a JSONL trend file (informational deltas only;
+# the hard gate stays with -baseline) which the CI bench job uploads as an
+# artifact.
 bench-ci:
-	$(GO) test -bench . -benchtime 1x -count 3 -benchmem -run '^$$' . | $(GO) run ./cmd/benchci -out BENCH_ci.json -baseline BENCH_baseline.json -require-all
+	$(GO) test -bench . -benchtime 1x -count 3 -benchmem -run '^$$' . | $(GO) run ./cmd/benchci -out BENCH_ci.json -baseline BENCH_baseline.json -require-all -history BENCH_history.jsonl
 
 # Allocation gate over the scheduler hot-path microbenchmarks: the intra
 # planner, PRT and combinatorial-kernel benchmarks run with -benchmem and
 # fail on allocs/op regressions against the committed baseline, mirroring
 # the >25% ns/op gate.
 bench-alloc:
-	$(GO) test -bench 'SunflowIntra|SunflowInter|PRT_|Solstice_|BvN_|HopcroftKarp_|MaxMinFair_' -benchtime 1x -count 3 -benchmem -run '^$$' . | $(GO) run ./cmd/benchci -out BENCH_alloc.json -baseline BENCH_baseline.json -gate-allocs -tolerance 10
+	$(GO) test -bench 'SunflowIntra|SunflowInter|EngineEvent|PRT_|Solstice_|BvN_|HopcroftKarp_|MaxMinFair_' -benchtime 1x -count 3 -benchmem -run '^$$' . | $(GO) run ./cmd/benchci -out BENCH_alloc.json -baseline BENCH_baseline.json -gate-allocs -tolerance 10
 
 # The combinatorial kernels alone (matching, BvN/Sinkhorn, Solstice slicing,
 # max-min water-filling) with allocation counts — the quick loop while
@@ -61,6 +64,8 @@ bench-baseline:
 # disk with tracegen (constant resident memory), run it twice end-to-end
 # through the bounded-memory archive path under a peak-RSS budget, and
 # require the two order-independent archive digests to be byte-identical.
+# A third run forces -full-replan (no incremental schedule reuse) and must
+# produce the same digest again — the reference-oracle check at full scale.
 # Then the SUNFLOW_SCALE benchmark runs once and benchci gates wall time,
 # allocs/op and peak RSS against the committed scale baseline. Each 100k
 # run takes ~5 minutes; override SCALE_COFLOWS for a quicker local loop
@@ -75,6 +80,9 @@ scale-smoke:
 	bin/sunflow-scale -in scale-trace.txt -max-rss-mb $(SCALE_RSS_MB) -digest-out scale-digest-2.txt
 	cmp scale-digest-1.txt scale-digest-2.txt
 	@echo "scale-smoke: archive digest byte-identical across two runs"
+	bin/sunflow-scale -in scale-trace.txt -max-rss-mb $(SCALE_RSS_MB) -full-replan -digest-out scale-digest-full.txt
+	cmp scale-digest-1.txt scale-digest-full.txt
+	@echo "scale-smoke: incremental and full-replan archive digests byte-identical"
 	SUNFLOW_SCALE=1 $(GO) test -bench SunflowInter_100k -benchtime 1x -benchmem -run '^$$' . | $(GO) run ./cmd/benchci -out BENCH_scale.json -baseline BENCH_scale_baseline.json -gate-rss -require-all
 
 # Refresh the committed scale baseline after an intentional change to the
@@ -121,13 +129,20 @@ matrix:
 	$(GO) run ./cmd/repro -matrix examples/matrix/nightly.json -matrix-out matrix-out
 
 # CI-scale matrix plus the determinism gate: the smoke spec runs twice and
-# the machine-readable cell rows must be byte-identical. Same as the CI
-# matrix-smoke job; the first run's report.html is the uploaded artifact.
+# the machine-readable cell rows must be byte-identical. The shard spec then
+# sweeps shard_workers over one scenario and every cell's replication rows
+# must match the serial cell's — sharded execution may never change a
+# reported number. Same as the CI matrix-smoke job; the first run's
+# report.html is the uploaded artifact.
 matrix-smoke:
 	$(GO) run ./cmd/repro -matrix examples/matrix/smoke.json -matrix-out matrix-smoke-out
 	$(GO) run ./cmd/repro -matrix examples/matrix/smoke.json -matrix-out matrix-smoke-rerun
 	cmp matrix-smoke-out/cells.jsonl matrix-smoke-rerun/cells.jsonl
 	@echo "matrix-smoke: cells.jsonl byte-identical across two runs"
+	$(GO) run ./cmd/repro -matrix examples/matrix/shard-smoke.json -matrix-out matrix-shard-out
+	@n=$$(sed -n 's/.*"reps":\(\[[^]]*\]\).*/\1/p' matrix-shard-out/cells.jsonl | sort -u | wc -l); \
+	if [ "$$n" != "1" ]; then echo "matrix-smoke: shard cells reported $$n distinct rep rows, want 1" >&2; exit 1; fi
+	@echo "matrix-smoke: shard_workers sweep rep rows identical to serial"
 
 # End-to-end crash-recovery smoke for the online daemon (docs/DAEMON.md):
 # build sunflowd, stream a fixed-seed workload over the /v1 API, kill -9 the
@@ -140,7 +155,7 @@ daemon-smoke:
 	$(GO) run ./cmd/sunflowd-smoke -bin bin/sunflowd
 
 clean:
-	rm -f BENCH_ci.json BENCH_alloc.json events.jsonl fault-events.jsonl report.html
+	rm -f BENCH_ci.json BENCH_alloc.json BENCH_history.jsonl events.jsonl fault-events.jsonl report.html
 	rm -f profile-events.jsonl profile.svg
-	rm -f BENCH_scale.json scale-trace.txt scale-digest-1.txt scale-digest-2.txt
-	rm -rf matrix-out matrix-smoke-out matrix-smoke-rerun bin
+	rm -f BENCH_scale.json scale-trace.txt scale-digest-1.txt scale-digest-2.txt scale-digest-full.txt
+	rm -rf matrix-out matrix-smoke-out matrix-smoke-rerun matrix-shard-out bin

@@ -17,6 +17,7 @@ import (
 	"sunflow/internal/bench"
 	"sunflow/internal/bvn"
 	"sunflow/internal/core"
+	"sunflow/internal/daemon"
 	"sunflow/internal/fabric"
 	"sunflow/internal/matching"
 	"sunflow/internal/matrix"
@@ -221,6 +222,76 @@ func BenchmarkSunflowInter_Facebook150_Reference(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchDenseTrace is the arrival-dense, port-sparse workload the incremental
+// replanner targets: many narrow Coflows live at once on a wide fabric, so
+// most port contexts survive a scheduling pass intact and the plan cache
+// absorbs the bulk of the would-be intra invocations (the sim package's
+// TestIncrementalSkipsDominateDenseWorkload pins the ≥3× reduction).
+func benchDenseTrace() *trace.Trace {
+	return trace.Generator{Ports: 48, Coflows: 200, HorizonSec: 5, MaxWidth: 4, Seed: 1}.Trace()
+}
+
+// BenchmarkSunflowInter_Dense measures the end-to-end circuit simulator on
+// the dense workload with dirty-prefix schedule reuse enabled (the default);
+// its _FullReplan twin is the same run with the cache disabled, so the pair's
+// ns/op ratio is the optimization's wall-clock win.
+func BenchmarkSunflowInter_Dense(b *testing.B) {
+	tr := benchDenseTrace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunCircuit(tr.Coflows, sim.CircuitOptions{Ports: tr.Ports, LinkBps: 1e9, Delta: 0.01}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSunflowInter_Dense_FullReplan(b *testing.B) {
+	tr := benchDenseTrace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunCircuit(tr.Coflows, sim.CircuitOptions{Ports: tr.Ports, LinkBps: 1e9, Delta: 0.01, FullReplan: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineEvent drives the daemon scheduling engine through the dense
+// workload as an online event stream — register each Coflow at its arrival,
+// advance between arrivals, then drain — measuring the per-stream cost of
+// the engine's replan-per-event discipline with schedule reuse enabled.
+func BenchmarkEngineEvent(b *testing.B) {
+	tr := benchDenseTrace()
+	evs := make([]daemon.Event, 0, 2*len(tr.Coflows)+2)
+	for _, c := range tr.Coflows {
+		flows := make([]daemon.FlowSpec, 0, len(c.Flows))
+		for _, f := range c.Flows {
+			flows = append(flows, daemon.FlowSpec{Src: f.Src, Dst: f.Dst, Bytes: f.Bytes})
+		}
+		evs = append(evs, daemon.Event{Kind: daemon.KindRegister, At: c.Arrival, Coflow: c.ID, Flows: flows})
+	}
+	last := tr.Coflows[len(tr.Coflows)-1].Arrival
+	evs = append(evs,
+		daemon.Event{Kind: daemon.KindAdvance, At: last + 500},
+		daemon.Event{Kind: daemon.KindAdvance, At: last + 1000})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := daemon.NewEngine(daemon.EngineConfig{Ports: tr.Ports, LinkBps: 1e9, Delta: 0.01}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, ev := range evs {
+			if _, err := eng.Apply(ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// Events per op, for the per-event view of the same number.
+	b.ReportMetric(float64(len(evs)), "events/op")
 }
 
 // BenchmarkSunflowInter_100k is the scale gate: a 100k-Coflow workload at

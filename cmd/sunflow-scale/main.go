@@ -11,8 +11,12 @@
 //
 // Usage:
 //
-//	sunflow-scale -in trace.txt [-link 1e9] [-delta 0.01] [-max-rss-mb 512] [-digest-out digest.txt]
+//	sunflow-scale -in trace.txt [-link 1e9] [-delta 0.01] [-max-rss-mb 512] [-digest-out digest.txt] [-full-replan]
 //	sunflow-scale -coflows 100000 [-ports 150] [-dist facebook] [-seed 1] [-horizon 0]
+//
+// -full-replan forces the reference scheduling path (no incremental schedule
+// reuse); the archive digest must be byte-identical either way, which the
+// scale-smoke CI job gates on.
 //
 // With -max-rss-mb the command exits non-zero when VmHWM exceeds the budget.
 // A zero -horizon scales the generator's arrival span so arrival density
@@ -42,6 +46,7 @@ func main() {
 	delta := flag.Float64("delta", 0.01, "reconfiguration delay in seconds")
 	maxRSS := flag.Float64("max-rss-mb", 0, "fail when peak RSS exceeds this many MB (0: no budget)")
 	digestOut := flag.String("digest-out", "", "also write the digest line to this file")
+	fullReplan := flag.Bool("full-replan", false, "disable incremental schedule reuse: rerun the intra scheduler for every live Coflow on every pass (the reference oracle; the archive digest must not change)")
 	flag.Parse()
 
 	var (
@@ -78,10 +83,11 @@ func main() {
 	var dig sim.ArchiveDigest
 	start := time.Now()
 	res, err := sim.RunCircuitSource(src, sim.CircuitOptions{
-		Ports:     numPorts,
-		LinkBps:   *link,
-		Delta:     *delta,
-		OnArchive: dig.Add,
+		Ports:      numPorts,
+		LinkBps:    *link,
+		Delta:      *delta,
+		OnArchive:  dig.Add,
+		FullReplan: *fullReplan,
 	})
 	if err != nil {
 		fatal(err)

@@ -19,6 +19,17 @@ type Policy interface {
 	Name() string
 }
 
+// ScratchSorter is implemented by policies that can sort into caller-owned
+// scratch, avoiding the per-call output slice and key-map allocations of
+// Sort. The online replanners type-assert for it on their per-event hot
+// path; the ordering must be bit-identical to Sort's.
+type ScratchSorter interface {
+	// SortInto returns cs in priority order, reusing out (reset to length
+	// zero) and key (cleared) as scratch. The returned slice aliases out's
+	// backing array; the input is not modified.
+	SortInto(cs, out []*coflow.Coflow, key map[int]float64) []*coflow.Coflow
+}
+
 // ShortestFirst orders Coflows by ascending packet-switched lower bound TpL
 // — the shortest-Coflow-first policy of §4.2 and §5.4, breaking ties by
 // arrival time then id for determinism.
@@ -29,8 +40,14 @@ type ShortestFirst struct {
 
 // Sort implements Policy.
 func (p ShortestFirst) Sort(cs []*coflow.Coflow) []*coflow.Coflow {
-	out := append([]*coflow.Coflow(nil), cs...)
-	key := make(map[int]float64, len(out))
+	return p.SortInto(cs, make([]*coflow.Coflow, 0, len(cs)), make(map[int]float64, len(cs)))
+}
+
+// SortInto implements ScratchSorter: identical ordering to Sort, with the
+// output slice and the TpL key map supplied by the caller.
+func (p ShortestFirst) SortInto(cs, out []*coflow.Coflow, key map[int]float64) []*coflow.Coflow {
+	out = append(out[:0], cs...)
+	clear(key)
 	for _, c := range out {
 		key[c.ID] = c.PacketLowerBound(p.LinkBps)
 	}

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math"
@@ -163,6 +164,27 @@ func (tl *timeline) insert(start, end float64, peer int) bool {
 	return true
 }
 
+// canInsert reports whether insert would accept [start, end), without
+// mutating the timeline.
+func (tl *timeline) canInsert(start, end float64) bool {
+	if no := len(tl.old); no > 0 && tl.old[no-1].start > start {
+		k := tl.searchOldAfter(start)
+		if k > 0 && tl.old[k-1].end > start+timeEps {
+			return false
+		}
+		return tl.old[k].start >= end-timeEps
+	}
+	i := tl.searchAfter(start)
+	if i > 0 {
+		if tl.iv[i-1].end > start+timeEps {
+			return false
+		}
+	} else if no := len(tl.old); no > 0 && tl.old[no-1].end > start+timeEps {
+		return false
+	}
+	return i == len(tl.iv) || tl.iv[i].start >= end-timeEps
+}
+
 // findStart locates the interval starting within timeEps of start, by binary
 // search.
 func findStart(ivs []interval, start float64) (int, bool) {
@@ -311,6 +333,9 @@ type PRT struct {
 	blackout Blackout
 	count    int
 	horizon  float64
+	// bulk counts reservations appended by BulkAdd but not yet committed by
+	// FinishBulk.
+	bulk int
 }
 
 // NewPRT returns an empty PRT for an n-port switch.
@@ -337,6 +362,7 @@ func (p *PRT) Reset() {
 	}
 	p.blackout = nil
 	p.count = 0
+	p.bulk = 0
 	p.horizon = math.Inf(-1)
 }
 
@@ -420,6 +446,16 @@ func (p *PRT) TryReserve(r Reservation) error {
 	return nil
 }
 
+// CanReserve reports whether TryReserve would accept the reservation, without
+// mutating the table. The incremental replanner probes a cached schedule's
+// placements against the current table before replaying them.
+func (p *PRT) CanReserve(r Reservation) bool {
+	if r.End <= r.Start {
+		return false
+	}
+	return p.in[r.In].canInsert(r.Start, r.End) && p.out[r.Out].canInsert(r.Start, r.End)
+}
+
 // Reserve records the reservation on both port timelines. It panics if the
 // interval overlaps an existing reservation on either port, which would mean
 // the scheduler violated the port constraint — a programming error. Callers
@@ -446,6 +482,185 @@ func (p *PRT) Preload(rs []Reservation) {
 	for _, r := range rs {
 		p.Reserve(r)
 	}
+}
+
+// BulkAdd appends reservations to the port timelines without searching for
+// their sorted position — the fast path an incremental replan uses to re-seed
+// a freshly Reset table with the locked set plus a clean prefix of cached
+// schedules, known conflict-free from the previous pass. Between BulkAdd and
+// FinishBulk the timeline invariants are suspended and every query is
+// undefined; FinishBulk restores them. Only valid on a table with no archived
+// intervals (any fresh Reset qualifies).
+func (p *PRT) BulkAdd(rs []Reservation) {
+	for i := range rs {
+		r := &rs[i]
+		p.in[r.In].iv = append(p.in[r.In].iv, interval{start: r.Start, end: r.End, peer: r.Out})
+		p.out[r.Out].iv = append(p.out[r.Out].iv, interval{start: r.Start, end: r.End, peer: r.In})
+	}
+	p.bulk += len(rs)
+}
+
+// FinishBulk restores the timeline invariants after one or more BulkAdd
+// calls: each touched timeline is re-sorted (skipped when the appends arrived
+// already ordered) and verified non-overlapping under the same timeEps
+// tolerance insert applies. On error (ErrEmptyReservation, ErrDoubleBooked,
+// or a compacted timeline) the table state is unspecified and the caller must
+// Reset before reusing it — the incremental replanner falls back to a full
+// rebuild there.
+func (p *PRT) FinishBulk() error {
+	added := p.bulk
+	p.bulk = 0
+	for i := range p.in {
+		if err := p.in[i].finishBulk("input", i); err != nil {
+			return err
+		}
+		if err := p.out[i].finishBulk("output", i); err != nil {
+			return err
+		}
+	}
+	p.count += added
+	return nil
+}
+
+// finishBulk re-establishes one timeline's sorted non-overlap invariant.
+func (tl *timeline) finishBulk(side string, port int) error {
+	if len(tl.old) != 0 {
+		return fmt.Errorf("core: bulk load on compacted %s port %d timeline", side, port)
+	}
+	iv := tl.iv
+	if !slices.IsSortedFunc(iv, func(a, b interval) int { return cmp.Compare(a.start, b.start) }) {
+		slices.SortFunc(iv, func(a, b interval) int { return cmp.Compare(a.start, b.start) })
+	}
+	for k := range iv {
+		if iv[k].end <= iv[k].start {
+			return fmt.Errorf("%w: %s port %d at [%.9f,%.9f)", ErrEmptyReservation, side, port, iv[k].start, iv[k].end)
+		}
+		if k > 0 && iv[k-1].end > iv[k].start+timeEps {
+			return fmt.Errorf("%w: %s port %d at [%.9f,%.9f)", ErrDoubleBooked, side, port, iv[k].start, iv[k].end)
+		}
+	}
+	return nil
+}
+
+// PortSpan is one busy interval on a port timeline as reported by SpansOn —
+// the unit of the incremental replanner's context snapshots. Spans compare
+// exactly: two snapshots are interchangeable only when every float matches
+// bit for bit.
+type PortSpan struct {
+	Start, End float64
+	Port       int32
+	// Out distinguishes the output-side timeline from the input side.
+	Out bool
+}
+
+// SpansOn appends to dst the busy intervals visible to an intra search
+// starting at t over the given input and output timelines: every interval
+// ending strictly after t and starting before horizon, in (side, port,
+// start) order. Callers pass the port lists sorted so the order is
+// canonical.
+func (p *PRT) SpansOn(t, horizon float64, ins, outs []int, dst []PortSpan) []PortSpan {
+	for _, i := range ins {
+		dst = p.in[i].spansOn(t, horizon, int32(i), false, dst)
+	}
+	for _, j := range outs {
+		dst = p.out[j].spansOn(t, horizon, int32(j), true, dst)
+	}
+	return dst
+}
+
+// spansOn appends the timeline's intervals with end > t and start < horizon.
+// The archive precedes the live window in start order, so the concatenated
+// walk is sorted.
+func (tl *timeline) spansOn(t, horizon float64, port int32, out bool, dst []PortSpan) []PortSpan {
+	k := sort.Search(len(tl.old), func(i int) bool { return tl.old[i].end > t })
+	for _, v := range tl.old[k:] {
+		if v.start >= horizon {
+			break
+		}
+		dst = append(dst, PortSpan{Start: v.start, End: v.end, Port: port, Out: out})
+	}
+	k = sort.Search(len(tl.iv), func(i int) bool { return tl.iv[i].end > t })
+	for _, v := range tl.iv[k:] {
+		if v.start >= horizon {
+			break
+		}
+		dst = append(dst, PortSpan{Start: v.start, End: v.end, Port: port, Out: out})
+	}
+	return dst
+}
+
+// SpansMatch reports whether the table's visible context — what SpansOn(t,
+// horizon, ins, outs) would return — is bit-identical to the cached snapshot
+// trimmed to the same visibility threshold (spans whose end is at or before
+// t expired out of both views symmetrically). It streams the comparison
+// without materializing the current snapshot.
+func (p *PRT) SpansMatch(spans []PortSpan, t, horizon float64, ins, outs []int) bool {
+	for _, i := range ins {
+		var ok bool
+		if spans, ok = p.in[i].matchSpans(spans, t, horizon, int32(i), false); !ok {
+			return false
+		}
+	}
+	for _, j := range outs {
+		var ok bool
+		if spans, ok = p.out[j].matchSpans(spans, t, horizon, int32(j), true); !ok {
+			return false
+		}
+	}
+	// Any trailing unmatched cached spans mean occupancy vanished.
+	for _, sp := range spans {
+		if sp.End > t {
+			return false
+		}
+	}
+	return true
+}
+
+// matchSpans consumes the cached snapshot's prefix belonging to this
+// timeline, comparing it against the current intervals. It returns the
+// remaining snapshot and whether the prefix matched.
+func (tl *timeline) matchSpans(spans []PortSpan, t, horizon float64, port int32, out bool) ([]PortSpan, bool) {
+	next := func() (PortSpan, bool) {
+		for len(spans) > 0 {
+			sp := spans[0]
+			if sp.Port != port || sp.Out != out {
+				return PortSpan{}, false
+			}
+			spans = spans[1:]
+			if sp.End > t {
+				return sp, true
+			}
+		}
+		return PortSpan{}, false
+	}
+	match := func(v interval) bool {
+		sp, ok := next()
+		return ok && sp.Start == v.start && sp.End == v.end
+	}
+	k := sort.Search(len(tl.old), func(i int) bool { return tl.old[i].end > t })
+	for _, v := range tl.old[k:] {
+		if v.start >= horizon {
+			break
+		}
+		if !match(v) {
+			return spans, false
+		}
+	}
+	k = sort.Search(len(tl.iv), func(i int) bool { return tl.iv[i].end > t })
+	for _, v := range tl.iv[k:] {
+		if v.start >= horizon {
+			break
+		}
+		if !match(v) {
+			return spans, false
+		}
+	}
+	// The snapshot must hold nothing more for this timeline.
+	if sp, ok := next(); ok {
+		_ = sp
+		return spans, false
+	}
+	return spans, true
 }
 
 // ReleasesAfter appends to dst the end times, strictly after t, of existing

@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
 	"sort"
 
 	"sunflow/internal/coflow"
@@ -129,6 +130,13 @@ type EngineConfig struct {
 	Order core.Order `json:"order"`
 	// Seed drives RandomOrder.
 	Seed int64 `json:"seed"`
+	// FullReplan disables dirty-prefix schedule reuse, forcing every replan
+	// to invoke the intra scheduler for every live Coflow (DESIGN.md §7).
+	// Schedules are bit-identical either way — the differential property
+	// tests pin it — so this is a debugging/benchmarking knob, not part of
+	// the config identity snapshots are checked against. The
+	// SUNFLOW_FULL_REPLAN environment variable forces it process-wide.
+	FullReplan bool `json:"full_replan,omitempty"`
 }
 
 // Validate reports an error for non-physical parameters.
@@ -177,6 +185,17 @@ type liveEntry struct {
 	// rem is the unserved demand per flow in bytes, including demand that
 	// in-flight reservations will deliver.
 	rem map[fabric.FlowKey]float64
+	// keys holds rem's keys in (Src, Dst) order, fixed at registration;
+	// stranding deletes rem entries without touching keys, so readers skip
+	// keys absent from rem.
+	keys []fabric.FlowKey
+	// base is the drift-free scheduler view of the demand: nil until the
+	// Coflow's first in-flight byte, then a snapshot of rem debited only by
+	// the exact planned bytes of circuits as they end — never by the
+	// continuous crediting that makes rem drift. Scheduler input is base
+	// minus the full planned bytes of in-flight circuits, so it is bit-stable
+	// while a circuit holds. Mirrors the simulator's liveCoflow.base.
+	base map[fabric.FlowKey]float64
 	// flowFinish records actual flow completion instants.
 	flowFinish map[fabric.FlowKey]float64
 	// finish is the planned completion time under the current plan.
@@ -222,6 +241,14 @@ type Engine struct {
 	// prt is the reservation table rebuilt by every replan; reused across
 	// passes so replanning is allocation-free on the timelines.
 	prt *core.PRT
+	// incremental enables dirty-prefix schedule reuse while the fabric is
+	// fault-free (outages force the full rebuild); fixed at construction
+	// from the config and the SUNFLOW_FULL_REPLAN environment variable.
+	incremental bool
+	// cache holds the previous pass's per-Coflow schedules in policy order.
+	cache []planCacheEntry
+	// scratch pools the per-pass replan allocations.
+	scratch replanScratch
 	// obs optionally records scheduler metrics; it must never influence
 	// state (the recovery property test runs with and without it).
 	obs *obs.Observer
@@ -233,11 +260,12 @@ func NewEngine(cfg EngineConfig, o *obs.Observer) (*Engine, error) {
 		return nil, err
 	}
 	return &Engine{
-		cfg:  cfg,
-		live: map[int]*liveEntry{},
-		done: map[int]Completion{},
-		prt:  core.NewPRT(cfg.Ports),
-		obs:  o,
+		cfg:         cfg,
+		live:        map[int]*liveEntry{},
+		done:        map[int]Completion{},
+		prt:         core.NewPRT(cfg.Ports),
+		obs:         o,
+		incremental: !cfg.FullReplan && os.Getenv("SUNFLOW_FULL_REPLAN") == "",
 	}, nil
 }
 
@@ -392,6 +420,16 @@ func (e *Engine) applyRegister(ev Event) (bool, error) {
 		e.done[ev.Coflow] = Completion{Arrival: ev.At, Finish: ev.At, CCT: 0, SpecHash: hash}
 		return true, nil
 	}
+	keys := make([]fabric.FlowKey, 0, len(rem))
+	for k := range rem {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].Src != keys[b].Src {
+			return keys[a].Src < keys[b].Src
+		}
+		return keys[a].Dst < keys[b].Dst
+	})
 	e.live[ev.Coflow] = &liveEntry{
 		id:         ev.Coflow,
 		arrival:    ev.At,
@@ -399,6 +437,7 @@ func (e *Engine) applyRegister(ev Event) (bool, error) {
 		spec:       append([]FlowSpec(nil), ev.Flows...),
 		specHash:   hash,
 		rem:        rem,
+		keys:       keys,
 		flowFinish: make(map[fabric.FlowKey]float64, len(rem)),
 		finish:     math.Inf(1),
 	}
@@ -452,6 +491,9 @@ func (e *Engine) applyFault(ev Event) (bool, error) {
 	}
 	og := outage{Port: ev.Port, Start: ev.At, End: end}
 	e.outages = append(e.outages, og)
+	// Outages gate off the incremental path for good; drop the cache so it
+	// does not pin retired schedules.
+	e.cache = nil
 	if o := e.obs; o != nil {
 		o.PortDowns.Inc()
 	}
@@ -536,6 +578,14 @@ func (e *Engine) credit(from, to float64) {
 		if rem <= 0 {
 			continue
 		}
+		if lc.base == nil {
+			// First in-flight byte for this Coflow: snapshot the pristine
+			// demand before rem starts drifting away from it.
+			lc.base = make(map[fabric.FlowKey]float64, len(lc.rem))
+			for k, v := range lc.rem {
+				lc.base[k] = v
+			}
+		}
 		if o != nil {
 			o.BytesDelivered.Add(math.Min(rem, d))
 		}
@@ -610,26 +660,105 @@ func (e *Engine) replan(now float64) error {
 	}
 }
 
+// planCacheEntry snapshots one Coflow's schedule from the previous replanning
+// pass, with the fingerprints reuse certification validates it against
+// (DESIGN.md §7). It mirrors the simulator's cache entry: the input flows,
+// the output reservations, and the port context the intra search saw.
+type planCacheEntry struct {
+	id int
+	// flows is the IntraCoflow input the schedule was computed from,
+	// compared bit-exactly at reuse time.
+	flows []coflow.Flow
+	// res is the cached schedule; the entry owns the slice.
+	res []core.Reservation
+	// minStart and maxEnd bound res ((+Inf, -Inf) when empty).
+	minStart, maxEnd float64
+	// ctx is the busy intervals visible on the input flows' ports when the
+	// schedule was computed, trimmed to horizon; reuse requires the current
+	// table to match it bit for bit.
+	ctx []core.PortSpan
+	// horizon bounds the table range the cached search could have consulted:
+	// maxEnd + δ + 2·timeEps.
+	horizon float64
+}
+
+// replanScratch pools the per-pass allocations of replanOnce so a
+// steady-state replan allocates nothing beyond what IntraCoflow needs.
+type replanScratch struct {
+	lockedFuture map[int]map[fabric.FlowKey]float64
+	exclPool     []map[fabric.FlowKey]float64
+	tmps         []*coflow.Coflow
+	order        []*coflow.Coflow
+	key          map[int]float64
+	sched        *coflow.Coflow
+	nextCache    []planCacheEntry
+	// cacheIdx maps Coflow id to its index in Engine.cache, rebuilt each
+	// incremental pass.
+	cacheIdx map[int]int
+	// spans is the pre-run port-context snapshot buffer; ins and outs hold
+	// the sorted unique ports of the flows being certified or snapshotted.
+	spans     []core.PortSpan
+	ins, outs []int
+}
+
+// takeLockedFuture returns the pooled outer exclusion map, emptied, with the
+// inner maps recycled into the pool.
+func (sc *replanScratch) takeLockedFuture() map[int]map[fabric.FlowKey]float64 {
+	if sc.lockedFuture == nil {
+		sc.lockedFuture = map[int]map[fabric.FlowKey]float64{}
+		return sc.lockedFuture
+	}
+	for id, m := range sc.lockedFuture {
+		clear(m)
+		sc.exclPool = append(sc.exclPool, m)
+		delete(sc.lockedFuture, id)
+	}
+	return sc.lockedFuture
+}
+
+// takeExcl returns an empty inner exclusion map, pooled when available.
+func (sc *replanScratch) takeExcl() map[fabric.FlowKey]float64 {
+	if n := len(sc.exclPool); n > 0 {
+		m := sc.exclPool[n-1]
+		sc.exclPool = sc.exclPool[:n-1]
+		return m
+	}
+	return map[fabric.FlowKey]float64{}
+}
+
 // replanOnce is one scheduling pass: in-flight reservations are kept
 // (non-preemption), everything else is rescheduled in priority order against
-// the remaining demand of all live Coflows.
+// the remaining demand of all live Coflows. On a fault-free fabric the pass
+// reuses the previous pass's schedule for every Coflow whose certification
+// holds — bit-identical by the reuse contract of DESIGN.md §7, which the
+// engine differential property tests enforce. Circuits that completed since
+// the last pass leave the plan here, and their full planned bytes are folded
+// into the drift-free base remainder in the same breath.
 func (e *Engine) replanOnce(now float64) (int, error) {
 	e.replans++
-	if o := e.obs; o != nil {
+	o := e.obs
+	if o != nil {
 		o.SchedPasses.Inc()
 	}
-	locked := make([]core.Reservation, 0, len(e.plan))
+	// In-place locked filter: locked is a subsequence of plan and the pass
+	// rebuilds plan from it below.
+	locked := e.plan[:0]
 	for _, r := range e.plan {
-		if r.Start < now-timeEps && r.End > now+timeEps {
+		if r.Start >= now-timeEps {
+			continue // never established; the pass replans its demand
+		}
+		if r.End > now+timeEps {
 			locked = append(locked, r)
+			continue
+		}
+		if lc := e.live[r.CoflowID]; lc != nil && lc.base != nil {
+			lc.base[fabric.FlowKey{Src: r.In, Dst: r.Out}] -= r.Bytes
 		}
 	}
 
 	prt := e.prt
 	prt.Reset()
-	if len(e.outages) == 0 {
-		prt.Preload(locked)
-	} else {
+	if len(e.outages) > 0 {
 		// Degraded table: re-seed defensively — a locked circuit that no
 		// longer fits is invalidated rather than crashing the run — then
 		// block every port interval an outage keeps down.
@@ -637,6 +766,11 @@ func (e *Engine) replanOnce(now float64) (int, error) {
 		for _, r := range locked {
 			if prt.TryReserve(r) == nil {
 				kept = append(kept, r)
+			} else if lc := e.live[r.CoflowID]; lc != nil && lc.base != nil {
+				// Invalidated mid-flight: only what it already delivered
+				// leaves the drift-free remainder; the rest returns to the
+				// replanner.
+				lc.base[fabric.FlowKey{Src: r.In, Dst: r.Out}] -= r.TransmittedBy(now, e.cfg.LinkBps)
 			}
 		}
 		locked = kept
@@ -649,33 +783,137 @@ func (e *Engine) replanOnce(now float64) (int, error) {
 		}
 	}
 
-	lockedFuture := map[int]map[fabric.FlowKey]float64{}
+	sc := &e.scratch
+	lockedFuture := sc.takeLockedFuture()
 	for i := range locked {
 		r := &locked[i]
 		if e.live[r.CoflowID] != nil {
 			m := lockedFuture[r.CoflowID]
 			if m == nil {
-				m = map[fabric.FlowKey]float64{}
+				m = sc.takeExcl()
 				lockedFuture[r.CoflowID] = m
 			}
-			m[fabric.FlowKey{Src: r.In, Dst: r.Out}] += r.Bytes - r.TransmittedBy(now, e.cfg.LinkBps)
+			m[fabric.FlowKey{Src: r.In, Dst: r.Out}] += r.Bytes
 		}
 	}
 
-	tmps := make([]*coflow.Coflow, 0, len(e.live))
-	for _, lc := range e.live {
-		tmps = append(tmps, e.remainderCoflow(lc, nil))
+	for len(sc.tmps) < len(e.live) {
+		sc.tmps = append(sc.tmps, &coflow.Coflow{})
 	}
-	ordered := e.orderLive(tmps)
+	n := 0
+	for _, lc := range e.live {
+		remainderInto(sc.tmps[n], lc)
+		n++
+	}
+	ordered := e.orderLive(sc.tmps[:n])
 
+	incremental := e.incremental && len(e.outages) == 0
+	if incremental {
+		e.compactCache()
+		sc.nextCache = sc.nextCache[:0]
+		if sc.cacheIdx == nil {
+			sc.cacheIdx = map[int]int{}
+		} else {
+			clear(sc.cacheIdx)
+		}
+		for i := range e.cache {
+			sc.cacheIdx[e.cache[i].id] = i
+		}
+	}
+	id, err := e.schedulePass(now, ordered, locked, incremental)
+	if err == errBulkFallback {
+		// The replayed reservations did not fit the table: the reuse checks
+		// missed an invalidation. Rebuild the pass from scratch and drop the
+		// cache — defense in depth, the differential suites never reach here.
+		prt.Reset()
+		sc.nextCache = sc.nextCache[:0]
+		for i := range e.cache {
+			e.cache[i] = planCacheEntry{}
+		}
+		e.cache = e.cache[:0]
+		return e.schedulePass(now, ordered, locked, false)
+	}
+	if err == nil && incremental {
+		// Swap the rebuilt cache in; stale entries are zeroed so the old
+		// backing array does not pin retired schedules for the GC.
+		old := e.cache
+		e.cache = sc.nextCache
+		for i := range old {
+			old[i] = planCacheEntry{}
+		}
+		sc.nextCache = old[:0]
+	}
+	return id, err
+}
+
+// errBulkFallback signals that replayed cached reservations conflicted with
+// the table — the reuse checks missed an invalidation — and the pass must be
+// redone as a full rebuild.
+var errBulkFallback = errors.New("daemon: cached schedule replay conflicted")
+
+// schedulePass rebuilds the plan for one scheduling pass, replaying each
+// cached schedule whose certification proves it bit-identical to what
+// IntraCoflow would recompute, and running IntraCoflow for the rest. The
+// certification is the simulator's (DESIGN.md §7): bit-exact input flows,
+// the minStart/eps-band guard, and a bit-exact match of the busy intervals
+// visible on the entry's ports against the snapshot taken when it was
+// computed.
+func (e *Engine) schedulePass(now float64, ordered []*coflow.Coflow, locked []core.Reservation, reuse bool) (int, error) {
+	o := e.obs
+	prt := e.prt
+	sc := &e.scratch
+	if reuse {
+		prt.BulkAdd(locked)
+		if err := prt.FinishBulk(); err != nil {
+			return 0, errBulkFallback
+		}
+	} else if len(e.outages) == 0 {
+		prt.Preload(locked)
+	}
 	e.plan = locked
 	for _, tmp := range ordered {
 		lc := e.live[tmp.ID]
-		toSchedule := e.remainderCoflow(lc, lockedFuture[tmp.ID])
+		var ce *planCacheEntry
+		if reuse {
+			if k, ok := sc.cacheIdx[tmp.ID]; ok {
+				ce = &e.cache[k]
+			}
+		}
+		if ce != nil && e.reusable(ce, tmp, lc, now) {
+			for i := range ce.res {
+				if err := prt.TryReserve(ce.res[i]); err != nil {
+					return 0, errBulkFallback
+				}
+			}
+			finish := math.Max(now, lc.arrival)
+			if ce.maxEnd > finish {
+				finish = ce.maxEnd
+			}
+			for _, r := range locked {
+				if r.CoflowID == tmp.ID && r.End > finish {
+					finish = r.End
+				}
+			}
+			lc.finish = finish
+			e.plan = append(e.plan, ce.res...)
+			sc.nextCache = append(sc.nextCache, *ce)
+			if o != nil {
+				o.IntraSkipped.Inc()
+			}
+			continue
+		}
+		// Dirty: snapshot the port context the search is about to see, then
+		// run the scheduler.
+		toSchedule := e.schedInput(tmp, lc)
+		start := math.Max(now, lc.arrival)
+		if reuse {
+			sc.ins, sc.outs = flowPorts(toSchedule.Flows, sc.ins, sc.outs)
+			sc.spans = prt.SpansOn(start, math.Inf(1), sc.ins, sc.outs, sc.spans[:0])
+		}
 		sched, err := core.IntraCoflow(prt, toSchedule, core.Options{
 			LinkBps: e.cfg.LinkBps,
 			Delta:   e.cfg.Delta,
-			Start:   math.Max(now, lc.arrival),
+			Start:   start,
 			Order:   e.cfg.Order,
 			Seed:    e.cfg.Seed,
 			Obs:     e.obs,
@@ -691,26 +929,165 @@ func (e *Engine) replanOnce(now float64) (int, error) {
 		}
 		lc.finish = finish
 		e.plan = append(e.plan, sched.Reservations...)
+		if reuse {
+			ne := newCacheEntry(tmp.ID, toSchedule.Flows, sched.Reservations)
+			ne.horizon = ne.maxEnd + e.cfg.Delta + 2*timeEps
+			for _, sp := range sc.spans {
+				if sp.Start < ne.horizon {
+					ne.ctx = append(ne.ctx, sp)
+				}
+			}
+			sc.nextCache = append(sc.nextCache, ne)
+		}
 	}
 	return 0, nil
 }
 
+// compactCache drops cache entries for Coflows that have left the fabric.
+func (e *Engine) compactCache() {
+	out := e.cache[:0]
+	for i := range e.cache {
+		if e.live[e.cache[i].id] != nil {
+			out = append(out, e.cache[i])
+		}
+	}
+	for i := len(out); i < len(e.cache); i++ {
+		e.cache[i] = planCacheEntry{}
+	}
+	e.cache = out
+}
+
+// reusable reports whether the cached entry can be replayed for the Coflow
+// this pass; see the simulator's reusable for the certification argument.
+func (e *Engine) reusable(ce *planCacheEntry, tmp *coflow.Coflow, lc *liveEntry, now float64) bool {
+	if lc == nil {
+		return false
+	}
+	if ce.minStart < now || (ce.minStart > now && ce.minStart <= now+timeEps) {
+		return false
+	}
+	if !flowsEqual(ce.flows, e.schedInput(tmp, lc).Flows) {
+		return false
+	}
+	sc := &e.scratch
+	sc.ins, sc.outs = flowPorts(ce.flows, sc.ins, sc.outs)
+	return e.prt.SpansMatch(ce.ctx, math.Max(now, lc.arrival), ce.horizon, sc.ins, sc.outs)
+}
+
+// flowPorts fills ins and outs with the sorted unique source and destination
+// ports of the flows, reusing the given backing slices. Flows arrive in
+// (Src, Dst) order, so sources dedupe in place; destinations need a sort.
+func flowPorts(flows []coflow.Flow, ins, outs []int) ([]int, []int) {
+	ins, outs = ins[:0], outs[:0]
+	for i := range flows {
+		if n := len(ins); n == 0 || ins[n-1] != flows[i].Src {
+			ins = append(ins, flows[i].Src)
+		}
+		outs = append(outs, flows[i].Dst)
+	}
+	sort.Ints(outs)
+	w := 0
+	for i, d := range outs {
+		if i == 0 || d != outs[w-1] {
+			outs[w] = d
+			w++
+		}
+	}
+	return ins, outs[:w]
+}
+
+// flowsEqual compares two flow slices exactly — Flow is comparable, so this
+// is a bit-exact test of the scheduler input.
+func flowsEqual(a, b []coflow.Flow) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// newCacheEntry snapshots one freshly-computed schedule. The input flows are
+// copied because the pooled remainder buffer they sit in recycles next pass;
+// the reservations slice is owned by the schedule just computed (the plan
+// keeps its own copies).
+func newCacheEntry(id int, flows []coflow.Flow, res []core.Reservation) planCacheEntry {
+	ce := planCacheEntry{
+		id:       id,
+		flows:    append([]coflow.Flow(nil), flows...),
+		res:      res,
+		minStart: math.Inf(1),
+		maxEnd:   math.Inf(-1),
+	}
+	for i := range res {
+		if res[i].Start < ce.minStart {
+			ce.minStart = res[i].Start
+		}
+		if res[i].End > ce.maxEnd {
+			ce.maxEnd = res[i].End
+		}
+	}
+	return ce
+}
+
+// schedInput builds the IntraCoflow input for the Coflow this pass: the
+// drift-free base remainder minus the full planned bytes of its in-flight
+// circuits. A Coflow that never carried a byte and holds no circuits keeps
+// its pooled priority-sort header — rem and base are still bit-identical
+// there, so the remainders are too.
+func (e *Engine) schedInput(tmp *coflow.Coflow, lc *liveEntry) *coflow.Coflow {
+	excl := e.scratch.lockedFuture[lc.id]
+	if lc.base == nil && excl == nil {
+		return tmp
+	}
+	if e.scratch.sched == nil {
+		e.scratch.sched = &coflow.Coflow{}
+	}
+	src := lc.rem
+	if lc.base != nil {
+		src = lc.base
+	}
+	return remainderFrom(e.scratch.sched, lc, src, excl)
+}
+
 // orderLive sorts the remainder Coflows for scheduling: shortest-first within
 // a priority class, strictly higher classes first. With all priorities zero
-// this is exactly the simulator's shortest-Coflow-first policy.
+// this is exactly the simulator's shortest-Coflow-first policy. The sort runs
+// in the pooled scratch.
 func (e *Engine) orderLive(tmps []*coflow.Coflow) []*coflow.Coflow {
-	out := core.ShortestFirst{LinkBps: e.cfg.LinkBps}.Sort(tmps)
+	sc := &e.scratch
+	if sc.key == nil {
+		sc.key = make(map[int]float64, len(tmps))
+	}
+	sc.order = core.ShortestFirst{LinkBps: e.cfg.LinkBps}.SortInto(tmps, sc.order, sc.key)
+	out := sc.order
 	sort.SliceStable(out, func(a, b int) bool {
 		return e.live[out[a].ID].priority > e.live[out[b].ID].priority
 	})
 	return out
 }
 
-// remainderCoflow builds a temporary Coflow from a live entry's remaining
-// demand, optionally excluding demand that locked reservations will serve.
-func (e *Engine) remainderCoflow(lc *liveEntry, exclude map[fabric.FlowKey]float64) *coflow.Coflow {
-	flows := make([]coflow.Flow, 0, len(lc.rem))
-	for k, b := range lc.rem {
+// remainderInto rebuilds tmp as the live entry's remaining demand from the
+// continuously-credited rem — the priority-key view.
+func remainderInto(tmp *coflow.Coflow, lc *liveEntry) *coflow.Coflow {
+	return remainderFrom(tmp, lc, lc.rem, nil)
+}
+
+// remainderFrom rebuilds tmp as the Coflow's remaining demand read from src,
+// optionally excluding demand that locked reservations will serve. Flows
+// come out in (Src, Dst) order without sorting: lc.keys was sorted once at
+// registration and keys stranded out of the map are skipped on read.
+func remainderFrom(tmp *coflow.Coflow, lc *liveEntry, src, exclude map[fabric.FlowKey]float64) *coflow.Coflow {
+	tmp.ID, tmp.Arrival = lc.id, lc.arrival
+	flows := tmp.Flows[:0]
+	for _, k := range lc.keys {
+		b, ok := src[k]
+		if !ok {
+			continue
+		}
 		if exclude != nil {
 			b -= exclude[k]
 		}
@@ -718,13 +1095,8 @@ func (e *Engine) remainderCoflow(lc *liveEntry, exclude map[fabric.FlowKey]float
 			flows = append(flows, coflow.Flow{Src: k.Src, Dst: k.Dst, Bytes: b})
 		}
 	}
-	sort.Slice(flows, func(a, b int) bool {
-		if flows[a].Src != flows[b].Src {
-			return flows[a].Src < flows[b].Src
-		}
-		return flows[a].Dst < flows[b].Dst
-	})
-	return &coflow.Coflow{ID: lc.id, Arrival: lc.arrival, Flows: flows}
+	tmp.Flows = flows
+	return tmp
 }
 
 // truncatePort invalidates the in-flight portion of every established circuit
@@ -828,6 +1200,7 @@ func (e *Engine) strandFlows(lc *liveEntry, cond func(fabric.FlowKey) bool) bool
 		lc.stranded = true
 		lc.strandedBytes += b
 		delete(lc.rem, k)
+		delete(lc.base, k)
 		if o := e.obs; o != nil {
 			o.FlowsStranded.Inc()
 			o.StrandedBytes.Add(b)

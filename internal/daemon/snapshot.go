@@ -76,6 +76,7 @@ type liveState struct {
 	Priority      int         `json:"priority,omitempty"`
 	Spec          []FlowSpec  `json:"spec"`
 	Rem           []flowBytes `json:"rem"`
+	Base          []flowBytes `json:"base,omitempty"`
 	FlowFinish    []flowTime  `json:"flow_finish,omitempty"`
 	Finish        infFloat    `json:"finish"`
 	Switches      int         `json:"switches,omitempty"`
@@ -149,6 +150,11 @@ func (e *Engine) State() engineState {
 			Stranded:      lc.stranded,
 			StrandedBytes: lc.strandedBytes,
 		}
+		if lc.base != nil {
+			// base is never empty while set (it clones a rem with in-flight
+			// demand), so omitempty cannot conflate it with unset.
+			ls.Base = sortedFlowBytes(lc.base)
+		}
 		st.Live = append(st.Live, ls)
 	}
 	doneIDs := make([]int, 0, len(e.done))
@@ -193,8 +199,21 @@ func (e *Engine) restoreState(st engineState) error {
 			stranded:      ls.Stranded,
 			strandedBytes: ls.StrandedBytes,
 		}
+		// Rem was serialized in (src, dst) order, so it doubles as the sorted
+		// key list remainderInto iterates. It lacks keys stranded before the
+		// checkpoint, but those are absent from rem on a live engine too and
+		// readers skip them either way.
+		lc.keys = make([]fabric.FlowKey, 0, len(ls.Rem))
 		for _, fb := range ls.Rem {
-			lc.rem[fabric.FlowKey{Src: fb.Src, Dst: fb.Dst}] = fb.Bytes
+			k := fabric.FlowKey{Src: fb.Src, Dst: fb.Dst}
+			lc.rem[k] = fb.Bytes
+			lc.keys = append(lc.keys, k)
+		}
+		if len(ls.Base) > 0 {
+			lc.base = make(map[fabric.FlowKey]float64, len(ls.Base))
+			for _, fb := range ls.Base {
+				lc.base[fabric.FlowKey{Src: fb.Src, Dst: fb.Dst}] = fb.Bytes
+			}
 		}
 		for _, ft := range ls.FlowFinish {
 			lc.flowFinish[fabric.FlowKey{Src: ft.Src, Dst: ft.Dst}] = ft.T

@@ -49,8 +49,10 @@ type Store struct {
 	m *obs.DaemonMetrics
 }
 
-// snapshotVersion guards the snapshot schema.
-const snapshotVersion = 1
+// snapshotVersion guards the snapshot schema. Version 2 added the drift-free
+// base remainder to live entries; a version-1 snapshot cannot restore it, so
+// it is rejected rather than silently diverging from the pre-crash engine.
+const snapshotVersion = 2
 
 // snapshotFile is the on-disk checkpoint.
 type snapshotFile struct {
@@ -102,7 +104,13 @@ func Open(dir string, cfg EngineConfig, o *obs.Observer, m *obs.DaemonMetrics) (
 		if snap.Version != snapshotVersion {
 			return nil, fmt.Errorf("daemon: snapshot %s has version %d, want %d", s.snapPath, snap.Version, snapshotVersion)
 		}
-		if snap.Config != cfg {
+		// FullReplan is a performance knob that cannot change schedules (the
+		// differential property tests pin bit-identity), so it is excluded
+		// from config identity: a data directory may be reopened with it
+		// toggled.
+		sc, oc := snap.Config, cfg
+		sc.FullReplan, oc.FullReplan = false, false
+		if sc != oc {
 			return nil, fmt.Errorf("%w: snapshot has %+v", ErrConfigMismatch, snap.Config)
 		}
 		if err := eng.restoreState(snap.State); err != nil {

@@ -350,9 +350,18 @@ func runOne(spec Spec, cell Cell, rep int, st *span.Stack) (Rep, error) {
 
 	switch cell.Scheduler {
 	case "sunflow":
-		res, err := sim.RunCircuit(cs, sim.CircuitOptions{
+		copts := sim.CircuitOptions{
 			Ports: cfg.Ports, LinkBps: cfg.LinkBps, Delta: cfg.Delta, Obs: o, Faults: plan, Prof: st,
-		})
+		}
+		var res sim.Result
+		var err error
+		if cell.ShardWorkers > 1 {
+			// Sharded execution is bit-invariant to the worker count; the
+			// shard-smoke spec's cells prove it by digest comparison.
+			res, err = sim.RunCircuitSharded(cs, copts, cell.ShardWorkers)
+		} else {
+			res, err = sim.RunCircuit(cs, copts)
+		}
 		if err != nil {
 			return out, err
 		}

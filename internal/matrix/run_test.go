@@ -2,6 +2,7 @@ package matrix
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -121,6 +122,47 @@ func TestRunSeedChangesDigests(t *testing.T) {
 	}
 	if a.Cells[0].Digest == b.Cells[0].Digest {
 		t.Error("different seeds must change the cell digest")
+	}
+}
+
+// TestRunShardWorkersInvariant runs one sunflow scenario across the
+// shard-workers axis: every cell must report replication rows identical to
+// the serial (shard_workers=1) cell's — sharding is an execution strategy
+// and must not change a single reported float.
+func TestRunShardWorkersInvariant(t *testing.T) {
+	s, err := ParseSpec([]byte(`{
+	  "name": "shard",
+	  "schedulers": ["sunflow"],
+	  "ports": [12],
+	  "deltas_ms": [10],
+	  "workloads": [{"name": "tiny", "coflows": 12, "max_width": 3}],
+	  "shard_workers": [1, 2, 4],
+	  "replications": 2,
+	  "seed": 1,
+	  "bootstrap_resamples": 200
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(s, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 3 {
+		t.Fatalf("got %d cells, want 3", len(res.Cells))
+	}
+	serial := res.Cells[0]
+	if serial.ShardWorkers != 1 {
+		t.Fatalf("cell 0 has shard_workers %d, want the serial cell first", serial.ShardWorkers)
+	}
+	for _, c := range res.Cells[1:] {
+		if !reflect.DeepEqual(c.Reps, serial.Reps) {
+			t.Errorf("shard_workers=%d reps diverge from serial:\n  sharded: %+v\n  serial:  %+v",
+				c.ShardWorkers, c.Reps, serial.Reps)
+		}
+		if c.Key() != serial.Key() {
+			t.Errorf("shard_workers=%d changed the scenario key: %q vs %q", c.ShardWorkers, c.Key(), serial.Key())
+		}
 	}
 }
 

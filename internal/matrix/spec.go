@@ -35,6 +35,11 @@ var knownSchedulers = []string{"sunflow", "solstice", "tms", "edmond", "varys"}
 // replay schedules through the fabric executor, which has no fault model.
 var faultCapable = map[string]bool{"sunflow": true, "varys": true}
 
+// shardCapable marks the schedulers with a sharded runner
+// (sim.RunCircuitSharded); sharding other schedulers' cells would silently
+// fall back to serial and report duplicate rows.
+var shardCapable = map[string]bool{"sunflow": true}
+
 // WorkloadAxis is one point of the workload axis: a named shape of the
 // Facebook-like generated trace.
 type WorkloadAxis struct {
@@ -74,6 +79,13 @@ type Spec struct {
 	// [0, 1)). Empty selects {0} (fault-free). Non-zero rates require every
 	// scheduler on the axis to be fault-capable (sunflow, varys).
 	FaultRates []float64 `json:"fault_rates,omitempty"`
+	// ShardWorkers is the sharded-execution axis: worker counts handed to
+	// sim.RunCircuitSharded. Empty selects {1} (the serial runner). Values
+	// above 1 require every scheduler on the axis to be shard-capable
+	// (sunflow); sharding is bit-invariant, so cells differing only in the
+	// worker count must report identical replication rows — the smoke spec's
+	// CI gate asserts exactly that.
+	ShardWorkers []int `json:"shard_workers,omitempty"`
 
 	// Replications is the number of seeded runs per cell. Required, ≥ 1;
 	// replication r uses seed Seed+r in every cell.
@@ -98,11 +110,14 @@ type Cell struct {
 	LinkGbps  float64      `json:"link_gbps"`
 	Workload  WorkloadAxis `json:"workload"`
 	FaultRate float64      `json:"fault_rate"`
+	// ShardWorkers is the sharded-execution worker count (1 = serial runner).
+	ShardWorkers int `json:"shard_workers,omitempty"`
 }
 
 // Key identifies the cell's scenario (everything but the scheduler): cells
 // sharing a Key are the comparison group pairwise speedups are computed
-// within.
+// within. ShardWorkers is excluded too — sharding is an execution strategy,
+// not a scenario parameter, and must not change any number it reports.
 func (c Cell) Key() string {
 	return fmt.Sprintf("%s/ports=%d/delta=%gms/link=%gG/fail=%g",
 		c.Workload.Name, c.Ports, c.DeltaMs, c.LinkGbps, c.FaultRate)
@@ -168,6 +183,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if len(s.FaultRates) == 0 {
 		s.FaultRates = []float64{0}
+	}
+	if len(s.ShardWorkers) == 0 {
+		s.ShardWorkers = []int{1}
 	}
 	if s.Confidence == 0 {
 		s.Confidence = 0.95
@@ -267,12 +285,30 @@ func (s Spec) Validate() error {
 			}
 		}
 	}
+	seenShard := map[int]bool{}
+	for _, w := range s.ShardWorkers {
+		if w < 1 {
+			return fmt.Errorf("matrix: spec %q: shard_workers must be ≥ 1, got %d", s.Name, w)
+		}
+		if seenShard[w] {
+			return fmt.Errorf("matrix: spec %q: duplicate shard_workers value %d would expand into duplicate cells", s.Name, w)
+		}
+		seenShard[w] = true
+		if w > 1 {
+			for _, name := range s.Schedulers {
+				if !shardCapable[name] {
+					return fmt.Errorf("matrix: spec %q: shard_workers %d requires shard-capable schedulers; %q has no sharded runner", s.Name, w, name)
+				}
+			}
+		}
+	}
 	return nil
 }
 
 // Expand returns the cartesian product of the spec's axes in deterministic
-// order: workload, ports, δ, bandwidth, fault rate, scheduler. The scheduler
-// axis varies fastest so one scenario's comparison group is contiguous.
+// order: workload, ports, δ, bandwidth, fault rate, shard workers, scheduler.
+// The scheduler axis varies fastest so one scenario's comparison group is
+// contiguous.
 func (s Spec) Expand() []Cell {
 	var cells []Cell
 	for _, w := range s.Workloads {
@@ -280,16 +316,19 @@ func (s Spec) Expand() []Cell {
 			for _, d := range s.DeltasMs {
 				for _, g := range s.LinkGbps {
 					for _, f := range s.FaultRates {
-						for _, sched := range s.Schedulers {
-							cells = append(cells, Cell{
-								Index:     len(cells),
-								Scheduler: sched,
-								Ports:     p,
-								DeltaMs:   d,
-								LinkGbps:  g,
-								Workload:  w,
-								FaultRate: f,
-							})
+						for _, sw := range s.ShardWorkers {
+							for _, sched := range s.Schedulers {
+								cells = append(cells, Cell{
+									Index:        len(cells),
+									Scheduler:    sched,
+									Ports:        p,
+									DeltaMs:      d,
+									LinkGbps:     g,
+									Workload:     w,
+									FaultRate:    f,
+									ShardWorkers: sw,
+								})
+							}
 						}
 					}
 				}

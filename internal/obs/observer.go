@@ -22,6 +22,7 @@ const (
 	NameSchedSeconds     = "sched.seconds"
 	NameSchedPassTime    = "sched.pass_seconds"
 	NameIntraPasses      = "sched.intra_passes"
+	NameIntraSkipped     = "sched.intra_skipped"
 	NameIntraSeconds     = "sched.intra_seconds"
 	NameIntraFastSeconds = "sched.intra_fast_seconds"
 	NameIntraRefSeconds  = "sched.intra_ref_seconds"
@@ -63,7 +64,13 @@ type Observer struct {
 	SchedSeconds  *FloatCounter // wall time inside those passes
 	SchedPassTime *Histogram    // distribution of per-pass wall time (seconds)
 	IntraPasses   *Counter      // per-Coflow intra-scheduler invocations
-	IntraSeconds  *FloatCounter
+	// IntraSkipped counts live Coflows whose cached schedule an incremental
+	// replan reused instead of invoking the intra scheduler: on any event
+	// sequence, IntraPasses + IntraSkipped equals the IntraPasses a
+	// full-rebuild run would record (the reconciliation property tests pin
+	// this).
+	IntraSkipped *Counter
+	IntraSeconds *FloatCounter
 	// IntraSeconds split by planner path: the event-driven fast path versus
 	// the scan-based reference path (core.Options.Reference). The trace
 	// stream is path-invariant by design, so this is the only record of
@@ -124,6 +131,7 @@ func newScoped(reg *Registry, sink Sink, prefix string) *Observer {
 		SchedSeconds:     reg.FloatCounter(prefix + NameSchedSeconds),
 		SchedPassTime:    reg.Histogram(prefix + NameSchedPassTime),
 		IntraPasses:      reg.Counter(prefix + NameIntraPasses),
+		IntraSkipped:     reg.Counter(prefix + NameIntraSkipped),
 		IntraSeconds:     reg.FloatCounter(prefix + NameIntraSeconds),
 		IntraFastSeconds: reg.FloatCounter(prefix + NameIntraFastSeconds),
 		IntraRefSeconds:  reg.FloatCounter(prefix + NameIntraRefSeconds),

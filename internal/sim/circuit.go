@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
 	"sort"
 	"time"
 
@@ -36,8 +37,18 @@ type CircuitOptions struct {
 	// Reference plans with the scan-based reference scheduler loop instead
 	// of the event-driven fast path (see core.Options.Reference). Results
 	// and trace streams are bit-identical either way; the differential
-	// property tests exercise this switch.
+	// property tests exercise this switch. Reference also forces FullReplan:
+	// the reference pass is the retained full-rebuild oracle.
 	Reference bool
+	// FullReplan disables dirty-prefix schedule reuse: every scheduling pass
+	// rebuilds the whole plan by running IntraCoflow for every live Coflow,
+	// as the pre-incremental simulator did. Results, traces and archive
+	// digests are bit-identical either way (see DESIGN.md §7); the
+	// differential property tests and the scale-smoke digest gate exercise
+	// this switch. The environment variable SUNFLOW_FULL_REPLAN=1 forces it
+	// process-wide. Fault plans force it implicitly: outage repair rebuilds
+	// the degraded table from scratch each pass.
+	FullReplan bool
 	// Obs optionally records metrics and trace events. Nil disables all
 	// instrumentation at the cost of one nil-check per site.
 	Obs *obs.Observer
@@ -141,6 +152,8 @@ func runCircuit(src Source, opts CircuitOptions, checkDups bool) (Result, error)
 		faults:      fm,
 		faultCursor: math.Inf(-1),
 		prt:         core.NewPRT(opts.Ports),
+		incremental: fm == nil && !opts.Reference && !opts.FullReplan &&
+			os.Getenv("SUNFLOW_FULL_REPLAN") == "",
 	}
 	if o := opts.Obs; o != nil {
 		defer func() { o.SimEvents.Add(int64(res.Events)) }()
@@ -252,8 +265,22 @@ func runCircuit(src Source, opts CircuitOptions, checkDups bool) (Result, error)
 type liveCoflow struct {
 	c *coflow.Coflow
 	// rem is the unserved demand per flow in bytes, including demand that
-	// in-flight (locked) reservations will deliver.
+	// in-flight (locked) reservations will deliver. Credited continuously as
+	// circuits carry bytes, it drives the priority key, completion detection
+	// and stranded-byte accounting.
 	rem map[fabric.FlowKey]float64
+	// base is the scheduler's view of the same demand, kept drift-free: it
+	// ignores in-flight delivery and is debited exactly once per circuit, by
+	// the full bytes the circuit carries, at the pass after the circuit ends.
+	// Between establishment boundaries base is bit-stable while rem drifts
+	// with every credit window, so the incremental replanner fingerprints
+	// scheduler inputs derived from base (DESIGN.md §7). nil until the first
+	// in-flight byte is credited — until then it is bit-identical to rem and
+	// rem stands in for it. Fault runs never allocate base: degraded-rate
+	// delivery would make the exact folding drift from rem, and the two
+	// views could then disagree about whether a residual flow still needs
+	// scheduling (credit() has the full story).
+	base map[fabric.FlowKey]float64
 	// finish is the planned completion time under the current plan.
 	finish float64
 	// flowFinish records actual flow completion instants.
@@ -274,6 +301,10 @@ type liveCoflow struct {
 	// the per-Coflow view of Result.SwitchCount, kept live so archive mode
 	// can retire it without the map.
 	switches int
+	// keys holds rem's flow keys in (Src, Dst) order, built once at
+	// admission. Stranding deletes rem entries without touching keys, so
+	// readers skip keys absent from the map instead of re-sorting per pass.
+	keys []fabric.FlowKey
 }
 
 // circuitState is the mutable simulation state.
@@ -304,6 +335,79 @@ type circuitState struct {
 	// passes (Reset keeps the grown per-port capacity) so replanning is
 	// allocation-free on the timelines.
 	prt *core.PRT
+	// incremental enables dirty-prefix schedule reuse across passes. It is
+	// false when a fault plan, Reference, FullReplan or SUNFLOW_FULL_REPLAN
+	// forces the retained full-rebuild pass (DESIGN.md §7).
+	incremental bool
+	// cache holds the previous successful pass's per-Coflow outcomes in
+	// policy order; empty while incremental is off.
+	cache []planCacheEntry
+	// scratch pools the per-pass allocations of replanOnce.
+	scratch replanScratch
+}
+
+// planCacheEntry records one Coflow's outcome in the previous scheduling
+// pass at its policy-order position. The entry is clean at the same position
+// of the next pass — its reservations replayed via PRT.BulkAdd instead of
+// re-running IntraCoflow — when the Coflow id and its exclusion-adjusted
+// remainder (the exact IntraCoflow input, flows fully served by locked
+// circuits dropped) are bit-identical and no cached reservation starts
+// before (or within timeEps of) the new pass instant.
+type planCacheEntry struct {
+	id int
+	// flows is the IntraCoflow input the schedule was computed from:
+	// remaining demand minus locked-reservation exclusions, in (Src, Dst)
+	// order. Compared exactly — a one-ulp drift in any term re-runs the
+	// scheduler, keeping reuse bit-identical by construction.
+	flows []coflow.Flow
+	// res is the cached IntraCoflow output; owned by the entry (the plan
+	// holds copies).
+	res []core.Reservation
+	// minStart and maxEnd are res's extremes (+Inf/-Inf when empty).
+	minStart, maxEnd float64
+	// ctx is the port context the schedule was computed against: the busy
+	// intervals visible on the input flows' ports when IntraCoflow ran,
+	// snapshotted just before the run and trimmed to horizon. The intra
+	// search is a pure function of its input flows, its start instant and
+	// this context, so a bit-exact match certifies the cached output.
+	ctx []core.PortSpan
+	// horizon bounds the table range the cached search could have consulted:
+	// maxEnd + δ + 2·timeEps (-Inf for an empty schedule). Occupancy at or
+	// beyond it cannot influence the search — every window it probes starts
+	// at a placement or rejection instant below maxEnd and extends at most
+	// δ plus the eps tolerances.
+	horizon float64
+}
+
+// replanScratch pools the buffers replanOnce previously allocated per pass,
+// making a steady-state replan allocation-free outside IntraCoflow itself.
+type replanScratch struct {
+	// lockedFuture maps Coflow id -> flow key -> full planned bytes of its
+	// in-flight circuits. Subtracted from the drift-free base remainder (not
+	// from rem) it yields the demand still unplanned — the pairing keeps the
+	// scheduler input bit-stable while a circuit holds, since neither side
+	// moves with delivery. Inner maps recycle through exclPool.
+	lockedFuture map[int]map[fabric.FlowKey]float64
+	exclPool     []map[fabric.FlowKey]float64
+	// tmps holds reusable remainder-Coflow headers, one per live Coflow; the
+	// header doubles as the IntraCoflow input when the Coflow has no locked
+	// exclusions (the remainders are then identical).
+	tmps []*coflow.Coflow
+	// order and key are the policy SortInto scratch.
+	order []*coflow.Coflow
+	key   map[int]float64
+	// sched is the remainder-with-exclusions scratch Coflow.
+	sched *coflow.Coflow
+	// nextCache accumulates this pass's cache entries, swapped into
+	// circuitState.cache on success.
+	nextCache []planCacheEntry
+	// cacheIdx maps Coflow id to its index in circuitState.cache, rebuilt
+	// each incremental pass.
+	cacheIdx map[int]int
+	// spans is the pre-run port-context snapshot buffer; ins and outs hold
+	// the sorted unique ports of the flows being certified or snapshotted.
+	spans     []core.PortSpan
+	ins, outs []int
 }
 
 // peek returns the next unadmitted Coflow without consuming it, pulling at
@@ -365,9 +469,20 @@ func (s *circuitState) admit(now float64) error {
 			}
 			continue
 		}
+		keys := make([]fabric.FlowKey, 0, len(rem))
+		for k := range rem {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool {
+			if keys[a].Src != keys[b].Src {
+				return keys[a].Src < keys[b].Src
+			}
+			return keys[a].Dst < keys[b].Dst
+		})
 		lc := &liveCoflow{
 			c:          c,
 			rem:        rem,
+			keys:       keys,
 			finish:     math.Inf(1),
 			flowFinish: make(map[fabric.FlowKey]float64, len(rem)),
 			bytes:      total,
@@ -457,6 +572,21 @@ func (s *circuitState) credit(from, to float64) {
 		if rem <= 0 {
 			continue
 		}
+		if lc.base == nil && s.faults == nil {
+			// First in-flight byte for this Coflow: snapshot the pristine
+			// demand before rem starts drifting away from it. Fault runs
+			// never build a base: degraded-rate delivery makes the exact
+			// planned-bytes folding drift from rem by real fractions of a
+			// byte, and the two views can then disagree about whether a
+			// flow's residual is worth scheduling — rem above byteEps with
+			// base below it wedges the event loop at a fixed instant.
+			// Incremental reuse (the only consumer of base) is disabled
+			// under faults anyway, so the scheduler reads rem instead.
+			lc.base = make(map[fabric.FlowKey]float64, len(lc.rem))
+			for k, v := range lc.rem {
+				lc.base[k] = v
+			}
+		}
 		if o != nil {
 			o.BytesDelivered.Add(math.Min(rem, d))
 		}
@@ -533,6 +663,11 @@ func (s *circuitState) creditFairWindows(from, to float64) {
 				if lc.flowStarted != nil && served[idx] > 0 && !lc.flowStarted[key] {
 					lc.flowStarted[key] = true
 					o.Emit(obs.Event{T: segStart, Kind: obs.KindFlowStart, Coflow: id, Src: i, Dst: j})
+				}
+				if lc.base != nil {
+					// Window delivery is real delivery: the scheduler's
+					// drift-free remainder must not re-plan the shared bytes.
+					lc.base[key] -= served[idx]
 				}
 				nr := lc.rem[key] - served[idx]
 				if nr <= byteEps {
@@ -703,10 +838,25 @@ func (s *circuitState) replanOnce(now float64) (id int, err error) {
 		}()
 	}
 	// Keep only circuits already established and still holding their ports.
-	locked := make([]core.Reservation, 0, len(s.plan))
+	// The filter runs in place: locked is a subsequence of plan and the pass
+	// rebuilds plan from it below, so no per-pass copy is needed. A circuit
+	// that ended since the last pass leaves the plan here, and its full
+	// planned bytes are folded into the drift-free base remainder in the same
+	// breath — one exact subtraction per circuit, mirroring the bytes credit
+	// streamed into rem across many windows.
+	locked := s.plan[:0]
 	for _, r := range s.plan {
-		if r.Start < now-timeEps && r.End > now+timeEps {
+		if r.Start >= now-timeEps {
+			continue // never established; the pass replans its demand
+		}
+		if r.End > now+timeEps {
 			locked = append(locked, r)
+			continue
+		}
+		if lc := s.live[r.CoflowID]; lc != nil && lc.base != nil {
+			// base exists only on fault-free runs, where the circuit carried
+			// exactly its planned Bytes.
+			lc.base[fabric.FlowKey{Src: r.In, Dst: r.Out}] -= r.Bytes
 		}
 	}
 
@@ -715,12 +865,13 @@ func (s *circuitState) replanOnce(now float64) (id int, err error) {
 	if s.opts.Fair != nil {
 		prt.SetBlackout(*s.opts.Fair)
 	}
-	if s.faults == nil {
-		prt.Preload(locked)
-	} else {
+	if s.faults != nil {
 		// Repair path: re-seed the degraded table defensively — a locked
 		// circuit that no longer fits is invalidated rather than crashing the
-		// run — then block every port interval a fault keeps down.
+		// run — then block every port interval a fault keeps down. (The
+		// fault-free locked preload happens further down, after the clean
+		// prefix is known, so the incremental path can bulk-load both in one
+		// go.)
 		fsp := s.opts.Prof.Start("fault.repair")
 		kept := locked[:0]
 		for _, r := range locked {
@@ -739,34 +890,179 @@ func (s *circuitState) replanOnce(now float64) (id int, err error) {
 		fsp.Finish()
 	}
 
-	lockedFuture := map[int]map[fabric.FlowKey]float64{}
+	sc := &s.scratch
+	lockedFuture := sc.takeLockedFuture()
 	for i := range locked {
 		r := &locked[i]
 		if s.live[r.CoflowID] != nil {
 			m := lockedFuture[r.CoflowID]
 			if m == nil {
-				m = map[fabric.FlowKey]float64{}
+				m = sc.takeExcl()
 				lockedFuture[r.CoflowID] = m
 			}
-			m[fabric.FlowKey{Src: r.In, Dst: r.Out}] += s.resFutureBytes(r, now)
+			// Against the drift-free base the exclusion is the circuit's full
+			// planned bytes (base ignores in-flight delivery). Fault runs
+			// have no base — the scheduler reads rem, which already reflects
+			// delivery, so only the bytes the circuit will still carry (at
+			// its possibly degraded rate) are excluded.
+			if s.faults != nil {
+				m[fabric.FlowKey{Src: r.In, Dst: r.Out}] += s.resFutureBytes(r, now)
+			} else {
+				m[fabric.FlowKey{Src: r.In, Dst: r.Out}] += r.Bytes
+			}
 		}
 	}
 
-	// Priority-sort the live Coflows on their full remaining demand.
-	tmps := make([]*coflow.Coflow, 0, len(s.live))
-	for _, lc := range s.live {
-		tmps = append(tmps, remainderCoflow(lc, nil))
+	// Priority-sort the live Coflows on their full remaining demand. The
+	// remainder headers are pooled; each also serves as the IntraCoflow input
+	// below when its Coflow has no locked exclusions.
+	for len(sc.tmps) < len(s.live) {
+		sc.tmps = append(sc.tmps, &coflow.Coflow{})
 	}
-	ordered := s.policy.Sort(tmps)
+	n := 0
+	for _, lc := range s.live {
+		remainderInto(sc.tmps[n], lc)
+		n++
+	}
+	tmps := sc.tmps[:n]
+	var ordered []*coflow.Coflow
+	if ss, ok := s.policy.(core.ScratchSorter); ok {
+		if sc.key == nil {
+			sc.key = make(map[int]float64, len(tmps))
+		}
+		sc.order = ss.SortInto(tmps, sc.order, sc.key)
+		ordered = sc.order
+	} else {
+		ordered = s.policy.Sort(tmps)
+	}
 
+	if s.incremental {
+		s.compactCache()
+		sc.nextCache = sc.nextCache[:0]
+		if sc.cacheIdx == nil {
+			sc.cacheIdx = map[int]int{}
+		} else {
+			clear(sc.cacheIdx)
+		}
+		for i := range s.cache {
+			sc.cacheIdx[s.cache[i].id] = i
+		}
+	}
+	id, err = s.schedulePass(now, ordered, locked, s.incremental)
+	if err == errBulkFallback {
+		// The replayed reservations did not fit the table: the reuse checks
+		// missed an invalidation. Rebuild the pass from scratch and drop the
+		// cache — defense in depth, the differential suites never reach here.
+		prt.Reset()
+		if s.opts.Fair != nil {
+			prt.SetBlackout(*s.opts.Fair)
+		}
+		sc.nextCache = sc.nextCache[:0]
+		for i := range s.cache {
+			s.cache[i] = planCacheEntry{}
+		}
+		s.cache = s.cache[:0]
+		return s.schedulePass(now, ordered, locked, false)
+	}
+	if err == nil && s.incremental {
+		// Swap the rebuilt cache in; stale entries are zeroed so the old
+		// backing array does not pin retired schedules for the GC.
+		old := s.cache
+		s.cache = sc.nextCache
+		for i := range old {
+			old[i] = planCacheEntry{}
+		}
+		sc.nextCache = old[:0]
+	}
+	return id, err
+}
+
+// errBulkFallback signals that replayed cached reservations conflicted with
+// the table — the reuse checks missed an invalidation — and the pass must be
+// redone as a full rebuild.
+var errBulkFallback = errors.New("sim: cached schedule replay conflicted")
+
+// schedulePass rebuilds the plan for one scheduling pass: every live Coflow,
+// in ordered priority order, either replays its cached schedule (reuse mode,
+// when provably bit-identical to what IntraCoflow would produce — DESIGN.md
+// §7) or runs IntraCoflow against the table built so far. The caller has
+// Reset the table (with blackout and fault blocks applied); locked circuits
+// are seeded here — bulk-loaded up front in reuse mode, Preloaded otherwise
+// (the fault path seeded them already).
+//
+// Reuse certification rests on the intra search being a pure function of
+// three things: its input flows, its start instant, and the busy intervals
+// visible on the flows' ports below the search horizon. The input flows are
+// compared bit-exactly (flowsEqual); the start instant only matters through
+// the table because the cached search placed nothing before max(now,
+// arrival) — the minStart guard pins that; and the port context is compared
+// bit-exactly against the snapshot taken when the cached schedule was
+// computed (SpansMatch), trimmed on both sides to intervals still visible
+// from the current pass start. Expired intervals drop out of both views
+// symmetrically and provably never influenced decisions at or after now, so
+// a match means the search would walk the same release events, probe the
+// same windows and compute the same floats — additions, removals and ulp
+// drifts on the entry's ports all surface as snapshot mismatches, with no
+// monotonicity reasoning needed.
+func (s *circuitState) schedulePass(now float64, ordered []*coflow.Coflow, locked []core.Reservation, reuse bool) (int, error) {
+	o := s.opts.Obs
+	prt := s.prt
+	sc := &s.scratch
+	skips := int64(0)
+	if reuse {
+		prt.BulkAdd(locked)
+		if err := prt.FinishBulk(); err != nil {
+			return 0, errBulkFallback
+		}
+	} else if s.faults == nil {
+		prt.Preload(locked)
+	}
 	s.plan = locked
 	for _, tmp := range ordered {
 		lc := s.live[tmp.ID]
-		toSchedule := remainderCoflow(lc, lockedFuture[tmp.ID])
+		var e *planCacheEntry
+		if reuse {
+			if k, ok := sc.cacheIdx[tmp.ID]; ok {
+				e = &s.cache[k]
+			}
+		}
+		if e != nil && s.reusable(e, tmp, lc, now) {
+			for i := range e.res {
+				if err := prt.TryReserve(e.res[i]); err != nil {
+					return 0, errBulkFallback
+				}
+			}
+			// The cached schedule is bit-identical to what IntraCoflow would
+			// recompute; only the planned finish needs refreshing — its base
+			// is the pass start, which moved since the cached pass.
+			finish := math.Max(now, lc.c.Arrival)
+			if e.maxEnd > finish {
+				finish = e.maxEnd
+			}
+			for _, r := range locked {
+				if r.CoflowID == tmp.ID && r.End > finish {
+					finish = r.End
+				}
+			}
+			lc.finish = finish
+			s.plan = append(s.plan, e.res...)
+			sc.nextCache = append(sc.nextCache, *e)
+			skips++
+			continue
+		}
+		// Dirty: snapshot the port context the search is about to see, then
+		// run the scheduler. The snapshot must precede the run — IntraCoflow's
+		// own placements are part of its output, not its input.
+		toSchedule := s.schedInput(tmp, lc)
+		start := math.Max(now, lc.c.Arrival)
+		if reuse {
+			sc.ins, sc.outs = flowPorts(toSchedule.Flows, sc.ins, sc.outs)
+			sc.spans = prt.SpansOn(start, math.Inf(1), sc.ins, sc.outs, sc.spans[:0])
+		}
 		sched, err := core.IntraCoflow(prt, toSchedule, core.Options{
 			LinkBps:   s.opts.LinkBps,
 			Delta:     s.opts.Delta,
-			Start:     math.Max(now, lc.c.Arrival),
+			Start:     start,
 			Order:     s.opts.Order,
 			Seed:      s.opts.Seed,
 			Reference: s.opts.Reference,
@@ -784,15 +1080,163 @@ func (s *circuitState) replanOnce(now float64) (id int, err error) {
 		}
 		lc.finish = finish
 		s.plan = append(s.plan, sched.Reservations...)
+		if reuse {
+			ne := newCacheEntry(tmp.ID, toSchedule.Flows, sched.Reservations)
+			ne.horizon = ne.maxEnd + s.opts.Delta + 2*timeEps
+			for _, sp := range sc.spans {
+				if sp.Start < ne.horizon {
+					ne.ctx = append(ne.ctx, sp)
+				}
+			}
+			sc.nextCache = append(sc.nextCache, ne)
+		}
+	}
+	if o != nil {
+		o.IntraSkipped.Add(skips)
 	}
 	return 0, nil
 }
 
-// remainderCoflow builds a temporary Coflow from a live Coflow's remaining
-// demand, optionally excluding demand that locked reservations will serve.
-func remainderCoflow(lc *liveCoflow, exclude map[fabric.FlowKey]float64) *coflow.Coflow {
-	flows := make([]coflow.Flow, 0, len(lc.rem))
-	for k, b := range lc.rem {
+// compactCache drops cache entries for Coflows that have left the fabric.
+// A retired Coflow's still-future occupancy vanishing from the table is
+// caught by the snapshot comparison of any entry that was placed around it,
+// so no bookkeeping is needed here.
+func (s *circuitState) compactCache() {
+	out := s.cache[:0]
+	for i := range s.cache {
+		if s.live[s.cache[i].id] != nil {
+			out = append(out, s.cache[i])
+		}
+	}
+	for i := len(out); i < len(s.cache); i++ {
+		s.cache[i] = planCacheEntry{}
+	}
+	s.cache = out
+}
+
+// reusable reports whether the cached entry can be replayed for the Coflow
+// this pass: its input flows are bit-identical; none of its placements have
+// started or fall in the (now, now+timeEps] fuzz band — placements there
+// were made against commitments the eps-tolerant comparisons could now round
+// the other way; and the busy intervals currently visible on its ports below
+// its horizon match the cached snapshot bit for bit.
+func (s *circuitState) reusable(e *planCacheEntry, tmp *coflow.Coflow, lc *liveCoflow, now float64) bool {
+	if lc == nil {
+		return false
+	}
+	if e.minStart < now || (e.minStart > now && e.minStart <= now+timeEps) {
+		return false
+	}
+	if !flowsEqual(e.flows, s.schedInput(tmp, lc).Flows) {
+		return false
+	}
+	sc := &s.scratch
+	sc.ins, sc.outs = flowPorts(e.flows, sc.ins, sc.outs)
+	return s.prt.SpansMatch(e.ctx, math.Max(now, lc.c.Arrival), e.horizon, sc.ins, sc.outs)
+}
+
+// flowPorts fills ins and outs with the sorted unique source and destination
+// ports of the flows, reusing the given backing slices. Flows arrive in
+// (Src, Dst) order, so sources dedupe in place; destinations need a sort.
+func flowPorts(flows []coflow.Flow, ins, outs []int) ([]int, []int) {
+	ins, outs = ins[:0], outs[:0]
+	for i := range flows {
+		if n := len(ins); n == 0 || ins[n-1] != flows[i].Src {
+			ins = append(ins, flows[i].Src)
+		}
+		outs = append(outs, flows[i].Dst)
+	}
+	sort.Ints(outs)
+	w := 0
+	for i, d := range outs {
+		if i == 0 || d != outs[w-1] {
+			outs[w] = d
+			w++
+		}
+	}
+	return ins, outs[:w]
+}
+
+// flowsEqual compares two flow slices exactly — Flow is comparable, so this
+// is a bit-exact test of the scheduler input.
+func flowsEqual(a, b []coflow.Flow) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// newCacheEntry snapshots one dirty-position outcome. The input flows are
+// copied because the pooled remainder buffer they sit in recycles next pass;
+// the reservations slice is owned by the schedule just computed (the plan
+// keeps its own copies).
+func newCacheEntry(id int, flows []coflow.Flow, res []core.Reservation) planCacheEntry {
+	e := planCacheEntry{
+		id:       id,
+		flows:    append([]coflow.Flow(nil), flows...),
+		res:      res,
+		minStart: math.Inf(1),
+		maxEnd:   math.Inf(-1),
+	}
+	for i := range res {
+		if res[i].Start < e.minStart {
+			e.minStart = res[i].Start
+		}
+		if res[i].End > e.maxEnd {
+			e.maxEnd = res[i].End
+		}
+	}
+	return e
+}
+
+// takeLockedFuture returns the pooled outer exclusion map, emptied, with the
+// inner maps recycled into the pool.
+func (sc *replanScratch) takeLockedFuture() map[int]map[fabric.FlowKey]float64 {
+	if sc.lockedFuture == nil {
+		sc.lockedFuture = map[int]map[fabric.FlowKey]float64{}
+		return sc.lockedFuture
+	}
+	for id, m := range sc.lockedFuture {
+		clear(m)
+		sc.exclPool = append(sc.exclPool, m)
+		delete(sc.lockedFuture, id)
+	}
+	return sc.lockedFuture
+}
+
+// takeExcl returns an empty inner exclusion map, pooled when available.
+func (sc *replanScratch) takeExcl() map[fabric.FlowKey]float64 {
+	if n := len(sc.exclPool); n > 0 {
+		m := sc.exclPool[n-1]
+		sc.exclPool = sc.exclPool[:n-1]
+		return m
+	}
+	return map[fabric.FlowKey]float64{}
+}
+
+// remainderInto rebuilds tmp as the live Coflow's remaining demand from the
+// continuously-credited rem — the priority-key view.
+func remainderInto(tmp *coflow.Coflow, lc *liveCoflow) *coflow.Coflow {
+	return remainderFrom(tmp, lc, lc.rem, nil)
+}
+
+// remainderFrom rebuilds tmp as the Coflow's remaining demand read from src,
+// optionally excluding demand that locked reservations will serve. Flows
+// come out in (Src, Dst) order without sorting: lc.keys was sorted once at
+// admission and keys stranded out of the map are skipped on read.
+func remainderFrom(tmp *coflow.Coflow, lc *liveCoflow, src, exclude map[fabric.FlowKey]float64) *coflow.Coflow {
+	tmp.ID, tmp.Arrival = lc.c.ID, lc.c.Arrival
+	flows := tmp.Flows[:0]
+	for _, k := range lc.keys {
+		b, ok := src[k]
+		if !ok {
+			continue
+		}
 		if exclude != nil {
 			b -= exclude[k]
 		}
@@ -800,11 +1244,26 @@ func remainderCoflow(lc *liveCoflow, exclude map[fabric.FlowKey]float64) *coflow
 			flows = append(flows, coflow.Flow{Src: k.Src, Dst: k.Dst, Bytes: b})
 		}
 	}
-	sort.Slice(flows, func(a, b int) bool {
-		if flows[a].Src != flows[b].Src {
-			return flows[a].Src < flows[b].Src
-		}
-		return flows[a].Dst < flows[b].Dst
-	})
-	return &coflow.Coflow{ID: lc.c.ID, Arrival: lc.c.Arrival, Flows: flows}
+	tmp.Flows = flows
+	return tmp
+}
+
+// schedInput builds the IntraCoflow input for the Coflow this pass: the
+// drift-free base remainder minus the full planned bytes of its in-flight
+// circuits. A Coflow that never carried a byte and holds no circuits keeps
+// its pooled priority-sort header — rem and base are still bit-identical
+// there, so the remainders are too.
+func (s *circuitState) schedInput(tmp *coflow.Coflow, lc *liveCoflow) *coflow.Coflow {
+	excl := s.scratch.lockedFuture[lc.c.ID]
+	if lc.base == nil && excl == nil {
+		return tmp
+	}
+	if s.scratch.sched == nil {
+		s.scratch.sched = &coflow.Coflow{}
+	}
+	src := lc.rem
+	if lc.base != nil {
+		src = lc.base
+	}
+	return remainderFrom(s.scratch.sched, lc, src, excl)
 }

@@ -237,6 +237,7 @@ func (s *circuitState) strandFlows(lc *liveCoflow, now float64, cond func(fabric
 		any = true
 		lc.stranded = true
 		delete(lc.rem, k)
+		delete(lc.base, k)
 		p := s.partial()
 		p.Stranded = append(p.Stranded, StrandedFlow{Coflow: lc.c.ID, Src: k.Src, Dst: k.Dst, Bytes: b, At: now})
 		p.Bytes += b
